@@ -1,0 +1,27 @@
+//! Baseline detectors and reference searches for the SPOT evaluation.
+//!
+//! The paper's comparative study pits SPOT against "the latest stream
+//! outlier/anomaly detection method" — full-space techniques that, per the
+//! paper's Section I, cannot discover projected outliers. This crate
+//! implements that comparator class from scratch:
+//!
+//! * [`FullSpaceGridDetector`] — one-pass grid/density detector over the
+//!   *full* attribute space with the same decayed synopses SPOT uses (the
+//!   method family of Aggarwal, SDM'05 \[2\]).
+//! * [`WindowKnnDetector`] — exact distance-based outlier detection over a
+//!   count-based sliding window (the classical kNN/STORM formulation).
+//! * [`RandomSubspaceDetector`] — SPOT's machinery with randomly chosen
+//!   subspaces instead of a learned SST; isolates the value of SST itself
+//!   (ablation for experiment E3/E8).
+//! * [`brute`] — exhaustive subspace search used as ground truth for MOGA's
+//!   search quality (experiment E6). Exponential; only for small ϕ.
+
+pub mod brute;
+pub mod fullspace;
+pub mod random_subspace;
+pub mod window_knn;
+
+pub use brute::{brute_force_top_k, BruteForceResult};
+pub use fullspace::FullSpaceGridDetector;
+pub use random_subspace::RandomSubspaceDetector;
+pub use window_knn::WindowKnnDetector;

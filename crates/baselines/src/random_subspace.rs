@@ -1,0 +1,203 @@
+//! Random-subspace ablation detector.
+//!
+//! Uses exactly SPOT's online machinery — decayed PCS over a set of
+//! monitored subspaces with RD thresholding — but the subspaces are drawn
+//! uniformly at random instead of learned into an SST. The gap between this
+//! detector and SPOT measures the value of the SST construction itself
+//! (experiments E3 and E8).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spot_stream::{LogicalClock, TimeModel};
+use spot_subspace::{genetic, Subspace, SubspaceSet};
+use spot_synopsis::{Grid, SynopsisManager};
+use spot_types::{DataPoint, Detection, DomainBounds, Result, SpotError, StreamDetector};
+
+/// Configuration of the random-subspace detector.
+#[derive(Debug, Clone)]
+pub struct RandomSubspaceConfig {
+    /// Number of random subspaces to monitor.
+    pub num_subspaces: usize,
+    /// Maximum cardinality of each random subspace.
+    pub max_cardinality: usize,
+    /// Grid granularity.
+    pub granularity: u16,
+    /// Decay model.
+    pub time_model: TimeModel,
+    /// RD threshold: a point is an outlier when some monitored subspace has
+    /// `rd < rd_threshold` for its cell.
+    pub rd_threshold: f64,
+    /// RNG seed for subspace selection.
+    pub seed: u64,
+    /// Prune period in points (0 disables).
+    pub prune_every: u64,
+    /// Prune floor.
+    pub prune_floor: f64,
+}
+
+impl Default for RandomSubspaceConfig {
+    fn default() -> Self {
+        RandomSubspaceConfig {
+            num_subspaces: 30,
+            max_cardinality: 3,
+            granularity: 10,
+            // Same decay horizon as SPOT's default for a fair comparison.
+            time_model: TimeModel::new(6000, 0.05).expect("static parameters are valid"),
+            rd_threshold: 0.1,
+            seed: 1234,
+            prune_every: 1000,
+            prune_floor: 1e-4,
+        }
+    }
+}
+
+/// SPOT's detection loop with random subspaces instead of an SST.
+#[derive(Debug, Clone)]
+pub struct RandomSubspaceDetector {
+    config: RandomSubspaceConfig,
+    manager: SynopsisManager,
+    clock: LogicalClock,
+}
+
+impl RandomSubspaceDetector {
+    /// Creates the detector; subspaces are drawn immediately.
+    pub fn new(bounds: DomainBounds, config: RandomSubspaceConfig) -> Result<Self> {
+        if config.num_subspaces == 0 {
+            return Err(SpotError::InvalidConfig("need at least one subspace".into()));
+        }
+        if config.rd_threshold <= 0.0 {
+            return Err(SpotError::InvalidConfig("rd threshold must be positive".into()));
+        }
+        let phi = bounds.dims();
+        let grid = Grid::new(bounds, config.granularity)?;
+        let mut manager = SynopsisManager::new(grid, config.time_model);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut chosen = SubspaceSet::new();
+        let budget = config.num_subspaces * 20;
+        let mut attempts = 0;
+        while chosen.len() < config.num_subspaces && attempts < budget {
+            chosen.insert(genetic::random_subspace(phi, config.max_cardinality, &mut rng));
+            attempts += 1;
+        }
+        for s in chosen.iter() {
+            manager.add_subspace(*s);
+        }
+        Ok(RandomSubspaceDetector { config, manager, clock: LogicalClock::new() })
+    }
+
+    /// The randomly drawn monitored subspaces.
+    pub fn subspaces(&self) -> Vec<Subspace> {
+        self.manager.subspaces().collect()
+    }
+}
+
+impl StreamDetector for RandomSubspaceDetector {
+    fn learn(&mut self, training: &[DataPoint]) -> Result<()> {
+        for p in training {
+            let now = self.clock.tick();
+            self.manager.update(now, p)?;
+        }
+        Ok(())
+    }
+
+    fn process(&mut self, point: &DataPoint) -> Detection {
+        let now = self.clock.tick();
+        let Ok(outcome) = self.manager.update(now, point) else {
+            return Detection::outlier(f64::INFINITY);
+        };
+        if self.config.prune_every > 0 && now % self.config.prune_every == 0 {
+            self.manager.prune(now, self.config.prune_floor);
+        }
+        let mut min_rd = f64::INFINITY;
+        let subspaces: Vec<Subspace> = self.manager.subspaces().collect();
+        for s in subspaces {
+            if let Some(pcs) = self.manager.pcs(now, &outcome.base_coords, &s) {
+                min_rd = min_rd.min(pcs.rd);
+            }
+        }
+        let outlier = min_rd < self.config.rd_threshold;
+        let score = 1.0 / (1.0 + min_rd);
+        Detection { outlier, score }
+    }
+
+    fn name(&self) -> &str {
+        "random-subspace"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_requested_number_of_distinct_subspaces() {
+        let d = RandomSubspaceDetector::new(
+            DomainBounds::unit(12),
+            RandomSubspaceConfig { num_subspaces: 20, ..Default::default() },
+        )
+        .unwrap();
+        let subs = d.subspaces();
+        assert_eq!(subs.len(), 20);
+        let set: std::collections::HashSet<u64> = subs.iter().map(|s| s.mask()).collect();
+        assert_eq!(set.len(), 20);
+        assert!(subs.iter().all(|s| s.cardinality() <= 3));
+    }
+
+    #[test]
+    fn small_lattice_caps_at_available_subspaces() {
+        // phi=2, max card 1 → only 2 possible subspaces.
+        let d = RandomSubspaceDetector::new(
+            DomainBounds::unit(2),
+            RandomSubspaceConfig { num_subspaces: 10, max_cardinality: 1, ..Default::default() },
+        )
+        .unwrap();
+        assert!(d.subspaces().len() <= 3);
+    }
+
+    #[test]
+    fn detects_gross_density_outliers() {
+        let mut d = RandomSubspaceDetector::new(
+            DomainBounds::unit(4),
+            RandomSubspaceConfig {
+                num_subspaces: 8,
+                max_cardinality: 2,
+                rd_threshold: 0.05,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let train: Vec<DataPoint> =
+            (0..400).map(|i| DataPoint::new(vec![0.2 + (i % 10) as f64 * 0.001; 4])).collect();
+        d.learn(&train).unwrap();
+        assert!(!d.process(&DataPoint::new(vec![0.2; 4])).outlier);
+        let v = d.process(&DataPoint::new(vec![0.95; 4]));
+        assert!(v.outlier);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RandomSubspaceDetector::new(
+            DomainBounds::unit(4),
+            RandomSubspaceConfig { num_subspaces: 0, ..Default::default() }
+        )
+        .is_err());
+        assert!(RandomSubspaceDetector::new(
+            DomainBounds::unit(4),
+            RandomSubspaceConfig { rd_threshold: 0.0, ..Default::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_subspace_choice() {
+        let make = || {
+            RandomSubspaceDetector::new(DomainBounds::unit(10), RandomSubspaceConfig::default())
+                .unwrap()
+                .subspaces()
+                .iter()
+                .map(|s| s.mask())
+                .collect::<std::collections::BTreeSet<u64>>()
+        };
+        assert_eq!(make(), make());
+    }
+}

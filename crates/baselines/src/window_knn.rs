@@ -1,0 +1,152 @@
+//! Exact distance-based outlier detection over a sliding window.
+//!
+//! The classical streaming formulation (Angiulli & Fassetti's STORM family):
+//! a point is an outlier when fewer than `k` of the last `window` points lie
+//! within radius `r`. Exact and full-space — it stores the raw window, which
+//! is precisely the cost the (ω, ε) model avoids; the efficiency experiments
+//! surface that gap.
+
+use spot_stream::ExactSlidingWindow;
+use spot_types::{DataPoint, Detection, Result, SpotError, StreamDetector};
+
+/// Configuration of the windowed kNN detector.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowKnnConfig {
+    /// Sliding-window size in points.
+    pub window: usize,
+    /// Neighbour count threshold k.
+    pub k: usize,
+    /// Neighbour radius r.
+    pub radius: f64,
+}
+
+impl Default for WindowKnnConfig {
+    fn default() -> Self {
+        WindowKnnConfig { window: 1000, k: 5, radius: 0.5 }
+    }
+}
+
+/// Exact sliding-window distance-based detector (see module docs).
+#[derive(Debug, Clone)]
+pub struct WindowKnnDetector {
+    config: WindowKnnConfig,
+    window: ExactSlidingWindow,
+}
+
+impl WindowKnnDetector {
+    /// Creates the detector.
+    pub fn new(config: WindowKnnConfig) -> Result<Self> {
+        if config.k == 0 {
+            return Err(SpotError::InvalidConfig("k must be positive".into()));
+        }
+        if config.radius <= 0.0 || config.radius.is_nan() {
+            return Err(SpotError::InvalidConfig("radius must be positive".into()));
+        }
+        Ok(WindowKnnDetector { config, window: ExactSlidingWindow::new(config.window) })
+    }
+
+    /// Number of raw points currently buffered (memory accounting; contrast
+    /// with SPOT's O(populated cells)).
+    pub fn buffered_points(&self) -> usize {
+        self.window.len()
+    }
+}
+
+impl StreamDetector for WindowKnnDetector {
+    fn learn(&mut self, training: &[DataPoint]) -> Result<()> {
+        // Pre-fill the window with the most recent training points.
+        for p in training.iter().rev().take(self.window.capacity()).rev() {
+            self.window.push(p.clone());
+        }
+        Ok(())
+    }
+
+    fn process(&mut self, point: &DataPoint) -> Detection {
+        let neighbors =
+            self.window
+                .count_neighbors_within(point, self.config.radius, self.config.k);
+        let outlier = neighbors < self.config.k;
+        // Score: distance to the k-th neighbour, normalized by the radius.
+        let score = match self.window.knn_distance(point, self.config.k) {
+            Some(d) => d / self.config.radius,
+            None => f64::INFINITY, // window too empty to find k neighbours
+        };
+        self.window.push(point.clone());
+        Detection { outlier, score }
+    }
+
+    fn name(&self) -> &str {
+        "window-knn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(k: usize, radius: f64, window: usize) -> WindowKnnDetector {
+        WindowKnnDetector::new(WindowKnnConfig { window, k, radius }).unwrap()
+    }
+
+    #[test]
+    fn flags_isolated_points() {
+        let mut d = detector(3, 0.2, 100);
+        let train: Vec<DataPoint> =
+            (0..50).map(|i| DataPoint::new(vec![0.5 + (i % 5) as f64 * 0.01])).collect();
+        d.learn(&train).unwrap();
+        assert!(!d.process(&DataPoint::new(vec![0.5])).outlier);
+        let v = d.process(&DataPoint::new(vec![5.0]));
+        assert!(v.outlier);
+        assert!(v.score > 1.0);
+    }
+
+    #[test]
+    fn window_eviction_forgets_old_support() {
+        let mut d = detector(2, 0.1, 10);
+        // Fill with points near 0.0.
+        for _ in 0..10 {
+            d.process(&DataPoint::new(vec![0.0]));
+        }
+        assert!(!d.process(&DataPoint::new(vec![0.0])).outlier);
+        // Push the window full of far-away points; support for 0.0 vanishes.
+        for _ in 0..10 {
+            d.process(&DataPoint::new(vec![9.0]));
+        }
+        assert!(d.process(&DataPoint::new(vec![0.0])).outlier);
+    }
+
+    #[test]
+    fn empty_window_everything_is_outlier() {
+        let mut d = detector(1, 0.5, 100);
+        let v = d.process(&DataPoint::new(vec![0.3]));
+        assert!(v.outlier);
+        assert_eq!(v.score, f64::INFINITY);
+    }
+
+    #[test]
+    fn buffer_accounting() {
+        let mut d = detector(1, 0.5, 5);
+        for i in 0..10 {
+            d.process(&DataPoint::new(vec![i as f64]));
+        }
+        assert_eq!(d.buffered_points(), 5);
+    }
+
+    #[test]
+    fn learn_keeps_only_latest_window() {
+        let mut d = detector(1, 0.5, 3);
+        let train: Vec<DataPoint> = (0..10).map(|i| DataPoint::new(vec![i as f64])).collect();
+        d.learn(&train).unwrap();
+        assert_eq!(d.buffered_points(), 3);
+        // Only 7, 8, 9 are retained.
+        assert!(!d.process(&DataPoint::new(vec![8.0])).outlier);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(WindowKnnDetector::new(WindowKnnConfig { k: 0, ..Default::default() }).is_err());
+        assert!(
+            WindowKnnDetector::new(WindowKnnConfig { radius: 0.0, ..Default::default() }).is_err()
+        );
+    }
+}

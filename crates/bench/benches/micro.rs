@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks of SPOT's hot paths: synopsis maintenance,
+//! grid mapping, subspace machinery and the end-to-end per-point cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spot::SpotBuilder;
+use spot_clustering::LeaderClustering;
+use spot_moga::{assign_rank_and_crowding, Individual};
+use spot_stream::TimeModel;
+use spot_subspace::Subspace;
+use spot_synopsis::{Bcs, Grid, SynopsisManager};
+use spot_types::{DataPoint, DomainBounds};
+
+fn random_points(n: usize, dims: usize, seed: u64) -> Vec<DataPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| DataPoint::new((0..dims).map(|_| rng.gen_range(0.0..1.0)).collect()))
+        .collect()
+}
+
+fn bench_bcs_insert(c: &mut Criterion) {
+    let tm = TimeModel::new(2000, 0.01).unwrap();
+    for dims in [8usize, 32] {
+        let pts = random_points(1024, dims, 1);
+        c.bench_with_input(BenchmarkId::new("bcs_insert", dims), &pts, |b, pts| {
+            b.iter(|| {
+                let mut bcs = Bcs::new(dims, 0);
+                for (i, p) in pts.iter().enumerate() {
+                    bcs.insert(&tm, i as u64, black_box(p));
+                }
+                bcs.count()
+            })
+        });
+    }
+}
+
+fn bench_grid_mapping(c: &mut Criterion) {
+    for dims in [8usize, 32] {
+        let grid = Grid::new(DomainBounds::unit(dims), 10).unwrap();
+        let pts = random_points(1024, dims, 2);
+        c.bench_with_input(BenchmarkId::new("grid_base_coords", dims), &pts, |b, pts| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for p in pts {
+                    acc += grid.base_coords(black_box(p)).unwrap()[0] as usize;
+                }
+                acc
+            })
+        });
+    }
+}
+
+fn bench_manager_update(c: &mut Criterion) {
+    for n_subspaces in [16usize, 64, 256] {
+        let dims = 16;
+        let grid = Grid::new(DomainBounds::unit(dims), 10).unwrap();
+        let mut mgr = SynopsisManager::new(grid, TimeModel::new(2000, 0.01).unwrap());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut added = 0;
+        while added < n_subspaces {
+            if mgr.add_subspace(spot_subspace::genetic::random_subspace(dims, 3, &mut rng)) {
+                added += 1;
+            }
+        }
+        let pts = random_points(512, dims, 4);
+        c.bench_with_input(
+            BenchmarkId::new("manager_update", n_subspaces),
+            &pts,
+            |b, pts| {
+                let mut now = 0u64;
+                b.iter(|| {
+                    for p in pts {
+                        now += 1;
+                        mgr.update(now, black_box(p)).unwrap();
+                    }
+                })
+            },
+        );
+    }
+}
+
+fn bench_nondominated_sort(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    for n in [64usize, 256] {
+        let pop: Vec<Individual> = (0..n)
+            .map(|_| Individual {
+                subspace: Subspace::from_mask(rng.gen_range(1..1024)).unwrap(),
+                objectives: vec![rng.gen(), rng.gen(), rng.gen()],
+                rank: 0,
+                crowding: 0.0,
+            })
+            .collect();
+        c.bench_with_input(BenchmarkId::new("nondominated_sort", n), &pop, |b, pop| {
+            b.iter(|| {
+                let mut p = pop.clone();
+                assign_rank_and_crowding(&mut p);
+                p[0].rank
+            })
+        });
+    }
+}
+
+fn bench_leader_clustering(c: &mut Criterion) {
+    let pts = random_points(1000, 8, 6);
+    c.bench_function("leader_clustering_1000x8", |b| {
+        let method = LeaderClustering::new(0.4).unwrap();
+        b.iter(|| method.run(black_box(&pts)).num_clusters())
+    });
+}
+
+fn bench_spot_process(c: &mut Criterion) {
+    let dims = 16;
+    let mut spot = SpotBuilder::new(DomainBounds::unit(dims))
+        .fs_max_dimension(2)
+        .seed(9)
+        .build()
+        .unwrap();
+    spot.learn(&random_points(1000, dims, 7)).unwrap();
+    let pts = random_points(256, dims, 8);
+    c.bench_function("spot_process_per_point_phi16", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let v = spot.process(&pts[i % pts.len()]).unwrap();
+            i += 1;
+            v.outlier
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_bcs_insert, bench_grid_mapping, bench_manager_update,
+              bench_nondominated_sort, bench_leader_clustering, bench_spot_process
+}
+criterion_main!(micro);

@@ -1,0 +1,13 @@
+//! Lead (leader) clustering and outlying-degree scoring.
+//!
+//! SPOT's unsupervised learning stage clusters the training data with the
+//! single-pass *lead clustering* method "under different data orders" and
+//! derives an **overall outlying degree** per training point; the top
+//! points are treated as outlier candidates whose MOGA-found sparse
+//! subspaces become the Clustering-based SST Subspaces (CS).
+
+pub mod leader;
+pub mod od;
+
+pub use leader::{Clustering, LeaderClustering};
+pub use od::{outlying_degrees, top_outlying_indices, OdConfig};

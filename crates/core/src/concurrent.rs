@@ -1,0 +1,100 @@
+//! Thread-safe wrapper for producer/consumer deployments.
+//!
+//! A live deployment typically has one thread pulling from the network feed
+//! (see `spot_stream::ChannelSource`) while another queries verdict
+//! statistics or runs `explain` on demand. [`SharedSpot`] wraps the detector
+//! in an `Arc<parking_lot::Mutex>` so both sides share it safely; the
+//! per-point critical section is exactly one `process` call.
+
+use crate::detector::{Spot, SynopsisFootprint};
+use crate::verdict::{SpotStats, Verdict};
+use parking_lot::Mutex;
+use spot_types::{DataPoint, Result};
+use std::sync::Arc;
+
+/// Cloneable, thread-safe handle to a SPOT detector.
+#[derive(Clone)]
+pub struct SharedSpot {
+    inner: Arc<Mutex<Spot>>,
+}
+
+impl SharedSpot {
+    /// Wraps a detector.
+    pub fn new(spot: Spot) -> Self {
+        SharedSpot { inner: Arc::new(Mutex::new(spot)) }
+    }
+
+    /// Runs the learning stage.
+    pub fn learn(&self, training: &[DataPoint]) -> Result<()> {
+        self.inner.lock().learn(training).map(|_| ())
+    }
+
+    /// Processes one point.
+    pub fn process(&self, point: &DataPoint) -> Result<Verdict> {
+        self.inner.lock().process(point)
+    }
+
+    /// Snapshot of the running counters.
+    pub fn stats(&self) -> SpotStats {
+        *self.inner.lock().stats()
+    }
+
+    /// Snapshot of the synopsis memory footprint.
+    pub fn footprint(&self) -> SynopsisFootprint {
+        self.inner.lock().footprint()
+    }
+
+    /// Runs a closure with exclusive access to the detector (for anything
+    /// not covered by the convenience methods).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Spot) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpotBuilder;
+    use spot_types::DomainBounds;
+
+    fn train() -> Vec<DataPoint> {
+        (0..200)
+            .map(|i| DataPoint::new(vec![0.4 + (i % 10) as f64 * 0.01; 4]))
+            .collect()
+    }
+
+    #[test]
+    fn shared_processing_across_threads() {
+        let spot = SpotBuilder::new(DomainBounds::unit(4)).seed(3).build().unwrap();
+        let shared = SharedSpot::new(spot);
+        shared.learn(&train()).unwrap();
+
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut outliers = 0;
+                for i in 0..100 {
+                    let v = 0.4 + ((i + t) % 10) as f64 * 0.01;
+                    if h.process(&DataPoint::new(vec![v; 4])).unwrap().outlier {
+                        outliers += 1;
+                    }
+                }
+                outliers
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.stats().processed, 400);
+        assert!(shared.footprint().base_cells > 0);
+    }
+
+    #[test]
+    fn with_gives_full_access() {
+        let spot = SpotBuilder::new(DomainBounds::unit(4)).seed(3).build().unwrap();
+        let shared = SharedSpot::new(spot);
+        let phi = shared.with(|s| s.config().phi());
+        assert_eq!(phi, 4);
+    }
+}

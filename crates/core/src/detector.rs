@@ -1,0 +1,831 @@
+//! The SPOT detector: learning stage + online detection stage.
+
+use crate::config::SpotConfig;
+use crate::drift::PageHinkley;
+use crate::evaluator::{SparsityProblem, TrainingEvaluator};
+use crate::sst::Sst;
+use crate::verdict::{LearningReport, SpotStats, SubspaceFinding, Verdict};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spot_clustering::{outlying_degrees, top_outlying_indices, OdConfig};
+use spot_moga::MogaConfig;
+use spot_stream::LogicalClock;
+use spot_subspace::{genetic, ScoredSubspace, Subspace};
+use spot_synopsis::{Grid, SynopsisManager};
+use spot_types::{
+    DataPoint, Detection, FxHashSet, Result, SpotError, StreamDetector, StreamRecord,
+};
+
+/// Memory snapshot of the synopses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynopsisFootprint {
+    /// Populated base cells.
+    pub base_cells: usize,
+    /// Populated projected cells summed over SST subspaces.
+    pub projected_cells: usize,
+    /// Approximate bytes held by all synopsis stores.
+    pub approx_bytes: usize,
+}
+
+/// Stream Projected Outlier deTector.
+///
+/// ```
+/// use spot::{SpotBuilder, Verdict};
+/// use spot_types::{DataPoint, DomainBounds};
+///
+/// // 4-dimensional stream over the unit box.
+/// let mut spot = SpotBuilder::new(DomainBounds::unit(4)).seed(7).build().unwrap();
+///
+/// // Learning stage: an unlabeled batch of historical data.
+/// let train: Vec<DataPoint> = (0..300)
+///     .map(|i| DataPoint::new(vec![0.5 + (i % 7) as f64 * 0.01; 4]))
+///     .collect();
+/// spot.learn(&train).unwrap();
+///
+/// // Detection stage: one pass over arriving points.
+/// let v: Verdict = spot.process(&DataPoint::new(vec![0.51; 4])).unwrap();
+/// assert!(!v.outlier);
+/// let v = spot.process(&DataPoint::new(vec![0.95, 0.02, 0.93, 0.04])).unwrap();
+/// assert!(v.outlier);
+/// assert!(!v.findings.is_empty()); // the outlying subspaces
+/// ```
+#[derive(Debug)]
+pub struct Spot {
+    config: SpotConfig,
+    phi: usize,
+    manager: SynopsisManager,
+    sst: Sst,
+    /// Flattened, deduplicated SST — the hot path iterates this.
+    active: Vec<Subspace>,
+    clock: LogicalClock,
+    rng: StdRng,
+    /// Recently detected outliers (tick, point), bounded ring.
+    outlier_buffer: Vec<(u64, DataPoint)>,
+    /// Reservoir sample of recent stream points (tick, point).
+    reservoir: Vec<(u64, DataPoint)>,
+    reservoir_seen: u64,
+    drift: PageHinkley,
+    stats: SpotStats,
+    learned: bool,
+}
+
+impl Spot {
+    /// Creates a detector from a validated configuration. FS is enumerated
+    /// immediately; CS/OS await the learning stage.
+    pub fn new(config: SpotConfig) -> Result<Self> {
+        config.validate()?;
+        let phi = config.phi();
+        let grid = Grid::new(config.bounds.clone(), config.granularity)?;
+        let manager = SynopsisManager::new(grid, config.time_model);
+        let sst = Sst::new(phi, config.fs_max_dimension, config.cs_capacity, config.os_capacity)?;
+        let drift = PageHinkley::new(config.drift.delta, config.drift.lambda, config.drift.min_points);
+        let rng = StdRng::seed_from_u64(config.seed);
+        let mut spot = Spot {
+            config,
+            phi,
+            manager,
+            sst,
+            active: Vec::new(),
+            clock: LogicalClock::new(),
+            rng,
+            outlier_buffer: Vec::new(),
+            reservoir: Vec::new(),
+            reservoir_seen: 0,
+            drift,
+            stats: SpotStats::default(),
+            learned: false,
+        };
+        spot.sync_manager_subspaces(false);
+        Ok(spot)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SpotConfig {
+        &self.config
+    }
+
+    /// The current SST.
+    pub fn sst(&self) -> &Sst {
+        &self.sst
+    }
+
+    /// Running counters.
+    pub fn stats(&self) -> &SpotStats {
+        &self.stats
+    }
+
+    /// Current logical tick.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// `true` once a learning stage has run.
+    pub fn is_learned(&self) -> bool {
+        self.learned
+    }
+
+    /// Running mean of the concept-drift novelty signal (the fraction of a
+    /// point's 1-dim projected cells that are sparse) — an observability
+    /// hook for dashboards and the drift experiments.
+    pub fn drift_signal_mean(&self) -> f64 {
+        self.drift.mean()
+    }
+
+    /// Memory held by the synopses.
+    pub fn footprint(&self) -> SynopsisFootprint {
+        let (base_cells, projected_cells) = self.manager.live_cells();
+        SynopsisFootprint {
+            base_cells,
+            projected_cells,
+            approx_bytes: self.manager.approx_bytes(),
+        }
+    }
+
+    /// Unsupervised learning stage (paper, Section II-C1): MOGA over the
+    /// whole batch, lead clustering under shuffled orders for outlying
+    /// degrees, MOGA over the top candidates — the results become CS.
+    pub fn learn(&mut self, training: &[DataPoint]) -> Result<LearningReport> {
+        self.learn_with_examples(training, &[])
+    }
+
+    /// Learning stage with optional supervised outlier exemplars: the
+    /// exemplars' top sparse subspaces become OS (example-based detection).
+    pub fn learn_with_examples(
+        &mut self,
+        training: &[DataPoint],
+        outlier_examples: &[DataPoint],
+    ) -> Result<LearningReport> {
+        if training.is_empty() {
+            return Err(SpotError::EmptyTrainingSet);
+        }
+        for p in training.iter().chain(outlier_examples) {
+            if p.dims() != self.phi {
+                return Err(SpotError::DimensionMismatch { expected: self.phi, got: p.dims() });
+            }
+        }
+        let learning = self.config.learning.clone();
+        let evaluator =
+            TrainingEvaluator::new(self.manager.grid().clone(), training.to_vec())?;
+        let mut evaluations = 0usize;
+
+        // (1) MOGA over the whole batch: globally sparse subspaces.
+        let whole = {
+            let mut problem =
+                SparsityProblem::whole_batch(&evaluator, learning.max_cardinality);
+            let out = spot_moga::run(&mut problem, &learning.moga)?;
+            evaluations += out.evaluations;
+            out.top_k(learning.moga_top_k)
+        };
+
+        // (2) Lead clustering under different data orders → outlying degree.
+        let tau = match learning.leader_tau {
+            Some(t) => t,
+            None => estimate_tau(training, &mut self.rng),
+        };
+        let od = outlying_degrees(
+            training,
+            &OdConfig {
+                tau,
+                runs: learning.od_runs,
+                alpha: learning.od_alpha,
+                seed: self.config.seed ^ 0x0D15_EA5E,
+            },
+        )?;
+        let k = ((training.len() as f64 * learning.top_fraction).ceil() as usize)
+            .clamp(3.min(training.len()), training.len());
+        let candidates = top_outlying_indices(&od, k);
+
+        // (3) MOGA over the top outlying candidates → CS.
+        let targeted = {
+            let mut problem = SparsityProblem::for_targets(
+                &evaluator,
+                candidates.clone(),
+                learning.max_cardinality,
+            );
+            let out = spot_moga::run(&mut problem, &learning.moga)?;
+            evaluations += out.evaluations;
+            out.top_k(learning.moga_top_k)
+        };
+        let cs_entries: Vec<ScoredSubspace> = whole
+            .iter()
+            .chain(targeted.iter())
+            .map(|&(subspace, score)| ScoredSubspace { subspace, score })
+            .collect();
+        self.sst.evolve_cs(cs_entries);
+
+        // (4) Supervised: "MOGA is applied on each of these outliers to
+        // find their top sparse subspaces" (paper, II-C1) — one search per
+        // exemplar, so every exemplar contributes its own outlying
+        // subspaces to OS regardless of how the others score.
+        let mut os_report = Vec::new();
+        if !outlier_examples.is_empty() {
+            let mut combined = training.to_vec();
+            let first_exemplar = combined.len();
+            combined.extend_from_slice(outlier_examples);
+            let ex_evaluator =
+                TrainingEvaluator::new(self.manager.grid().clone(), combined)?;
+            let per_exemplar_k = learning.moga_top_k.div_ceil(2).clamp(1, 5);
+            for (i, _) in outlier_examples.iter().enumerate() {
+                let mut problem = SparsityProblem::for_targets(
+                    &ex_evaluator,
+                    vec![first_exemplar + i],
+                    learning.max_cardinality,
+                );
+                let mut moga = learning.moga.clone();
+                moga.seed = moga.seed.wrapping_add(i as u64);
+                let out = spot_moga::run(&mut problem, &moga)?;
+                evaluations += out.evaluations;
+                for (s, score) in out.top_k(per_exemplar_k) {
+                    if self.sst.add_os(s, score) {
+                        os_report.push((s, score));
+                    }
+                }
+            }
+        }
+
+        self.sync_manager_subspaces(false);
+
+        // (5) Warm the streaming synopses with the training batch so
+        // detection starts against a populated model.
+        if learning.replay_training {
+            for p in training {
+                let now = self.clock.tick();
+                self.manager.update(now, p)?;
+                self.sample_reservoir(now, p);
+            }
+        }
+        self.learned = true;
+        Ok(LearningReport {
+            training_points: training.len(),
+            od_candidates: candidates.len(),
+            cs: self.sst.cs().map(|e| (e.subspace, e.score)).collect(),
+            os: os_report,
+            moga_evaluations: evaluations,
+        })
+    }
+
+    /// Detection stage for one arriving point: update the synapses, check
+    /// the PCS of the point's cell in every SST subspace against the
+    /// thresholds, run periodic maintenance (self-evolution, OS growth,
+    /// drift response, pruning).
+    pub fn process(&mut self, point: &DataPoint) -> Result<Verdict> {
+        if point.dims() != self.phi {
+            return Err(SpotError::DimensionMismatch { expected: self.phi, got: point.dims() });
+        }
+        let now = self.clock.tick();
+        let outcome = self.manager.update(now, point)?;
+        self.stats.processed += 1;
+
+        // Outlier-ness check in every SST subspace. The same sweep collects
+        // the drift signal: the fraction of the point's monitored projected
+        // cells that are sparse. (Full-space novelty is useless here — in
+        // high dimensions nearly every base cell is empty, so that signal
+        // saturates; low-dimensional projections stay dense under a stable
+        // distribution and light up when it moves.)
+        let thresholds = self.config.thresholds;
+        let grid = self.manager.grid();
+        let mut findings: Vec<SubspaceFinding> = Vec::new();
+        let mut min_rd = f64::INFINITY;
+        let mut monitored = 0u32;
+        let mut monitored_fresh = 0u32;
+        for s in &self.active {
+            let Some(pcs) = self.manager.pcs(now, &outcome.base_coords, s) else {
+                continue;
+            };
+            min_rd = min_rd.min(pcs.rd);
+            // Freshness: the decayed occupancy of the cell (recovered from
+            // RD) counts the point itself, so `< novelty_floor` means the
+            // cell held (almost) nothing before this arrival. A stationary
+            // stream revisits its cells; a drifting one keeps opening fresh
+            // ones. Only the immutable FS stores feed the signal — CS/OS
+            // churn under self-evolution and their freshly warmed stores
+            // would contaminate it.
+            if s.cardinality() <= self.config.fs_max_dimension {
+                monitored += 1;
+                let occupancy = pcs.rd * outcome.total_weight / grid.cell_count_in(s);
+                if occupancy < self.config.drift.novelty_floor {
+                    monitored_fresh += 1;
+                }
+            }
+            let flagged = pcs.rd < thresholds.rd
+                && thresholds.irsd.is_none_or(|t| pcs.irsd < t);
+            if flagged {
+                findings.push(SubspaceFinding { subspace: *s, rd: pcs.rd, irsd: pcs.irsd });
+            }
+        }
+        findings.sort_by(|a, b| a.rd.partial_cmp(&b.rd).expect("RD values are not NaN"));
+        let outlier = !findings.is_empty();
+        if outlier {
+            self.stats.outliers += 1;
+            self.push_outlier(now, point.clone());
+        }
+        self.sample_reservoir(now, point);
+
+        // Concept drift on the projected-freshness signal.
+        let mut drift_fired = false;
+        if self.config.drift.enabled && monitored > 0 {
+            let novel = monitored_fresh as f64 / monitored as f64;
+            if self.drift.observe(novel) {
+                drift_fired = true;
+                self.stats.drift_events += 1;
+                if self.config.evolution.enabled {
+                    self.self_evolve(now);
+                }
+            }
+        }
+
+        // Periodic maintenance.
+        if self.config.evolution.enabled && now % self.config.evolution.period == 0 {
+            self.self_evolve(now);
+            self.grow_os(now);
+        }
+        if self.config.prune_every > 0 && now % self.config.prune_every == 0 {
+            self.stats.cells_pruned +=
+                self.manager.prune(now, self.config.prune_floor) as u64;
+        }
+
+        let score = if min_rd.is_finite() { 1.0 / (1.0 + min_rd) } else { 0.0 };
+        Ok(Verdict { tick: now, outlier, score, findings, drift: drift_fired })
+    }
+
+    /// Convenience wrapper over [`Spot::process`] for stream records.
+    pub fn process_record(&mut self, record: &StreamRecord) -> Result<Verdict> {
+        self.process(&record.point)
+    }
+
+    /// Replaces the SST wholesale (snapshot restoration). Rebuilds lookup
+    /// indices and reconciles the monitored stores.
+    pub(crate) fn restore_sst(&mut self, mut sst: Sst, learned: bool) {
+        sst.rebuild_index();
+        self.sst = sst;
+        self.learned = learned;
+        self.sync_manager_subspaces(false);
+    }
+
+    /// Empties the CS component (SST-ablation studies: e.g. an "FS+OS"
+    /// configuration). The monitored stores are reconciled immediately.
+    pub fn clear_cs(&mut self) {
+        self.sst.clear_cs();
+        self.sync_manager_subspaces(false);
+    }
+
+    /// Empties the OS component (SST-ablation studies).
+    pub fn clear_os(&mut self) {
+        self.sst.clear_os();
+        self.sync_manager_subspaces(false);
+    }
+
+    /// HOS-Miner-style query: the top sparse subspaces of an arbitrary
+    /// point, judged against the reservoir sample of the recent stream.
+    /// Requires enough recent data (≥ 8 points) to be meaningful.
+    pub fn explain(&mut self, point: &DataPoint, top_k: usize) -> Result<Vec<(Subspace, f64)>> {
+        if self.reservoir.len() < 8 {
+            return Err(SpotError::NotLearned);
+        }
+        let mut pts: Vec<DataPoint> =
+            self.reservoir.iter().map(|(_, p)| p.clone()).collect();
+        let target = pts.len();
+        pts.push(point.clone());
+        let evaluator = TrainingEvaluator::new(self.manager.grid().clone(), pts)?;
+        let mut problem = SparsityProblem::for_targets(
+            &evaluator,
+            vec![target],
+            self.config.learning.max_cardinality,
+        );
+        let out = spot_moga::run(&mut problem, &self.online_moga_config())?;
+        Ok(out.top_k(top_k))
+    }
+
+    /// CS self-evolution (paper, Section II-C2): crossover/mutate the top
+    /// subspaces of the current CS, re-rank old and new together against
+    /// the recent stream, keep the best.
+    fn self_evolve(&mut self, _now: u64) {
+        let entries = self.sst.cs_entries();
+        if entries.is_empty() || self.reservoir.len() < 8 {
+            return;
+        }
+        self.stats.evolutions += 1;
+        // Generate offspring of the current CS.
+        let parents: Vec<Subspace> = entries.iter().map(|e| e.subspace).collect();
+        let max_card = self.config.learning.max_cardinality.unwrap_or(self.phi);
+        let mut offspring: Vec<Subspace> = Vec::with_capacity(self.config.cs_capacity);
+        for _ in 0..self.config.cs_capacity {
+            let a = parents[self.rng.gen_range(0..parents.len())];
+            let b = parents[self.rng.gen_range(0..parents.len())];
+            let child = genetic::uniform_crossover(a, b, self.phi, &mut self.rng);
+            let child = genetic::mutate(child, self.phi, 0.1, &mut self.rng);
+            offspring.push(genetic::repair_with_max_card(
+                child.mask(),
+                self.phi,
+                max_card,
+                &mut self.rng,
+            ));
+        }
+        // Score everyone against the recent stream: how sparse do the
+        // buffered outliers (or, lacking any, all recent points) look?
+        let Some((evaluator, targets)) = self.reservoir_evaluator() else {
+            return;
+        };
+        let mut candidates: Vec<ScoredSubspace> = Vec::new();
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        for s in entries.iter().map(|e| e.subspace).chain(offspring) {
+            if !seen.insert(s.mask()) {
+                continue;
+            }
+            let (rd, irsd) = evaluator.sparsity(s, targets.as_deref());
+            let dim = 0.25 * s.cardinality() as f64 / self.phi as f64;
+            candidates.push(ScoredSubspace { subspace: s, score: rd + irsd + dim });
+        }
+        self.sst.evolve_cs(candidates);
+        self.sync_manager_subspaces(true);
+    }
+
+    /// OS growth (paper, Section II-C2): MOGA over the buffered detected
+    /// outliers; their top sparse subspaces join OS so similar outliers are
+    /// caught directly later.
+    fn grow_os(&mut self, _now: u64) {
+        if self.outlier_buffer.len() < self.config.evolution.min_outliers_for_os
+            || self.reservoir.len() < 8
+        {
+            return;
+        }
+        let Some((evaluator, _)) = self.reservoir_evaluator() else {
+            return;
+        };
+        // Targets are the buffered outliers, which sit at the tail of the
+        // combined evaluator batch built by `reservoir_evaluator`.
+        let n_reservoir = self.reservoir.len();
+        let targets: Vec<usize> =
+            (n_reservoir..n_reservoir + self.outlier_buffer.len()).collect();
+        let mut problem = SparsityProblem::for_targets(
+            &evaluator,
+            targets,
+            self.config.learning.max_cardinality,
+        );
+        let Ok(out) = spot_moga::run(&mut problem, &self.online_moga_config()) else {
+            return;
+        };
+        let mut added = 0;
+        for (s, score) in out.top_k(self.config.learning.moga_top_k) {
+            if self.sst.add_os(s, score) {
+                added += 1;
+            }
+        }
+        self.stats.os_added += added;
+        self.outlier_buffer.clear();
+        if added > 0 {
+            self.sync_manager_subspaces(true);
+        }
+    }
+
+    /// A lighter MOGA configuration for online searches (time criticality
+    /// of the detection stage).
+    fn online_moga_config(&self) -> MogaConfig {
+        let base = &self.config.learning.moga;
+        MogaConfig {
+            population: base.population.min(24).max(8),
+            generations: base.generations.min(12).max(4),
+            crossover_rate: base.crossover_rate,
+            mutation_rate: base.mutation_rate,
+            seed: self.config.seed ^ self.stats.processed,
+        }
+    }
+
+    /// Evaluator over reservoir ∪ outlier buffer; targets = buffer indices
+    /// (None when the buffer is empty → whole-batch objectives).
+    fn reservoir_evaluator(&self) -> Option<(TrainingEvaluator, Option<Vec<usize>>)> {
+        let mut pts: Vec<DataPoint> =
+            self.reservoir.iter().map(|(_, p)| p.clone()).collect();
+        let n_reservoir = pts.len();
+        pts.extend(self.outlier_buffer.iter().map(|(_, p)| p.clone()));
+        let targets = if self.outlier_buffer.is_empty() {
+            None
+        } else {
+            Some((n_reservoir..pts.len()).collect())
+        };
+        TrainingEvaluator::new(self.manager.grid().clone(), pts)
+            .ok()
+            .map(|ev| (ev, targets))
+    }
+
+    /// Reconciles the manager's projected stores with the current SST;
+    /// `warm` replays the reservoir into stores created by this call.
+    fn sync_manager_subspaces(&mut self, warm: bool) {
+        let desired: FxHashSet<u64> = self.sst.iter_all().map(|s| s.mask()).collect();
+        let current: Vec<Subspace> = self.manager.subspaces().collect();
+        for s in current {
+            if !desired.contains(&s.mask()) {
+                self.manager.remove_subspace(&s);
+            }
+        }
+        let mut added: Vec<Subspace> = Vec::new();
+        self.active = self.sst.iter_all().collect();
+        for s in &self.active {
+            if self.manager.add_subspace(*s) {
+                added.push(*s);
+            }
+        }
+        if warm && !added.is_empty() && !self.reservoir.is_empty() {
+            let mut replay = self.reservoir.clone();
+            replay.sort_by_key(|(tick, _)| *tick);
+            for s in added {
+                // Replay failures only leave a colder store; detection
+                // continues either way.
+                let _ = self.manager.replay_into(&s, &replay);
+            }
+        }
+    }
+
+    fn push_outlier(&mut self, now: u64, p: DataPoint) {
+        if self.outlier_buffer.len() >= self.config.evolution.outlier_buffer {
+            self.outlier_buffer.remove(0);
+        }
+        self.outlier_buffer.push((now, p));
+    }
+
+    /// Algorithm-R reservoir sampling of the recent stream.
+    fn sample_reservoir(&mut self, now: u64, p: &DataPoint) {
+        self.reservoir_seen += 1;
+        let cap = self.config.evolution.reservoir;
+        if self.reservoir.len() < cap {
+            self.reservoir.push((now, p.clone()));
+        } else {
+            let j = self.rng.gen_range(0..self.reservoir_seen);
+            if (j as usize) < cap {
+                self.reservoir[j as usize] = (now, p.clone());
+            }
+        }
+    }
+}
+
+/// τ estimate for leader clustering: half the mean pairwise distance over a
+/// bounded random sample of the batch.
+fn estimate_tau(points: &[DataPoint], rng: &mut StdRng) -> f64 {
+    const PAIRS: usize = 256;
+    if points.len() < 2 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for _ in 0..PAIRS {
+        let i = rng.gen_range(0..points.len());
+        let j = rng.gen_range(0..points.len());
+        if i == j {
+            continue;
+        }
+        sum += points[i].distance(&points[j]);
+        n += 1;
+    }
+    if n == 0 || sum <= 0.0 {
+        1.0
+    } else {
+        (sum / n as f64) * 0.5
+    }
+}
+
+impl StreamDetector for Spot {
+    fn learn(&mut self, training: &[DataPoint]) -> Result<()> {
+        Spot::learn(self, training).map(|_| ())
+    }
+
+    fn process(&mut self, point: &DataPoint) -> Detection {
+        match Spot::process(self, point) {
+            Ok(v) => Detection { outlier: v.outlier, score: v.score },
+            Err(_) => Detection::outlier(f64::INFINITY),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "spot"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EvolutionConfig, SpotBuilder};
+    use spot_types::DomainBounds;
+
+    /// Clustered 6-dim batch: three tight clusters in dims {0,1}, broad in
+    /// the rest.
+    fn training(n: usize) -> Vec<DataPoint> {
+        let centers = [[0.2, 0.2], [0.5, 0.7], [0.8, 0.3]];
+        (0..n)
+            .map(|i| {
+                let c = centers[i % 3];
+                let jitter = |k: usize| ((i * (k + 7)) % 13) as f64 / 13.0 * 0.04;
+                let mut v = vec![0.0; 6];
+                v[0] = c[0] + jitter(0);
+                v[1] = c[1] + jitter(1);
+                for (d, item) in v.iter_mut().enumerate().skip(2) {
+                    *item = 0.3 + ((i * (d + 3)) % 17) as f64 / 17.0 * 0.4;
+                }
+                DataPoint::new(v)
+            })
+            .collect()
+    }
+
+    fn spot() -> Spot {
+        SpotBuilder::new(DomainBounds::unit(6)).seed(5).build().unwrap()
+    }
+
+    #[test]
+    fn new_enumerates_fs_and_monitors_it() {
+        let s = spot();
+        let (fs, cs, os) = s.sst().sizes();
+        assert_eq!(fs, 6 + 15);
+        assert_eq!(cs, 0);
+        assert_eq!(os, 0);
+        assert_eq!(s.active.len(), fs);
+    }
+
+    #[test]
+    fn learn_builds_cs_and_warms_synopses() {
+        let mut s = spot();
+        let report = s.learn(&training(300)).unwrap();
+        assert_eq!(report.training_points, 300);
+        assert!(report.od_candidates >= 3);
+        assert!(!report.cs.is_empty(), "CS must be populated");
+        assert!(report.moga_evaluations > 0);
+        assert!(s.is_learned());
+        // Replay warmed the synopses.
+        assert!(s.footprint().base_cells > 0);
+        assert_eq!(s.now(), 300);
+    }
+
+    #[test]
+    fn learn_rejects_empty_and_mismatched() {
+        let mut s = spot();
+        assert!(matches!(s.learn(&[]), Err(SpotError::EmptyTrainingSet)));
+        assert!(s.learn(&[DataPoint::new(vec![0.5; 3])]).is_err());
+    }
+
+    #[test]
+    fn detects_planted_projected_outlier() {
+        let mut s = spot();
+        s.learn(&training(600)).unwrap();
+        // A point normal in dims 2..6 but far from all clusters in {0,1}.
+        let mut v = vec![0.5; 6];
+        v[0] = 0.02;
+        v[1] = 0.98;
+        let verdict = s.process(&DataPoint::new(v)).unwrap();
+        assert!(verdict.outlier);
+        assert!(!verdict.findings.is_empty());
+        // Findings are sorted sparsest-first.
+        for w in verdict.findings.windows(2) {
+            assert!(w[0].rd <= w[1].rd);
+        }
+        assert!(verdict.score > 0.5);
+    }
+
+    #[test]
+    fn dense_point_is_not_flagged() {
+        let mut s = spot();
+        let train = training(600);
+        s.learn(&train).unwrap();
+        // Process a stretch of normal points; the vast majority must pass.
+        let mut flagged = 0;
+        for p in training(200) {
+            if s.process(&p).unwrap().outlier {
+                flagged += 1;
+            }
+        }
+        assert!(flagged < 40, "flagged {flagged}/200 normal points");
+    }
+
+    #[test]
+    fn process_rejects_wrong_dims() {
+        let mut s = spot();
+        assert!(s.process(&DataPoint::new(vec![0.5; 2])).is_err());
+    }
+
+    #[test]
+    fn outliers_fill_buffer_and_grow_os() {
+        let mut s = SpotBuilder::new(DomainBounds::unit(6))
+            .seed(5)
+            .evolution(EvolutionConfig {
+                enabled: true,
+                period: 100,
+                outlier_buffer: 32,
+                reservoir: 128,
+                min_outliers_for_os: 3,
+            })
+            .build()
+            .unwrap();
+        s.learn(&training(400)).unwrap();
+        // Interleave normal traffic with varied projected outliers (each in
+        // a fresh sparse region, so they do not accumulate into a dense
+        // micro-cluster of their own).
+        let normals = training(400);
+        for (i, p) in normals.iter().enumerate() {
+            s.process(p).unwrap();
+            if i % 10 == 0 {
+                let mut v = p.values().to_vec();
+                let d = 2 + (i / 10) % 4;
+                v[d] = if (i / 10) % 2 == 0 { 0.98 } else { 0.015 };
+                v[(d + 1) % 6] = 0.96 - (i / 10) as f64 * 0.013;
+                s.process(&DataPoint::new(v)).unwrap();
+            }
+        }
+        assert!(s.stats().os_added > 0, "OS never grew: {:?}", s.stats());
+        assert!(s.sst().sizes().2 > 0);
+    }
+
+    #[test]
+    fn self_evolution_runs_periodically() {
+        let mut s = SpotBuilder::new(DomainBounds::unit(6))
+            .seed(5)
+            .evolution(EvolutionConfig { period: 50, ..Default::default() })
+            .build()
+            .unwrap();
+        s.learn(&training(300)).unwrap();
+        for p in training(200) {
+            s.process(&p).unwrap();
+        }
+        assert!(s.stats().evolutions > 0);
+        // CS stays within capacity.
+        assert!(s.sst().sizes().1 <= s.config().cs_capacity);
+    }
+
+    #[test]
+    fn pruning_counter_advances_on_long_streams() {
+        let mut s = SpotBuilder::new(DomainBounds::unit(6))
+            .seed(5)
+            // Short memory (omega = 200 ticks) so stale cells decay below
+            // the prune floor within the test stream.
+            .time_model(spot_stream::TimeModel::new(200, 0.01).unwrap())
+            .pruning(200, 1e-3)
+            .build()
+            .unwrap();
+        s.learn(&training(300)).unwrap();
+        // Shifted stream: old cells decay away and must be evicted.
+        for (i, p) in training(2500).iter().enumerate() {
+            let mut v = p.values().to_vec();
+            v[5] = (i % 100) as f64 / 100.0;
+            s.process(&DataPoint::new(v)).unwrap();
+        }
+        assert!(s.stats().cells_pruned > 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            let mut s = spot();
+            s.learn(&training(300)).unwrap();
+            let mut verdicts = Vec::new();
+            for p in training(100) {
+                verdicts.push(s.process(&p).unwrap().outlier);
+            }
+            verdicts
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn explain_returns_subspaces_for_queried_point() {
+        let mut s = spot();
+        s.learn(&training(300)).unwrap();
+        let mut v = vec![0.5; 6];
+        v[0] = 0.02;
+        v[1] = 0.98;
+        let explained = s.explain(&DataPoint::new(v), 3).unwrap();
+        assert!(!explained.is_empty());
+        assert!(explained.len() <= 3);
+        // Scores ascend (best = sparsest first).
+        for w in explained.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn explain_requires_recent_data() {
+        let mut s = spot();
+        assert_eq!(s.explain(&DataPoint::new(vec![0.5; 6]), 3), Err(SpotError::NotLearned));
+    }
+
+    #[test]
+    fn stream_detector_trait_roundtrip() {
+        let mut s = spot();
+        StreamDetector::learn(&mut s, &training(200)).unwrap();
+        let d = StreamDetector::process(&mut s, &DataPoint::new(vec![0.5; 6]));
+        assert!(d.score >= 0.0);
+        assert_eq!(StreamDetector::name(&s), "spot");
+        // Dimension mismatch maps to an infinite-score outlier.
+        let d = StreamDetector::process(&mut s, &DataPoint::new(vec![0.5; 2]));
+        assert!(d.outlier && d.score.is_infinite());
+    }
+
+    #[test]
+    fn estimate_tau_is_positive_and_scales() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let near: Vec<DataPoint> =
+            (0..50).map(|i| DataPoint::new(vec![i as f64 * 1e-4])).collect();
+        let far: Vec<DataPoint> =
+            (0..50).map(|i| DataPoint::new(vec![i as f64])).collect();
+        let t_near = estimate_tau(&near, &mut rng);
+        let t_far = estimate_tau(&far, &mut rng);
+        assert!(t_near > 0.0);
+        assert!(t_far > t_near);
+        assert_eq!(estimate_tau(&near[..1], &mut rng), 1.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Detector state persistence.
+//!
+//! A deployed monitor should survive restarts without re-running the
+//! learning stage. [`SpotSnapshot`] captures the durable state — the full
+//! configuration plus the learned SST (FS/CS/OS with scores) — as a plain
+//! serde value. The *synopses* are deliberately not persisted: under the
+//! (ω, ε) model their content decays within one window anyway, so a
+//! restarted detector rebuilds them from the live stream (optionally warmed
+//! by replaying a small recent batch through [`crate::Spot::process`]).
+
+use crate::config::SpotConfig;
+use crate::detector::Spot;
+use crate::sst::Sst;
+use serde::{Deserialize, Serialize};
+use spot_types::Result;
+
+/// Durable state of a SPOT instance: configuration + learned template.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpotSnapshot {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Full configuration.
+    pub config: SpotConfig,
+    /// The learned Sparse Subspace Template.
+    pub sst: Sst,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl Spot {
+    /// Captures the durable state (configuration + SST).
+    pub fn snapshot(&self) -> SpotSnapshot {
+        SpotSnapshot {
+            version: SNAPSHOT_VERSION,
+            config: self.config().clone(),
+            sst: self.sst().clone(),
+        }
+    }
+
+    /// Restores a detector from a snapshot: same configuration, same SST,
+    /// cold synopses (see module docs). The detector reports
+    /// `is_learned() == true` when the snapshot carried learned CS/OS.
+    pub fn from_snapshot(snapshot: SpotSnapshot) -> Result<Self> {
+        let learned = {
+            let (_, cs, os) = snapshot.sst.sizes();
+            cs + os > 0
+        };
+        let mut spot = Spot::new(snapshot.config)?;
+        spot.restore_sst(snapshot.sst, learned);
+        Ok(spot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpotBuilder;
+    use spot_types::{DataPoint, DomainBounds};
+
+    fn train() -> Vec<DataPoint> {
+        (0..400)
+            .map(|i| {
+                let c = [(0.2, 0.3), (0.7, 0.6)][i % 2];
+                DataPoint::new(vec![
+                    c.0 + (i % 9) as f64 * 0.004,
+                    c.1 + (i % 7) as f64 * 0.004,
+                    0.4 + (i % 11) as f64 * 0.01,
+                    0.5 + (i % 5) as f64 * 0.01,
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_sst() {
+        let mut spot = SpotBuilder::new(DomainBounds::unit(4)).seed(3).build().unwrap();
+        spot.learn(&train()).unwrap();
+        let snap = spot.snapshot();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SpotSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = Spot::from_snapshot(back).unwrap();
+
+        assert!(restored.is_learned());
+        assert_eq!(restored.sst().sizes(), spot.sst().sizes());
+        let a: Vec<u64> = spot.sst().iter_all().map(|s| s.mask()).collect();
+        let b: Vec<u64> = restored.sst().iter_all().map(|s| s.mask()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restored_detector_detects() {
+        let mut spot = SpotBuilder::new(DomainBounds::unit(4)).seed(3).build().unwrap();
+        spot.learn(&train()).unwrap();
+        let snap = spot.snapshot();
+        let mut restored = Spot::from_snapshot(snap).unwrap();
+        // Warm the cold synopses with a recent batch, then detect.
+        for p in train() {
+            restored.process(&p).unwrap();
+        }
+        let v = restored.process(&DataPoint::new(vec![0.95, 0.02, 0.9, 0.05])).unwrap();
+        assert!(v.outlier);
+        let v = restored.process(&DataPoint::new(vec![0.21, 0.31, 0.45, 0.52])).unwrap();
+        assert!(!v.outlier);
+    }
+
+    #[test]
+    fn unlearned_snapshot_restores_unlearned() {
+        let spot = SpotBuilder::new(DomainBounds::unit(4)).build().unwrap();
+        let restored = Spot::from_snapshot(spot.snapshot()).unwrap();
+        assert!(!restored.is_learned());
+        let (fs, cs, os) = restored.sst().sizes();
+        assert_eq!(fs, 4 + 6);
+        assert_eq!((cs, os), (0, 0));
+    }
+}

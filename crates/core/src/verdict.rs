@@ -1,0 +1,106 @@
+//! Detection-stage outputs.
+
+use spot_subspace::Subspace;
+
+/// One subspace in which a point was found outlying, with the PCS values
+/// that triggered the call — the "associated outlying subspace(s)" the
+/// problem statement requires SPOT to return.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubspaceFinding {
+    /// The outlying subspace.
+    pub subspace: Subspace,
+    /// Relative density of the point's cell there.
+    pub rd: f64,
+    /// Inverse relative standard deviation of the point's cell there.
+    pub irsd: f64,
+}
+
+/// Verdict for one stream point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Logical tick at which the point was processed (1-based).
+    pub tick: u64,
+    /// `true` when at least one SST subspace flagged the point.
+    pub outlier: bool,
+    /// Anomaly score in `(0, 1]`: `1/(1+min_rd)` over all SST subspaces —
+    /// higher means the point sits in sparser territory somewhere.
+    pub score: f64,
+    /// The flagged subspaces, sparsest (lowest RD) first.
+    pub findings: Vec<SubspaceFinding>,
+    /// `true` when the concept-drift detector fired on this point.
+    pub drift: bool,
+}
+
+impl Verdict {
+    /// The single sparsest finding, if any.
+    pub fn top_finding(&self) -> Option<&SubspaceFinding> {
+        self.findings.first()
+    }
+
+    /// Outlying subspaces only.
+    pub fn subspaces(&self) -> Vec<Subspace> {
+        self.findings.iter().map(|f| f.subspace).collect()
+    }
+}
+
+/// Summary of a learning-stage run.
+#[derive(Debug, Clone)]
+pub struct LearningReport {
+    /// Number of training points consumed.
+    pub training_points: usize,
+    /// Outlier candidates selected by outlying degree.
+    pub od_candidates: usize,
+    /// Subspaces placed in CS (with their scores, best first).
+    pub cs: Vec<(Subspace, f64)>,
+    /// Subspaces placed in OS (supervised exemplars), best first.
+    pub os: Vec<(Subspace, f64)>,
+    /// Distinct MOGA objective evaluations across all searches.
+    pub moga_evaluations: usize,
+}
+
+/// Running counters of a SPOT instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpotStats {
+    /// Stream points processed by the detection stage.
+    pub processed: u64,
+    /// Points flagged as projected outliers.
+    pub outliers: u64,
+    /// CS self-evolution rounds executed.
+    pub evolutions: u64,
+    /// Subspaces added to OS online.
+    pub os_added: u64,
+    /// Concept-drift alarms raised.
+    pub drift_events: u64,
+    /// Cells evicted by pruning.
+    pub cells_pruned: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_accessors() {
+        let s0 = Subspace::from_dims([0]).unwrap();
+        let s1 = Subspace::from_dims([1, 2]).unwrap();
+        let v = Verdict {
+            tick: 5,
+            outlier: true,
+            score: 0.9,
+            findings: vec![
+                SubspaceFinding { subspace: s0, rd: 0.01, irsd: 0.0 },
+                SubspaceFinding { subspace: s1, rd: 0.05, irsd: 1.0 },
+            ],
+            drift: false,
+        };
+        assert_eq!(v.top_finding().unwrap().subspace, s0);
+        assert_eq!(v.subspaces(), vec![s0, s1]);
+    }
+
+    #[test]
+    fn empty_verdict() {
+        let v = Verdict { tick: 1, outlier: false, score: 0.1, findings: vec![], drift: false };
+        assert!(v.top_finding().is_none());
+        assert!(v.subspaces().is_empty());
+    }
+}

@@ -1,0 +1,410 @@
+//! KDD-Cup'99-like network-intrusion stream simulator.
+//!
+//! The canonical "real-life" evaluation stream for stream outlier detectors
+//! of SPOT's era is the KDD-Cup'99 intrusion-detection data. The original
+//! data is not shipped here; this module generates a stream with the same
+//! *shape*: 20 continuous connection features (a subset of KDD's continuous
+//! columns, same semantics), background traffic from a mixture of service
+//! profiles, and four attack families that are rare and anomalous only in
+//! small, documented feature subsets — precisely the projected-outlier
+//! structure SPOT targets. Ground truth (family + outlying feature subset)
+//! is attached to every record.
+
+use crate::synthetic::gaussian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spot_subspace::Subspace;
+use spot_types::{AnomalyInfo, DataPoint, DomainBounds, Label, LabeledRecord, Result, SpotError};
+
+/// The 20 continuous features of the simulated connection records.
+pub const FEATURE_NAMES: [&str; 20] = [
+    "duration",             // 0
+    "src_bytes",            // 1
+    "dst_bytes",            // 2
+    "wrong_fragment",       // 3
+    "urgent",               // 4
+    "hot",                  // 5
+    "num_failed_logins",    // 6
+    "num_compromised",      // 7
+    "root_shell",           // 8
+    "num_root",             // 9
+    "num_file_creations",   // 10
+    "count",                // 11
+    "srv_count",            // 12
+    "serror_rate",          // 13
+    "rerror_rate",          // 14
+    "same_srv_rate",        // 15
+    "diff_srv_rate",        // 16
+    "dst_host_count",       // 17
+    "dst_host_srv_count",   // 18
+    "dst_host_same_src_port_rate", // 19
+];
+
+/// Number of features.
+pub const NUM_FEATURES: usize = FEATURE_NAMES.len();
+
+/// Attack families in the simulator (the four KDD macro-categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Denial of service (smurf/neptune-like): flooding rates.
+    Dos,
+    /// Probing (portsweep/satan-like): service scanning.
+    Probe,
+    /// Remote-to-local (guess_passwd-like): failed logins, hot indicators.
+    R2l,
+    /// User-to-root (buffer_overflow-like): root shell, file creations.
+    U2r,
+}
+
+impl AttackKind {
+    /// All families.
+    pub const ALL: [AttackKind; 4] = [AttackKind::Dos, AttackKind::Probe, AttackKind::R2l, AttackKind::U2r];
+
+    /// Category string used in labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::Dos => "dos",
+            AttackKind::Probe => "probe",
+            AttackKind::R2l => "r2l",
+            AttackKind::U2r => "u2r",
+        }
+    }
+
+    /// The feature subset in which this family's anomaly manifests — the
+    /// ground-truth outlying subspace.
+    pub fn outlying_dims(&self) -> &'static [usize] {
+        match self {
+            // Flood: count, srv_count, serror_rate pinned high.
+            AttackKind::Dos => &[11, 12, 13],
+            // Scan: diff_srv_rate, rerror_rate high; same_srv_rate low.
+            AttackKind::Probe => &[14, 15, 16],
+            // Login attack: failed logins + hot indicators.
+            AttackKind::R2l => &[5, 6],
+            // Privilege escalation: root_shell, num_root, file creations.
+            AttackKind::U2r => &[8, 9, 10],
+        }
+    }
+
+    /// Ground-truth subspace mask.
+    pub fn subspace(&self) -> Subspace {
+        Subspace::from_dims(self.outlying_dims().iter().copied())
+            .expect("attack dims are non-empty and < 64")
+    }
+}
+
+/// Mix of the simulated stream.
+#[derive(Debug, Clone)]
+pub struct KddConfig {
+    /// Fraction of records that are attacks (split across families by
+    /// `family_weights`).
+    pub attack_fraction: f64,
+    /// Relative frequency of (dos, probe, r2l, u2r) among attacks; KDD's
+    /// skew (DoS dominates, U2R is rare) is the default.
+    pub family_weights: [f64; 4],
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KddConfig {
+    fn default() -> Self {
+        KddConfig {
+            attack_fraction: 0.02,
+            family_weights: [0.65, 0.2, 0.1, 0.05],
+            seed: 99,
+        }
+    }
+}
+
+impl KddConfig {
+    fn validate(&self) -> Result<()> {
+        if !(0.0..=0.5).contains(&self.attack_fraction) {
+            return Err(SpotError::InvalidConfig("attack fraction must be in [0,0.5]".into()));
+        }
+        if self.family_weights.iter().any(|&w| w < 0.0)
+            || self.family_weights.iter().sum::<f64>() <= 0.0
+        {
+            return Err(SpotError::InvalidConfig("family weights must be non-negative, not all zero".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One normal-traffic service profile (e.g. web browsing vs bulk transfer).
+#[derive(Debug, Clone)]
+struct Profile {
+    mean: [f64; NUM_FEATURES],
+    sigma: [f64; NUM_FEATURES],
+}
+
+/// Seeded KDD-like stream generator (unbounded iterator of labeled
+/// records). All features are normalized to `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct KddGenerator {
+    config: KddConfig,
+    profiles: Vec<Profile>,
+    rng: StdRng,
+    next_seq: u64,
+}
+
+impl KddGenerator {
+    /// Builds the generator with three stock service profiles.
+    pub fn new(config: KddConfig) -> Result<Self> {
+        config.validate()?;
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(KddGenerator { config, profiles: stock_profiles(), rng, next_seq: 0 })
+    }
+
+    /// Feature-space bounds (all features normalized to the unit box).
+    pub fn bounds(&self) -> DomainBounds {
+        DomainBounds::unit(NUM_FEATURES)
+    }
+
+    /// Draws `n` labeled records.
+    pub fn generate(&mut self, n: usize) -> Vec<LabeledRecord> {
+        (0..n).map(|_| self.next_record()).collect()
+    }
+
+    /// Draws `n` normal-only connection records (training batch).
+    pub fn generate_normal(&mut self, n: usize) -> Vec<DataPoint> {
+        (0..n).map(|_| self.sample_normal()).collect()
+    }
+
+    /// Draws one exemplar attack of the given family (for supervised
+    /// learning / example-based detection).
+    pub fn attack_exemplar(&mut self, kind: AttackKind) -> DataPoint {
+        self.sample_attack(kind)
+    }
+
+    fn next_record(&mut self) -> LabeledRecord {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.rng.gen_bool(self.config.attack_fraction) {
+            let kind = self.pick_family();
+            let point = self.sample_attack(kind);
+            let info = AnomalyInfo::with_subspace(kind.name(), kind.subspace().mask());
+            LabeledRecord::new(seq, point, Label::Anomaly(info))
+        } else {
+            LabeledRecord::new(seq, self.sample_normal(), Label::Normal)
+        }
+    }
+
+    fn pick_family(&mut self) -> AttackKind {
+        let total: f64 = self.config.family_weights.iter().sum();
+        let mut x = self.rng.gen_range(0.0..total);
+        for (i, &w) in self.config.family_weights.iter().enumerate() {
+            if x < w {
+                return AttackKind::ALL[i];
+            }
+            x -= w;
+        }
+        AttackKind::U2r
+    }
+
+    fn sample_normal(&mut self) -> DataPoint {
+        let p = self.profiles[self.rng.gen_range(0..self.profiles.len())].clone();
+        let vals: Vec<f64> = (0..NUM_FEATURES)
+            .map(|d| (p.mean[d] + gaussian(&mut self.rng) * p.sigma[d]).clamp(0.0, 1.0))
+            .collect();
+        DataPoint::new(vals)
+    }
+
+    fn sample_attack(&mut self, kind: AttackKind) -> DataPoint {
+        // Attacks look like normal traffic outside their signature dims —
+        // that is what makes them *projected* outliers.
+        let mut vals = self.sample_normal().into_values();
+        let jitter = |rng: &mut StdRng, center: f64, s: f64| -> f64 {
+            (center + gaussian(rng) * s).clamp(0.0, 1.0)
+        };
+        match kind {
+            AttackKind::Dos => {
+                vals[11] = jitter(&mut self.rng, 0.95, 0.02); // count
+                vals[12] = jitter(&mut self.rng, 0.93, 0.02); // srv_count
+                vals[13] = jitter(&mut self.rng, 0.9, 0.03); // serror_rate
+            }
+            AttackKind::Probe => {
+                vals[14] = jitter(&mut self.rng, 0.85, 0.04); // rerror_rate
+                vals[15] = jitter(&mut self.rng, 0.05, 0.02); // same_srv_rate (low!)
+                vals[16] = jitter(&mut self.rng, 0.9, 0.03); // diff_srv_rate
+            }
+            AttackKind::R2l => {
+                vals[5] = jitter(&mut self.rng, 0.8, 0.05); // hot
+                vals[6] = jitter(&mut self.rng, 0.9, 0.04); // num_failed_logins
+            }
+            AttackKind::U2r => {
+                vals[8] = jitter(&mut self.rng, 0.95, 0.02); // root_shell
+                vals[9] = jitter(&mut self.rng, 0.85, 0.05); // num_root
+                vals[10] = jitter(&mut self.rng, 0.8, 0.05); // num_file_creations
+            }
+        }
+        DataPoint::new(vals)
+    }
+}
+
+impl Iterator for KddGenerator {
+    type Item = LabeledRecord;
+
+    fn next(&mut self) -> Option<LabeledRecord> {
+        Some(self.next_record())
+    }
+}
+
+/// Three background service profiles. Signature dims sit near zero for all
+/// profiles (normal traffic rarely fails logins, floods, or spawns root
+/// shells) so the attack families are genuinely sparse regions there.
+fn stock_profiles() -> Vec<Profile> {
+    let mut base_mean = [0.05f64; NUM_FEATURES];
+    let mut base_sigma = [0.03f64; NUM_FEATURES];
+    // Generic traffic shape.
+    base_mean[0] = 0.2; // duration
+    base_mean[1] = 0.3; // src_bytes
+    base_mean[2] = 0.35; // dst_bytes
+    base_mean[11] = 0.3; // count
+    base_mean[12] = 0.3; // srv_count
+    base_mean[15] = 0.85; // same_srv_rate high for normal traffic
+    base_mean[17] = 0.4; // dst_host_count
+    base_mean[18] = 0.45; // dst_host_srv_count
+    base_mean[19] = 0.3;
+    base_sigma[0] = 0.1;
+    base_sigma[1] = 0.08;
+    base_sigma[2] = 0.08;
+    base_sigma[11] = 0.08;
+    base_sigma[12] = 0.08;
+    base_sigma[15] = 0.05;
+    base_sigma[17] = 0.1;
+    base_sigma[18] = 0.1;
+    base_sigma[19] = 0.08;
+
+    // Interactive (ssh/telnet-like): long duration, few bytes.
+    let mut interactive = Profile { mean: base_mean, sigma: base_sigma };
+    interactive.mean[0] = 0.6;
+    interactive.mean[1] = 0.15;
+    interactive.mean[2] = 0.15;
+
+    // Bulk transfer (ftp-like): short bursts, many bytes.
+    let mut bulk = Profile { mean: base_mean, sigma: base_sigma };
+    bulk.mean[0] = 0.1;
+    bulk.mean[1] = 0.7;
+    bulk.mean[2] = 0.65;
+
+    // Web (http-like): the base shape.
+    let web = Profile { mean: base_mean, sigma: base_sigma };
+
+    vec![web, interactive, bulk]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(KddGenerator::new(KddConfig { attack_fraction: 0.9, ..Default::default() })
+            .is_err());
+        assert!(KddGenerator::new(KddConfig {
+            family_weights: [0.0; 4],
+            ..Default::default()
+        })
+        .is_err());
+        assert!(KddGenerator::new(KddConfig {
+            family_weights: [-1.0, 1.0, 1.0, 1.0],
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn records_live_in_unit_box_with_right_dims() {
+        let mut g = KddGenerator::new(KddConfig::default()).unwrap();
+        let bounds = g.bounds();
+        for r in g.generate(500) {
+            assert_eq!(r.point.dims(), NUM_FEATURES);
+            assert!(bounds.contains(&r.point));
+        }
+    }
+
+    #[test]
+    fn attack_rate_and_family_split() {
+        let mut g = KddGenerator::new(KddConfig {
+            attack_fraction: 0.2,
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let recs = g.generate(10_000);
+        let attacks: Vec<&LabeledRecord> = recs.iter().filter(|r| r.is_anomaly()).collect();
+        let rate = attacks.len() as f64 / recs.len() as f64;
+        assert!((rate - 0.2).abs() < 0.03, "rate={rate}");
+        // DoS must dominate; U2R must be rare yet present.
+        let count = |name: &str| {
+            attacks.iter().filter(|r| r.label.category() == name).count() as f64
+        };
+        assert!(count("dos") > count("probe"));
+        assert!(count("probe") > count("u2r"));
+        assert!(count("u2r") > 0.0);
+    }
+
+    #[test]
+    fn attacks_deviate_in_signature_dims_only_mostly() {
+        let mut g = KddGenerator::new(KddConfig { attack_fraction: 0.5, seed: 11, ..Default::default() }).unwrap();
+        // Collect per-dim means of normal vs dos records.
+        let recs = g.generate(8000);
+        let mut normal_sum = [0.0f64; NUM_FEATURES];
+        let mut normal_n = 0.0;
+        let mut dos_sum = [0.0f64; NUM_FEATURES];
+        let mut dos_n = 0.0;
+        for r in &recs {
+            let (sum, n) = if r.label.category() == "dos" {
+                (&mut dos_sum, &mut dos_n)
+            } else if !r.is_anomaly() {
+                (&mut normal_sum, &mut normal_n)
+            } else {
+                continue;
+            };
+            for d in 0..NUM_FEATURES {
+                sum[d] += r.point.value(d);
+            }
+            *n += 1.0;
+        }
+        assert!(dos_n > 100.0 && normal_n > 100.0);
+        // Signature dims shift a lot; a non-signature dim barely moves.
+        for &d in AttackKind::Dos.outlying_dims() {
+            let gap = (dos_sum[d] / dos_n - normal_sum[d] / normal_n).abs();
+            assert!(gap > 0.3, "dim {d} gap {gap}");
+        }
+        let gap0 = (dos_sum[0] / dos_n - normal_sum[0] / normal_n).abs();
+        assert!(gap0 < 0.1, "duration gap {gap0}");
+    }
+
+    #[test]
+    fn labels_carry_family_subspaces() {
+        let mut g = KddGenerator::new(KddConfig { attack_fraction: 0.3, ..Default::default() }).unwrap();
+        for r in g.generate(2000).iter().filter(|r| r.is_anomaly()) {
+            let info = r.label.anomaly().unwrap();
+            let kind = AttackKind::ALL
+                .iter()
+                .find(|k| k.name() == info.category)
+                .expect("known family");
+            assert_eq!(info.true_subspace, Some(kind.subspace().mask()));
+        }
+    }
+
+    #[test]
+    fn exemplars_match_family_signature() {
+        let mut g = KddGenerator::new(KddConfig::default()).unwrap();
+        let ex = g.attack_exemplar(AttackKind::U2r);
+        assert!(ex.value(8) > 0.8); // root_shell pinned high
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = KddGenerator::new(KddConfig::default()).unwrap();
+        let mut b = KddGenerator::new(KddConfig::default()).unwrap();
+        assert_eq!(a.generate(200), b.generate(200));
+    }
+
+    #[test]
+    fn feature_names_distinct() {
+        let set: std::collections::HashSet<&str> = FEATURE_NAMES.iter().copied().collect();
+        assert_eq!(set.len(), NUM_FEATURES);
+    }
+}

@@ -1,0 +1,155 @@
+//! Threshold-free ranking metrics over anomaly scores.
+
+/// Area under the ROC curve for `(score, is_positive)` pairs, via the
+/// Mann–Whitney U statistic (ties contribute ½). Returns 0.5 when either
+/// class is absent — the uninformative default.
+pub fn roc_auc(scored: &[(f64, bool)]) -> f64 {
+    let pos: Vec<f64> = scored.iter().filter(|(_, y)| *y).map(|(s, _)| *s).collect();
+    let neg: Vec<f64> = scored.iter().filter(|(_, y)| !*y).map(|(s, _)| *s).collect();
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    // Rank-based computation: O((n) log n) instead of O(|pos|·|neg|).
+    let mut all: Vec<(f64, bool)> = scored.to_vec();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are not NaN"));
+    // Average ranks over tie groups (1-based ranks).
+    let n = all.len();
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for item in all.iter().take(j + 1).skip(i) {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let np = pos.len() as f64;
+    let nn = neg.len() as f64;
+    let u = rank_sum_pos - np * (np + 1.0) / 2.0;
+    u / (np * nn)
+}
+
+/// Average precision (area under the precision-recall curve by the
+/// step-wise interpolation used in IR). Returns 0 when no positives exist.
+pub fn average_precision(scored: &[(f64, bool)]) -> f64 {
+    let total_pos = scored.iter().filter(|(_, y)| *y).count();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<(f64, bool)> = scored.to_vec();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are not NaN"));
+    let mut tp = 0usize;
+    let mut ap = 0.0;
+    for (i, (_, y)) in sorted.iter().enumerate() {
+        if *y {
+            tp += 1;
+            ap += tp as f64 / (i + 1) as f64;
+        }
+    }
+    ap / total_pos as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let scored = vec![(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        assert!((roc_auc(&scored) - 1.0).abs() < 1e-12);
+        assert!((average_precision(&scored) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_separation_gives_auc_zero() {
+        let scored = vec![(0.1, true), (0.2, true), (0.8, false), (0.9, false)];
+        assert!(roc_auc(&scored).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_defaults() {
+        assert_eq!(roc_auc(&[(0.5, true)]), 0.5);
+        assert_eq!(roc_auc(&[(0.5, false)]), 0.5);
+        assert_eq!(roc_auc(&[]), 0.5);
+        assert_eq!(average_precision(&[(0.5, false)]), 0.0);
+    }
+
+    #[test]
+    fn all_tied_scores_are_uninformative() {
+        let scored = vec![(0.5, true), (0.5, false), (0.5, true), (0.5, false)];
+        assert!((roc_auc(&scored) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_matches_naive_pair_counting() {
+        let scored = vec![
+            (0.9, true),
+            (0.7, false),
+            (0.65, true),
+            (0.6, false),
+            (0.5, true),
+            (0.4, false),
+        ];
+        // Naive: fraction of (pos, neg) pairs ranked correctly.
+        let pos: Vec<f64> = scored.iter().filter(|(_, y)| *y).map(|(s, _)| *s).collect();
+        let neg: Vec<f64> = scored.iter().filter(|(_, y)| !*y).map(|(s, _)| *s).collect();
+        let mut wins = 0.0;
+        for &p in &pos {
+            for &q in &neg {
+                if p > q {
+                    wins += 1.0;
+                } else if p == q {
+                    wins += 0.5;
+                }
+            }
+        }
+        let naive = wins / (pos.len() * neg.len()) as f64;
+        assert!((roc_auc(&scored) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_known_value() {
+        // Ranking: pos, neg, pos → AP = (1/1 + 2/3) / 2.
+        let scored = vec![(0.9, true), (0.8, false), (0.7, true)];
+        let expect = (1.0 + 2.0 / 3.0) / 2.0;
+        assert!((average_precision(&scored) - expect).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn auc_bounded_and_tie_consistent(
+            scores in proptest::collection::vec((0.0f64..1.0, proptest::bool::ANY), 2..60)
+        ) {
+            let auc = roc_auc(&scores);
+            prop_assert!((0.0..=1.0).contains(&auc));
+            // Naive pair counting must agree.
+            let pos: Vec<f64> = scores.iter().filter(|(_, y)| *y).map(|(s, _)| *s).collect();
+            let neg: Vec<f64> = scores.iter().filter(|(_, y)| !*y).map(|(s, _)| *s).collect();
+            if !pos.is_empty() && !neg.is_empty() {
+                let mut wins = 0.0;
+                for &p in &pos {
+                    for &q in &neg {
+                        if p > q { wins += 1.0 } else if p == q { wins += 0.5 }
+                    }
+                }
+                let naive = wins / (pos.len() * neg.len()) as f64;
+                prop_assert!((auc - naive).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn ap_bounded(
+            scores in proptest::collection::vec((0.0f64..1.0, proptest::bool::ANY), 1..60)
+        ) {
+            let ap = average_precision(&scores);
+            prop_assert!((0.0..=1.0).contains(&ap));
+        }
+    }
+}

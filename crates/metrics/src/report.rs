@@ -1,0 +1,120 @@
+//! Fixed-width table rendering for the experiment harness.
+//!
+//! Every `spot-bench` target prints its table/figure rows through this type
+//! so outputs are uniform and machine-extractable (a JSON dump accompanies
+//! the pretty print).
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified by the caller; counts must match
+    /// the header row).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, " {c:<w$} |");
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{:-<width$}|", "", width = w + 2);
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with 3 decimal places (the workspace's table convention).
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with no decimals and thousands grouping dropped.
+pub fn fmt0(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.add_row(vec!["a".into(), "1".into()]);
+        t.add_row(vec!["long-name".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| name      | value |"));
+        assert!(s.contains("| long-name | 12345 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt3(0.123456), "0.123");
+        assert_eq!(fmt0(1234.7), "1235");
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let mut t = Table::new("j", &["x"]);
+        t.add_row(vec!["1".into()]);
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(json.contains("\"title\":\"j\""));
+    }
+}

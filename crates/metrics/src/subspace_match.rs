@@ -1,0 +1,79 @@
+//! Subspace-recovery metrics.
+//!
+//! SPOT reports not only *which* points are outliers but *where* they are
+//! outlying. These helpers compare reported outlying subspaces against the
+//! ground-truth subspaces planted by the generators (experiments E3/E6).
+
+use spot_subspace::Subspace;
+
+/// Best Jaccard similarity between `truth` and any reported subspace; 0
+/// when nothing was reported.
+pub fn best_jaccard(truth: Subspace, reported: &[Subspace]) -> f64 {
+    reported
+        .iter()
+        .map(|s| truth.jaccard(s))
+        .fold(0.0, f64::max)
+}
+
+/// Fraction of `truths` for which some subspace among the respective
+/// reported set reaches Jaccard ≥ `threshold`. `pairs` yields
+/// (truth, reported-set) per detected outlier.
+pub fn subspace_recall_at<'a, I>(pairs: I, threshold: f64) -> f64
+where
+    I: IntoIterator<Item = (Subspace, &'a [Subspace])>,
+{
+    let mut total = 0usize;
+    let mut hit = 0usize;
+    for (truth, reported) in pairs {
+        total += 1;
+        if best_jaccard(truth, reported) >= threshold {
+            hit += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hit as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(dims: &[usize]) -> Subspace {
+        Subspace::from_dims(dims.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn exact_match_scores_one() {
+        let truth = s(&[1, 3]);
+        assert!((best_jaccard(truth, &[s(&[0]), s(&[1, 3])]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let truth = s(&[1, 3]);
+        // overlap {3}, union {1,2,3} → 1/3
+        let j = best_jaccard(truth, &[s(&[2, 3])]);
+        assert!((j - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_scores_zero() {
+        assert_eq!(best_jaccard(s(&[0]), &[]), 0.0);
+    }
+
+    #[test]
+    fn recall_at_threshold() {
+        let reported_a = [s(&[1, 3])];
+        let reported_b = [s(&[9])];
+        let pairs = vec![
+            (s(&[1, 3]), &reported_a[..]), // exact hit
+            (s(&[2, 4]), &reported_b[..]), // miss
+        ];
+        let r = subspace_recall_at(pairs, 0.99);
+        assert!((r - 0.5).abs() < 1e-12);
+        assert_eq!(subspace_recall_at(Vec::<(Subspace, &[Subspace])>::new(), 0.5), 0.0);
+    }
+}

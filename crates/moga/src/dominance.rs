@@ -1,0 +1,68 @@
+//! Pareto dominance over minimized objective vectors.
+
+/// `true` when `a` Pareto-dominates `b`: `a` is no worse in every objective
+/// and strictly better in at least one. All objectives are minimized.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Extracts the non-dominated subset of `objectives` (indices into the
+/// input). Quadratic — used on small candidate sets and as the reference
+/// implementation the fast sort is property-tested against.
+pub fn pareto_front_indices(objectives: &[Vec<f64>]) -> Vec<usize> {
+    (0..objectives.len())
+        .filter(|&i| {
+            !objectives
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && dominates(other, &objectives[i]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0])); // trade-off
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0])); // equal
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn front_extraction() {
+        let objs = vec![
+            vec![1.0, 4.0], // front
+            vec![2.0, 3.0], // front
+            vec![3.0, 3.0], // dominated by [2,3]
+            vec![4.0, 1.0], // front
+            vec![4.0, 4.0], // dominated
+        ];
+        assert_eq!(pareto_front_indices(&objs), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn identical_points_all_on_front() {
+        let objs = vec![vec![1.0, 1.0]; 3];
+        assert_eq!(pareto_front_indices(&objs), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_front_indices(&[]).is_empty());
+    }
+}

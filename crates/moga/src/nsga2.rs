@@ -1,0 +1,509 @@
+//! NSGA-II over subspace chromosomes.
+//!
+//! The paper's MOGA searches the space lattice for subspaces that optimize
+//! several sparsity criteria at once (RD and IRSD of the target points'
+//! cells). This module implements the standard NSGA-II machinery (Deb et
+//! al. 2002): fast non-dominated sorting, crowding-distance diversity,
+//! binary tournament selection and (μ+λ) elitist replacement, with the
+//! chromosome-level variation operators from `spot-subspace`.
+
+use crate::dominance::dominates;
+use crate::problem::SubspaceProblem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spot_subspace::{genetic, Subspace};
+use spot_types::{FxHashMap, Result, SpotError};
+
+/// NSGA-II tuning knobs.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MogaConfig {
+    /// Population size μ (≥ 4, even).
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Probability that a child is produced by crossover (otherwise it is a
+    /// mutated clone of one parent).
+    pub crossover_rate: f64,
+    /// Per-bit mutation probability applied to every child.
+    pub mutation_rate: f64,
+    /// RNG seed — fixed seeds make learning reproducible.
+    pub seed: u64,
+}
+
+impl Default for MogaConfig {
+    fn default() -> Self {
+        MogaConfig {
+            population: 40,
+            generations: 30,
+            crossover_rate: 0.9,
+            mutation_rate: 0.05,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl MogaConfig {
+    fn validate(&self) -> Result<()> {
+        if self.population < 4 {
+            return Err(SpotError::InvalidConfig("MOGA population must be at least 4".into()));
+        }
+        if self.generations == 0 {
+            return Err(SpotError::InvalidConfig("MOGA needs at least one generation".into()));
+        }
+        if !(0.0..=1.0).contains(&self.crossover_rate) {
+            return Err(SpotError::InvalidConfig("crossover rate must be in [0,1]".into()));
+        }
+        if !(0.0..=1.0).contains(&self.mutation_rate) {
+            return Err(SpotError::InvalidConfig("mutation rate must be in [0,1]".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One evaluated chromosome.
+#[derive(Debug, Clone)]
+pub struct Individual {
+    /// The subspace encoded by the chromosome.
+    pub subspace: Subspace,
+    /// Objective vector (minimized).
+    pub objectives: Vec<f64>,
+    /// Non-domination rank (0 = Pareto front).
+    pub rank: usize,
+    /// Crowding distance within its rank (∞ at the boundary).
+    pub crowding: f64,
+}
+
+/// Convergence snapshot taken after each generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationStats {
+    /// Generation index (0 = initial population).
+    pub generation: usize,
+    /// Archive size after this generation.
+    pub archive_size: usize,
+    /// Hypervolume of the archive w.r.t. the reference point `1.1` per
+    /// objective (objectives are normalized into `[0,1]` by SPOT's
+    /// problems). `None` when the problem has more than 3 objectives.
+    pub hypervolume: Option<f64>,
+    /// Best (lowest) equal-weight objective sum seen so far.
+    pub best_scalar: f64,
+}
+
+/// Result of one MOGA run.
+#[derive(Debug, Clone)]
+pub struct MogaOutcome {
+    /// Final population, best rank first.
+    pub population: Vec<Individual>,
+    /// Deduplicated Pareto archive accumulated over all generations.
+    pub archive: Vec<Individual>,
+    /// Distinct subspaces evaluated (memoized evaluation count).
+    pub evaluations: usize,
+    /// Per-generation convergence history (experiment E6's learning curve).
+    pub history: Vec<GenerationStats>,
+}
+
+impl MogaOutcome {
+    /// The top `k` archive subspaces ranked by weighted objective sum
+    /// (equal weights). This is how SPOT extracts "top sparse subspaces"
+    /// from a Pareto set.
+    pub fn top_k(&self, k: usize) -> Vec<(Subspace, f64)> {
+        let mut scored: Vec<(Subspace, f64)> = self
+            .archive
+            .iter()
+            .map(|ind| (ind.subspace, ind.objectives.iter().sum::<f64>()))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective sums are not NaN"));
+        scored.truncate(k);
+        scored
+    }
+}
+
+/// Runs NSGA-II on `problem`. Evaluations are memoized per subspace mask, so
+/// the effort is bounded by the number of *distinct* chromosomes visited.
+pub fn run<P: SubspaceProblem>(problem: &mut P, config: &MogaConfig) -> Result<MogaOutcome> {
+    config.validate()?;
+    let phi = problem.phi();
+    if phi == 0 || phi > spot_subspace::subspace::MAX_DIMS {
+        return Err(SpotError::TooManyDimensions(phi));
+    }
+    let max_card = problem.max_cardinality().unwrap_or(phi).clamp(1, phi);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut cache: FxHashMap<u64, Vec<f64>> = FxHashMap::default();
+
+    let evaluate = |s: Subspace, problem: &mut P, cache: &mut FxHashMap<u64, Vec<f64>>| {
+        cache.entry(s.mask()).or_insert_with(|| problem.evaluate(s)).clone()
+    };
+
+    // Initial population: random subspaces up to the cardinality cap.
+    let mut pop: Vec<Individual> = (0..config.population)
+        .map(|_| {
+            let s = genetic::random_subspace(phi, max_card, &mut rng);
+            Individual {
+                subspace: s,
+                objectives: evaluate(s, problem, &mut cache),
+                rank: 0,
+                crowding: 0.0,
+            }
+        })
+        .collect();
+    assign_rank_and_crowding(&mut pop);
+
+    let mut archive: Vec<Individual> = Vec::new();
+    absorb_into_archive(&mut archive, &pop);
+    let mut history: Vec<GenerationStats> = Vec::with_capacity(config.generations + 1);
+    history.push(snapshot(0, &archive));
+
+    for generation in 0..config.generations {
+        // Variation: binary tournaments pick parents; crossover + mutation
+        // produce λ = μ children.
+        let mut children: Vec<Individual> = Vec::with_capacity(config.population);
+        while children.len() < config.population {
+            let a = tournament(&pop, &mut rng);
+            let b = tournament(&pop, &mut rng);
+            let mut child = if rng.gen_bool(config.crossover_rate) {
+                genetic::uniform_crossover(a.subspace, b.subspace, phi, &mut rng)
+            } else {
+                a.subspace
+            };
+            child = genetic::mutate(child, phi, config.mutation_rate, &mut rng);
+            let child = genetic::repair_with_max_card(child.mask(), phi, max_card, &mut rng);
+            children.push(Individual {
+                subspace: child,
+                objectives: evaluate(child, problem, &mut cache),
+                rank: 0,
+                crowding: 0.0,
+            });
+        }
+        // (μ+λ) elitist replacement.
+        pop.append(&mut children);
+        assign_rank_and_crowding(&mut pop);
+        pop.sort_by(|x, y| {
+            x.rank.cmp(&y.rank).then(
+                y.crowding.partial_cmp(&x.crowding).expect("crowding is not NaN"),
+            )
+        });
+        pop.truncate(config.population);
+        absorb_into_archive(&mut archive, &pop);
+        history.push(snapshot(generation + 1, &archive));
+    }
+
+    pop.sort_by(|x, y| {
+        x.rank
+            .cmp(&y.rank)
+            .then(y.crowding.partial_cmp(&x.crowding).expect("crowding is not NaN"))
+    });
+    let evaluations = cache.len();
+    Ok(MogaOutcome { population: pop, archive, evaluations, history })
+}
+
+/// Convergence snapshot of the current archive.
+fn snapshot(generation: usize, archive: &[Individual]) -> GenerationStats {
+    let best_scalar = archive
+        .iter()
+        .map(|i| i.objectives.iter().sum::<f64>())
+        .fold(f64::INFINITY, f64::min);
+    let m = archive.first().map_or(0, |i| i.objectives.len());
+    let hypervolume = (m == 2 || m == 3).then(|| {
+        let front: Vec<Vec<f64>> = archive.iter().map(|i| i.objectives.clone()).collect();
+        let reference = vec![1.1; m];
+        crate::hypervolume::hypervolume(&front, &reference)
+    });
+    GenerationStats { generation, archive_size: archive.len(), hypervolume, best_scalar }
+}
+
+/// Binary tournament by (rank, crowding).
+fn tournament<'a, R: Rng>(pop: &'a [Individual], rng: &mut R) -> &'a Individual {
+    let a = &pop[rng.gen_range(0..pop.len())];
+    let b = &pop[rng.gen_range(0..pop.len())];
+    if (a.rank, std::cmp::Reverse(ordered(a.crowding))) <= (b.rank, std::cmp::Reverse(ordered(b.crowding)))
+    {
+        a
+    } else {
+        b
+    }
+}
+
+/// Total order helper for f64 crowding values (no NaNs by construction).
+fn ordered(x: f64) -> std::cmp::Ordering {
+    x.partial_cmp(&0.0).expect("crowding is not NaN")
+}
+
+/// Deb's fast non-dominated sort + crowding distance, in place.
+pub fn assign_rank_and_crowding(pop: &mut [Individual]) {
+    let n = pop.len();
+    if n == 0 {
+        return;
+    }
+    // Fast non-dominated sort.
+    let mut dominated_by: Vec<usize> = vec![0; n]; // count of dominators
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&pop[i].objectives, &pop[j].objectives) {
+                dominates_list[i].push(j);
+                dominated_by[j] += 1;
+            } else if dominates(&pop[j].objectives, &pop[i].objectives) {
+                dominates_list[j].push(i);
+                dominated_by[i] += 1;
+            }
+        }
+    }
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    let mut rank = 0;
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    while !current.is_empty() {
+        for &i in &current {
+            pop[i].rank = rank;
+        }
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominates_list[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+        rank += 1;
+    }
+    // Crowding distance per front.
+    let m = pop[0].objectives.len();
+    for front in &fronts {
+        for &i in front {
+            pop[i].crowding = 0.0;
+        }
+        if front.len() <= 2 {
+            for &i in front {
+                pop[i].crowding = f64::INFINITY;
+            }
+            continue;
+        }
+        for obj in 0..m {
+            let mut order: Vec<usize> = front.clone();
+            order.sort_by(|&a, &b| {
+                pop[a].objectives[obj]
+                    .partial_cmp(&pop[b].objectives[obj])
+                    .expect("objectives are not NaN")
+            });
+            let lo = pop[order[0]].objectives[obj];
+            let hi = pop[*order.last().expect("front non-empty")].objectives[obj];
+            pop[order[0]].crowding = f64::INFINITY;
+            pop[*order.last().expect("front non-empty")].crowding = f64::INFINITY;
+            let span = hi - lo;
+            if span <= f64::EPSILON {
+                continue;
+            }
+            for w in order.windows(3) {
+                let (prev, mid, next) = (w[0], w[1], w[2]);
+                if pop[mid].crowding.is_finite() {
+                    pop[mid].crowding +=
+                        (pop[next].objectives[obj] - pop[prev].objectives[obj]) / span;
+                }
+            }
+        }
+    }
+}
+
+/// Merges the Pareto-rank-0 members of `pop` into `archive`, keeping the
+/// archive itself non-dominated and deduplicated.
+fn absorb_into_archive(archive: &mut Vec<Individual>, pop: &[Individual]) {
+    for ind in pop.iter().filter(|i| i.rank == 0) {
+        if archive.iter().any(|a| a.subspace == ind.subspace) {
+            continue;
+        }
+        if archive.iter().any(|a| dominates(&a.objectives, &ind.objectives)) {
+            continue;
+        }
+        archive.retain(|a| !dominates(&ind.objectives, &a.objectives));
+        archive.push(ind.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominance::pareto_front_indices;
+    use crate::problem::HiddenTargetProblem;
+    use proptest::prelude::*;
+
+    fn individual(objs: Vec<f64>) -> Individual {
+        Individual {
+            subspace: Subspace::from_mask(1).unwrap(),
+            objectives: objs,
+            rank: usize::MAX,
+            crowding: -1.0,
+        }
+    }
+
+    #[test]
+    fn rank_zero_matches_naive_front() {
+        let objs = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 3.0],
+            vec![3.0, 3.0],
+            vec![4.0, 1.0],
+            vec![4.0, 4.0],
+        ];
+        let mut pop: Vec<Individual> = objs.iter().cloned().map(individual).collect();
+        assign_rank_and_crowding(&mut pop);
+        let rank0: Vec<usize> =
+            (0..pop.len()).filter(|&i| pop[i].rank == 0).collect();
+        assert_eq!(rank0, pareto_front_indices(&objs));
+        // Dominated points have strictly higher rank.
+        assert!(pop[2].rank > 0);
+        assert!(pop[4].rank > 0);
+    }
+
+    #[test]
+    fn boundary_crowding_is_infinite() {
+        let mut pop: Vec<Individual> = vec![
+            individual(vec![1.0, 5.0]),
+            individual(vec![2.0, 4.0]),
+            individual(vec![3.0, 3.0]),
+            individual(vec![4.0, 2.0]),
+            individual(vec![5.0, 1.0]),
+        ];
+        assign_rank_and_crowding(&mut pop);
+        assert!(pop[0].crowding.is_infinite());
+        assert!(pop[4].crowding.is_infinite());
+        assert!(pop[2].crowding.is_finite());
+        assert!(pop[2].crowding > 0.0);
+    }
+
+    #[test]
+    fn moga_finds_hidden_target() {
+        let target = Subspace::from_dims([2, 5, 9]).unwrap();
+        let mut problem = HiddenTargetProblem::new(12, target);
+        let config = MogaConfig { population: 40, generations: 40, ..Default::default() };
+        let out = run(&mut problem, &config).unwrap();
+        // The target has Hamming distance 0 — it must be in the archive.
+        assert!(
+            out.archive.iter().any(|i| i.subspace == target),
+            "archive missed the target; archive size {}",
+            out.archive.len()
+        );
+        // Memoization bounds evaluations by distinct chromosomes.
+        assert!(out.evaluations <= 40 * 41);
+    }
+
+    #[test]
+    fn moga_is_deterministic_for_fixed_seed() {
+        let target = Subspace::from_dims([1, 4]).unwrap();
+        let run_once = || {
+            let mut p = HiddenTargetProblem::new(10, target);
+            let cfg = MogaConfig { seed: 7, ..Default::default() };
+            run(&mut p, &cfg)
+                .unwrap()
+                .top_k(5)
+                .into_iter()
+                .map(|(s, _)| s.mask())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut p = HiddenTargetProblem::new(8, Subspace::from_mask(1).unwrap());
+        assert!(run(&mut p, &MogaConfig { population: 2, ..Default::default() }).is_err());
+        assert!(run(&mut p, &MogaConfig { generations: 0, ..Default::default() }).is_err());
+        assert!(run(&mut p, &MogaConfig { crossover_rate: 1.5, ..Default::default() }).is_err());
+        assert!(run(&mut p, &MogaConfig { mutation_rate: -0.1, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn archive_is_mutually_non_dominated() {
+        let target = Subspace::from_dims([0, 3, 6]).unwrap();
+        let mut p = HiddenTargetProblem::new(10, target);
+        let out = run(&mut p, &MogaConfig::default()).unwrap();
+        for a in &out.archive {
+            for b in &out.archive {
+                assert!(
+                    !dominates(&a.objectives, &b.objectives)
+                        || a.subspace == b.subspace,
+                    "archive contains dominated member"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_orders_by_objective_sum() {
+        let target = Subspace::from_dims([0, 1]).unwrap();
+        let mut p = HiddenTargetProblem::new(8, target);
+        let out = run(&mut p, &MogaConfig::default()).unwrap();
+        let top = out.top_k(4);
+        for w in top.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn history_tracks_convergence() {
+        let target = Subspace::from_dims([1, 4, 6]).unwrap();
+        let mut p = HiddenTargetProblem::new(10, target);
+        let cfg = MogaConfig { generations: 25, ..Default::default() };
+        let out = run(&mut p, &cfg).unwrap();
+        assert_eq!(out.history.len(), 26); // initial + one per generation
+        // Best scalar objective never worsens (elitist archive).
+        for w in out.history.windows(2) {
+            assert!(w[1].best_scalar <= w[0].best_scalar + 1e-12);
+            assert_eq!(w[1].generation, w[0].generation + 1);
+        }
+        // Hypervolume is reported for the 2-objective problem.
+        assert!(out.history.iter().all(|h| h.hypervolume.is_some()));
+    }
+
+    #[test]
+    fn respects_max_cardinality() {
+        struct Capped(HiddenTargetProblem);
+        impl SubspaceProblem for Capped {
+            fn phi(&self) -> usize {
+                self.0.phi()
+            }
+            fn num_objectives(&self) -> usize {
+                self.0.num_objectives()
+            }
+            fn evaluate(&mut self, s: Subspace) -> Vec<f64> {
+                self.0.evaluate(s)
+            }
+            fn max_cardinality(&self) -> Option<usize> {
+                Some(3)
+            }
+        }
+        let mut p = Capped(HiddenTargetProblem::new(16, Subspace::from_dims([1, 2]).unwrap()));
+        let out = run(&mut p, &MogaConfig::default()).unwrap();
+        assert!(out.population.iter().all(|i| i.subspace.cardinality() <= 3));
+        assert!(out.archive.iter().all(|i| i.subspace.cardinality() <= 3));
+    }
+
+    proptest! {
+        #[test]
+        fn fast_sort_rank0_equals_naive_front(
+            objs in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..10.0, 2..4usize), 1..30
+            )
+        ) {
+            // Pad all vectors to the same length.
+            let m = objs.iter().map(Vec::len).min().unwrap();
+            let objs: Vec<Vec<f64>> = objs.into_iter().map(|mut v| { v.truncate(m); v }).collect();
+            let mut pop: Vec<Individual> = objs.iter().cloned().map(individual).collect();
+            assign_rank_and_crowding(&mut pop);
+            let rank0: Vec<usize> = (0..pop.len()).filter(|&i| pop[i].rank == 0).collect();
+            prop_assert_eq!(rank0, pareto_front_indices(&objs));
+        }
+
+        #[test]
+        fn every_individual_gets_a_rank(
+            objs in proptest::collection::vec(
+                proptest::collection::vec(0.0f64..5.0, 2), 1..40
+            )
+        ) {
+            let mut pop: Vec<Individual> = objs.iter().cloned().map(individual).collect();
+            assign_rank_and_crowding(&mut pop);
+            prop_assert!(pop.iter().all(|i| i.rank != usize::MAX));
+            prop_assert!(pop.iter().all(|i| i.crowding >= 0.0));
+        }
+    }
+}

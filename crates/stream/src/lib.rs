@@ -1,0 +1,18 @@
+//! Streaming substrate for SPOT.
+//!
+//! Contains the paper's (ω, ε) window-based time model ([`time::TimeModel`])
+//! with its lazily-decayed counters, a logical clock, stream source
+//! abstractions (in-memory, generator-backed, and a crossbeam-channel-backed
+//! source for rate-controlled producers), and an exact sliding window kept
+//! for baseline detectors and for quantifying the approximation error of the
+//! (ω, ε) model (experiment E9).
+
+pub mod clock;
+pub mod source;
+pub mod time;
+pub mod window;
+
+pub use clock::LogicalClock;
+pub use source::{ChannelSource, FnSource, PointStream, VecSource};
+pub use time::{DecayedCounter, TimeModel};
+pub use window::ExactSlidingWindow;

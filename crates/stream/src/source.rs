@@ -1,0 +1,210 @@
+//! Stream sources.
+//!
+//! A [`PointStream`] is any iterator of [`StreamRecord`]s; SPOT's detection
+//! stage consumes these one at a time, honoring the single-pass constraint
+//! of the streaming model. Three concrete sources cover the needs of the
+//! examples and experiments:
+//!
+//! * [`VecSource`] — replays an in-memory batch (training/evaluation).
+//! * [`FnSource`] — pulls from a generator closure (unbounded synthetic
+//!   streams).
+//! * [`ChannelSource`] — receives from a producer thread over a bounded
+//!   crossbeam channel, optionally rate-limited; models a live feed with
+//!   back-pressure.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use spot_types::{DataPoint, StreamRecord};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Marker alias: any iterator of stream records is a point stream.
+pub trait PointStream: Iterator<Item = StreamRecord> {}
+
+impl<T: Iterator<Item = StreamRecord>> PointStream for T {}
+
+/// Replays an owned batch of points as a stream, assigning sequence numbers
+/// from `start_seq`.
+#[derive(Debug)]
+pub struct VecSource {
+    points: std::vec::IntoIter<DataPoint>,
+    next_seq: u64,
+}
+
+impl VecSource {
+    /// Creates a source over the batch, numbering records from 0.
+    pub fn new(points: Vec<DataPoint>) -> Self {
+        Self::with_start_seq(points, 0)
+    }
+
+    /// Creates a source whose first record gets sequence number `start_seq`.
+    pub fn with_start_seq(points: Vec<DataPoint>, start_seq: u64) -> Self {
+        VecSource { points: points.into_iter(), next_seq: start_seq }
+    }
+}
+
+impl Iterator for VecSource {
+    type Item = StreamRecord;
+
+    fn next(&mut self) -> Option<StreamRecord> {
+        let p = self.points.next()?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some(StreamRecord::new(seq, p))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.points.size_hint()
+    }
+}
+
+/// Pulls points from a closure until it returns `None`.
+pub struct FnSource<F: FnMut(u64) -> Option<DataPoint>> {
+    gen: F,
+    next_seq: u64,
+}
+
+impl<F: FnMut(u64) -> Option<DataPoint>> FnSource<F> {
+    /// Creates a generator-backed source. The closure receives the sequence
+    /// number of the record it is about to produce.
+    pub fn new(gen: F) -> Self {
+        FnSource { gen, next_seq: 0 }
+    }
+}
+
+impl<F: FnMut(u64) -> Option<DataPoint>> Iterator for FnSource<F> {
+    type Item = StreamRecord;
+
+    fn next(&mut self) -> Option<StreamRecord> {
+        let p = (self.gen)(self.next_seq)?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Some(StreamRecord::new(seq, p))
+    }
+}
+
+/// Receives records produced by a background thread over a bounded channel.
+///
+/// The bounded channel provides natural back-pressure: when the detector
+/// falls behind, the producer blocks instead of exhausting memory — the
+/// "space limitation" constraint of the streaming model.
+pub struct ChannelSource {
+    rx: Receiver<StreamRecord>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ChannelSource {
+    /// Spawns `producer` on a thread with a channel of the given capacity.
+    ///
+    /// The producer receives a [`Sender`] and pushes records until done (or
+    /// until the receiver is dropped, which makes `send` fail and should
+    /// terminate the producer).
+    pub fn spawn<F>(capacity: usize, producer: F) -> Self
+    where
+        F: FnOnce(Sender<StreamRecord>) + Send + 'static,
+    {
+        let (tx, rx) = bounded(capacity.max(1));
+        let handle = std::thread::spawn(move || producer(tx));
+        ChannelSource { rx, handle: Some(handle) }
+    }
+
+    /// Spawns a producer that replays `points` with a fixed inter-arrival
+    /// delay (simulates a live stream of a given rate; `delay` of zero means
+    /// full speed).
+    pub fn replay_with_rate(points: Vec<DataPoint>, delay: Duration) -> Self {
+        Self::spawn(1024, move |tx| {
+            for (i, p) in points.into_iter().enumerate() {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                if tx.send(StreamRecord::new(i as u64, p)).is_err() {
+                    return; // receiver hung up
+                }
+            }
+        })
+    }
+
+    /// Waits for the producer thread to finish (after the stream drained).
+    pub fn join(mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Iterator for ChannelSource {
+    type Item = StreamRecord;
+
+    fn next(&mut self) -> Option<StreamRecord> {
+        self.rx.recv().ok()
+    }
+}
+
+impl Drop for ChannelSource {
+    fn drop(&mut self) {
+        // Disconnect the channel *before* joining: a producer blocked on
+        // `send` into a full channel only unblocks when the receiver is
+        // gone (draining alone races — the producer can refill the buffer
+        // between the drain and the join and deadlock both threads).
+        let (_tx, dummy_rx) = bounded::<StreamRecord>(1);
+        drop(std::mem::replace(&mut self.rx, dummy_rx));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<DataPoint> {
+        (0..n).map(|i| DataPoint::new(vec![i as f64])).collect()
+    }
+
+    #[test]
+    fn vec_source_assigns_sequence_numbers() {
+        let recs: Vec<_> = VecSource::new(pts(3)).collect();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(recs[2].seq, 2);
+        assert!((recs[1].point[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec_source_custom_start() {
+        let recs: Vec<_> = VecSource::with_start_seq(pts(2), 100).collect();
+        assert_eq!(recs[0].seq, 100);
+        assert_eq!(recs[1].seq, 101);
+    }
+
+    #[test]
+    fn fn_source_stops_on_none() {
+        let mut src = FnSource::new(|seq| (seq < 5).then(|| DataPoint::new(vec![seq as f64])));
+        let recs: Vec<_> = (&mut src).collect();
+        assert_eq!(recs.len(), 5);
+        assert_eq!(recs[4].seq, 4);
+        assert!(src.next().is_none());
+    }
+
+    #[test]
+    fn channel_source_delivers_everything_in_order() {
+        let src = ChannelSource::replay_with_rate(pts(100), Duration::ZERO);
+        let recs: Vec<_> = src.collect();
+        assert_eq!(recs.len(), 100);
+        assert!(recs.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+    }
+
+    #[test]
+    fn channel_source_producer_terminates_on_drop() {
+        // Capacity 1 forces the producer to block; dropping the source must
+        // still let the thread exit (no deadlock, test would hang).
+        let src = ChannelSource::spawn(1, |tx| {
+            for i in 0..10_000u64 {
+                if tx.send(StreamRecord::new(i, DataPoint::new(vec![0.0]))).is_err() {
+                    return;
+                }
+            }
+        });
+        drop(src);
+    }
+}

@@ -1,0 +1,275 @@
+//! The (ω, ε) window-based time model.
+//!
+//! The model discriminates data arriving at different times by assigning
+//! each point an exponentially decaying weight. A point of age `a` ticks
+//! weighs `δ^a` with per-tick decay factor `δ = ε^(1/ω)`, so a point that
+//! has just slid out of a window of size ω weighs exactly ε. The model is
+//! therefore an ε-approximation of the conventional ω-sized sliding window
+//! that needs **no in-window point buffer and no snapshot history** — only
+//! the latest decayed summary, which is the property the paper highlights
+//! against tilted-time-frame models.
+//!
+//! Decay is applied lazily: every summary stores the tick of its last
+//! update and is renormalized by `δ^(now − last)` on access.
+
+use serde::{Deserialize, Serialize};
+use spot_types::{Result, SpotError};
+
+/// The (ω, ε) time model: window size ω (ticks) and approximation factor ε.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeModel {
+    omega: u64,
+    epsilon: f64,
+    decay: f64,
+}
+
+impl TimeModel {
+    /// Creates a model with window size `omega` (> 0 ticks) and
+    /// approximation factor `epsilon` (in `(0, 1)`).
+    pub fn new(omega: u64, epsilon: f64) -> Result<Self> {
+        if omega == 0 {
+            return Err(SpotError::InvalidConfig("omega must be positive".into()));
+        }
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(SpotError::InvalidConfig(format!(
+                "epsilon must lie in (0,1), got {epsilon}"
+            )));
+        }
+        let decay = epsilon.powf(1.0 / omega as f64);
+        Ok(TimeModel { omega, epsilon, decay })
+    }
+
+    /// A landmark model that never forgets (decay factor 1). Useful for
+    /// offline training evaluation where all points should count equally.
+    pub fn landmark() -> Self {
+        TimeModel { omega: u64::MAX, epsilon: 1.0, decay: 1.0 }
+    }
+
+    /// Window size ω in ticks.
+    pub fn omega(&self) -> u64 {
+        self.omega
+    }
+
+    /// Approximation factor ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Per-tick decay factor δ = ε^(1/ω).
+    #[inline]
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// Weight of a point `age` ticks after its arrival: δ^age.
+    #[inline]
+    pub fn weight_after(&self, age: u64) -> f64 {
+        if self.decay == 1.0 {
+            1.0
+        } else {
+            self.decay.powi(age.min(i32::MAX as u64) as i32)
+        }
+    }
+
+    /// Multiplier that renormalizes a summary last touched at `last` to the
+    /// current tick `now`.
+    #[inline]
+    pub fn decay_between(&self, last: u64, now: u64) -> f64 {
+        debug_assert!(now >= last, "clock must be monotonic");
+        self.weight_after(now - last)
+    }
+
+    /// The steady-state total decayed weight of a stream that has produced
+    /// one unit per tick forever: `1/(1−δ)`. For the landmark model this is
+    /// unbounded and `f64::INFINITY` is returned.
+    pub fn steady_state_weight(&self) -> f64 {
+        if self.decay == 1.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (1.0 - self.decay)
+        }
+    }
+
+    /// Upper bound on the *total* weight contributed by all points that
+    /// have slid out of the ω-window (one arrival per tick):
+    /// `Σ_{a≥ω} δ^a = δ^ω/(1−δ) = ε/(1−δ)`.
+    pub fn expired_weight_bound(&self) -> f64 {
+        if self.decay == 1.0 {
+            f64::INFINITY
+        } else {
+            self.epsilon / (1.0 - self.decay)
+        }
+    }
+
+    /// Fraction of the steady-state weight held by expired points:
+    /// exactly ε. This is the paper's statement that the model
+    /// approximates the ω-window with factor ε.
+    pub fn expired_weight_fraction(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+/// A single decayed scalar with lazy renormalization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecayedCounter {
+    value: f64,
+    last_tick: u64,
+}
+
+impl Default for DecayedCounter {
+    fn default() -> Self {
+        DecayedCounter { value: 0.0, last_tick: 0 }
+    }
+}
+
+impl DecayedCounter {
+    /// Zero counter at tick 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` at tick `now`, decaying the stored value first.
+    #[inline]
+    pub fn add(&mut self, model: &TimeModel, now: u64, amount: f64) {
+        self.value = self.value * model.decay_between(self.last_tick, now) + amount;
+        self.last_tick = now;
+    }
+
+    /// Value renormalized to tick `now` (does not mutate).
+    #[inline]
+    pub fn value_at(&self, model: &TimeModel, now: u64) -> f64 {
+        self.value * model.decay_between(self.last_tick, now)
+    }
+
+    /// Last tick at which the counter was touched.
+    pub fn last_tick(&self) -> u64 {
+        self.last_tick
+    }
+
+    /// Forces the stored value (used when rebuilding from snapshots).
+    pub fn reset(&mut self, value: f64, tick: u64) {
+        self.value = value;
+        self.last_tick = tick;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decay_factor_definition() {
+        let tm = TimeModel::new(100, 0.01).unwrap();
+        assert!((tm.decay() - 0.01f64.powf(0.01)).abs() < 1e-12);
+        // A point exactly omega old weighs epsilon.
+        assert!((tm.weight_after(100) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(TimeModel::new(0, 0.1).is_err());
+        assert!(TimeModel::new(10, 0.0).is_err());
+        assert!(TimeModel::new(10, 1.0).is_err());
+        assert!(TimeModel::new(10, -0.5).is_err());
+        assert!(TimeModel::new(10, 1.5).is_err());
+    }
+
+    #[test]
+    fn landmark_never_decays() {
+        let tm = TimeModel::landmark();
+        assert_eq!(tm.weight_after(1_000_000), 1.0);
+        assert_eq!(tm.steady_state_weight(), f64::INFINITY);
+    }
+
+    #[test]
+    fn weight_monotonically_decreasing() {
+        let tm = TimeModel::new(50, 0.05).unwrap();
+        let mut prev = tm.weight_after(0);
+        for age in 1..200 {
+            let w = tm.weight_after(age);
+            assert!(w < prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn expired_fraction_is_epsilon() {
+        // Unit arrivals per tick: weight of expired points over total
+        // steady-state weight must equal epsilon.
+        for &(omega, eps) in &[(10u64, 0.1f64), (100, 0.01), (1000, 0.001)] {
+            let tm = TimeModel::new(omega, eps).unwrap();
+            let frac = tm.expired_weight_bound() / tm.steady_state_weight();
+            assert!((frac - eps).abs() < 1e-9, "omega={omega} eps={eps} frac={frac}");
+        }
+    }
+
+    #[test]
+    fn counter_lazy_equals_eager() {
+        let tm = TimeModel::new(20, 0.1).unwrap();
+        // Lazy: single counter touched at irregular ticks.
+        let mut lazy = DecayedCounter::new();
+        let events: &[(u64, f64)] = &[(0, 1.0), (3, 2.0), (7, 1.5), (20, 0.5)];
+        for &(t, amt) in events {
+            lazy.add(&tm, t, amt);
+        }
+        // Eager: decay applied every tick.
+        let mut eager = 0.0;
+        let mut idx = 0;
+        for t in 0..=20u64 {
+            if t > 0 {
+                eager *= tm.decay();
+            }
+            while idx < events.len() && events[idx].0 == t {
+                eager += events[idx].1;
+                idx += 1;
+            }
+        }
+        assert!((lazy.value_at(&tm, 20) - eager).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_value_at_future_tick() {
+        let tm = TimeModel::new(10, 0.5).unwrap();
+        let mut c = DecayedCounter::new();
+        c.add(&tm, 0, 4.0);
+        let v10 = c.value_at(&tm, 10);
+        assert!((v10 - 2.0).abs() < 1e-9); // epsilon 0.5 at age omega
+        // Non-mutating.
+        assert!((c.value_at(&tm, 0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_reset() {
+        let tm = TimeModel::new(10, 0.5).unwrap();
+        let mut c = DecayedCounter::new();
+        c.add(&tm, 5, 3.0);
+        c.reset(7.0, 8);
+        assert_eq!(c.last_tick(), 8);
+        assert!((c.value_at(&tm, 8) - 7.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn omega_old_point_weighs_at_most_epsilon(
+            omega in 1u64..10_000, eps in 0.0001f64..0.9999, extra in 0u64..1000
+        ) {
+            let tm = TimeModel::new(omega, eps).unwrap();
+            let w = tm.weight_after(omega + extra);
+            prop_assert!(w <= eps * (1.0 + 1e-9));
+        }
+
+        #[test]
+        fn counter_accumulation_order_free(amounts in proptest::collection::vec(0.0f64..10.0, 1..20)) {
+            // All arrivals at the same tick: order must not matter.
+            let tm = TimeModel::new(10, 0.1).unwrap();
+            let mut a = DecayedCounter::new();
+            for &x in &amounts { a.add(&tm, 5, x); }
+            let mut rev = amounts.clone();
+            rev.reverse();
+            let mut b = DecayedCounter::new();
+            for &x in &rev { b.add(&tm, 5, x); }
+            prop_assert!((a.value_at(&tm, 5) - b.value_at(&tm, 5)).abs() < 1e-9);
+        }
+    }
+}

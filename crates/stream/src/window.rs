@@ -1,0 +1,195 @@
+//! Exact count-based sliding window.
+//!
+//! The conventional window model that the (ω, ε) model approximates. SPOT
+//! itself never uses this (it would require storing ω raw points); it
+//! exists for (a) the distance-based baseline detector, and (b) experiment
+//! E9, which measures the approximation error and memory gap between the
+//! two models.
+
+use spot_types::DataPoint;
+use std::collections::VecDeque;
+
+/// A FIFO window holding the most recent `capacity` points.
+#[derive(Debug, Clone)]
+pub struct ExactSlidingWindow {
+    capacity: usize,
+    points: VecDeque<DataPoint>,
+}
+
+impl ExactSlidingWindow {
+    /// Empty window with the given capacity (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        ExactSlidingWindow { capacity, points: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Pushes a point, evicting the oldest when full. Returns the evicted
+    /// point, if any.
+    pub fn push(&mut self, p: DataPoint) -> Option<DataPoint> {
+        let evicted =
+            if self.points.len() == self.capacity { self.points.pop_front() } else { None };
+        self.points.push_back(p);
+        evicted
+    }
+
+    /// Number of points currently held.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points are held.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Window capacity ω.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &DataPoint> {
+        self.points.iter()
+    }
+
+    /// Counts window points within Euclidean distance `r` of `q`, stopping
+    /// early once `stop_at` neighbours are found (the distance-based
+    /// baseline only needs to know whether a point has ≥ k neighbours).
+    pub fn count_neighbors_within(&self, q: &DataPoint, r: f64, stop_at: usize) -> usize {
+        let r2 = r * r;
+        let mut n = 0;
+        for p in &self.points {
+            if p.sq_distance(q) <= r2 {
+                n += 1;
+                if n >= stop_at {
+                    return n;
+                }
+            }
+        }
+        n
+    }
+
+    /// Distance from `q` to its `k`-th nearest neighbour in the window
+    /// (`None` when fewer than `k` points are held). Used as an anomaly
+    /// score by the kNN baseline.
+    pub fn knn_distance(&self, q: &DataPoint, k: usize) -> Option<f64> {
+        if k == 0 || self.points.len() < k {
+            return None;
+        }
+        // Max-heap of the k smallest squared distances.
+        let mut heap: Vec<f64> = Vec::with_capacity(k + 1);
+        for p in &self.points {
+            let d2 = p.sq_distance(q);
+            if heap.len() < k {
+                heap.push(d2);
+                if heap.len() == k {
+                    heap.sort_by(|a, b| b.partial_cmp(a).expect("distances are not NaN"));
+                }
+            } else if d2 < heap[0] {
+                heap[0] = d2;
+                // Restore descending order of the small fixed-size buffer.
+                let mut i = 0;
+                while i + 1 < heap.len() && heap[i] < heap[i + 1] {
+                    heap.swap(i, i + 1);
+                    i += 1;
+                }
+            }
+        }
+        Some(heap[0].sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(v: f64) -> DataPoint {
+        DataPoint::new(vec![v])
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut w = ExactSlidingWindow::new(2);
+        assert!(w.push(p(1.0)).is_none());
+        assert!(w.push(p(2.0)).is_none());
+        let ev = w.push(p(3.0)).unwrap();
+        assert!((ev[0] - 1.0).abs() < 1e-12);
+        assert_eq!(w.len(), 2);
+        let vals: Vec<f64> = w.iter().map(|q| q[0]).collect();
+        assert_eq!(vals, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut w = ExactSlidingWindow::new(0);
+        assert_eq!(w.capacity(), 1);
+        w.push(p(1.0));
+        w.push(p(2.0));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn neighbor_counting_with_early_stop() {
+        let mut w = ExactSlidingWindow::new(10);
+        for i in 0..10 {
+            w.push(p(i as f64));
+        }
+        let q = p(5.0);
+        assert_eq!(w.count_neighbors_within(&q, 1.5, usize::MAX), 3); // 4,5,6
+        assert_eq!(w.count_neighbors_within(&q, 1.5, 2), 2); // early stop
+        assert_eq!(w.count_neighbors_within(&q, 0.0, usize::MAX), 1); // itself-distance 0
+    }
+
+    #[test]
+    fn knn_distance_matches_sorted_scan() {
+        let mut w = ExactSlidingWindow::new(16);
+        let vals = [0.0, 1.0, 3.0, 6.0, 10.0];
+        for &v in &vals {
+            w.push(p(v));
+        }
+        let q = p(2.0);
+        let mut dists: Vec<f64> = vals.iter().map(|v| (v - 2.0f64).abs()).collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for k in 1..=vals.len() {
+            let got = w.knn_distance(&q, k).unwrap();
+            assert!((got - dists[k - 1]).abs() < 1e-9, "k={k}: {got} vs {}", dists[k - 1]);
+        }
+        assert!(w.knn_distance(&q, vals.len() + 1).is_none());
+        assert!(w.knn_distance(&q, 0).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn window_never_exceeds_capacity(
+            cap in 1usize..32, values in proptest::collection::vec(-100.0f64..100.0, 0..100)
+        ) {
+            let mut w = ExactSlidingWindow::new(cap);
+            for v in values {
+                w.push(p(v));
+                prop_assert!(w.len() <= cap);
+            }
+        }
+
+        #[test]
+        fn knn_distance_agrees_with_naive(
+            values in proptest::collection::vec(-50.0f64..50.0, 1..40),
+            q in -50.0f64..50.0,
+            k in 1usize..8,
+        ) {
+            let mut w = ExactSlidingWindow::new(64);
+            for &v in &values { w.push(p(v)); }
+            let naive = {
+                let mut d: Vec<f64> = values.iter().map(|v| (v - q).abs()).collect();
+                d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                d.get(k - 1).copied()
+            };
+            let got = w.knn_distance(&p(q), k);
+            match (got, naive) {
+                (Some(g), Some(n)) => prop_assert!((g - n).abs() < 1e-9),
+                (None, None) => {},
+                other => prop_assert!(false, "mismatch: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Genetic operators over subspace bitmasks.
+//!
+//! These are the variation operators used both by the NSGA-II search in
+//! `spot-moga` (learning stage) and by the online self-evolution of the
+//! Clustering-based SST Subspaces (detection stage): the paper's
+//! "crossovering and mutating the top subspaces in the current CS".
+
+use crate::subspace::{Subspace, MAX_DIMS};
+use rand::Rng;
+
+/// Masks off bits at or above `phi`.
+#[inline]
+fn phi_mask(phi: usize) -> u64 {
+    if phi >= MAX_DIMS {
+        u64::MAX
+    } else {
+        (1u64 << phi) - 1
+    }
+}
+
+/// Uniform crossover: each attribute is drawn independently from one of the
+/// two parents. The result is repaired to be non-empty and within `phi`.
+pub fn uniform_crossover<R: Rng>(a: Subspace, b: Subspace, phi: usize, rng: &mut R) -> Subspace {
+    let pick: u64 = rng.gen();
+    let child = (a.mask() & pick) | (b.mask() & !pick);
+    repair(child, phi, rng)
+}
+
+/// One-point crossover on the bit string: low bits from `a`, high bits from
+/// `b`, cut at a random position in `1..phi`.
+pub fn one_point_crossover<R: Rng>(a: Subspace, b: Subspace, phi: usize, rng: &mut R) -> Subspace {
+    let cut = if phi <= 1 { 1 } else { rng.gen_range(1..phi) };
+    let low = (1u64 << cut) - 1;
+    let child = (a.mask() & low) | (b.mask() & !low);
+    repair(child, phi, rng)
+}
+
+/// Per-bit mutation: each of the `phi` attribute bits flips with probability
+/// `rate`. The result is repaired to be non-empty.
+pub fn mutate<R: Rng>(s: Subspace, phi: usize, rate: f64, rng: &mut R) -> Subspace {
+    let mut mask = s.mask();
+    for d in 0..phi.min(MAX_DIMS) {
+        if rng.gen_bool(rate) {
+            mask ^= 1u64 << d;
+        }
+    }
+    repair(mask, phi, rng)
+}
+
+/// Repairs a raw mask: clears out-of-range bits and, if the mask became
+/// empty, re-seeds it with one random attribute.
+pub fn repair<R: Rng>(mask: u64, phi: usize, rng: &mut R) -> Subspace {
+    let phi = phi.clamp(1, MAX_DIMS);
+    let mut mask = mask & phi_mask(phi);
+    if mask == 0 {
+        mask = 1u64 << rng.gen_range(0..phi);
+    }
+    Subspace::from_mask(mask).expect("repair always yields non-empty mask")
+}
+
+/// Repairs and additionally truncates to at most `max_card` attributes by
+/// clearing random set bits. Used when the search is restricted to concise
+/// subspaces.
+pub fn repair_with_max_card<R: Rng>(
+    mask: u64,
+    phi: usize,
+    max_card: usize,
+    rng: &mut R,
+) -> Subspace {
+    let mut s = repair(mask, phi, rng);
+    let max_card = max_card.max(1);
+    while s.cardinality() > max_card {
+        // Clear a uniformly random set bit.
+        let victim_rank = rng.gen_range(0..s.cardinality());
+        let dim = s.dims().nth(victim_rank).expect("rank < cardinality");
+        let mask = s.mask() & !(1u64 << dim);
+        s = Subspace::from_mask(mask).expect("cardinality > max_card >= 1, still non-empty");
+    }
+    s
+}
+
+/// A uniformly random subspace with cardinality in `1..=max_card`.
+pub fn random_subspace<R: Rng>(phi: usize, max_card: usize, rng: &mut R) -> Subspace {
+    let phi = phi.clamp(1, MAX_DIMS);
+    let card = rng.gen_range(1..=max_card.clamp(1, phi));
+    // Floyd's algorithm for a random k-subset.
+    let mut mask = 0u64;
+    for j in (phi - card)..phi {
+        let t = rng.gen_range(0..=j);
+        if mask >> t & 1 == 0 {
+            mask |= 1u64 << t;
+        } else {
+            mask |= 1u64 << j;
+        }
+    }
+    Subspace::from_mask(mask).expect("Floyd subset is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn crossover_child_within_union() {
+        let mut r = rng(1);
+        let a = Subspace::from_dims([0, 2, 4]).unwrap();
+        let b = Subspace::from_dims([1, 2, 5]).unwrap();
+        let u = a.union(&b);
+        for _ in 0..100 {
+            let c = uniform_crossover(a, b, 8, &mut r);
+            assert!(c.is_subset_of(&u), "{c} not within {u}");
+            let c = one_point_crossover(a, b, 8, &mut r);
+            assert!(c.is_subset_of(&u), "{c} not within {u}");
+        }
+    }
+
+    #[test]
+    fn mutation_rate_zero_is_identity() {
+        let mut r = rng(2);
+        let s = Subspace::from_dims([1, 3]).unwrap();
+        assert_eq!(mutate(s, 8, 0.0, &mut r), s);
+    }
+
+    #[test]
+    fn mutation_rate_one_flips_everything() {
+        let mut r = rng(3);
+        let s = Subspace::from_dims([0, 1]).unwrap();
+        let m = mutate(s, 4, 1.0, &mut r);
+        assert_eq!(m, Subspace::from_dims([2, 3]).unwrap());
+    }
+
+    #[test]
+    fn repair_reseeds_empty() {
+        let mut r = rng(4);
+        for _ in 0..50 {
+            let s = repair(0, 6, &mut r);
+            assert_eq!(s.cardinality(), 1);
+            assert!(s.fits(6));
+        }
+    }
+
+    #[test]
+    fn repair_clears_out_of_range_bits() {
+        let mut r = rng(5);
+        let s = repair(0b1111_0000, 4, &mut r);
+        assert!(s.fits(4));
+    }
+
+    #[test]
+    fn repair_with_max_card_truncates() {
+        let mut r = rng(6);
+        for _ in 0..50 {
+            let s = repair_with_max_card(u64::MAX, 16, 3, &mut r);
+            assert!(s.cardinality() <= 3 && s.cardinality() >= 1);
+            assert!(s.fits(16));
+        }
+    }
+
+    #[test]
+    fn random_subspace_respects_bounds() {
+        let mut r = rng(7);
+        for _ in 0..200 {
+            let s = random_subspace(10, 4, &mut r);
+            assert!(s.fits(10));
+            assert!((1..=4).contains(&s.cardinality()));
+        }
+    }
+
+    #[test]
+    fn random_subspace_covers_lattice() {
+        // With enough draws every single-dim subspace of a small space
+        // should appear.
+        let mut r = rng(8);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(random_subspace(4, 1, &mut r).mask());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn operators_always_yield_valid_subspaces(
+            a in 1u64..1024, b in 1u64..1024, seed in 0u64..1000, rate in 0.0f64..1.0
+        ) {
+            let mut r = rng(seed);
+            let phi = 10;
+            let sa = Subspace::from_mask(a).unwrap();
+            let sb = Subspace::from_mask(b).unwrap();
+            for s in [
+                uniform_crossover(sa, sb, phi, &mut r),
+                one_point_crossover(sa, sb, phi, &mut r),
+                mutate(sa, phi, rate, &mut r),
+                random_subspace(phi, phi, &mut r),
+            ] {
+                prop_assert!(s.cardinality() >= 1);
+                prop_assert!(s.fits(phi));
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Exact enumeration of the low-dimensional slice of the space lattice.
+//!
+//! The Fixed SST Subspaces (FS) of SPOT are *all* subspaces whose
+//! dimensionality is at most `MaxDimension`. Their number is
+//! `Σ_{k=1..MaxDimension} C(ϕ, k)`, which is tractable only for small
+//! `MaxDimension` — exactly the regime the paper prescribes (the point of
+//! SST is that higher-dimensional subspaces are reached by learning, not by
+//! enumeration).
+
+use crate::subspace::{Subspace, MAX_DIMS};
+use spot_types::stats::binomial;
+use spot_types::{Result, SpotError};
+
+/// Number of subspaces of a ϕ-dimensional space with dimensionality in
+/// `1..=max_dim` (the size of FS before any capping).
+pub fn count_up_to_dim(phi: usize, max_dim: usize) -> u128 {
+    let max_dim = max_dim.min(phi);
+    (1..=max_dim).map(|k| binomial(phi as u64, k as u64)).sum()
+}
+
+/// Enumerates every subspace of exactly `dim` attributes out of `phi`, in
+/// ascending mask order (Gosper's hack over `u64` masks).
+pub fn enumerate_dim(phi: usize, dim: usize) -> Result<Vec<Subspace>> {
+    if phi == 0 || phi > MAX_DIMS {
+        return Err(SpotError::TooManyDimensions(phi));
+    }
+    if dim == 0 || dim > phi {
+        return Ok(Vec::new());
+    }
+    let count = binomial(phi as u64, dim as u64);
+    let mut out = Vec::with_capacity(count.min(1 << 22) as usize);
+    let limit: u64 = if phi == MAX_DIMS { u64::MAX } else { (1u64 << phi) - 1 };
+    let mut v: u64 = if dim == MAX_DIMS { u64::MAX } else { (1u64 << dim) - 1 };
+    loop {
+        out.push(Subspace::from_mask(v).expect("non-zero by construction"));
+        if v == 0 || out.len() as u128 >= count {
+            break;
+        }
+        // Gosper's hack: next higher integer with the same popcount.
+        let t = v | (v.wrapping_sub(1));
+        let next = t.wrapping_add(1)
+            | (((!t & (!t).wrapping_neg()).wrapping_sub(1)) >> (v.trailing_zeros() + 1));
+        if next > limit || next <= v {
+            break;
+        }
+        v = next;
+    }
+    Ok(out)
+}
+
+/// Enumerates every subspace with dimensionality in `1..=max_dim`, ordered
+/// by dimensionality then mask. This is exactly FS.
+pub fn enumerate_up_to_dim(phi: usize, max_dim: usize) -> Result<Vec<Subspace>> {
+    let max_dim = max_dim.min(phi);
+    let total = count_up_to_dim(phi, max_dim);
+    const SANITY_CAP: u128 = 5_000_000;
+    if total > SANITY_CAP {
+        return Err(SpotError::InvalidConfig(format!(
+            "FS would contain {total} subspaces (phi={phi}, max_dim={max_dim}); \
+             lower MaxDimension"
+        )));
+    }
+    let mut out = Vec::with_capacity(total as usize);
+    for k in 1..=max_dim {
+        out.extend(enumerate_dim(phi, k)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use spot_types::FxHashSet;
+
+    #[test]
+    fn counts_match_binomials() {
+        assert_eq!(count_up_to_dim(10, 2), 10 + 45);
+        assert_eq!(count_up_to_dim(5, 5), 31); // 2^5 - 1
+        assert_eq!(count_up_to_dim(5, 9), 31); // capped at phi
+    }
+
+    #[test]
+    fn enumerate_exact_dim() {
+        let subs = enumerate_dim(5, 2).unwrap();
+        assert_eq!(subs.len(), 10);
+        assert!(subs.iter().all(|s| s.cardinality() == 2));
+        // Distinct and within range.
+        let set: FxHashSet<u64> = subs.iter().map(|s| s.mask()).collect();
+        assert_eq!(set.len(), 10);
+        assert!(subs.iter().all(|s| s.fits(5)));
+    }
+
+    #[test]
+    fn enumerate_dim_edge_cases() {
+        assert!(enumerate_dim(5, 0).unwrap().is_empty());
+        assert!(enumerate_dim(5, 6).unwrap().is_empty());
+        assert_eq!(enumerate_dim(1, 1).unwrap().len(), 1);
+        assert_eq!(enumerate_dim(64, 1).unwrap().len(), 64);
+        assert!(enumerate_dim(65, 1).is_err());
+        assert!(enumerate_dim(0, 1).is_err());
+    }
+
+    #[test]
+    fn enumerate_full_dim_of_max_phi() {
+        let subs = enumerate_dim(64, 64).unwrap();
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].mask(), u64::MAX);
+    }
+
+    #[test]
+    fn fs_enumeration_ordered_and_complete() {
+        let fs = enumerate_up_to_dim(6, 3).unwrap();
+        assert_eq!(fs.len() as u128, count_up_to_dim(6, 3));
+        // Ordered by cardinality.
+        let cards: Vec<usize> = fs.iter().map(|s| s.cardinality()).collect();
+        let mut sorted = cards.clone();
+        sorted.sort_unstable();
+        assert_eq!(cards, sorted);
+    }
+
+    #[test]
+    fn fs_enumeration_rejects_explosive_requests() {
+        assert!(enumerate_up_to_dim(64, 32).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn enumeration_count_matches_binomial(phi in 1usize..16, dim in 1usize..6) {
+            let subs = enumerate_dim(phi, dim).unwrap();
+            prop_assert_eq!(subs.len() as u128, binomial(phi as u64, dim as u64));
+            let distinct: FxHashSet<u64> = subs.iter().map(|s| s.mask()).collect();
+            prop_assert_eq!(distinct.len(), subs.len());
+            for s in &subs {
+                prop_assert!(s.fits(phi));
+                prop_assert_eq!(s.cardinality(), dim.min(phi));
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Subspace lattice representation for SPOT.
+//!
+//! A *subspace* is a non-empty subset of the ϕ attributes of the stream,
+//! represented as a `u64` bitmask (bit `i` set ⇔ attribute `i`
+//! participates). The space lattice of all `2^ϕ − 1` subspaces is where
+//! projected outliers hide; SPOT never materializes the lattice, it only
+//! enumerates the low-dimensional slice (Fixed SST Subspaces) exactly and
+//! explores the rest with the genetic operators in [`genetic`], driven by
+//! the NSGA-II implementation in `spot-moga`.
+
+pub mod genetic;
+pub mod lattice;
+pub mod set;
+pub mod subspace;
+
+pub use genetic::{mutate, one_point_crossover, random_subspace, repair, uniform_crossover};
+pub use lattice::{count_up_to_dim, enumerate_dim, enumerate_up_to_dim};
+pub use set::{RankedSubspaces, ScoredSubspace, SubspaceSet};
+pub use subspace::Subspace;

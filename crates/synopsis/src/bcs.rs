@@ -1,0 +1,251 @@
+//! Base Cell Summary.
+
+use serde::{Deserialize, Serialize};
+use spot_stream::TimeModel;
+use spot_types::DataPoint;
+
+/// Base Cell Summary `BCS(c) = (D_c, LS_c, SS_c)` with lazy decay.
+///
+/// `D` is the decayed number of points in the cell; `LS`/`SS` are the
+/// decayed per-dimension linear and squared sums. The triple is *additive*
+/// (two summaries over disjoint point sets merge by aligned addition) and
+/// *incremental* (one point folds in with O(ϕ) work), the two properties
+/// the paper requires for one-pass maintenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bcs {
+    d: f64,
+    ls: Vec<f64>,
+    ss: Vec<f64>,
+    last_tick: u64,
+}
+
+impl Bcs {
+    /// Empty summary for a `dims`-dimensional cell, created at `tick`.
+    pub fn new(dims: usize, tick: u64) -> Self {
+        Bcs { d: 0.0, ls: vec![0.0; dims], ss: vec![0.0; dims], last_tick: tick }
+    }
+
+    /// Dimensionality of the summary.
+    pub fn dims(&self) -> usize {
+        self.ls.len()
+    }
+
+    /// Decays the stored values to tick `now`.
+    #[inline]
+    pub fn decay_to(&mut self, model: &TimeModel, now: u64) {
+        let f = model.decay_between(self.last_tick, now);
+        if f != 1.0 {
+            self.d *= f;
+            for v in &mut self.ls {
+                *v *= f;
+            }
+            for v in &mut self.ss {
+                *v *= f;
+            }
+        }
+        self.last_tick = now;
+    }
+
+    /// Folds a point in at tick `now` (decaying first).
+    pub fn insert(&mut self, model: &TimeModel, now: u64, p: &DataPoint) {
+        debug_assert_eq!(p.dims(), self.dims());
+        self.decay_to(model, now);
+        self.d += 1.0;
+        for (d, &v) in p.values().iter().enumerate() {
+            self.ls[d] += v;
+            self.ss[d] += v * v;
+        }
+    }
+
+    /// Decayed count renormalized to `now` (non-mutating).
+    #[inline]
+    pub fn count_at(&self, model: &TimeModel, now: u64) -> f64 {
+        self.d * model.decay_between(self.last_tick, now)
+    }
+
+    /// Decayed count at the last-touched tick.
+    pub fn count(&self) -> f64 {
+        self.d
+    }
+
+    /// Last tick at which the summary was updated.
+    pub fn last_tick(&self) -> u64 {
+        self.last_tick
+    }
+
+    /// Per-dimension mean of the (decay-weighted) points in the cell.
+    /// `None` when the cell is (effectively) empty.
+    pub fn mean(&self, dim: usize) -> Option<f64> {
+        (self.d > f64::EPSILON).then(|| self.ls[dim] / self.d)
+    }
+
+    /// Per-dimension variance of the (decay-weighted) points:
+    /// `SS/D − (LS/D)²`, floored at zero against rounding.
+    pub fn variance(&self, dim: usize) -> Option<f64> {
+        (self.d > f64::EPSILON).then(|| {
+            let m = self.ls[dim] / self.d;
+            (self.ss[dim] / self.d - m * m).max(0.0)
+        })
+    }
+
+    /// Merges another summary (aligned addition after decaying both to the
+    /// later of the two last-touched ticks).
+    pub fn merge(&mut self, model: &TimeModel, other: &Bcs) {
+        debug_assert_eq!(self.dims(), other.dims());
+        let now = self.last_tick.max(other.last_tick);
+        self.decay_to(model, now);
+        let f = model.decay_between(other.last_tick, now);
+        self.d += other.d * f;
+        for (a, &b) in self.ls.iter_mut().zip(other.ls.iter()) {
+            *a += b * f;
+        }
+        for (a, &b) in self.ss.iter_mut().zip(other.ss.iter()) {
+            *a += b * f;
+        }
+    }
+
+    /// Approximate heap footprint in bytes (for the memory experiments).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + 2 * self.ls.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn landmark() -> TimeModel {
+        TimeModel::landmark()
+    }
+
+    fn decaying() -> TimeModel {
+        TimeModel::new(10, 0.5).unwrap()
+    }
+
+    fn p(vals: &[f64]) -> DataPoint {
+        DataPoint::new(vals.to_vec())
+    }
+
+    #[test]
+    fn insert_accumulates_statistics() {
+        let tm = landmark();
+        let mut b = Bcs::new(2, 0);
+        b.insert(&tm, 0, &p(&[1.0, 2.0]));
+        b.insert(&tm, 0, &p(&[3.0, 4.0]));
+        assert!((b.count() - 2.0).abs() < 1e-12);
+        assert!((b.mean(0).unwrap() - 2.0).abs() < 1e-12);
+        assert!((b.mean(1).unwrap() - 3.0).abs() < 1e-12);
+        // var over {1,3} = 1
+        assert!((b.variance(0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cell_has_no_moments() {
+        let b = Bcs::new(3, 0);
+        assert!(b.mean(0).is_none());
+        assert!(b.variance(2).is_none());
+    }
+
+    #[test]
+    fn decay_halves_at_omega() {
+        let tm = decaying(); // epsilon 0.5 at omega 10
+        let mut b = Bcs::new(1, 0);
+        b.insert(&tm, 0, &p(&[4.0]));
+        assert!((b.count_at(&tm, 10) - 0.5).abs() < 1e-9);
+        // Mean is decay-invariant: numerator and denominator shrink alike.
+        b.decay_to(&tm, 10);
+        assert!((b.mean(0).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_is_decay_invariant() {
+        let tm = decaying();
+        let mut b = Bcs::new(1, 0);
+        b.insert(&tm, 0, &p(&[1.0]));
+        b.insert(&tm, 0, &p(&[3.0]));
+        let v0 = b.variance(0).unwrap();
+        b.decay_to(&tm, 25);
+        let v1 = b.variance(0).unwrap();
+        assert!((v0 - v1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lazy_equals_eager_decay() {
+        let tm = decaying();
+        // Lazy: touch at ticks 0, 4, 9 only.
+        let mut lazy = Bcs::new(1, 0);
+        lazy.insert(&tm, 0, &p(&[1.0]));
+        lazy.insert(&tm, 4, &p(&[2.0]));
+        lazy.insert(&tm, 9, &p(&[3.0]));
+        // Eager: decay every tick explicitly.
+        let mut eager = Bcs::new(1, 0);
+        eager.insert(&tm, 0, &p(&[1.0]));
+        for t in 1..=9u64 {
+            eager.decay_to(&tm, t);
+            if t == 4 {
+                eager.insert(&tm, t, &p(&[2.0]));
+            }
+            if t == 9 {
+                eager.insert(&tm, t, &p(&[3.0]));
+            }
+        }
+        assert!((lazy.count_at(&tm, 9) - eager.count_at(&tm, 9)).abs() < 1e-9);
+        assert!((lazy.mean(0).unwrap() - eager.mean(0).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_matches_combined_insertion() {
+        let tm = decaying();
+        let pts_a = [[1.0], [2.0]];
+        let pts_b = [[5.0], [7.0]];
+        let mut a = Bcs::new(1, 0);
+        for (i, v) in pts_a.iter().enumerate() {
+            a.insert(&tm, i as u64, &p(v));
+        }
+        let mut b = Bcs::new(1, 0);
+        for (i, v) in pts_b.iter().enumerate() {
+            b.insert(&tm, i as u64 + 2, &p(v));
+        }
+        let mut combined = Bcs::new(1, 0);
+        for (i, v) in pts_a.iter().chain(pts_b.iter()).enumerate() {
+            combined.insert(&tm, i as u64, &p(v));
+        }
+        a.merge(&tm, &b);
+        assert!((a.count_at(&tm, 3) - combined.count_at(&tm, 3)).abs() < 1e-9);
+        assert!((a.mean(0).unwrap() - combined.mean(0).unwrap()).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn additivity_property(
+            xs in proptest::collection::vec(-10.0f64..10.0, 1..12),
+            ys in proptest::collection::vec(-10.0f64..10.0, 1..12),
+        ) {
+            // All points at the same tick: BCS(A) + BCS(B) == BCS(A ∪ B).
+            let tm = decaying();
+            let mut a = Bcs::new(1, 0);
+            for &x in &xs { a.insert(&tm, 5, &p(&[x])); }
+            let mut b = Bcs::new(1, 0);
+            for &y in &ys { b.insert(&tm, 5, &p(&[y])); }
+            let mut both = Bcs::new(1, 0);
+            for &v in xs.iter().chain(ys.iter()) { both.insert(&tm, 5, &p(&[v])); }
+            a.merge(&tm, &b);
+            prop_assert!((a.count() - both.count()).abs() < 1e-9);
+            prop_assert!((a.mean(0).unwrap() - both.mean(0).unwrap()).abs() < 1e-7);
+            prop_assert!((a.variance(0).unwrap() - both.variance(0).unwrap()).abs() < 1e-7);
+        }
+
+        #[test]
+        fn count_never_negative(ticks in proptest::collection::vec(0u64..100, 1..20)) {
+            let tm = decaying();
+            let mut b = Bcs::new(1, 0);
+            let mut sorted = ticks.clone();
+            sorted.sort_unstable();
+            for t in sorted {
+                b.insert(&tm, t, &p(&[1.0]));
+                prop_assert!(b.count() >= 0.0);
+            }
+        }
+    }
+}

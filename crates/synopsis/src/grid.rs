@@ -1,0 +1,217 @@
+//! Equi-width grid partition of the domain space.
+
+use serde::{Deserialize, Serialize};
+use spot_subspace::Subspace;
+use spot_types::{DataPoint, DomainBounds, Result, SpotError};
+
+/// Coordinates of a cell: one interval index per participating dimension.
+///
+/// For a base cell the coordinates cover all ϕ dimensions; for a projected
+/// cell they cover only the dimensions of the subspace, in ascending
+/// dimension order. Boxed to keep the key small in the hash maps.
+pub type CellCoords = Box<[u16]>;
+
+/// Equi-width partition: each dimension's `[min, max]` range is divided
+/// into `granularity` intervals of equal width.
+///
+/// Points outside the bounds are clamped into the boundary cells — the
+/// stream may drift beyond the training range and the synopsis must keep
+/// absorbing it (the drift detector is responsible for flagging when this
+/// happens en masse).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Grid {
+    bounds: DomainBounds,
+    granularity: u16,
+    /// Precomputed 1/width per cell per dimension (granularity / range).
+    inv_cell_width: Vec<f64>,
+}
+
+impl Grid {
+    /// Creates a grid over `bounds` with `granularity` intervals per
+    /// dimension (at least 2).
+    pub fn new(bounds: DomainBounds, granularity: u16) -> Result<Self> {
+        if granularity < 2 {
+            return Err(SpotError::InvalidConfig(format!(
+                "granularity must be at least 2, got {granularity}"
+            )));
+        }
+        let inv_cell_width = (0..bounds.dims())
+            .map(|d| granularity as f64 / bounds.width(d))
+            .collect();
+        Ok(Grid { bounds, granularity, inv_cell_width })
+    }
+
+    /// Dimensionality ϕ of the grid.
+    pub fn dims(&self) -> usize {
+        self.bounds.dims()
+    }
+
+    /// Intervals per dimension.
+    pub fn granularity(&self) -> u16 {
+        self.granularity
+    }
+
+    /// Domain bounds.
+    pub fn bounds(&self) -> &DomainBounds {
+        &self.bounds
+    }
+
+    /// Width of one cell along dimension `d`.
+    pub fn cell_width(&self, d: usize) -> f64 {
+        self.bounds.width(d) / self.granularity as f64
+    }
+
+    /// Interval index of value `v` along dimension `d`, clamped into range.
+    #[inline]
+    pub fn interval(&self, d: usize, v: f64) -> u16 {
+        let rel = (v - self.bounds.min(d)) * self.inv_cell_width[d];
+        if rel <= 0.0 {
+            0
+        } else {
+            let idx = rel as u64; // truncation == floor for rel > 0
+            idx.min(self.granularity as u64 - 1) as u16
+        }
+    }
+
+    /// Base-cell coordinates of a point (all ϕ dimensions).
+    pub fn base_coords(&self, p: &DataPoint) -> Result<CellCoords> {
+        if p.dims() != self.dims() {
+            return Err(SpotError::DimensionMismatch { expected: self.dims(), got: p.dims() });
+        }
+        Ok(p.values()
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| self.interval(d, v))
+            .collect())
+    }
+
+    /// Projects base-cell coordinates onto a subspace: keeps the entries of
+    /// the participating dimensions, ascending.
+    pub fn project(&self, base: &[u16], subspace: &Subspace) -> CellCoords {
+        debug_assert!(subspace.fits(self.dims()));
+        subspace.dims().map(|d| base[d]).collect()
+    }
+
+    /// Standard deviation of a uniform distribution over one cell interval
+    /// of dimension `d`: `width / sqrt(12)`. This is the reference scale of
+    /// the IRSD measure.
+    pub fn uniform_sigma(&self, d: usize) -> f64 {
+        self.cell_width(d) / 12f64.sqrt()
+    }
+
+    /// Aggregated (Euclidean over dimensions) uniform standard deviation of
+    /// a projected cell in `subspace`.
+    pub fn uniform_sigma_in(&self, subspace: &Subspace) -> f64 {
+        subspace
+            .dims()
+            .map(|d| {
+                let s = self.uniform_sigma(d);
+                s * s
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Number of projected cells in `subspace`: `granularity^|s|` (may be
+    /// astronomically large; returned as f64 because it only ever enters
+    /// the RD formula as a multiplier).
+    pub fn cell_count_in(&self, subspace: &Subspace) -> f64 {
+        (self.granularity as f64).powi(subspace.cardinality() as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid(dims: usize, m: u16) -> Grid {
+        Grid::new(DomainBounds::unit(dims), m).unwrap()
+    }
+
+    #[test]
+    fn interval_mapping_basics() {
+        let g = grid(1, 10);
+        assert_eq!(g.interval(0, 0.0), 0);
+        assert_eq!(g.interval(0, 0.05), 0);
+        assert_eq!(g.interval(0, 0.15), 1);
+        assert_eq!(g.interval(0, 0.999), 9);
+        assert_eq!(g.interval(0, 1.0), 9); // boundary clamps to last
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        let g = grid(1, 10);
+        assert_eq!(g.interval(0, -5.0), 0);
+        assert_eq!(g.interval(0, 7.3), 9);
+    }
+
+    #[test]
+    fn granularity_validation() {
+        assert!(Grid::new(DomainBounds::unit(2), 1).is_err());
+        assert!(Grid::new(DomainBounds::unit(2), 2).is_ok());
+    }
+
+    #[test]
+    fn base_coords_and_projection() {
+        let g = grid(4, 10);
+        let p = DataPoint::new(vec![0.05, 0.55, 0.95, 0.25]);
+        let base = g.base_coords(&p).unwrap();
+        assert_eq!(&base[..], &[0, 5, 9, 2]);
+        let s = Subspace::from_dims([1, 3]).unwrap();
+        let proj = g.project(&base, &s);
+        assert_eq!(&proj[..], &[5, 2]);
+    }
+
+    #[test]
+    fn base_coords_dimension_check() {
+        let g = grid(3, 10);
+        assert!(g.base_coords(&DataPoint::new(vec![0.5; 2])).is_err());
+    }
+
+    #[test]
+    fn uniform_sigma_values() {
+        let g = grid(2, 10);
+        let per_dim = 0.1 / 12f64.sqrt();
+        assert!((g.uniform_sigma(0) - per_dim).abs() < 1e-12);
+        let s = Subspace::from_dims([0, 1]).unwrap();
+        assert!((g.uniform_sigma_in(&s) - (2.0 * per_dim * per_dim).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_count() {
+        let g = grid(3, 10);
+        let s = Subspace::from_dims([0, 2]).unwrap();
+        assert!((g.cell_count_in(&s) - 100.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn interval_always_in_range(v in -10.0f64..10.0, m in 2u16..100) {
+            let g = grid(1, m);
+            prop_assert!(g.interval(0, v) < m);
+        }
+
+        #[test]
+        fn interval_is_monotonic(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let g = grid(1, 17);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(g.interval(0, lo) <= g.interval(0, hi));
+        }
+
+        #[test]
+        fn projection_preserves_entries(
+            vals in proptest::collection::vec(0.0f64..1.0, 5), mask in 1u64..32u64
+        ) {
+            let g = grid(5, 10);
+            let p = DataPoint::new(vals);
+            let base = g.base_coords(&p).unwrap();
+            let s = Subspace::from_mask(mask).unwrap();
+            let proj = g.project(&base, &s);
+            prop_assert_eq!(proj.len(), s.cardinality());
+            for (i, d) in s.dims().enumerate() {
+                prop_assert_eq!(proj[i], base[d]);
+            }
+        }
+    }
+}

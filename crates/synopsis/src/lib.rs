@@ -1,0 +1,31 @@
+//! Decaying cell summaries — SPOT's "data synapses".
+//!
+//! SPOT captures the stream in two compact structures over an equi-width
+//! partition of the domain space:
+//!
+//! * **Base Cell Summary (BCS)** — per base cell (finest granularity, all ϕ
+//!   dimensions): the decayed point count `D`, the decayed per-dimension
+//!   linear sum `LS` and squared sum `SS` (a CF-vector). Additive and
+//!   incrementally maintainable.
+//! * **Projected Cell Summary (PCS)** — per cell of a particular subspace
+//!   `s`: the pair `(RD, IRSD)` — Relative Density and Inverse Relative
+//!   Standard Deviation — derived from the same `D/LS/SS` statistics kept
+//!   per projected cell.
+//!
+//! All summaries decay under the (ω, ε) time model from `spot-stream`,
+//! lazily (each cell stores its last-touched tick). [`SynopsisManager`]
+//! bundles the base store, one projected store per SST subspace, and the
+//! global decayed weight, and is the single entry point used by the
+//! detection engine.
+
+pub mod bcs;
+pub mod grid;
+pub mod manager;
+pub mod pcs;
+pub mod store;
+
+pub use bcs::Bcs;
+pub use grid::{CellCoords, Grid};
+pub use manager::SynopsisManager;
+pub use pcs::{Pcs, PcsCell, ProjectedStore};
+pub use store::BaseStore;

@@ -1,0 +1,294 @@
+//! The synopsis manager: base store + one projected store per SST subspace.
+
+use crate::grid::{CellCoords, Grid};
+use crate::pcs::{Pcs, ProjectedStore};
+use crate::store::BaseStore;
+use spot_stream::{DecayedCounter, TimeModel};
+use spot_subspace::Subspace;
+use spot_types::{DataPoint, FxHashMap, Result, SpotError};
+
+/// Bundles every decayed synopsis SPOT maintains online.
+///
+/// `update` is the per-point hot path of the detection stage: one base-cell
+/// insertion plus one projected-cell insertion per monitored subspace, each
+/// O(|s|) — no scan of historical data, as the one-pass constraint demands.
+#[derive(Debug, Clone)]
+pub struct SynopsisManager {
+    grid: Grid,
+    model: TimeModel,
+    base: BaseStore,
+    projected: FxHashMap<Subspace, ProjectedStore>,
+    total: DecayedCounter,
+}
+
+/// Everything the detection logic needs to know after one update.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// The point's base-cell coordinates (reused for PCS queries).
+    pub base_coords: CellCoords,
+    /// Decayed count of the base cell before this point arrived — the
+    /// novelty signal used by the concept-drift detector.
+    pub prior_base_count: f64,
+    /// Global decayed weight after this point arrived.
+    pub total_weight: f64,
+}
+
+impl SynopsisManager {
+    /// Creates a manager with no monitored subspaces yet.
+    pub fn new(grid: Grid, model: TimeModel) -> Self {
+        SynopsisManager {
+            grid,
+            model,
+            base: BaseStore::new(),
+            projected: FxHashMap::default(),
+            total: DecayedCounter::new(),
+        }
+    }
+
+    /// The grid the synopses quantize over.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The time model driving decay.
+    pub fn model(&self) -> &TimeModel {
+        &self.model
+    }
+
+    /// Starts maintaining a projected store for `subspace`. No-op when
+    /// already monitored. Returns `true` when newly added.
+    pub fn add_subspace(&mut self, subspace: Subspace) -> bool {
+        if self.projected.contains_key(&subspace) {
+            return false;
+        }
+        let store = ProjectedStore::new(&self.grid, subspace);
+        self.projected.insert(subspace, store);
+        true
+    }
+
+    /// Stops maintaining `subspace`; returns `true` when it was monitored.
+    pub fn remove_subspace(&mut self, subspace: &Subspace) -> bool {
+        self.projected.remove(subspace).is_some()
+    }
+
+    /// Currently monitored subspaces (arbitrary order).
+    pub fn subspaces(&self) -> impl Iterator<Item = Subspace> + '_ {
+        self.projected.keys().copied()
+    }
+
+    /// Number of monitored subspaces.
+    pub fn subspace_count(&self) -> usize {
+        self.projected.len()
+    }
+
+    /// Ingests one point at tick `now`: updates the global weight, the base
+    /// store and every monitored projected store.
+    pub fn update(&mut self, now: u64, p: &DataPoint) -> Result<UpdateOutcome> {
+        let (base_coords, prior_base_count) = self.base.insert(&self.grid, &self.model, now, p)?;
+        self.total.add(&self.model, now, 1.0);
+        for store in self.projected.values_mut() {
+            store.update(&self.grid, &self.model, now, &base_coords, p);
+        }
+        Ok(UpdateOutcome {
+            base_coords,
+            prior_base_count,
+            total_weight: self.total.value_at(&self.model, now),
+        })
+    }
+
+    /// Warms the projected store of `subspace` by replaying timestamped
+    /// points (e.g. the detector's reservoir sample) into it. Points must be
+    /// supplied in non-decreasing tick order; the base store and global
+    /// weight are *not* touched — those already absorbed the points when
+    /// they originally arrived.
+    ///
+    /// Used when SST self-evolution introduces a subspace mid-stream: a
+    /// brand-new store would report every cell as empty (maximally sparse)
+    /// and flood the detector with false alarms.
+    pub fn replay_into(&mut self, subspace: &Subspace, points: &[(u64, DataPoint)]) -> Result<()> {
+        let Some(store) = self.projected.get_mut(subspace) else {
+            return Err(SpotError::InvalidConfig(format!(
+                "subspace {subspace} is not monitored"
+            )));
+        };
+        for (tick, p) in points {
+            let base = self.grid.base_coords(p)?;
+            store.update(&self.grid, &self.model, *tick, &base, p);
+        }
+        Ok(())
+    }
+
+    /// PCS of the cell containing `base_coords` in `subspace` at tick
+    /// `now`. Returns `None` when the subspace is not monitored.
+    pub fn pcs(&self, now: u64, base_coords: &[u16], subspace: &Subspace) -> Option<Pcs> {
+        let store = self.projected.get(subspace)?;
+        let total = self.total.value_at(&self.model, now);
+        Some(store.pcs(&self.grid, &self.model, now, base_coords, total))
+    }
+
+    /// Global decayed stream weight at tick `now`.
+    pub fn total_weight(&self, now: u64) -> f64 {
+        self.total.value_at(&self.model, now)
+    }
+
+    /// Decayed count of the base cell containing `p`.
+    pub fn base_count_for(&self, now: u64, p: &DataPoint) -> Result<f64> {
+        self.base.count_for(&self.grid, &self.model, now, p)
+    }
+
+    /// Prunes every store, evicting cells whose decayed count fell below
+    /// `floor`. Returns the total number of evicted cells.
+    pub fn prune(&mut self, now: u64, floor: f64) -> usize {
+        let mut evicted = self.base.prune(&self.model, now, floor);
+        for store in self.projected.values_mut() {
+            evicted += store.prune(&self.model, now, floor);
+        }
+        evicted
+    }
+
+    /// Live cell count: (base cells, projected cells over all subspaces).
+    pub fn live_cells(&self) -> (usize, usize) {
+        let proj = self.projected.values().map(ProjectedStore::len).sum();
+        (self.base.len(), proj)
+    }
+
+    /// Approximate heap footprint of all synopses, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.base.approx_bytes()
+            + self.projected.values().map(ProjectedStore::approx_bytes).sum::<usize>()
+    }
+
+    /// Read access to one projected store (experiments and self-evolution
+    /// scoring).
+    pub fn projected_store(&self, subspace: &Subspace) -> Option<&ProjectedStore> {
+        self.projected.get(subspace)
+    }
+
+    /// Read access to the base store.
+    pub fn base_store(&self) -> &BaseStore {
+        &self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spot_types::DomainBounds;
+
+    fn manager(dims: usize, m: u16) -> SynopsisManager {
+        let grid = Grid::new(DomainBounds::unit(dims), m).unwrap();
+        SynopsisManager::new(grid, TimeModel::new(100, 0.01).unwrap())
+    }
+
+    #[test]
+    fn add_remove_subspaces() {
+        let mut mgr = manager(3, 4);
+        let s01 = Subspace::from_dims([0, 1]).unwrap();
+        let s2 = Subspace::from_dims([2]).unwrap();
+        assert!(mgr.add_subspace(s01));
+        assert!(!mgr.add_subspace(s01));
+        assert!(mgr.add_subspace(s2));
+        assert_eq!(mgr.subspace_count(), 2);
+        assert!(mgr.remove_subspace(&s2));
+        assert!(!mgr.remove_subspace(&s2));
+        assert_eq!(mgr.subspace_count(), 1);
+    }
+
+    #[test]
+    fn update_touches_all_stores() {
+        let mut mgr = manager(2, 4);
+        let s0 = Subspace::from_dims([0]).unwrap();
+        let s01 = Subspace::from_dims([0, 1]).unwrap();
+        mgr.add_subspace(s0);
+        mgr.add_subspace(s01);
+        let p = DataPoint::new(vec![0.3, 0.7]);
+        let out = mgr.update(1, &p).unwrap();
+        assert_eq!(out.prior_base_count, 0.0);
+        assert!((out.total_weight - 1.0).abs() < 1e-12);
+        let (base_cells, proj_cells) = mgr.live_cells();
+        assert_eq!(base_cells, 1);
+        assert_eq!(proj_cells, 2);
+        // PCS visible in both monitored subspaces.
+        let pcs = mgr.pcs(1, &out.base_coords, &s0).unwrap();
+        assert!(pcs.rd > 0.0);
+        assert!(mgr.pcs(1, &out.base_coords, &Subspace::from_dims([1]).unwrap()).is_none());
+    }
+
+    #[test]
+    fn rd_reflects_relative_crowding() {
+        let mut mgr = manager(2, 4);
+        let s0 = Subspace::from_dims([0]).unwrap();
+        mgr.add_subspace(s0);
+        // 90% of points in one interval of dim 0, 10% in another,
+        // interleaved so decay weights both cells alike (recency-skewed
+        // arrival orders shift RD by design — that is the time model
+        // working, not the property under test).
+        for i in 0..100u64 {
+            let x = if i % 10 == 9 { 0.9 } else { 0.1 };
+            mgr.update(i, &DataPoint::new(vec![x, (i % 7) as f64 / 7.0])).unwrap();
+        }
+        let crowded = DataPoint::new(vec![0.1, 0.5]);
+        let sparse = DataPoint::new(vec![0.9, 0.5]);
+        let now = 100;
+        let bc = mgr.grid().base_coords(&crowded).unwrap();
+        let bs = mgr.grid().base_coords(&sparse).unwrap();
+        let rd_crowded = mgr.pcs(now, &bc, &s0).unwrap().rd;
+        let rd_sparse = mgr.pcs(now, &bs, &s0).unwrap().rd;
+        assert!(rd_crowded > rd_sparse);
+        assert!(rd_sparse < 1.0);
+    }
+
+    #[test]
+    fn prune_shrinks_all_stores() {
+        let mut mgr = manager(2, 4);
+        mgr.add_subspace(Subspace::from_dims([0]).unwrap());
+        for i in 0..4 {
+            let p = DataPoint::new(vec![(i as f64 + 0.5) / 4.0, 0.5]);
+            mgr.update(0, &p).unwrap();
+        }
+        let (b0, p0) = mgr.live_cells();
+        assert_eq!((b0, p0), (4, 4));
+        let evicted = mgr.prune(10_000, 1e-6);
+        assert_eq!(evicted, 8);
+        assert_eq!(mgr.live_cells(), (0, 0));
+    }
+
+    #[test]
+    fn total_weight_decays() {
+        let mut mgr = manager(1, 4);
+        mgr.update(0, &DataPoint::new(vec![0.5])).unwrap();
+        let w0 = mgr.total_weight(0);
+        let w100 = mgr.total_weight(100);
+        assert!((w0 - 1.0).abs() < 1e-12);
+        assert!((w100 - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn replay_warms_a_new_store() {
+        let mut mgr = manager(2, 4);
+        let p = DataPoint::new(vec![0.5, 0.5]);
+        mgr.update(1, &p).unwrap();
+        mgr.update(2, &p).unwrap();
+        let s = Subspace::from_dims([1]).unwrap();
+        mgr.add_subspace(s);
+        mgr.replay_into(&s, &[(1, p.clone()), (2, p.clone())]).unwrap();
+        let base = mgr.grid().base_coords(&p).unwrap();
+        let pcs = mgr.pcs(2, &base, &s).unwrap();
+        assert!(pcs.rd > 0.0, "replayed store must not look empty");
+        // Unknown subspace errors.
+        let other = Subspace::from_dims([0]).unwrap();
+        assert!(mgr.replay_into(&other, &[]).is_err());
+    }
+
+    #[test]
+    fn late_added_subspace_starts_empty() {
+        let mut mgr = manager(2, 4);
+        mgr.update(0, &DataPoint::new(vec![0.5, 0.5])).unwrap();
+        let s = Subspace::from_dims([1]).unwrap();
+        mgr.add_subspace(s);
+        let p = DataPoint::new(vec![0.5, 0.5]);
+        let base = mgr.grid().base_coords(&p).unwrap();
+        // The store was added after the first point: its cells are empty.
+        assert_eq!(mgr.pcs(0, &base, &s).unwrap(), Pcs::EMPTY);
+    }
+}

@@ -1,0 +1,379 @@
+//! Projected Cell Summary.
+
+use crate::grid::{CellCoords, Grid};
+use serde::{Deserialize, Serialize};
+use spot_stream::TimeModel;
+use spot_subspace::Subspace;
+use spot_types::{DataPoint, FxHashMap};
+
+/// The derived PCS pair of a projected cell: `(RD, IRSD)`.
+///
+/// * `rd` — **Relative Density**: the cell's decayed count relative to the
+///   expected count under a uniform stream, `D · m^{|s|} / N`. `rd < 1`
+///   means sparser than uniform.
+/// * `irsd` — **Inverse Relative Standard Deviation**: the dispersion of a
+///   uniform cell relative to the cell's own dispersion,
+///   `σ_uniform(s) / σ(c,s)`. Points scattered across the cell give
+///   `irsd ≈ 1`; points spread *more* than uniform give `irsd < 1`.
+///
+/// Following the paper, *small RD and small IRSD* flag the sparse cells in
+/// which projected outliers live.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pcs {
+    /// Relative density (≥ 0; 1 = uniform expectation).
+    pub rd: f64,
+    /// Inverse relative standard deviation (≥ 0).
+    pub irsd: f64,
+}
+
+impl Pcs {
+    /// PCS of a cell nobody has populated: zero density. IRSD is reported
+    /// as 0 (maximally sparse) so that threshold tests treat unseen cells
+    /// as outlying regions.
+    pub const EMPTY: Pcs = Pcs { rd: 0.0, irsd: 0.0 };
+}
+
+/// Per-projected-cell decayed statistics (count + per-dim LS/SS restricted
+/// to the subspace's dimensions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcsCell {
+    d: f64,
+    ls: Vec<f64>,
+    ss: Vec<f64>,
+    last_tick: u64,
+}
+
+impl PcsCell {
+    fn new(card: usize, tick: u64) -> Self {
+        PcsCell { d: 0.0, ls: vec![0.0; card], ss: vec![0.0; card], last_tick: tick }
+    }
+
+    #[inline]
+    fn decay_to(&mut self, model: &TimeModel, now: u64) {
+        let f = model.decay_between(self.last_tick, now);
+        if f != 1.0 {
+            self.d *= f;
+            for v in &mut self.ls {
+                *v *= f;
+            }
+            for v in &mut self.ss {
+                *v *= f;
+            }
+        }
+        self.last_tick = now;
+    }
+
+    /// Folds in the projected values of one point at tick `now`.
+    fn insert(&mut self, model: &TimeModel, now: u64, projected_values: impl Iterator<Item = f64>) {
+        self.decay_to(model, now);
+        self.d += 1.0;
+        for (i, v) in projected_values.enumerate() {
+            self.ls[i] += v;
+            self.ss[i] += v * v;
+        }
+    }
+
+    /// Decayed count renormalized to `now`.
+    #[inline]
+    pub fn count_at(&self, model: &TimeModel, now: u64) -> f64 {
+        self.d * model.decay_between(self.last_tick, now)
+    }
+
+    /// Aggregate standard deviation over the subspace's dimensions
+    /// (Euclidean norm of the per-dimension deviations). `None` when the
+    /// cell holds less than ~one point of decayed weight.
+    pub fn sigma(&self) -> Option<f64> {
+        if self.d <= f64::EPSILON {
+            return None;
+        }
+        let mut acc = 0.0;
+        for i in 0..self.ls.len() {
+            let m = self.ls[i] / self.d;
+            acc += (self.ss[i] / self.d - m * m).max(0.0);
+        }
+        Some(acc.sqrt())
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + 2 * self.ls.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// All populated projected cells of one subspace.
+#[derive(Debug, Clone)]
+pub struct ProjectedStore {
+    subspace: Subspace,
+    cells: FxHashMap<CellCoords, PcsCell>,
+    /// `m^{|s|}` — precomputed RD multiplier numerator.
+    cell_count: f64,
+    /// `σ_uniform(s)` — precomputed IRSD numerator.
+    uniform_sigma: f64,
+}
+
+impl ProjectedStore {
+    /// Empty store for `subspace` over `grid`.
+    pub fn new(grid: &Grid, subspace: Subspace) -> Self {
+        ProjectedStore {
+            subspace,
+            cells: FxHashMap::default(),
+            cell_count: grid.cell_count_in(&subspace),
+            uniform_sigma: grid.uniform_sigma_in(&subspace),
+        }
+    }
+
+    /// The subspace this store projects onto.
+    pub fn subspace(&self) -> Subspace {
+        self.subspace
+    }
+
+    /// Number of populated projected cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when no cell is populated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Updates the store with one point at tick `now`. `base` must be the
+    /// point's base-cell coordinates on the same grid.
+    pub fn update(
+        &mut self,
+        grid: &Grid,
+        model: &TimeModel,
+        now: u64,
+        base: &[u16],
+        point: &DataPoint,
+    ) {
+        let coords = grid.project(base, &self.subspace);
+        let card = self.subspace.cardinality();
+        let cell =
+            self.cells.entry(coords).or_insert_with(|| PcsCell::new(card, now));
+        cell.insert(model, now, self.subspace.dims().map(|d| point.value(d)));
+    }
+
+    /// PCS of the projected cell containing `base`, renormalized to `now`.
+    /// `total` is the stream's global decayed weight at `now`.
+    pub fn pcs(
+        &self,
+        grid: &Grid,
+        model: &TimeModel,
+        now: u64,
+        base: &[u16],
+        total: f64,
+    ) -> Pcs {
+        let coords = grid.project(base, &self.subspace);
+        match self.cells.get(&coords) {
+            None => Pcs::EMPTY,
+            Some(cell) => self.derive(model, now, cell, total),
+        }
+    }
+
+    /// Derives the `(RD, IRSD)` pair from a stored cell.
+    ///
+    /// Cells holding less than two points of decayed weight report
+    /// `irsd = 0`: with at most one (weighted) occupant, dispersion carries
+    /// no evidence of structure, and the cell is maximally sparse — this is
+    /// what lets a lone projected outlier satisfy the paper's
+    /// "small RD *and* small IRSD" rule.
+    pub fn derive(&self, model: &TimeModel, now: u64, cell: &PcsCell, total: f64) -> Pcs {
+        let d = cell.count_at(model, now);
+        let rd = if total > f64::EPSILON { d * self.cell_count / total } else { 0.0 };
+        let irsd = if d < 2.0 {
+            0.0
+        } else {
+            match cell.sigma() {
+                Some(sigma) if sigma > f64::EPSILON => self.uniform_sigma / sigma,
+                // All mass on one spot (σ=0): a maximally concentrated
+                // micro-cluster, the opposite of scattered sparsity.
+                _ => f64::MAX,
+            }
+        };
+        Pcs { rd, irsd }
+    }
+
+    /// Iterates over populated cells (coords, summary).
+    pub fn iter(&self) -> impl Iterator<Item = (&CellCoords, &PcsCell)> {
+        self.cells.iter()
+    }
+
+    /// Removes cells whose decayed count at `now` fell below `floor`.
+    /// Returns the number of evicted cells. This is what bounds the
+    /// synopsis memory on an unbounded stream.
+    pub fn prune(&mut self, model: &TimeModel, now: u64, floor: f64) -> usize {
+        let before = self.cells.len();
+        self.cells.retain(|_, cell| cell.count_at(model, now) >= floor);
+        before - self.cells.len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        let cells: usize = self
+            .cells
+            .iter()
+            .map(|(k, v)| k.len() * std::mem::size_of::<u16>() + v.approx_bytes())
+            .sum();
+        std::mem::size_of::<Self>() + cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spot_types::DomainBounds;
+
+    fn setup(dims: usize, m: u16) -> (Grid, TimeModel) {
+        (Grid::new(DomainBounds::unit(dims), m).unwrap(), TimeModel::new(100, 0.01).unwrap())
+    }
+
+    fn update(
+        store: &mut ProjectedStore,
+        grid: &Grid,
+        tm: &TimeModel,
+        now: u64,
+        p: &DataPoint,
+    ) {
+        let base = grid.base_coords(p).unwrap();
+        store.update(grid, tm, now, &base, p);
+    }
+
+    #[test]
+    fn rd_is_one_for_uniform_occupancy() {
+        // 2 dims, m=2 → 4 projected cells in the 2-dim subspace. Put one
+        // point in each cell: RD of every cell must be 1.
+        let (grid, tm) = setup(2, 2);
+        let s = Subspace::from_dims([0, 1]).unwrap();
+        let mut store = ProjectedStore::new(&grid, s);
+        let pts = [[0.25, 0.25], [0.25, 0.75], [0.75, 0.25], [0.75, 0.75]];
+        for v in &pts {
+            update(&mut store, &grid, &tm, 0, &DataPoint::new(v.to_vec()));
+        }
+        let total = 4.0;
+        for v in &pts {
+            let p = DataPoint::new(v.to_vec());
+            let base = grid.base_coords(&p).unwrap();
+            let pcs = store.pcs(&grid, &tm, 0, &base, total);
+            assert!((pcs.rd - 1.0).abs() < 1e-9, "rd={}", pcs.rd);
+        }
+    }
+
+    #[test]
+    fn sparse_cell_has_low_rd() {
+        let (grid, tm) = setup(2, 4);
+        let s = Subspace::from_dims([0]).unwrap();
+        let mut store = ProjectedStore::new(&grid, s);
+        // 99 points in interval 0 of dim 0, 1 point in interval 3.
+        for i in 0..99 {
+            update(&mut store, &grid, &tm, 0, &DataPoint::new(vec![0.1, (i % 10) as f64 / 10.0]));
+        }
+        let lone = DataPoint::new(vec![0.9, 0.5]);
+        update(&mut store, &grid, &tm, 0, &lone);
+        let total = 100.0;
+        let base = grid.base_coords(&lone).unwrap();
+        let sparse = store.pcs(&grid, &tm, 0, &base, total);
+        assert!(sparse.rd < 0.1, "rd={}", sparse.rd);
+        let crowded = DataPoint::new(vec![0.1, 0.5]);
+        let base = grid.base_coords(&crowded).unwrap();
+        let dense = store.pcs(&grid, &tm, 0, &base, total);
+        assert!(dense.rd > 1.0, "rd={}", dense.rd);
+    }
+
+    #[test]
+    fn empty_cell_yields_empty_pcs() {
+        let (grid, tm) = setup(2, 4);
+        let s = Subspace::from_dims([0, 1]).unwrap();
+        let store = ProjectedStore::new(&grid, s);
+        let p = DataPoint::new(vec![0.5, 0.5]);
+        let base = grid.base_coords(&p).unwrap();
+        assert_eq!(store.pcs(&grid, &tm, 0, &base, 10.0), Pcs::EMPTY);
+    }
+
+    #[test]
+    fn irsd_distinguishes_tight_from_scattered() {
+        let (grid, tm) = setup(1, 2);
+        let s = Subspace::from_dims([0]).unwrap();
+
+        // Tight cluster inside interval 0 ([0, 0.5)).
+        let mut tight = ProjectedStore::new(&grid, s);
+        for i in 0..50 {
+            let v = 0.25 + (i as f64 - 25.0) * 1e-4;
+            update(&mut tight, &grid, &tm, 0, &DataPoint::new(vec![v]));
+        }
+        // Scattered across the full interval.
+        let mut scattered = ProjectedStore::new(&grid, s);
+        for i in 0..50 {
+            let v = 0.5 * (i as f64 + 0.5) / 50.0;
+            update(&mut scattered, &grid, &tm, 0, &DataPoint::new(vec![v]));
+        }
+        let probe = DataPoint::new(vec![0.25]);
+        let base = grid.base_coords(&probe).unwrap();
+        let t = tight.pcs(&grid, &tm, 0, &base, 50.0);
+        let sc = scattered.pcs(&grid, &tm, 0, &base, 50.0);
+        assert!(t.irsd > sc.irsd, "tight {} vs scattered {}", t.irsd, sc.irsd);
+        // Uniform scatter has IRSD near 1.
+        assert!((sc.irsd - 1.0).abs() < 0.2, "irsd={}", sc.irsd);
+    }
+
+    #[test]
+    fn singleton_cell_is_maximally_sparse() {
+        let (grid, tm) = setup(1, 2);
+        let s = Subspace::from_dims([0]).unwrap();
+        let mut store = ProjectedStore::new(&grid, s);
+        update(&mut store, &grid, &tm, 0, &DataPoint::new(vec![0.3]));
+        let base = grid.base_coords(&DataPoint::new(vec![0.3])).unwrap();
+        let pcs = store.pcs(&grid, &tm, 0, &base, 100.0);
+        assert_eq!(pcs.irsd, 0.0, "lone occupant must read as sparse");
+        assert!(pcs.rd < 0.1);
+    }
+
+    #[test]
+    fn identical_points_saturate_irsd() {
+        let (grid, tm) = setup(1, 2);
+        let s = Subspace::from_dims([0]).unwrap();
+        let mut store = ProjectedStore::new(&grid, s);
+        for _ in 0..5 {
+            update(&mut store, &grid, &tm, 0, &DataPoint::new(vec![0.3]));
+        }
+        let base = grid.base_coords(&DataPoint::new(vec![0.3])).unwrap();
+        let pcs = store.pcs(&grid, &tm, 0, &base, 5.0);
+        assert_eq!(pcs.irsd, f64::MAX);
+    }
+
+    #[test]
+    fn pruning_evicts_stale_cells() {
+        let (grid, tm) = setup(1, 4);
+        let s = Subspace::from_dims([0]).unwrap();
+        let mut store = ProjectedStore::new(&grid, s);
+        update(&mut store, &grid, &tm, 0, &DataPoint::new(vec![0.1]));
+        update(&mut store, &grid, &tm, 0, &DataPoint::new(vec![0.9]));
+        assert_eq!(store.len(), 2);
+        // After many omega windows both cells hold ~nothing.
+        let evicted = store.prune(&tm, 100 * 20, 1e-6);
+        assert_eq!(evicted, 2);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn pruning_keeps_fresh_cells() {
+        let (grid, tm) = setup(1, 4);
+        let s = Subspace::from_dims([0]).unwrap();
+        let mut store = ProjectedStore::new(&grid, s);
+        update(&mut store, &grid, &tm, 1000, &DataPoint::new(vec![0.1]));
+        assert_eq!(store.prune(&tm, 1000, 0.5), 0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn decayed_counts_follow_time_model() {
+        let (grid, tm) = setup(1, 2);
+        let s = Subspace::from_dims([0]).unwrap();
+        let mut store = ProjectedStore::new(&grid, s);
+        let p = DataPoint::new(vec![0.25]);
+        update(&mut store, &grid, &tm, 0, &p);
+        let (_, cell) = store.iter().next().unwrap();
+        let at_omega = cell.count_at(&tm, 100);
+        assert!((at_omega - 0.01).abs() < 1e-6); // epsilon at omega
+    }
+}

@@ -1,0 +1,169 @@
+//! Store of populated base cells.
+
+use crate::bcs::Bcs;
+use crate::grid::{CellCoords, Grid};
+use spot_stream::TimeModel;
+use spot_types::{DataPoint, FxHashMap, Result};
+
+/// All populated base cells of the hypercube, keyed by their full
+/// ϕ-dimensional coordinates.
+///
+/// Only *populated* cells are materialized — the hypercube has `m^ϕ` cells,
+/// astronomically more than a stream can touch; the store grows with the
+/// data's support, and [`BaseStore::prune`] shrinks it again as regions of
+/// the space fall out of the decaying window.
+#[derive(Debug, Clone, Default)]
+pub struct BaseStore {
+    cells: FxHashMap<CellCoords, Bcs>,
+}
+
+impl BaseStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of populated base cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when no cell is populated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Inserts a point at tick `now`, returning its base-cell coordinates
+    /// and the cell's decayed count *before* this insertion (the novelty
+    /// signal consumed by the concept-drift detector).
+    pub fn insert(
+        &mut self,
+        grid: &Grid,
+        model: &TimeModel,
+        now: u64,
+        p: &DataPoint,
+    ) -> Result<(CellCoords, f64)> {
+        let coords = grid.base_coords(p)?;
+        let dims = grid.dims();
+        let cell = self
+            .cells
+            .entry(coords.clone())
+            .or_insert_with(|| Bcs::new(dims, now));
+        let prior = cell.count_at(model, now);
+        cell.insert(model, now, p);
+        Ok((coords, prior))
+    }
+
+    /// The summary of the cell at `coords`, if populated.
+    pub fn get(&self, coords: &[u16]) -> Option<&Bcs> {
+        self.cells.get(coords)
+    }
+
+    /// Decayed count of the cell containing `p` at tick `now` (0 when the
+    /// cell was never populated).
+    pub fn count_for(&self, grid: &Grid, model: &TimeModel, now: u64, p: &DataPoint) -> Result<f64> {
+        let coords = grid.base_coords(p)?;
+        Ok(self.cells.get(&coords).map_or(0.0, |c| c.count_at(model, now)))
+    }
+
+    /// Iterates populated cells.
+    pub fn iter(&self) -> impl Iterator<Item = (&CellCoords, &Bcs)> {
+        self.cells.iter()
+    }
+
+    /// Removes cells whose decayed count at `now` fell below `floor`;
+    /// returns how many were evicted.
+    pub fn prune(&mut self, model: &TimeModel, now: u64, floor: f64) -> usize {
+        let before = self.cells.len();
+        self.cells.retain(|_, cell| cell.count_at(model, now) >= floor);
+        before - self.cells.len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        let cells: usize = self
+            .cells
+            .iter()
+            .map(|(k, v)| k.len() * std::mem::size_of::<u16>() + v.approx_bytes())
+            .sum();
+        std::mem::size_of::<Self>() + cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spot_types::DomainBounds;
+
+    fn setup() -> (Grid, TimeModel) {
+        (Grid::new(DomainBounds::unit(2), 4).unwrap(), TimeModel::new(50, 0.01).unwrap())
+    }
+
+    #[test]
+    fn insert_reports_prior_count() {
+        let (grid, tm) = setup();
+        let mut store = BaseStore::new();
+        let p = DataPoint::new(vec![0.1, 0.1]);
+        let (_, prior) = store.insert(&grid, &tm, 0, &p).unwrap();
+        assert_eq!(prior, 0.0);
+        let (_, prior) = store.insert(&grid, &tm, 0, &p).unwrap();
+        assert!((prior - 1.0).abs() < 1e-12);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn distinct_cells_tracked_separately() {
+        let (grid, tm) = setup();
+        let mut store = BaseStore::new();
+        store.insert(&grid, &tm, 0, &DataPoint::new(vec![0.1, 0.1])).unwrap();
+        store.insert(&grid, &tm, 0, &DataPoint::new(vec![0.9, 0.9])).unwrap();
+        assert_eq!(store.len(), 2);
+        let c = store
+            .count_for(&grid, &tm, 0, &DataPoint::new(vec![0.12, 0.13]))
+            .unwrap();
+        assert!((c - 1.0).abs() < 1e-12); // same cell as (0.1, 0.1) at m=4
+        let c = store
+            .count_for(&grid, &tm, 0, &DataPoint::new(vec![0.6, 0.6]))
+            .unwrap();
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn dimension_mismatch_propagates() {
+        let (grid, tm) = setup();
+        let mut store = BaseStore::new();
+        assert!(store.insert(&grid, &tm, 0, &DataPoint::new(vec![0.5])).is_err());
+    }
+
+    #[test]
+    fn prune_bounds_memory() {
+        let (grid, tm) = setup();
+        let mut store = BaseStore::new();
+        // Populate 16 distinct cells at tick 0.
+        for i in 0..4 {
+            for j in 0..4 {
+                let p = DataPoint::new(vec![i as f64 / 4.0 + 0.01, j as f64 / 4.0 + 0.01]);
+                store.insert(&grid, &tm, 0, &p).unwrap();
+            }
+        }
+        assert_eq!(store.len(), 16);
+        // Refresh one cell much later; prune everything stale.
+        let p = DataPoint::new(vec![0.01, 0.01]);
+        store.insert(&grid, &tm, 5000, &p).unwrap();
+        let evicted = store.prune(&tm, 5000, 1e-3);
+        assert_eq!(evicted, 15);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn bytes_accounting_grows_with_cells() {
+        let (grid, tm) = setup();
+        let mut store = BaseStore::new();
+        let empty = store.approx_bytes();
+        for i in 0..8 {
+            let p = DataPoint::new(vec![(i as f64 + 0.5) / 8.0, 0.5]);
+            store.insert(&grid, &tm, 0, &p).unwrap();
+        }
+        assert!(store.approx_bytes() > empty);
+    }
+}

@@ -1,0 +1,77 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, SpotError>;
+
+/// Errors surfaced by the SPOT library and its substrates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpotError {
+    /// A point or vector had the wrong dimensionality.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Dimensionality that was supplied.
+        got: usize,
+    },
+    /// A configuration value is out of its valid range.
+    InvalidConfig(String),
+    /// The learning stage was given no training data.
+    EmptyTrainingSet,
+    /// Dimensionality exceeds the 64-dimension limit of the bitmask
+    /// subspace representation.
+    TooManyDimensions(usize),
+    /// Learning has not been run before detection.
+    NotLearned,
+    /// An I/O or parsing problem while loading/saving datasets.
+    Io(String),
+}
+
+impl fmt::Display for SpotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpotError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            SpotError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SpotError::EmptyTrainingSet => write!(f, "training set is empty"),
+            SpotError::TooManyDimensions(d) => {
+                write!(f, "{d} dimensions exceed the 64-dimension subspace bitmask limit")
+            }
+            SpotError::NotLearned => {
+                write!(f, "detection stage invoked before the learning stage")
+            }
+            SpotError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpotError {}
+
+impl From<std::io::Error> for SpotError {
+    fn from(e: std::io::Error) -> Self {
+        SpotError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SpotError::DimensionMismatch { expected: 3, got: 5 };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(SpotError::EmptyTrainingSet.to_string().contains("empty"));
+        assert!(SpotError::TooManyDimensions(70).to_string().contains("70"));
+        assert!(SpotError::NotLearned.to_string().contains("learning"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SpotError = io.into();
+        assert!(matches!(e, SpotError::Io(_)));
+    }
+}

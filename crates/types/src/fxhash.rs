@@ -1,0 +1,127 @@
+//! A small, fast, non-cryptographic hasher for the hot cell stores.
+//!
+//! The default `std` hasher (SipHash 1-3) is DoS-resistant but slow for the
+//! short integer keys that dominate SPOT's synopsis maintenance (cell
+//! coordinates are a handful of `u16`s, subspaces are a single `u64`).
+//! Following the Rust Performance Book's guidance, this module implements
+//! the multiply-rotate scheme popularized by rustc's `FxHasher` in-tree,
+//! avoiding an extra dependency. HashDoS is not a concern: keys are derived
+//! from numeric stream data, not attacker-controlled strings.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Multiply-rotate hasher (rustc's Fx scheme).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&vec![1u16, 2, 3]), hash_of(&vec![1u16, 2, 3]));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&[1u16, 2]), hash_of(&[2u16, 1]));
+        // Length is mixed into the tail so prefixes differ.
+        assert_ne!(hash_of(&b"ab".to_vec()), hash_of(&b"ab\0".to_vec()));
+    }
+
+    #[test]
+    fn usable_in_hashmap() {
+        let mut m: FxHashMap<Vec<u16>, u32> = FxHashMap::default();
+        m.insert(vec![1, 2, 3], 7);
+        m.insert(vec![3, 2, 1], 8);
+        assert_eq!(m[&vec![1, 2, 3][..].to_vec()], 7);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn spread_over_buckets_is_reasonable() {
+        // 10k sequential keys should not collapse onto a few hash values.
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..10_000u64 {
+            seen.insert(hash_of(&i));
+        }
+        assert!(seen.len() > 9_990, "too many collisions: {}", seen.len());
+    }
+}

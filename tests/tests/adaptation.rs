@@ -1,0 +1,109 @@
+//! Stream-dynamics behaviour: drift alarms fire on distribution change,
+//! adaptation recovers detection quality, and SST stays within capacity.
+
+use spot::{DriftConfig, EvolutionConfig, SpotBuilder};
+use spot_data::{DriftKind, DriftingGenerator, SyntheticConfig};
+
+fn drift_setup(adaptive: bool) -> (spot::Spot, DriftingGenerator) {
+    let config = SyntheticConfig {
+        dims: 10,
+        outlier_fraction: 0.03,
+        seed: 50,
+        ..Default::default()
+    };
+    // Post-drift clusters occupy previously empty territory near the top of
+    // the domain — the "new behaviour shows up" drift scenario.
+    let mut after = config.clone();
+    after.seed = 999;
+    after.center_range = (0.6, 0.95);
+    let mut source =
+        DriftingGenerator::new(config, after, DriftKind::Abrupt { at: 4000 }).unwrap();
+    let train = source.before_mut().generate_normal(1200);
+    let mut spot = SpotBuilder::new(spot_types::DomainBounds::unit(10))
+        .fs_max_dimension(2)
+        .seed(8)
+        .evolution(EvolutionConfig {
+            enabled: adaptive,
+            period: 500,
+            ..Default::default()
+        })
+        .drift(DriftConfig { enabled: adaptive, ..Default::default() })
+        .build()
+        .unwrap();
+    spot.learn(&train).unwrap();
+    (spot, source)
+}
+
+#[test]
+fn drift_alarm_fires_after_abrupt_change() {
+    let (mut spot, source) = drift_setup(true);
+    let mut first_alarm = None;
+    for (i, r) in source.take(8000).enumerate() {
+        let v = spot.process(&r.point).unwrap();
+        if v.drift && first_alarm.is_none() {
+            first_alarm = Some(i);
+        }
+    }
+    let at = first_alarm.expect("drift alarm must fire");
+    assert!(at >= 3500, "alarm fired before the change point: {at}");
+    assert!(at <= 7000, "alarm far too late: {at}");
+    assert!(spot.stats().drift_events >= 1);
+}
+
+#[test]
+fn stable_stream_rarely_alarms() {
+    let config = SyntheticConfig { dims: 10, outlier_fraction: 0.03, seed: 51, ..Default::default() };
+    let mut g = spot_data::SyntheticGenerator::new(config).unwrap();
+    let train = g.generate_normal(1200);
+    let mut spot = SpotBuilder::new(spot_types::DomainBounds::unit(10))
+        .fs_max_dimension(2)
+        .seed(8)
+        .build()
+        .unwrap();
+    spot.learn(&train).unwrap();
+    for r in g.generate(8000) {
+        spot.process(&r.point).unwrap();
+    }
+    assert!(spot.stats().drift_events <= 1, "{} alarms on a stable stream", spot.stats().drift_events);
+}
+
+#[test]
+fn sst_capacities_hold_under_long_adaptation() {
+    let (mut spot, source) = drift_setup(true);
+    for r in source.take(9000) {
+        spot.process(&r.point).unwrap();
+    }
+    let (fs, cs, os) = spot.sst().sizes();
+    assert_eq!(fs, 10 + 45); // FS is immutable
+    assert!(cs <= spot.config().cs_capacity);
+    assert!(os <= spot.config().os_capacity);
+    assert!(spot.stats().evolutions > 0);
+}
+
+#[test]
+fn adaptive_recovers_better_than_frozen_after_drift() {
+    let run = |adaptive: bool| {
+        let (mut spot, source) = drift_setup(adaptive);
+        let mut post_tp = 0u32;
+        let mut post_fn = 0u32;
+        for (i, r) in source.take(9000).enumerate() {
+            let v = spot.process(&r.point).unwrap();
+            // Post-drift tail, after some re-adaptation slack.
+            if i > 5500 && r.is_anomaly() {
+                if v.outlier {
+                    post_tp += 1;
+                } else {
+                    post_fn += 1;
+                }
+            }
+        }
+        post_tp as f64 / (post_tp + post_fn).max(1) as f64
+    };
+    let adaptive_recall = run(true);
+    let frozen_recall = run(false);
+    // Adaptation must not hurt post-drift recall; typically it helps.
+    assert!(
+        adaptive_recall >= frozen_recall - 0.05,
+        "adaptive {adaptive_recall:.3} vs frozen {frozen_recall:.3}"
+    );
+}

@@ -1,0 +1,91 @@
+//! Property-based robustness: SPOT must absorb arbitrary (even
+//! out-of-bounds) numeric streams without panicking, keep its counters
+//! consistent, and respect configuration invariants.
+
+use proptest::prelude::*;
+use spot::{EvolutionConfig, SpotBuilder};
+use spot_types::{DataPoint, DomainBounds};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn survives_arbitrary_streams(
+        seed in 0u64..1000,
+        train_vals in proptest::collection::vec(
+            proptest::collection::vec(-2.0f64..3.0, 4), 20..60
+        ),
+        stream_vals in proptest::collection::vec(
+            proptest::collection::vec(-5.0f64..6.0, 4), 10..80
+        ),
+    ) {
+        let mut spot = SpotBuilder::new(DomainBounds::unit(4))
+            .fs_max_dimension(2)
+            .seed(seed)
+            .evolution(EvolutionConfig { period: 20, ..Default::default() })
+            .build()
+            .unwrap();
+        let train: Vec<DataPoint> = train_vals.into_iter().map(DataPoint::new).collect();
+        spot.learn(&train).unwrap();
+        let mut outliers = 0u64;
+        for vals in stream_vals {
+            let v = spot.process(&DataPoint::new(vals)).unwrap();
+            if v.outlier {
+                outliers += 1;
+                prop_assert!(!v.findings.is_empty());
+            } else {
+                prop_assert!(v.findings.is_empty());
+            }
+            prop_assert!((0.0..=1.0).contains(&v.score) || v.score == 0.0);
+            for f in &v.findings {
+                prop_assert!(f.rd < spot.config().thresholds.rd);
+            }
+        }
+        prop_assert_eq!(spot.stats().outliers, outliers);
+        prop_assert!(spot.stats().processed >= outliers);
+    }
+
+    #[test]
+    fn verdict_ticks_are_monotonic(
+        n in 5usize..40,
+    ) {
+        let mut spot = SpotBuilder::new(DomainBounds::unit(3)).seed(1).build().unwrap();
+        let train: Vec<DataPoint> = (0..50)
+            .map(|i| DataPoint::new(vec![0.5 + (i % 5) as f64 * 0.01; 3]))
+            .collect();
+        spot.learn(&train).unwrap();
+        let mut last = spot.now();
+        for i in 0..n {
+            let v = spot.process(&DataPoint::new(vec![i as f64 / n as f64; 3])).unwrap();
+            prop_assert!(v.tick > last);
+            last = v.tick;
+        }
+    }
+}
+
+#[test]
+fn dimension_mismatch_is_an_error_not_a_panic() {
+    let mut spot = SpotBuilder::new(DomainBounds::unit(4)).build().unwrap();
+    let train: Vec<DataPoint> =
+        (0..30).map(|_| DataPoint::new(vec![0.5; 4])).collect();
+    spot.learn(&train).unwrap();
+    assert!(spot.process(&DataPoint::new(vec![0.5; 3])).is_err());
+    assert!(spot.process(&DataPoint::new(vec![0.5; 5])).is_err());
+    // The detector remains usable afterwards.
+    assert!(spot.process(&DataPoint::new(vec![0.5; 4])).is_ok());
+}
+
+#[test]
+fn extreme_values_are_clamped_into_boundary_cells() {
+    let mut spot = SpotBuilder::new(DomainBounds::unit(4)).seed(2).build().unwrap();
+    // Enough training mass that a singleton boundary cell is sparse
+    // relative to the uniform expectation (RD needs N ≫ m/τ).
+    let train: Vec<DataPoint> =
+        (0..800).map(|i| DataPoint::new(vec![0.5 + (i % 7) as f64 * 0.01; 4])).collect();
+    spot.learn(&train).unwrap();
+    for v in [f64::MAX, f64::MIN, 1e300, -1e300] {
+        let verdict = spot.process(&DataPoint::new(vec![v; 4])).unwrap();
+        // Far outside the trained region: must be an outlier, not a crash.
+        assert!(verdict.outlier);
+    }
+}
