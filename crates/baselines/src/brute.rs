@@ -52,8 +52,10 @@ pub fn brute_force_top_k<P: SubspaceProblem>(
 ) -> Result<BruteForceResult> {
     let phi = problem.phi();
     let subspaces = enumerate_up_to_dim(phi, max_dim)?;
-    let evaluated: Vec<(Subspace, Vec<f64>)> =
-        subspaces.into_iter().map(|s| (s, problem.evaluate(s))).collect();
+    let evaluated: Vec<(Subspace, Vec<f64>)> = subspaces
+        .into_iter()
+        .map(|s| (s, problem.evaluate(s)))
+        .collect();
     let objs: Vec<Vec<f64>> = evaluated.iter().map(|(_, o)| o.clone()).collect();
     let front = pareto_front_indices(&objs);
     Ok(BruteForceResult { evaluated, front })
@@ -70,8 +72,8 @@ mod tests {
         let mut p = HiddenTargetProblem::new(6, target);
         let res = brute_force_top_k(&mut p, 6).unwrap();
         assert_eq!(res.evaluations(), 63); // 2^6 - 1
-        // The hidden target minimizes objective 1 exactly: it must be the
-        // global best by Hamming distance, hence on the front.
+                                           // The hidden target minimizes objective 1 exactly: it must be the
+                                           // global best by Hamming distance, hence on the front.
         assert!(res.front_subspaces().contains(&target));
         assert_eq!(res.top_k(1)[0].0, target);
     }
@@ -115,7 +117,11 @@ mod tests {
         let mut p2 = HiddenTargetProblem::new(10, target);
         let moga = spot_moga::run(
             &mut p2,
-            &MogaConfig { population: 40, generations: 40, ..Default::default() },
+            &MogaConfig {
+                population: 40,
+                generations: 40,
+                ..Default::default()
+            },
         )
         .unwrap();
         let got: std::collections::HashSet<u64> =

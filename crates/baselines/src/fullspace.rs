@@ -60,7 +60,9 @@ impl FullSpaceGridDetector {
     /// Creates the detector over explicit domain bounds.
     pub fn new(bounds: DomainBounds, config: FullSpaceConfig) -> Result<Self> {
         if config.density_threshold < 0.0 {
-            return Err(SpotError::InvalidConfig("density threshold must be >= 0".into()));
+            return Err(SpotError::InvalidConfig(
+                "density threshold must be >= 0".into(),
+            ));
         }
         let grid = Grid::new(bounds, config.granularity)?;
         Ok(FullSpaceGridDetector {
@@ -88,7 +90,8 @@ impl StreamDetector for FullSpaceGridDetector {
         // first stream points are not all trivially "sparse".
         for p in training {
             let now = self.clock.tick();
-            self.store.insert(&self.grid, &self.config.time_model, now, p)?;
+            self.store
+                .insert(&self.grid, &self.config.time_model, now, p)?;
         }
         Ok(())
     }
@@ -101,11 +104,14 @@ impl StreamDetector for FullSpaceGridDetector {
             // panicking mid-stream.
             return Detection::outlier(f64::INFINITY);
         };
-        if self.config.prune_every > 0 && now % self.config.prune_every == 0 {
+        if self.config.prune_every > 0 && now.is_multiple_of(self.config.prune_every) {
             self.store.prune(&model, now, self.config.prune_floor);
         }
         let score = 1.0 / (1.0 + prior); // sparser cell → higher score
-        Detection { outlier: prior < self.config.density_threshold, score }
+        Detection {
+            outlier: prior < self.config.density_threshold,
+            score,
+        }
     }
 
     fn name(&self) -> &str {
@@ -120,7 +126,11 @@ mod tests {
     fn detector(dims: usize) -> FullSpaceGridDetector {
         FullSpaceGridDetector::new(
             DomainBounds::unit(dims),
-            FullSpaceConfig { granularity: 4, density_threshold: 1.0, ..Default::default() },
+            FullSpaceConfig {
+                granularity: 4,
+                density_threshold: 1.0,
+                ..Default::default()
+            },
         )
         .unwrap()
     }
@@ -164,7 +174,11 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut d = FullSpaceGridDetector::new(
             DomainBounds::unit(10),
-            FullSpaceConfig { granularity: 10, density_threshold: 1.0, ..Default::default() },
+            FullSpaceConfig {
+                granularity: 10,
+                density_threshold: 1.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(42);
@@ -212,7 +226,10 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected() {
-        let cfg = FullSpaceConfig { density_threshold: -1.0, ..Default::default() };
+        let cfg = FullSpaceConfig {
+            density_threshold: -1.0,
+            ..Default::default()
+        };
         assert!(FullSpaceGridDetector::new(DomainBounds::unit(2), cfg).is_err());
     }
 

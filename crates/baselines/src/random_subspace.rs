@@ -57,16 +57,22 @@ pub struct RandomSubspaceDetector {
     config: RandomSubspaceConfig,
     manager: SynopsisManager,
     clock: LogicalClock,
+    /// Reused per-point PCS sink (see `SynopsisManager::update_and_query`).
+    sink: Vec<spot_synopsis::SubspacePcs>,
 }
 
 impl RandomSubspaceDetector {
     /// Creates the detector; subspaces are drawn immediately.
     pub fn new(bounds: DomainBounds, config: RandomSubspaceConfig) -> Result<Self> {
         if config.num_subspaces == 0 {
-            return Err(SpotError::InvalidConfig("need at least one subspace".into()));
+            return Err(SpotError::InvalidConfig(
+                "need at least one subspace".into(),
+            ));
         }
         if config.rd_threshold <= 0.0 {
-            return Err(SpotError::InvalidConfig("rd threshold must be positive".into()));
+            return Err(SpotError::InvalidConfig(
+                "rd threshold must be positive".into(),
+            ));
         }
         let phi = bounds.dims();
         let grid = Grid::new(bounds, config.granularity)?;
@@ -76,13 +82,22 @@ impl RandomSubspaceDetector {
         let budget = config.num_subspaces * 20;
         let mut attempts = 0;
         while chosen.len() < config.num_subspaces && attempts < budget {
-            chosen.insert(genetic::random_subspace(phi, config.max_cardinality, &mut rng));
+            chosen.insert(genetic::random_subspace(
+                phi,
+                config.max_cardinality,
+                &mut rng,
+            ));
             attempts += 1;
         }
         for s in chosen.iter() {
             manager.add_subspace(*s);
         }
-        Ok(RandomSubspaceDetector { config, manager, clock: LogicalClock::new() })
+        Ok(RandomSubspaceDetector {
+            config,
+            manager,
+            clock: LogicalClock::new(),
+            sink: Vec::new(),
+        })
     }
 
     /// The randomly drawn monitored subspaces.
@@ -102,19 +117,20 @@ impl StreamDetector for RandomSubspaceDetector {
 
     fn process(&mut self, point: &DataPoint) -> Detection {
         let now = self.clock.tick();
-        let Ok(outcome) = self.manager.update(now, point) else {
+        let mut sink = std::mem::take(&mut self.sink);
+        let updated = self.manager.update_and_query(now, point, &mut sink);
+        if updated.is_err() {
+            self.sink = sink;
             return Detection::outlier(f64::INFINITY);
-        };
-        if self.config.prune_every > 0 && now % self.config.prune_every == 0 {
+        }
+        if self.config.prune_every > 0 && now.is_multiple_of(self.config.prune_every) {
             self.manager.prune(now, self.config.prune_floor);
         }
         let mut min_rd = f64::INFINITY;
-        let subspaces: Vec<Subspace> = self.manager.subspaces().collect();
-        for s in subspaces {
-            if let Some(pcs) = self.manager.pcs(now, &outcome.base_coords, &s) {
-                min_rd = min_rd.min(pcs.rd);
-            }
+        for e in &sink {
+            min_rd = min_rd.min(e.pcs.rd);
         }
+        self.sink = sink;
         let outlier = min_rd < self.config.rd_threshold;
         let score = 1.0 / (1.0 + min_rd);
         Detection { outlier, score }
@@ -133,7 +149,10 @@ mod tests {
     fn draws_requested_number_of_distinct_subspaces() {
         let d = RandomSubspaceDetector::new(
             DomainBounds::unit(12),
-            RandomSubspaceConfig { num_subspaces: 20, ..Default::default() },
+            RandomSubspaceConfig {
+                num_subspaces: 20,
+                ..Default::default()
+            },
         )
         .unwrap();
         let subs = d.subspaces();
@@ -148,7 +167,11 @@ mod tests {
         // phi=2, max card 1 → only 2 possible subspaces.
         let d = RandomSubspaceDetector::new(
             DomainBounds::unit(2),
-            RandomSubspaceConfig { num_subspaces: 10, max_cardinality: 1, ..Default::default() },
+            RandomSubspaceConfig {
+                num_subspaces: 10,
+                max_cardinality: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(d.subspaces().len() <= 3);
@@ -166,8 +189,9 @@ mod tests {
             },
         )
         .unwrap();
-        let train: Vec<DataPoint> =
-            (0..400).map(|i| DataPoint::new(vec![0.2 + (i % 10) as f64 * 0.001; 4])).collect();
+        let train: Vec<DataPoint> = (0..400)
+            .map(|i| DataPoint::new(vec![0.2 + (i % 10) as f64 * 0.001; 4]))
+            .collect();
         d.learn(&train).unwrap();
         assert!(!d.process(&DataPoint::new(vec![0.2; 4])).outlier);
         let v = d.process(&DataPoint::new(vec![0.95; 4]));
@@ -178,12 +202,18 @@ mod tests {
     fn validation() {
         assert!(RandomSubspaceDetector::new(
             DomainBounds::unit(4),
-            RandomSubspaceConfig { num_subspaces: 0, ..Default::default() }
+            RandomSubspaceConfig {
+                num_subspaces: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(RandomSubspaceDetector::new(
             DomainBounds::unit(4),
-            RandomSubspaceConfig { rd_threshold: 0.0, ..Default::default() }
+            RandomSubspaceConfig {
+                rd_threshold: 0.0,
+                ..Default::default()
+            }
         )
         .is_err());
     }

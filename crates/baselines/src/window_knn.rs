@@ -22,7 +22,11 @@ pub struct WindowKnnConfig {
 
 impl Default for WindowKnnConfig {
     fn default() -> Self {
-        WindowKnnConfig { window: 1000, k: 5, radius: 0.5 }
+        WindowKnnConfig {
+            window: 1000,
+            k: 5,
+            radius: 0.5,
+        }
     }
 }
 
@@ -42,7 +46,10 @@ impl WindowKnnDetector {
         if config.radius <= 0.0 || config.radius.is_nan() {
             return Err(SpotError::InvalidConfig("radius must be positive".into()));
         }
-        Ok(WindowKnnDetector { config, window: ExactSlidingWindow::new(config.window) })
+        Ok(WindowKnnDetector {
+            config,
+            window: ExactSlidingWindow::new(config.window),
+        })
     }
 
     /// Number of raw points currently buffered (memory accounting; contrast
@@ -91,8 +98,9 @@ mod tests {
     #[test]
     fn flags_isolated_points() {
         let mut d = detector(3, 0.2, 100);
-        let train: Vec<DataPoint> =
-            (0..50).map(|i| DataPoint::new(vec![0.5 + (i % 5) as f64 * 0.01])).collect();
+        let train: Vec<DataPoint> = (0..50)
+            .map(|i| DataPoint::new(vec![0.5 + (i % 5) as f64 * 0.01]))
+            .collect();
         d.learn(&train).unwrap();
         assert!(!d.process(&DataPoint::new(vec![0.5])).outlier);
         let v = d.process(&DataPoint::new(vec![5.0]));
@@ -144,9 +152,15 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(WindowKnnDetector::new(WindowKnnConfig { k: 0, ..Default::default() }).is_err());
-        assert!(
-            WindowKnnDetector::new(WindowKnnConfig { radius: 0.0, ..Default::default() }).is_err()
-        );
+        assert!(WindowKnnDetector::new(WindowKnnConfig {
+            k: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(WindowKnnDetector::new(WindowKnnConfig {
+            radius: 0.0,
+            ..Default::default()
+        })
+        .is_err());
     }
 }

@@ -18,7 +18,12 @@ const PHI: usize = 16;
 const CHECKPOINTS: [usize; 4] = [10_000, 25_000, 50_000, 100_000];
 
 fn main() {
-    let config = SyntheticConfig { dims: PHI, outlier_fraction: 0.02, seed: 13, ..Default::default() };
+    let config = SyntheticConfig {
+        dims: PHI,
+        outlier_fraction: 0.02,
+        seed: 13,
+        ..Default::default()
+    };
     let mut generator = SyntheticGenerator::new(config).expect("config is valid");
     let train = generator.generate_normal(1000);
 
@@ -31,7 +36,14 @@ fn main() {
 
     let mut table = Table::new(
         "E2: scalability over stream length (phi=16, MaxDimension=2)",
-        &["points", "points/s (segment)", "us/point", "base cells", "proj cells", "approx KiB"],
+        &[
+            "points",
+            "points/s (segment)",
+            "us/point",
+            "base cells",
+            "proj cells",
+            "approx KiB",
+        ],
     );
     #[derive(serde::Serialize)]
     struct Row {

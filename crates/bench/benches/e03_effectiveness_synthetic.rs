@@ -111,7 +111,10 @@ fn main() {
 
     let mut random = RandomSubspaceDetector::new(
         DomainBounds::unit(PHI),
-        RandomSubspaceConfig { num_subspaces: 60, ..Default::default() },
+        RandomSubspaceConfig {
+            num_subspaces: 60,
+            ..Default::default()
+        },
     )
     .expect("config is valid");
     StreamDetector::learn(&mut random, &train).expect("learning succeeds");

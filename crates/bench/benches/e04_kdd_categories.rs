@@ -102,7 +102,8 @@ fn main() {
         .seed(4)
         .build()
         .expect("config is valid");
-    spot.learn_with_examples(&train, &exemplars).expect("learning succeeds");
+    spot.learn_with_examples(&train, &exemplars)
+        .expect("learning succeeds");
     let (table, fams, fpr) = per_family("spot (supervised)", &records, |r| {
         StreamDetector::process(&mut spot, &r.point)
     });
@@ -111,15 +112,11 @@ fn main() {
     artifact.insert("spot".into(), fams);
 
     // Full-space grid.
-    let mut full = FullSpaceGridDetector::new(
-        DomainBounds::unit(NUM_FEATURES),
-        FullSpaceConfig::default(),
-    )
-    .expect("config is valid");
+    let mut full =
+        FullSpaceGridDetector::new(DomainBounds::unit(NUM_FEATURES), FullSpaceConfig::default())
+            .expect("config is valid");
     StreamDetector::learn(&mut full, &train).expect("learning succeeds");
-    let (table, fams, fpr) = per_family("fullspace-grid", &records, |r| {
-        full.process(&r.point)
-    });
+    let (table, fams, fpr) = per_family("fullspace-grid", &records, |r| full.process(&r.point));
     table.print();
     println!("fullspace fpr: {fpr:.4}\n");
     artifact.insert("fullspace-grid".into(), fams);
@@ -132,9 +129,7 @@ fn main() {
     })
     .expect("config is valid");
     StreamDetector::learn(&mut knn, &train).expect("learning succeeds");
-    let (table, fams, fpr) = per_family("window-knn", &records, |r| {
-        knn.process(&r.point)
-    });
+    let (table, fams, fpr) = per_family("window-knn", &records, |r| knn.process(&r.point));
     table.print();
     println!("window-knn fpr: {fpr:.4}\n");
     artifact.insert("window-knn".into(), fams);
@@ -146,7 +141,6 @@ fn main() {
         attack_fraction: 0.01,
         family_weights: [0.4, 0.25, 0.2, 0.15],
         seed: 404,
-        ..Default::default()
     })
     .expect("config is valid");
     let train = generator.generate_normal(TRAIN);
@@ -162,11 +156,11 @@ fn main() {
         .seed(4)
         .build()
         .expect("config is valid");
-    spot.learn_with_examples(&train, &exemplars).expect("learning succeeds");
-    let (table, fams, fpr) =
-        per_family("spot (supervised, rare-attack mix)", &records, |r| {
-            StreamDetector::process(&mut spot, &r.point)
-        });
+    spot.learn_with_examples(&train, &exemplars)
+        .expect("learning succeeds");
+    let (table, fams, fpr) = per_family("spot (supervised, rare-attack mix)", &records, |r| {
+        StreamDetector::process(&mut spot, &r.point)
+    });
     println!("spot (rare mix) fpr: {fpr:.4}");
     artifact.insert("spot-rare-mix".into(), fams);
     emit("e04_kdd_categories", &table, &artifact);

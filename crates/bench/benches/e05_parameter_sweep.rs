@@ -23,7 +23,14 @@ const STREAM: usize = 4000;
 fn main() {
     let mut table = Table::new(
         "E5: parameter sweep (phi=16, 3% planted 2-dim outliers)",
-        &["MaxDimension", "granularity m", "|SST|", "F1", "FPR", "points/s"],
+        &[
+            "MaxDimension",
+            "granularity m",
+            "|SST|",
+            "F1",
+            "FPR",
+            "points/s",
+        ],
     );
     #[derive(serde::Serialize)]
     struct Row {

@@ -26,7 +26,15 @@ const MAX_CARD: usize = 3;
 fn main() {
     let mut table = Table::new(
         "E6: MOGA vs exhaustive subspace search (top-5 recovery, card <= 3)",
-        &["phi", "lattice slice", "brute evals", "moga evals", "recovered (tie-aware)", "brute ms", "moga ms"],
+        &[
+            "phi",
+            "lattice slice",
+            "brute evals",
+            "moga evals",
+            "recovered (tie-aware)",
+            "brute ms",
+            "moga ms",
+        ],
     );
     #[derive(serde::Serialize)]
     struct Row {
@@ -67,19 +75,30 @@ fn main() {
         let mut problem = SparsityProblem::for_targets(&evaluator, vec![target], Some(MAX_CARD));
         let brute = brute_force_top_k(&mut problem, MAX_CARD).expect("phi is small enough");
         let brute_ms = started.elapsed().as_secs_f64() * 1e3;
-        let exact: HashSet<u64> =
-            brute.top_k(TOP_K).into_iter().map(|(s, _)| s.mask()).collect();
+        let exact: HashSet<u64> = brute
+            .top_k(TOP_K)
+            .into_iter()
+            .map(|(s, _)| s.mask())
+            .collect();
 
         // MOGA.
         let started = Instant::now();
         let mut problem = SparsityProblem::for_targets(&evaluator, vec![target], Some(MAX_CARD));
         let moga = spot_moga::run(
             &mut problem,
-            &MogaConfig { population: 40, generations: 30, ..Default::default() },
+            &MogaConfig {
+                population: 40,
+                generations: 30,
+                ..Default::default()
+            },
         )
         .expect("configuration is valid");
         let moga_ms = started.elapsed().as_secs_f64() * 1e3;
-        let got: HashSet<u64> = moga.top_k(TOP_K).into_iter().map(|(s, _)| s.mask()).collect();
+        let got: HashSet<u64> = moga
+            .top_k(TOP_K)
+            .into_iter()
+            .map(|(s, _)| s.mask())
+            .collect();
         let recovered = exact.intersection(&got).count();
         // Tie-aware recovery: sparsity objective sums carry large tie
         // groups (every singleton-cell subspace of the target scores the
@@ -90,7 +109,12 @@ fn main() {
             .iter()
             .map(|(s, objs)| (s.mask(), objs.iter().sum::<f64>()))
             .collect();
-        let band = brute.top_k(TOP_K).last().expect("top-5 of non-empty sweep").1 + 1e-9;
+        let band = brute
+            .top_k(TOP_K)
+            .last()
+            .expect("top-5 of non-empty sweep")
+            .1
+            + 1e-9;
         let within_band = moga
             .top_k(TOP_K)
             .iter()

@@ -33,7 +33,11 @@ fn windowed_f1(spot: &mut Spot, records: &[LabeledRecord]) -> Vec<f64> {
         if (i + 1) % WINDOW == 0 {
             let p = tp as f64 / (tp + fp).max(1) as f64;
             let r_ = tp as f64 / (tp + fn_).max(1) as f64;
-            out.push(if p + r_ > 0.0 { 2.0 * p * r_ / (p + r_) } else { 0.0 });
+            out.push(if p + r_ > 0.0 {
+                2.0 * p * r_ / (p + r_)
+            } else {
+                0.0
+            });
             tp = 0;
             fp = 0;
             fn_ = 0;
@@ -43,15 +47,26 @@ fn windowed_f1(spot: &mut Spot, records: &[LabeledRecord]) -> Vec<f64> {
 }
 
 fn build(adaptive: bool) -> Spot {
-    let mut builder = SpotBuilder::new(DomainBounds::unit(PHI)).fs_max_dimension(2).seed(12);
+    let mut builder = SpotBuilder::new(DomainBounds::unit(PHI))
+        .fs_max_dimension(2)
+        .seed(12);
     builder = if adaptive {
         builder
-            .evolution(EvolutionConfig { period: 500, ..Default::default() })
+            .evolution(EvolutionConfig {
+                period: 500,
+                ..Default::default()
+            })
             .drift(DriftConfig::default())
     } else {
         builder
-            .evolution(EvolutionConfig { enabled: false, ..Default::default() })
-            .drift(DriftConfig { enabled: false, ..Default::default() })
+            .evolution(EvolutionConfig {
+                enabled: false,
+                ..Default::default()
+            })
+            .drift(DriftConfig {
+                enabled: false,
+                ..Default::default()
+            })
     };
     builder.build().expect("config is valid")
 }
@@ -93,7 +108,11 @@ fn main() {
             end.to_string(),
             format!("{fa:.3}"),
             format!("{ff:.3}"),
-            if end as u64 <= DRIFT_AT { "pre-drift".into() } else { "post-drift".to_string() },
+            if end as u64 <= DRIFT_AT {
+                "pre-drift".into()
+            } else {
+                "post-drift".to_string()
+            },
         ]);
     }
 

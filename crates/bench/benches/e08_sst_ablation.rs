@@ -31,7 +31,10 @@ fn build(generator: &SensorGenerator) -> Spot {
         .fs_max_dimension(1)
         .os_capacity(64)
         // Freeze online adaptation so the ablation stays clean.
-        .evolution(EvolutionConfig { enabled: false, ..Default::default() })
+        .evolution(EvolutionConfig {
+            enabled: false,
+            ..Default::default()
+        })
         .seed(14)
         .build()
         .expect("config is valid")
@@ -61,8 +64,13 @@ fn per_family(spot: &mut Spot, records: &[LabeledRecord]) -> (BTreeMap<String, (
 
 fn main() {
     let make_generator = || {
-        SensorGenerator::new(SensorConfig { sensors: 24, fault_fraction: 0.03, seed: 61, ..Default::default() })
-            .expect("config is valid")
+        SensorGenerator::new(SensorConfig {
+            sensors: 24,
+            fault_fraction: 0.03,
+            seed: 61,
+            ..Default::default()
+        })
+        .expect("config is valid")
     };
     let mut generator = make_generator();
     let train = generator.generate_normal(TRAIN);
@@ -81,7 +89,14 @@ fn main() {
 
     let mut table = Table::new(
         "E8: SST ablation on sensor faults (FS MaxDimension=1; corr-break is 2-dim-only)",
-        &["configuration", "|SST|", "corr-break", "spike", "stuck", "FPR"],
+        &[
+            "configuration",
+            "|SST|",
+            "corr-break",
+            "spike",
+            "stuck",
+            "FPR",
+        ],
     );
     #[derive(serde::Serialize)]
     struct Row {
@@ -96,8 +111,9 @@ fn main() {
         let sst = spot.sst().len();
         let (fams, fpr) = per_family(&mut spot, &records);
         let rate = |k: &str| {
-            fams.get(k)
-                .map_or("-".to_string(), |(c, t)| format!("{:.3}", *c as f64 / (*t).max(1) as f64))
+            fams.get(k).map_or("-".to_string(), |(c, t)| {
+                format!("{:.3}", *c as f64 / (*t).max(1) as f64)
+            })
         };
         table.add_row(vec![
             name.to_string(),
@@ -107,7 +123,12 @@ fn main() {
             rate("stuck"),
             format!("{fpr:.4}"),
         ]);
-        artifact.push(Row { configuration: name.to_string(), sst, families: fams, fpr });
+        artifact.push(Row {
+            configuration: name.to_string(),
+            sst,
+            families: fams,
+            fpr,
+        });
     };
 
     // FS only: learn (warms synopses + estimates scales), then drop the
@@ -126,13 +147,15 @@ fn main() {
 
     // FS + OS: supervised exemplars, CS dropped.
     let mut spot = build(&generator);
-    spot.learn_with_examples(&train, &exemplars).expect("learning succeeds");
+    spot.learn_with_examples(&train, &exemplars)
+        .expect("learning succeeds");
     spot.clear_cs();
     run("FS + OS", spot);
 
     // Full SST.
     let mut spot = build(&generator);
-    spot.learn_with_examples(&train, &exemplars).expect("learning succeeds");
+    spot.learn_with_examples(&train, &exemplars)
+        .expect("learning succeeds");
     run("FS + CS + OS", spot);
 
     emit("e08_sst_ablation", &table, &artifact);

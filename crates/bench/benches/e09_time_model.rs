@@ -84,7 +84,10 @@ fn main() {
                 window.push_back(t);
                 all_arrivals.push_back(t);
             }
-            while window.front().is_some_and(|&a| t.saturating_sub(a) >= OMEGA) {
+            while window
+                .front()
+                .is_some_and(|&a| t.saturating_sub(a) >= OMEGA)
+            {
                 window.pop_front();
             }
             // Cap the exact tally's history: beyond 6x omega the weights

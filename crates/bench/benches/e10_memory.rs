@@ -21,7 +21,15 @@ const STREAM: usize = 8000;
 fn main() {
     let mut table = Table::new(
         "E10: synopsis memory after an 8k-point stream (omega=500)",
-        &["phi", "m", "pruning", "base cells", "proj cells", "approx KiB", "raw-window KiB"],
+        &[
+            "phi",
+            "m",
+            "pruning",
+            "base cells",
+            "proj cells",
+            "approx KiB",
+            "raw-window KiB",
+        ],
     );
     #[derive(serde::Serialize)]
     struct Row {

@@ -1,0 +1,274 @@
+//! Hot-path throughput baseline: packed fused synopsis path vs the seed's
+//! boxed-slice two-pass semantics, at ϕ ≥ 20 with a populated SST.
+//!
+//! Writes `BENCH_hotpath.json` at the repository root so future PRs have a
+//! fixed-seed perf baseline to compare against. The "boxed" numbers come
+//! from an in-bench reimplementation of the seed's data path (`Box<[u16]>`
+//! cell keys, separate update and PCS query passes, per-cell `Vec`
+//! moments) — the code this PR replaced.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use spot::SpotBuilder;
+use spot_stream::TimeModel;
+use spot_subspace::Subspace;
+use spot_synopsis::{Grid, SubspacePcs, SynopsisManager};
+use spot_types::{DataPoint, DomainBounds, FxHashMap};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const PHI: usize = 24;
+const SUBSPACES: usize = 64;
+const WARMUP: usize = 2_000;
+const MEASURE: usize = 20_000;
+
+fn random_points(n: usize, dims: usize, seed: u64) -> Vec<DataPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| DataPoint::new((0..dims).map(|_| rng.gen_range(0.0..1.0)).collect()))
+        .collect()
+}
+
+fn sst(phi: usize, n: usize, seed: u64) -> Vec<Subspace> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Subspace> = Vec::new();
+    while out.len() < n {
+        let s = spot_subspace::genetic::random_subspace(phi, 4, &mut rng);
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// The seed's data path, reconstructed: boxed coordinate keys, separate
+/// update + query passes, per-cell heap-allocated moment vectors.
+mod boxed {
+    use super::*;
+
+    pub struct Cell {
+        pub d: f64,
+        pub ls: Vec<f64>,
+        pub ss: Vec<f64>,
+        pub last_tick: u64,
+    }
+
+    pub struct Store {
+        pub subspace: Subspace,
+        pub cells: FxHashMap<Box<[u16]>, Cell>,
+        pub cell_count: f64,
+        pub uniform_sigma: f64,
+    }
+
+    impl Store {
+        pub fn new(grid: &Grid, subspace: Subspace) -> Self {
+            Store {
+                subspace,
+                cells: FxHashMap::default(),
+                cell_count: grid.cell_count_in(&subspace),
+                uniform_sigma: grid.uniform_sigma_in(&subspace),
+            }
+        }
+
+        pub fn project(&self, base: &[u16]) -> Box<[u16]> {
+            self.subspace.dims().map(|d| base[d]).collect()
+        }
+
+        pub fn update(&mut self, model: &TimeModel, now: u64, base: &[u16], p: &DataPoint) {
+            let card = self.subspace.cardinality();
+            let coords = self.project(base);
+            let cell = self.cells.entry(coords).or_insert_with(|| Cell {
+                d: 0.0,
+                ls: vec![0.0; card],
+                ss: vec![0.0; card],
+                last_tick: now,
+            });
+            let f = model.decay_between(cell.last_tick, now);
+            if f != 1.0 {
+                cell.d *= f;
+                for v in &mut cell.ls {
+                    *v *= f;
+                }
+                for v in &mut cell.ss {
+                    *v *= f;
+                }
+            }
+            cell.last_tick = now;
+            cell.d += 1.0;
+            for (i, d) in self.subspace.dims().enumerate() {
+                let v = p.value(d);
+                cell.ls[i] += v;
+                cell.ss[i] += v * v;
+            }
+        }
+
+        pub fn rd_irsd(&self, model: &TimeModel, now: u64, base: &[u16], total: f64) -> (f64, f64) {
+            let coords = self.project(base);
+            let Some(cell) = self.cells.get(&coords) else {
+                return (0.0, 0.0);
+            };
+            let d = cell.d * model.decay_between(cell.last_tick, now);
+            let rd = if total > f64::EPSILON {
+                d * self.cell_count / total
+            } else {
+                0.0
+            };
+            let irsd = if d < 2.0 {
+                0.0
+            } else {
+                let mut acc = 0.0;
+                for i in 0..cell.ls.len() {
+                    let m = cell.ls[i] / d;
+                    acc += (cell.ss[i] / d - m * m).max(0.0);
+                }
+                let sigma = acc.sqrt();
+                if sigma > f64::EPSILON {
+                    self.uniform_sigma / sigma
+                } else {
+                    f64::MAX
+                }
+            };
+            (rd, irsd)
+        }
+    }
+}
+
+fn pts_per_sec(points: usize, start: Instant) -> f64 {
+    points as f64 / start.elapsed().as_secs_f64()
+}
+
+#[derive(Serialize)]
+struct HotpathBaseline {
+    phi: usize,
+    subspaces: usize,
+    granularity: u16,
+    seed: u64,
+    points_measured: usize,
+    /// Seed-style path: boxed keys, update pass + separate query pass.
+    boxed_two_pass_pts_per_sec: f64,
+    /// This PR's path: packed keys, fused single-pass update+query.
+    packed_fused_pts_per_sec: f64,
+    speedup: f64,
+    /// End-to-end `Spot::process` (learned detector, ϕ=16 micro config).
+    spot_process_phi16_pts_per_sec: f64,
+    /// End-to-end `Spot::process_batch` on the same detector/stream.
+    spot_process_batch_phi16_pts_per_sec: f64,
+}
+
+fn main() {
+    let grid = Grid::new(DomainBounds::unit(PHI), 10).unwrap();
+    let tm = TimeModel::new(2000, 0.01).unwrap();
+    let subs = sst(PHI, SUBSPACES, SEED);
+    let warm = random_points(WARMUP, PHI, SEED ^ 1);
+    let pts = random_points(MEASURE, PHI, SEED ^ 2);
+
+    // --- Boxed two-pass (seed semantics). ---
+    let mut stores: Vec<boxed::Store> = subs.iter().map(|&s| boxed::Store::new(&grid, s)).collect();
+    let mut now = 0u64;
+    let mut total = 0.0f64;
+    let decay = tm.decay();
+    let ingest_boxed =
+        |p: &DataPoint, stores: &mut Vec<boxed::Store>, now: &mut u64, total: &mut f64| {
+            *now += 1;
+            *total = *total * decay + 1.0;
+            let base: Box<[u16]> = grid.base_coords(p).unwrap().into_boxed_slice();
+            for store in stores.iter_mut() {
+                store.update(&tm, *now, &base, p);
+            }
+            let mut min_rd = f64::INFINITY;
+            for store in stores.iter() {
+                let (rd, _) = store.rd_irsd(&tm, *now, &base, *total);
+                min_rd = min_rd.min(rd);
+            }
+            min_rd
+        };
+    for p in &warm {
+        ingest_boxed(p, &mut stores, &mut now, &mut total);
+    }
+    let t = Instant::now();
+    let mut acc = 0.0;
+    for p in &pts {
+        acc += ingest_boxed(p, &mut stores, &mut now, &mut total);
+    }
+    let boxed_rate = pts_per_sec(MEASURE, t);
+    std::hint::black_box(acc);
+
+    // --- Packed fused single pass (this PR). ---
+    let mut mgr = SynopsisManager::new(grid.clone(), tm);
+    for &s in &subs {
+        mgr.add_subspace(s);
+    }
+    let mut sink: Vec<SubspacePcs> = Vec::new();
+    let mut now = 0u64;
+    for p in &warm {
+        now += 1;
+        mgr.update_and_query(now, p, &mut sink).unwrap();
+    }
+    let t = Instant::now();
+    let mut acc = 0.0;
+    for p in &pts {
+        now += 1;
+        mgr.update_and_query(now, p, &mut sink).unwrap();
+        let mut min_rd = f64::INFINITY;
+        for e in &sink {
+            min_rd = min_rd.min(e.pcs.rd);
+        }
+        acc += min_rd;
+    }
+    let packed_rate = pts_per_sec(MEASURE, t);
+    std::hint::black_box(acc);
+
+    // --- End-to-end detector, micro's ϕ=16 configuration. ---
+    let dims = 16;
+    let mut spot = SpotBuilder::new(DomainBounds::unit(dims))
+        .fs_max_dimension(2)
+        .seed(9)
+        .build()
+        .unwrap();
+    spot.learn(&random_points(1000, dims, 7)).unwrap();
+    let stream = random_points(8192, dims, 8);
+    let t = Instant::now();
+    let mut outliers = 0usize;
+    for p in &stream {
+        outliers += spot.process(p).unwrap().outlier as usize;
+    }
+    let spot_rate = pts_per_sec(stream.len(), t);
+
+    let mut spot_b = SpotBuilder::new(DomainBounds::unit(dims))
+        .fs_max_dimension(2)
+        .seed(9)
+        .build()
+        .unwrap();
+    spot_b.learn(&random_points(1000, dims, 7)).unwrap();
+    let t = Instant::now();
+    let verdicts = spot_b.process_batch(&stream).unwrap();
+    let spot_batch_rate = pts_per_sec(stream.len(), t);
+    assert_eq!(verdicts.iter().filter(|v| v.outlier).count(), outliers);
+
+    let out = HotpathBaseline {
+        phi: PHI,
+        subspaces: SUBSPACES,
+        granularity: 10,
+        seed: SEED,
+        points_measured: MEASURE,
+        boxed_two_pass_pts_per_sec: boxed_rate,
+        packed_fused_pts_per_sec: packed_rate,
+        speedup: packed_rate / boxed_rate,
+        spot_process_phi16_pts_per_sec: spot_rate,
+        spot_process_batch_phi16_pts_per_sec: spot_batch_rate,
+    };
+    println!(
+        "boxed two-pass   : {:>12.0} pts/s\npacked fused     : {:>12.0} pts/s  ({:.2}x)\nspot process     : {:>12.0} pts/s\nspot batch       : {:>12.0} pts/s",
+        out.boxed_two_pass_pts_per_sec,
+        out.packed_fused_pts_per_sec,
+        out.speedup,
+        out.spot_process_phi16_pts_per_sec,
+        out.spot_process_batch_phi16_pts_per_sec,
+    );
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpath.json");
+    let f = std::fs::File::create(&path).expect("create BENCH_hotpath.json");
+    serde_json::to_writer_pretty(f, &out).expect("write BENCH_hotpath.json");
+    println!("(baseline written to {})", path.display());
+}

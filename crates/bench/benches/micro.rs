@@ -39,15 +39,19 @@ fn bench_grid_mapping(c: &mut Criterion) {
     for dims in [8usize, 32] {
         let grid = Grid::new(DomainBounds::unit(dims), 10).unwrap();
         let pts = random_points(1024, dims, 2);
-        c.bench_with_input(BenchmarkId::new("grid_base_coords", dims), &pts, |b, pts| {
-            b.iter(|| {
-                let mut acc = 0usize;
-                for p in pts {
-                    acc += grid.base_coords(black_box(p)).unwrap()[0] as usize;
-                }
-                acc
-            })
-        });
+        c.bench_with_input(
+            BenchmarkId::new("grid_base_coords", dims),
+            &pts,
+            |b, pts| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for p in pts {
+                        acc += grid.base_coords(black_box(p)).unwrap()[0] as usize;
+                    }
+                    acc
+                })
+            },
+        );
     }
 }
 
@@ -78,6 +82,57 @@ fn bench_manager_update(c: &mut Criterion) {
             },
         );
     }
+}
+
+/// The fused single-pass path: update + per-subspace PCS in one access
+/// (what `Spot::process` actually runs per point).
+fn bench_manager_update_and_query(c: &mut Criterion) {
+    for n_subspaces in [16usize, 64, 256] {
+        let dims = 16;
+        let grid = Grid::new(DomainBounds::unit(dims), 10).unwrap();
+        let mut mgr = SynopsisManager::new(grid, TimeModel::new(2000, 0.01).unwrap());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut added = 0;
+        while added < n_subspaces {
+            if mgr.add_subspace(spot_subspace::genetic::random_subspace(dims, 3, &mut rng)) {
+                added += 1;
+            }
+        }
+        let pts = random_points(512, dims, 4);
+        c.bench_with_input(
+            BenchmarkId::new("manager_update_and_query", n_subspaces),
+            &pts,
+            |b, pts| {
+                let mut now = 0u64;
+                let mut sink = Vec::new();
+                b.iter(|| {
+                    let mut acc = 0.0f64;
+                    for p in pts {
+                        now += 1;
+                        mgr.update_and_query(now, black_box(p), &mut sink).unwrap();
+                        for e in &sink {
+                            acc += e.pcs.rd;
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+    }
+}
+
+fn bench_spot_process_batch(c: &mut Criterion) {
+    let dims = 16;
+    let mut spot = SpotBuilder::new(DomainBounds::unit(dims))
+        .fs_max_dimension(2)
+        .seed(9)
+        .build()
+        .unwrap();
+    spot.learn(&random_points(1000, dims, 7)).unwrap();
+    let pts = random_points(256, dims, 8);
+    c.bench_function("spot_process_batch_256_phi16", |b| {
+        b.iter(|| spot.process_batch(black_box(&pts)).unwrap().len())
+    });
 }
 
 fn bench_nondominated_sort(c: &mut Criterion) {
@@ -132,6 +187,7 @@ criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20);
     targets = bench_bcs_insert, bench_grid_mapping, bench_manager_update,
+              bench_manager_update_and_query, bench_spot_process_batch,
               bench_nondominated_sort, bench_leader_clustering, bench_spot_process
 }
 criterion_main!(micro);

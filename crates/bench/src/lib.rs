@@ -109,7 +109,10 @@ mod tests {
         }
         fn process(&mut self, p: &DataPoint) -> Detection {
             let s = p.value(0).abs();
-            Detection { outlier: s > 0.5, score: s }
+            Detection {
+                outlier: s > 0.5,
+                score: s,
+            }
         }
         fn name(&self) -> &str {
             "threshold"

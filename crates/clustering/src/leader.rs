@@ -39,7 +39,9 @@ impl LeaderClustering {
     /// Creates the method with distance threshold `tau` (> 0).
     pub fn new(tau: f64) -> Result<Self> {
         if tau <= 0.0 || tau.is_nan() || !tau.is_finite() {
-            return Err(SpotError::InvalidConfig(format!("tau must be positive, got {tau}")));
+            return Err(SpotError::InvalidConfig(format!(
+                "tau must be positive, got {tau}"
+            )));
         }
         Ok(LeaderClustering { tau })
     }
@@ -79,7 +81,11 @@ impl LeaderClustering {
                 }
             }
         }
-        Clustering { leaders, assignment, sizes }
+        Clustering {
+            leaders,
+            assignment,
+            sizes,
+        }
     }
 
     /// Clusters `points` in their natural order.

@@ -32,14 +32,21 @@ pub struct OdConfig {
 
 impl Default for OdConfig {
     fn default() -> Self {
-        OdConfig { tau: 1.0, runs: 5, alpha: 0.7, seed: 17 }
+        OdConfig {
+            tau: 1.0,
+            runs: 5,
+            alpha: 0.7,
+            seed: 17,
+        }
     }
 }
 
 impl OdConfig {
     fn validate(&self) -> Result<()> {
         if self.runs == 0 {
-            return Err(SpotError::InvalidConfig("need at least one clustering run".into()));
+            return Err(SpotError::InvalidConfig(
+                "need at least one clustering run".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.alpha) {
             return Err(SpotError::InvalidConfig("alpha must lie in [0,1]".into()));
@@ -82,7 +89,9 @@ pub fn outlying_degrees(points: &[DataPoint], config: &OdConfig) -> Result<Vec<f
 pub fn top_outlying_indices(degrees: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..degrees.len()).collect();
     idx.sort_by(|&a, &b| {
-        degrees[b].partial_cmp(&degrees[a]).expect("outlying degrees are not NaN")
+        degrees[b]
+            .partial_cmp(&degrees[a])
+            .expect("outlying degrees are not NaN")
     });
     idx.truncate(k);
     idx
@@ -109,7 +118,14 @@ mod tests {
     #[test]
     fn stragglers_rank_highest() {
         let pts = blob_with_stragglers();
-        let od = outlying_degrees(&pts, &OdConfig { tau: 1.0, ..Default::default() }).unwrap();
+        let od = outlying_degrees(
+            &pts,
+            &OdConfig {
+                tau: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let top = top_outlying_indices(&od, 2);
         let mut got = top.clone();
         got.sort_unstable();
@@ -127,16 +143,35 @@ mod tests {
 
     #[test]
     fn empty_and_validation() {
-        assert!(outlying_degrees(&[], &OdConfig::default()).unwrap().is_empty());
+        assert!(outlying_degrees(&[], &OdConfig::default())
+            .unwrap()
+            .is_empty());
         let pts = vec![DataPoint::new(vec![0.0])];
-        assert!(outlying_degrees(&pts, &OdConfig { runs: 0, ..Default::default() }).is_err());
-        assert!(outlying_degrees(&pts, &OdConfig { alpha: 1.5, ..Default::default() }).is_err());
+        assert!(outlying_degrees(
+            &pts,
+            &OdConfig {
+                runs: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(outlying_degrees(
+            &pts,
+            &OdConfig {
+                alpha: 1.5,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn deterministic_for_fixed_seed() {
         let pts = blob_with_stragglers();
-        let cfg = OdConfig { seed: 99, ..Default::default() };
+        let cfg = OdConfig {
+            seed: 99,
+            ..Default::default()
+        };
         assert_eq!(
             outlying_degrees(&pts, &cfg).unwrap(),
             outlying_degrees(&pts, &cfg).unwrap()

@@ -1,0 +1,208 @@
+//! In-tree stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness exposing the API surface the workspace's benches use —
+//! `Criterion::{default, sample_size, bench_function, bench_with_input}`,
+//! `Bencher::iter`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Each benchmark is timed over `sample_size` samples after a short
+//! calibration pass; the mean and minimum per-iteration times are printed.
+//! Results are also recorded so a wrapper (see `crates/bench`) can collect
+//! machine-readable numbers.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// One measured benchmark outcome.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id.
+    pub id: String,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Minimum seconds per iteration.
+    pub min_s: f64,
+    /// Iterations per sample used.
+    pub iters_per_sample: u64,
+}
+
+/// Runs closures under timing.
+pub struct Bencher<'a> {
+    sample_size: usize,
+    result: &'a mut Option<(f64, f64, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Benchmarks `routine`, timing `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: aim for samples of at least ~2ms or 1 iteration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let one = t0.elapsed().max(Duration::from_nanos(20));
+        let iters = (Duration::from_millis(2).as_nanos() / one.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            total += dt;
+            let per = dt.as_secs_f64() / iters as f64;
+            if per < min {
+                min = per;
+            }
+        }
+        let mean = total.as_secs_f64() / (self.sample_size as u64 * iters) as f64;
+        *self.result = Some((mean, min, iters));
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    /// All measurements taken so far.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut result = None;
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut b);
+        self.record(id.to_string(), result);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut result = None;
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut b, input);
+        self.record(id.to_string(), result);
+        self
+    }
+
+    fn record(&mut self, id: String, result: Option<(f64, f64, u64)>) {
+        match result {
+            Some((mean, min, iters)) => {
+                println!(
+                    "{id:<40} mean {:>12}   min {:>12}   ({iters} iters/sample)",
+                    fmt_time(mean),
+                    fmt_time(min)
+                );
+                self.measurements.push(Measurement {
+                    id,
+                    mean_s: mean,
+                    min_s: min,
+                    iters_per_sample: iters,
+                });
+            }
+            None => println!("{id:<40} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.measurements.len(), 1);
+        assert!(c.measurements[0].mean_s > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+    }
+}

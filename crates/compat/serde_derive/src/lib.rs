@@ -1,0 +1,434 @@
+//! Derive macros for the in-tree `serde` stand-in.
+//!
+//! The build environment has no crates.io access, so this crate re-implements
+//! the `#[derive(Serialize, Deserialize)]` surface the workspace actually
+//! uses — named structs, tuple structs, and enums with unit / newtype /
+//! struct variants, plus the `#[serde(skip)]` and `#[serde(default)]` field
+//! attributes. It parses the item token stream by hand (no `syn`/`quote`)
+//! and emits impls of the value-tree traits defined in `crates/compat/serde`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String, // field name for named fields, index string for tuple fields
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Struct(String, Vec<Field>),
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, Vec<Field>),
+    Enum(String, Vec<Variant>),
+}
+
+/// Collects `skip`/`default` markers out of a `#[serde(...)]` attribute group.
+fn serde_attr_flags(group: &proc_macro::Group, skip: &mut bool) {
+    for tok in group.stream() {
+        if let TokenTree::Group(inner) = tok {
+            for t in inner.stream() {
+                if let TokenTree::Ident(w) = t {
+                    if w.to_string() == "skip" {
+                        *skip = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Consumes leading attributes (`# [ ... ]`), reporting whether any of them
+/// was a `#[serde(skip)]`.
+fn eat_attributes(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    let mut is_serde = false;
+                    for t in g.stream() {
+                        if let TokenTree::Ident(w) = &t {
+                            if w.to_string() == "serde" {
+                                is_serde = true;
+                            }
+                        }
+                    }
+                    if is_serde {
+                        serde_attr_flags(&g, &mut skip);
+                    }
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Parses the fields of a braced (named) struct/variant body.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let skip = eat_attributes(&mut tokens);
+        // Optional visibility.
+        while let Some(TokenTree::Ident(id)) = tokens.peek() {
+            let s = id.to_string();
+            if s == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        fields.push(Field { name, skip });
+        // Skip `: Type` up to the next top-level comma.
+        let mut depth = 0i32;
+        for t in tokens.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Parses the fields of a parenthesized (tuple) struct/variant body.
+fn parse_tuple_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    let mut idx = 0usize;
+    loop {
+        let skip = eat_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let mut depth = 0i32;
+        let mut ended = false;
+        for t in tokens.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    ended = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name: idx.to_string(),
+            skip,
+        });
+        idx += 1;
+        if !ended {
+            break;
+        }
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    eat_attributes(&mut tokens);
+    // Skip visibility and find `struct`/`enum`.
+    let mut kind = String::new();
+    for t in tokens.by_ref() {
+        if let TokenTree::Ident(id) = t {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                kind = s;
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name after `{kind}`, found {other:?}"),
+    };
+    // No generics support: the workspace derives only on concrete types.
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
+            Item::NamedStruct(name, parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Item::TupleStruct(name, parse_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "enum" => {
+            Item::Enum(name, parse_variants(g.stream()))
+        }
+        other => panic!("unsupported item shape for derive on `{name}`: {other:?}"),
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        eat_attributes(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                tokens.next();
+                if fields.len() == 1 {
+                    variants.push(Variant::Newtype(name));
+                } else {
+                    panic!("multi-field tuple enum variants are not supported: {name}");
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                variants.push(Variant::Struct(name, fields));
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        // Skip to next comma (handles discriminants, which do not occur here).
+        while let Some(t) = tokens.peek() {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    tokens.next();
+                    break;
+                }
+            }
+            tokens.next();
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::NamedStruct(name, fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "obj.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = Vec::new();
+                        {pushes}
+                        ::serde::Value::Object(obj)
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct(name, fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if live.len() == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{
+                        fn to_value(&self) -> ::serde::Value {{
+                            ::serde::Serialize::to_value(&self.{})
+                        }}
+                    }}",
+                    live[0].name
+                )
+            } else {
+                let mut pushes = String::new();
+                for f in &live {
+                    pushes.push_str(&format!(
+                        "arr.push(::serde::Serialize::to_value(&self.{}));\n",
+                        f.name
+                    ));
+                }
+                format!(
+                    "impl ::serde::Serialize for {name} {{
+                        fn to_value(&self) -> ::serde::Value {{
+                            let mut arr: ::std::vec::Vec<::serde::Value> = Vec::new();
+                            {pushes}
+                            ::serde::Value::Array(arr)
+                        }}
+                    }}"
+                )
+            }
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in &variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Variant::Newtype(vn) => arms.push_str(&format!(
+                        "{name}::{vn}(inner) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(inner))]),\n"
+                    )),
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "obj.push((\"{n}\".to_string(), ::serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{
+                                let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = Vec::new();
+                                {pushes}
+                                ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(obj))])
+                            }},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item {
+        Item::NamedStruct(name, fields) => {
+            let mut inits = String::new();
+            for f in &fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::Deserialize::from_value(v.get_field(\"{n}\")
+                            .unwrap_or(&::serde::Value::Null))
+                            .map_err(|e| e.in_field(\"{n}\"))?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Item::TupleStruct(name, fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if live.len() == 1 && fields.len() == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{
+                        fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                            Ok({name}(::serde::Deserialize::from_value(v)?))
+                        }}
+                    }}"
+                )
+            } else {
+                let mut inits = String::new();
+                for (i, f) in fields.iter().enumerate() {
+                    if f.skip {
+                        inits.push_str("::std::default::Default::default(),\n");
+                    } else {
+                        inits.push_str(&format!(
+                            "::serde::Deserialize::from_value(v.get_index({i})
+                                .unwrap_or(&::serde::Value::Null))?,\n"
+                        ));
+                    }
+                }
+                format!(
+                    "impl ::serde::Deserialize for {name} {{
+                        fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                            Ok({name}({inits}))
+                        }}
+                    }}"
+                )
+            }
+        }
+        Item::Enum(name, variants) => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in &variants {
+                match v {
+                    Variant::Unit(vn) => str_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Newtype(vn) => obj_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Variant::Struct(vn, fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!("{}: ::std::default::Default::default(),\n", f.name));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{n}: ::serde::Deserialize::from_value(inner.get_field(\"{n}\")
+                                        .unwrap_or(&::serde::Value::Null))?,\n",
+                                    n = f.name
+                                ));
+                            }
+                        }
+                        obj_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{ {inits} }}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{
+                        match v {{
+                            ::serde::Value::Str(s) => match s.as_str() {{
+                                {str_arms}
+                                other => Err(::serde::DeError::custom(format!(
+                                    \"unknown variant `{{other}}` for {name}\"))),
+                            }},
+                            ::serde::Value::Object(entries) if entries.len() == 1 => {{
+                                let (tag, inner) = &entries[0];
+                                match tag.as_str() {{
+                                    {obj_arms}
+                                    other => Err(::serde::DeError::custom(format!(
+                                        \"unknown variant `{{other}}` for {name}\"))),
+                                }}
+                            }}
+                            _ => Err(::serde::DeError::custom(
+                                \"expected string or single-key object for enum {name}\".to_string())),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}

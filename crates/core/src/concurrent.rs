@@ -21,7 +21,9 @@ pub struct SharedSpot {
 impl SharedSpot {
     /// Wraps a detector.
     pub fn new(spot: Spot) -> Self {
-        SharedSpot { inner: Arc::new(Mutex::new(spot)) }
+        SharedSpot {
+            inner: Arc::new(Mutex::new(spot)),
+        }
     }
 
     /// Runs the learning stage.
@@ -32,6 +34,13 @@ impl SharedSpot {
     /// Processes one point.
     pub fn process(&self, point: &DataPoint) -> Result<Verdict> {
         self.inner.lock().process(point)
+    }
+
+    /// Processes a batch under a single lock acquisition — the preferred
+    /// entry for producer threads that drain their channel in chunks, since
+    /// per-point locking dominates once the synopsis path itself is cheap.
+    pub fn process_batch(&self, points: &[DataPoint]) -> Result<Vec<Verdict>> {
+        self.inner.lock().process_batch(points)
     }
 
     /// Snapshot of the running counters.
@@ -65,7 +74,10 @@ mod tests {
 
     #[test]
     fn shared_processing_across_threads() {
-        let spot = SpotBuilder::new(DomainBounds::unit(4)).seed(3).build().unwrap();
+        let spot = SpotBuilder::new(DomainBounds::unit(4))
+            .seed(3)
+            .build()
+            .unwrap();
         let shared = SharedSpot::new(spot);
         shared.learn(&train()).unwrap();
 
@@ -92,7 +104,10 @@ mod tests {
 
     #[test]
     fn with_gives_full_access() {
-        let spot = SpotBuilder::new(DomainBounds::unit(4)).seed(3).build().unwrap();
+        let spot = SpotBuilder::new(DomainBounds::unit(4))
+            .seed(3)
+            .build()
+            .unwrap();
         let shared = SharedSpot::new(spot);
         let phi = shared.with(|s| s.config().phi());
         assert_eq!(phi, 4);

@@ -26,7 +26,10 @@ impl Default for Thresholds {
         // a lone point in a 2-dim cell sits at RD = 100/N ≈ 0.05–0.055 —
         // the threshold must clear that singleton level with margin while
         // rejecting cells that already hold a second point (RD ≈ 0.11).
-        Thresholds { rd: 0.06, irsd: Some(5.0) }
+        Thresholds {
+            rd: 0.06,
+            irsd: Some(5.0),
+        }
     }
 }
 
@@ -125,7 +128,13 @@ pub struct DriftConfig {
 
 impl Default for DriftConfig {
     fn default() -> Self {
-        DriftConfig { enabled: true, delta: 0.02, lambda: 5.0, min_points: 1000, novelty_floor: 5.0 }
+        DriftConfig {
+            enabled: true,
+            delta: 0.02,
+            lambda: 5.0,
+            min_points: 1000,
+            novelty_floor: 5.0,
+        }
     }
 }
 
@@ -197,11 +206,15 @@ impl SpotConfig {
             return Err(SpotError::TooManyDimensions(phi));
         }
         if self.thresholds.rd <= 0.0 {
-            return Err(SpotError::InvalidConfig("rd threshold must be positive".into()));
+            return Err(SpotError::InvalidConfig(
+                "rd threshold must be positive".into(),
+            ));
         }
         if let Some(irsd) = self.thresholds.irsd {
             if irsd <= 0.0 {
-                return Err(SpotError::InvalidConfig("irsd threshold must be positive".into()));
+                return Err(SpotError::InvalidConfig(
+                    "irsd threshold must be positive".into(),
+                ));
             }
         }
         if self.fs_max_dimension == 0 {
@@ -217,19 +230,27 @@ impl SpotConfig {
             )));
         }
         if !(0.0..=1.0).contains(&self.learning.top_fraction) {
-            return Err(SpotError::InvalidConfig("top_fraction must lie in [0,1]".into()));
+            return Err(SpotError::InvalidConfig(
+                "top_fraction must lie in [0,1]".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.learning.od_alpha) {
-            return Err(SpotError::InvalidConfig("od_alpha must lie in [0,1]".into()));
+            return Err(SpotError::InvalidConfig(
+                "od_alpha must lie in [0,1]".into(),
+            ));
         }
         if self.learning.od_runs == 0 {
             return Err(SpotError::InvalidConfig("od_runs must be positive".into()));
         }
         if self.evolution.enabled && self.evolution.period == 0 {
-            return Err(SpotError::InvalidConfig("evolution period must be positive".into()));
+            return Err(SpotError::InvalidConfig(
+                "evolution period must be positive".into(),
+            ));
         }
         if self.evolution.reservoir == 0 {
-            return Err(SpotError::InvalidConfig("reservoir must be positive".into()));
+            return Err(SpotError::InvalidConfig(
+                "reservoir must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -244,7 +265,9 @@ pub struct SpotBuilder {
 impl SpotBuilder {
     /// Starts from the defaults for the given bounds.
     pub fn new(bounds: DomainBounds) -> Self {
-        SpotBuilder { config: SpotConfig::new(bounds) }
+        SpotBuilder {
+            config: SpotConfig::new(bounds),
+        }
     }
 
     /// Grid granularity per dimension.

@@ -11,7 +11,7 @@ use spot_clustering::{outlying_degrees, top_outlying_indices, OdConfig};
 use spot_moga::MogaConfig;
 use spot_stream::LogicalClock;
 use spot_subspace::{genetic, ScoredSubspace, Subspace};
-use spot_synopsis::{Grid, SynopsisManager};
+use spot_synopsis::{Grid, SubspacePcs, SynopsisManager, UpdateOutcome};
 use spot_types::{
     DataPoint, Detection, FxHashSet, Result, SpotError, StreamDetector, StreamRecord,
 };
@@ -67,6 +67,11 @@ pub struct Spot {
     drift: PageHinkley,
     stats: SpotStats,
     learned: bool,
+    /// Reused per-point PCS sink (keeps the hot path allocation-free).
+    pcs_sink: Vec<SubspacePcs>,
+    /// Reused batch sinks/outcomes for [`Spot::process_batch`].
+    batch_sinks: Vec<Vec<SubspacePcs>>,
+    batch_outcomes: Vec<UpdateOutcome>,
 }
 
 impl Spot {
@@ -77,8 +82,17 @@ impl Spot {
         let phi = config.phi();
         let grid = Grid::new(config.bounds.clone(), config.granularity)?;
         let manager = SynopsisManager::new(grid, config.time_model);
-        let sst = Sst::new(phi, config.fs_max_dimension, config.cs_capacity, config.os_capacity)?;
-        let drift = PageHinkley::new(config.drift.delta, config.drift.lambda, config.drift.min_points);
+        let sst = Sst::new(
+            phi,
+            config.fs_max_dimension,
+            config.cs_capacity,
+            config.os_capacity,
+        )?;
+        let drift = PageHinkley::new(
+            config.drift.delta,
+            config.drift.lambda,
+            config.drift.min_points,
+        );
         let rng = StdRng::seed_from_u64(config.seed);
         let mut spot = Spot {
             config,
@@ -94,6 +108,9 @@ impl Spot {
             drift,
             stats: SpotStats::default(),
             learned: false,
+            pcs_sink: Vec::new(),
+            batch_sinks: Vec::new(),
+            batch_outcomes: Vec::new(),
         };
         spot.sync_manager_subspaces(false);
         Ok(spot)
@@ -160,18 +177,19 @@ impl Spot {
         }
         for p in training.iter().chain(outlier_examples) {
             if p.dims() != self.phi {
-                return Err(SpotError::DimensionMismatch { expected: self.phi, got: p.dims() });
+                return Err(SpotError::DimensionMismatch {
+                    expected: self.phi,
+                    got: p.dims(),
+                });
             }
         }
         let learning = self.config.learning.clone();
-        let evaluator =
-            TrainingEvaluator::new(self.manager.grid().clone(), training.to_vec())?;
+        let evaluator = TrainingEvaluator::new(self.manager.grid().clone(), training.to_vec())?;
         let mut evaluations = 0usize;
 
         // (1) MOGA over the whole batch: globally sparse subspaces.
         let whole = {
-            let mut problem =
-                SparsityProblem::whole_batch(&evaluator, learning.max_cardinality);
+            let mut problem = SparsityProblem::whole_batch(&evaluator, learning.max_cardinality);
             let out = spot_moga::run(&mut problem, &learning.moga)?;
             evaluations += out.evaluations;
             out.top_k(learning.moga_top_k)
@@ -222,8 +240,7 @@ impl Spot {
             let mut combined = training.to_vec();
             let first_exemplar = combined.len();
             combined.extend_from_slice(outlier_examples);
-            let ex_evaluator =
-                TrainingEvaluator::new(self.manager.grid().clone(), combined)?;
+            let ex_evaluator = TrainingEvaluator::new(self.manager.grid().clone(), combined)?;
             let per_exemplar_k = learning.moga_top_k.div_ceil(2).clamp(1, 5);
             for (i, _) in outlier_examples.iter().enumerate() {
                 let mut problem = SparsityProblem::for_targets(
@@ -264,16 +281,131 @@ impl Spot {
         })
     }
 
-    /// Detection stage for one arriving point: update the synapses, check
-    /// the PCS of the point's cell in every SST subspace against the
-    /// thresholds, run periodic maintenance (self-evolution, OS growth,
-    /// drift response, pruning).
+    /// Detection stage for one arriving point: update the synapses and read
+    /// back the PCS of the point's cell in every SST subspace *in the same
+    /// pass* (no second projection or hash lookup), check the thresholds,
+    /// run periodic maintenance (self-evolution, OS growth, drift response,
+    /// pruning). On the steady state the synopsis work allocates nothing;
+    /// see `spot_synopsis`'s crate docs for the key layout.
     pub fn process(&mut self, point: &DataPoint) -> Result<Verdict> {
         if point.dims() != self.phi {
-            return Err(SpotError::DimensionMismatch { expected: self.phi, got: point.dims() });
+            return Err(SpotError::DimensionMismatch {
+                expected: self.phi,
+                got: point.dims(),
+            });
         }
         let now = self.clock.tick();
-        let outcome = self.manager.update(now, point)?;
+        // The sink is swapped out so `evaluate_point` can borrow self
+        // mutably; its capacity survives the round-trip.
+        let mut sink = std::mem::take(&mut self.pcs_sink);
+        let outcome = match self.manager.update_and_query(now, point, &mut sink) {
+            Ok(o) => o,
+            Err(e) => {
+                self.pcs_sink = sink;
+                return Err(e);
+            }
+        };
+        let verdict = self.evaluate_point(now, point, &outcome, &sink);
+        self.pcs_sink = sink;
+        Ok(verdict)
+    }
+
+    /// Batch detection: processes `points` as if fed one-by-one to
+    /// [`Spot::process`], but ingests them in maintenance-bounded runs so
+    /// the per-point synopsis work is a tight loop over pre-quantized
+    /// coordinates (and, with the `parallel` feature, fans per-subspace
+    /// store updates across threads).
+    ///
+    /// Input validation is all-or-nothing: every point is checked for
+    /// dimension mismatches and NaN values before anything is ingested.
+    ///
+    /// Semantics match the one-by-one path exactly, with one documented
+    /// exception: a *drift-triggered* self-evolution that fires mid-run is
+    /// applied at the end of that run (at most [`Spot::BATCH_RUN`] points
+    /// late) rather than on the alarm's exact tick. Periodic evolution and
+    /// pruning stay on their exact ticks — runs never span a maintenance
+    /// boundary.
+    pub fn process_batch(&mut self, points: &[DataPoint]) -> Result<Vec<Verdict>> {
+        for p in points {
+            if p.dims() != self.phi {
+                return Err(SpotError::DimensionMismatch {
+                    expected: self.phi,
+                    got: p.dims(),
+                });
+            }
+            for (d, &v) in p.values().iter().enumerate() {
+                if v.is_nan() {
+                    return Err(SpotError::NonFiniteValue { dim: d });
+                }
+            }
+        }
+        let mut verdicts = Vec::with_capacity(points.len());
+        let mut rest = points;
+        while !rest.is_empty() {
+            let start = self.clock.now() + 1;
+            let len = self.run_len(start, rest.len());
+            let (run, tail) = rest.split_at(len);
+            rest = tail;
+
+            let mut sinks = std::mem::take(&mut self.batch_sinks);
+            let mut outcomes = std::mem::take(&mut self.batch_outcomes);
+            let res = self
+                .manager
+                .update_and_query_batch(start, run, &mut sinks, &mut outcomes);
+            if let Err(e) = res {
+                self.batch_sinks = sinks;
+                self.batch_outcomes = outcomes;
+                return Err(e);
+            }
+            for (i, p) in run.iter().enumerate() {
+                let now = self.clock.tick();
+                debug_assert_eq!(now, start + i as u64);
+                verdicts.push(self.evaluate_point(now, p, &outcomes[i], &sinks[i]));
+            }
+            self.batch_sinks = sinks;
+            self.batch_outcomes = outcomes;
+        }
+        Ok(verdicts)
+    }
+
+    /// Maximum points per internal batch run (bounds how late a
+    /// drift-triggered self-evolution can be applied).
+    pub const BATCH_RUN: usize = 256;
+
+    /// Length of the next batch run starting at `start`: capped at
+    /// [`Spot::BATCH_RUN`] and never spanning a periodic-maintenance tick
+    /// (the run *ends on* the maintenance tick, so maintenance runs at
+    /// exactly the same point in the stream as under one-by-one
+    /// processing).
+    fn run_len(&self, start: u64, remaining: usize) -> usize {
+        let mut len = remaining.min(Self::BATCH_RUN);
+        let mut cap_at_period = |p: u64| {
+            if p == 0 {
+                return;
+            }
+            // First multiple of p at or after start, inclusive in the run.
+            let next = start.div_ceil(p) * p;
+            let span = (next - start + 1).min(len as u64) as usize;
+            len = span.max(1);
+        };
+        if self.config.evolution.enabled {
+            cap_at_period(self.config.evolution.period);
+        }
+        cap_at_period(self.config.prune_every);
+        len
+    }
+
+    /// Thresholds, drift signal, maintenance — everything that happens to a
+    /// point after its synopsis pass. `entries` is the per-subspace PCS
+    /// list produced in that pass.
+    fn evaluate_point(
+        &mut self,
+        now: u64,
+        point: &DataPoint,
+        outcome: &UpdateOutcome,
+        entries: &[SubspacePcs],
+    ) -> Verdict {
+        let _ = outcome; // prior_base_count is an observability hook today
         self.stats.processed += 1;
 
         // Outlier-ness check in every SST subspace. The same sweep collects
@@ -283,34 +415,33 @@ impl Spot {
         // saturates; low-dimensional projections stay dense under a stable
         // distribution and light up when it moves.)
         let thresholds = self.config.thresholds;
-        let grid = self.manager.grid();
         let mut findings: Vec<SubspaceFinding> = Vec::new();
         let mut min_rd = f64::INFINITY;
         let mut monitored = 0u32;
         let mut monitored_fresh = 0u32;
-        for s in &self.active {
-            let Some(pcs) = self.manager.pcs(now, &outcome.base_coords, s) else {
-                continue;
-            };
-            min_rd = min_rd.min(pcs.rd);
-            // Freshness: the decayed occupancy of the cell (recovered from
-            // RD) counts the point itself, so `< novelty_floor` means the
-            // cell held (almost) nothing before this arrival. A stationary
-            // stream revisits its cells; a drifting one keeps opening fresh
-            // ones. Only the immutable FS stores feed the signal — CS/OS
-            // churn under self-evolution and their freshly warmed stores
-            // would contaminate it.
-            if s.cardinality() <= self.config.fs_max_dimension {
+        for e in entries {
+            min_rd = min_rd.min(e.pcs.rd);
+            // Freshness: the decayed occupancy of the cell counts the point
+            // itself, so `< novelty_floor` means the cell held (almost)
+            // nothing before this arrival. A stationary stream revisits its
+            // cells; a drifting one keeps opening fresh ones. Only the
+            // immutable FS stores feed the signal — CS/OS churn under
+            // self-evolution and their freshly warmed stores would
+            // contaminate it.
+            if e.subspace.cardinality() <= self.config.fs_max_dimension {
                 monitored += 1;
-                let occupancy = pcs.rd * outcome.total_weight / grid.cell_count_in(s);
-                if occupancy < self.config.drift.novelty_floor {
+                if e.occupancy < self.config.drift.novelty_floor {
                     monitored_fresh += 1;
                 }
             }
-            let flagged = pcs.rd < thresholds.rd
-                && thresholds.irsd.is_none_or(|t| pcs.irsd < t);
+            let flagged =
+                e.pcs.rd < thresholds.rd && thresholds.irsd.is_none_or(|t| e.pcs.irsd < t);
             if flagged {
-                findings.push(SubspaceFinding { subspace: *s, rd: pcs.rd, irsd: pcs.irsd });
+                findings.push(SubspaceFinding {
+                    subspace: e.subspace,
+                    rd: e.pcs.rd,
+                    irsd: e.pcs.irsd,
+                });
             }
         }
         findings.sort_by(|a, b| a.rd.partial_cmp(&b.rd).expect("RD values are not NaN"));
@@ -335,17 +466,26 @@ impl Spot {
         }
 
         // Periodic maintenance.
-        if self.config.evolution.enabled && now % self.config.evolution.period == 0 {
+        if self.config.evolution.enabled && now.is_multiple_of(self.config.evolution.period) {
             self.self_evolve(now);
             self.grow_os(now);
         }
-        if self.config.prune_every > 0 && now % self.config.prune_every == 0 {
-            self.stats.cells_pruned +=
-                self.manager.prune(now, self.config.prune_floor) as u64;
+        if self.config.prune_every > 0 && now.is_multiple_of(self.config.prune_every) {
+            self.stats.cells_pruned += self.manager.prune(now, self.config.prune_floor) as u64;
         }
 
-        let score = if min_rd.is_finite() { 1.0 / (1.0 + min_rd) } else { 0.0 };
-        Ok(Verdict { tick: now, outlier, score, findings, drift: drift_fired })
+        let score = if min_rd.is_finite() {
+            1.0 / (1.0 + min_rd)
+        } else {
+            0.0
+        };
+        Verdict {
+            tick: now,
+            outlier,
+            score,
+            findings,
+            drift: drift_fired,
+        }
     }
 
     /// Convenience wrapper over [`Spot::process`] for stream records.
@@ -382,8 +522,7 @@ impl Spot {
         if self.reservoir.len() < 8 {
             return Err(SpotError::NotLearned);
         }
-        let mut pts: Vec<DataPoint> =
-            self.reservoir.iter().map(|(_, p)| p.clone()).collect();
+        let mut pts: Vec<DataPoint> = self.reservoir.iter().map(|(_, p)| p.clone()).collect();
         let target = pts.len();
         pts.push(point.clone());
         let evaluator = TrainingEvaluator::new(self.manager.grid().clone(), pts)?;
@@ -434,7 +573,10 @@ impl Spot {
             }
             let (rd, irsd) = evaluator.sparsity(s, targets.as_deref());
             let dim = 0.25 * s.cardinality() as f64 / self.phi as f64;
-            candidates.push(ScoredSubspace { subspace: s, score: rd + irsd + dim });
+            candidates.push(ScoredSubspace {
+                subspace: s,
+                score: rd + irsd + dim,
+            });
         }
         self.sst.evolve_cs(candidates);
         self.sync_manager_subspaces(true);
@@ -455,13 +597,9 @@ impl Spot {
         // Targets are the buffered outliers, which sit at the tail of the
         // combined evaluator batch built by `reservoir_evaluator`.
         let n_reservoir = self.reservoir.len();
-        let targets: Vec<usize> =
-            (n_reservoir..n_reservoir + self.outlier_buffer.len()).collect();
-        let mut problem = SparsityProblem::for_targets(
-            &evaluator,
-            targets,
-            self.config.learning.max_cardinality,
-        );
+        let targets: Vec<usize> = (n_reservoir..n_reservoir + self.outlier_buffer.len()).collect();
+        let mut problem =
+            SparsityProblem::for_targets(&evaluator, targets, self.config.learning.max_cardinality);
         let Ok(out) = spot_moga::run(&mut problem, &self.online_moga_config()) else {
             return;
         };
@@ -483,8 +621,8 @@ impl Spot {
     fn online_moga_config(&self) -> MogaConfig {
         let base = &self.config.learning.moga;
         MogaConfig {
-            population: base.population.min(24).max(8),
-            generations: base.generations.min(12).max(4),
+            population: base.population.clamp(8, 24),
+            generations: base.generations.clamp(4, 12),
             crossover_rate: base.crossover_rate,
             mutation_rate: base.mutation_rate,
             seed: self.config.seed ^ self.stats.processed,
@@ -494,8 +632,7 @@ impl Spot {
     /// Evaluator over reservoir ∪ outlier buffer; targets = buffer indices
     /// (None when the buffer is empty → whole-batch objectives).
     fn reservoir_evaluator(&self) -> Option<(TrainingEvaluator, Option<Vec<usize>>)> {
-        let mut pts: Vec<DataPoint> =
-            self.reservoir.iter().map(|(_, p)| p.clone()).collect();
+        let mut pts: Vec<DataPoint> = self.reservoir.iter().map(|(_, p)| p.clone()).collect();
         let n_reservoir = pts.len();
         pts.extend(self.outlier_buffer.iter().map(|(_, p)| p.clone()));
         let targets = if self.outlier_buffer.is_empty() {
@@ -590,7 +727,10 @@ impl StreamDetector for Spot {
 
     fn process(&mut self, point: &DataPoint) -> Detection {
         match Spot::process(self, point) {
-            Ok(v) => Detection { outlier: v.outlier, score: v.score },
+            Ok(v) => Detection {
+                outlier: v.outlier,
+                score: v.score,
+            },
             Err(_) => Detection::outlier(f64::INFINITY),
         }
     }
@@ -626,7 +766,10 @@ mod tests {
     }
 
     fn spot() -> Spot {
-        SpotBuilder::new(DomainBounds::unit(6)).seed(5).build().unwrap()
+        SpotBuilder::new(DomainBounds::unit(6))
+            .seed(5)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -735,7 +878,10 @@ mod tests {
     fn self_evolution_runs_periodically() {
         let mut s = SpotBuilder::new(DomainBounds::unit(6))
             .seed(5)
-            .evolution(EvolutionConfig { period: 50, ..Default::default() })
+            .evolution(EvolutionConfig {
+                period: 50,
+                ..Default::default()
+            })
             .build()
             .unwrap();
         s.learn(&training(300)).unwrap();
@@ -765,6 +911,122 @@ mod tests {
             s.process(&DataPoint::new(v)).unwrap();
         }
         assert!(s.stats().cells_pruned > 0);
+    }
+
+    #[test]
+    fn nan_points_rejected_and_detector_stays_usable() {
+        let mut s = spot();
+        s.learn(&training(200)).unwrap();
+        let mut bad = vec![0.5; 6];
+        bad[3] = f64::NAN;
+        let before = s.stats().processed;
+        let err = s.process(&DataPoint::new(bad.clone())).unwrap_err();
+        assert!(matches!(err, SpotError::NonFiniteValue { dim: 3 }));
+        assert_eq!(s.stats().processed, before, "rejected point must not count");
+        // Batch path validates up front: nothing is ingested.
+        let batch = vec![DataPoint::new(vec![0.5; 6]), DataPoint::new(bad)];
+        assert!(s.process_batch(&batch).is_err());
+        assert_eq!(s.stats().processed, before);
+        // Infinities are clamped, not rejected.
+        assert!(s.process(&DataPoint::new(vec![f64::INFINITY; 6])).is_ok());
+        assert!(s.process(&DataPoint::new(vec![0.5; 6])).is_ok());
+    }
+
+    #[test]
+    fn process_batch_matches_one_by_one() {
+        // Periodic evolution + pruning land inside the stream so the batch
+        // path has to split runs at the maintenance boundaries; drift is
+        // left at its default (alarms never fire on these short streams).
+        let build = || {
+            let mut s = SpotBuilder::new(DomainBounds::unit(6))
+                .seed(11)
+                .evolution(EvolutionConfig {
+                    period: 150,
+                    ..Default::default()
+                })
+                .pruning(100, 1e-4)
+                .build()
+                .unwrap();
+            s.learn(&training(300)).unwrap();
+            s
+        };
+        let mut stream = training(400);
+        for (i, p) in stream.iter_mut().enumerate() {
+            if i % 17 == 0 {
+                let mut v = p.values().to_vec();
+                v[2 + i % 4] = 0.97;
+                *p = DataPoint::new(v);
+            }
+        }
+        let mut serial = build();
+        let serial_verdicts: Vec<Verdict> =
+            stream.iter().map(|p| serial.process(p).unwrap()).collect();
+        let mut batched = build();
+        let batch_verdicts = batched.process_batch(&stream).unwrap();
+        assert_eq!(serial_verdicts.len(), batch_verdicts.len());
+        for (a, b) in serial_verdicts.iter().zip(&batch_verdicts) {
+            assert_eq!(a.tick, b.tick);
+            assert_eq!(a.outlier, b.outlier, "tick {}", a.tick);
+            assert_eq!(a.score, b.score, "tick {}", a.tick);
+            assert_eq!(a.findings, b.findings, "tick {}", a.tick);
+        }
+        assert_eq!(serial.stats(), batched.stats());
+        assert_eq!(serial.footprint(), batched.footprint());
+    }
+
+    #[test]
+    fn process_batch_in_chunks_matches_single_batch() {
+        let mut a = spot();
+        a.learn(&training(300)).unwrap();
+        let mut b = spot();
+        b.learn(&training(300)).unwrap();
+        let stream = training(200);
+        let whole = a.process_batch(&stream).unwrap();
+        let mut chunked = Vec::new();
+        for chunk in stream.chunks(33) {
+            chunked.extend(b.process_batch(chunk).unwrap());
+        }
+        assert_eq!(whole.len(), chunked.len());
+        for (x, y) in whole.iter().zip(&chunked) {
+            assert_eq!((x.tick, x.outlier), (y.tick, y.outlier));
+        }
+    }
+
+    #[test]
+    fn long_uniform_stream_footprint_plateaus() {
+        // Memory guard: under a stationary stream with pruning enabled the
+        // live-cell population must stop growing once the space's support
+        // is covered — the synopsis may not grow with stream length.
+        let mut s = SpotBuilder::new(DomainBounds::unit(6))
+            .seed(3)
+            .time_model(spot_stream::TimeModel::new(500, 0.01).unwrap())
+            .pruning(250, 1e-3)
+            .build()
+            .unwrap();
+        s.learn(&training(300)).unwrap();
+        let stream: Vec<DataPoint> = (0..4000)
+            .map(|i| {
+                DataPoint::new(vec![
+                    (i % 89) as f64 / 89.0,
+                    ((i * 7) % 97) as f64 / 97.0,
+                    ((i * 13) % 83) as f64 / 83.0,
+                    ((i * 3) % 79) as f64 / 79.0,
+                    ((i * 11) % 73) as f64 / 73.0,
+                    ((i * 5) % 71) as f64 / 71.0,
+                ])
+            })
+            .collect();
+        s.process_batch(&stream[..2000]).unwrap();
+        let mid = s.footprint().approx_bytes;
+        s.process_batch(&stream[2000..]).unwrap();
+        let end = s.footprint().approx_bytes;
+        assert!(s.stats().cells_pruned > 0, "pruning never ran");
+        // Allow slack for hash-map capacity growth, but the footprint must
+        // not keep scaling with the stream.
+        assert!(
+            end <= mid * 2,
+            "footprint kept growing: {mid} -> {end} bytes"
+        );
     }
 
     #[test]
@@ -800,7 +1062,10 @@ mod tests {
     #[test]
     fn explain_requires_recent_data() {
         let mut s = spot();
-        assert_eq!(s.explain(&DataPoint::new(vec![0.5; 6]), 3), Err(SpotError::NotLearned));
+        assert_eq!(
+            s.explain(&DataPoint::new(vec![0.5; 6]), 3),
+            Err(SpotError::NotLearned)
+        );
     }
 
     #[test]
@@ -818,10 +1083,10 @@ mod tests {
     #[test]
     fn estimate_tau_is_positive_and_scales() {
         let mut rng = StdRng::seed_from_u64(1);
-        let near: Vec<DataPoint> =
-            (0..50).map(|i| DataPoint::new(vec![i as f64 * 1e-4])).collect();
-        let far: Vec<DataPoint> =
-            (0..50).map(|i| DataPoint::new(vec![i as f64])).collect();
+        let near: Vec<DataPoint> = (0..50)
+            .map(|i| DataPoint::new(vec![i as f64 * 1e-4]))
+            .collect();
+        let far: Vec<DataPoint> = (0..50).map(|i| DataPoint::new(vec![i as f64])).collect();
         let t_near = estimate_tau(&near, &mut rng);
         let t_far = estimate_tau(&far, &mut rng);
         assert!(t_near > 0.0);

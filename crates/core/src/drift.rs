@@ -24,7 +24,15 @@ impl PageHinkley {
     /// fluctuation, `lambda` the alarm threshold, `min_n` the warm-up
     /// sample count before alarms may fire.
     pub fn new(delta: f64, lambda: f64, min_n: u64) -> Self {
-        PageHinkley { delta, lambda, min_n, n: 0, mean: 0.0, cum: 0.0, min_cum: 0.0 }
+        PageHinkley {
+            delta,
+            lambda,
+            min_n,
+            n: 0,
+            mean: 0.0,
+            cum: 0.0,
+            min_cum: 0.0,
+        }
     }
 
     /// Observes one value; returns `true` when drift is signalled. The

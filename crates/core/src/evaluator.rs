@@ -16,7 +16,7 @@
 
 use spot_moga::SubspaceProblem;
 use spot_subspace::Subspace;
-use spot_synopsis::{CellCoords, Grid};
+use spot_synopsis::{CellKey, Grid};
 use spot_types::{DataPoint, FxHashMap, Result, SpotError};
 
 /// IRSD values are clamped to this cap before normalization so a single
@@ -37,7 +37,7 @@ pub struct TrainingEvaluator {
     grid: Grid,
     points: Vec<DataPoint>,
     /// Base-cell coordinates per point, precomputed once.
-    coords: Vec<CellCoords>,
+    coords: Vec<Vec<u16>>,
 }
 
 impl TrainingEvaluator {
@@ -51,7 +51,11 @@ impl TrainingEvaluator {
             .iter()
             .map(|p| grid.base_coords(p))
             .collect::<Result<Vec<_>>>()?;
-        Ok(TrainingEvaluator { grid, points, coords })
+        Ok(TrainingEvaluator {
+            grid,
+            points,
+            coords,
+        })
     }
 
     /// Number of points in the batch.
@@ -79,10 +83,10 @@ impl TrainingEvaluator {
     /// normalized as `rd/(1+rd)` into `[0,1)`; IRSD is clamped at
     /// [`IRSD_CAP`] and scaled into `[0,1]`.
     pub fn sparsity(&self, s: Subspace, targets: Option<&[usize]>) -> (f64, f64) {
-        let mut cells: FxHashMap<CellCoords, CellAgg> = FxHashMap::default();
+        let mut cells: FxHashMap<CellKey, CellAgg> = FxHashMap::default();
         let card = s.cardinality();
         for (p, base) in self.points.iter().zip(self.coords.iter()) {
-            let key = self.grid.project(base, &s);
+            let key = self.grid.project_key(base, &s);
             let agg = cells.entry(key).or_insert_with(|| CellAgg {
                 count: 0.0,
                 ls: vec![0.0; card],
@@ -99,8 +103,10 @@ impl TrainingEvaluator {
         let cell_count = self.grid.cell_count_in(&s);
         let uniform_sigma = self.grid.uniform_sigma_in(&s);
         let score_one = |idx: usize| -> (f64, f64) {
-            let key = self.grid.project(&self.coords[idx], &s);
-            let agg = cells.get(&key).expect("every point's own cell is populated");
+            let key = self.grid.project_key(&self.coords[idx], &s);
+            let agg = cells
+                .get(&key)
+                .expect("every point's own cell is populated");
             let rd = agg.count * cell_count / n;
             let irsd = if agg.count < 2.0 {
                 0.0
@@ -161,7 +167,12 @@ pub struct SparsityProblem<'a> {
 impl<'a> SparsityProblem<'a> {
     /// Problem over all batch points.
     pub fn whole_batch(evaluator: &'a TrainingEvaluator, max_cardinality: Option<usize>) -> Self {
-        SparsityProblem { evaluator, targets: None, max_cardinality, dim_penalty: 0.25 }
+        SparsityProblem {
+            evaluator,
+            targets: None,
+            max_cardinality,
+            dim_penalty: 0.25,
+        }
     }
 
     /// Problem over a target subset (e.g. the top outlying-degree points or
@@ -171,7 +182,12 @@ impl<'a> SparsityProblem<'a> {
         targets: Vec<usize>,
         max_cardinality: Option<usize>,
     ) -> Self {
-        SparsityProblem { evaluator, targets: Some(targets), max_cardinality, dim_penalty: 0.25 }
+        SparsityProblem {
+            evaluator,
+            targets: Some(targets),
+            max_cardinality,
+            dim_penalty: 0.25,
+        }
     }
 }
 
@@ -261,7 +277,11 @@ mod tests {
         let mut problem = SparsityProblem::for_targets(&ev, vec![99], Some(2));
         let out = spot_moga::run(
             &mut problem,
-            &spot_moga::MogaConfig { population: 16, generations: 15, ..Default::default() },
+            &spot_moga::MogaConfig {
+                population: 16,
+                generations: 15,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Dim 0 (alone or with dim 1) must appear among the top subspaces;

@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn snapshot_roundtrip_preserves_sst() {
-        let mut spot = SpotBuilder::new(DomainBounds::unit(4)).seed(3).build().unwrap();
+        let mut spot = SpotBuilder::new(DomainBounds::unit(4))
+            .seed(3)
+            .build()
+            .unwrap();
         spot.learn(&train()).unwrap();
         let snap = spot.snapshot();
         assert_eq!(snap.version, SNAPSHOT_VERSION);
@@ -92,7 +95,10 @@ mod tests {
 
     #[test]
     fn restored_detector_detects() {
-        let mut spot = SpotBuilder::new(DomainBounds::unit(4)).seed(3).build().unwrap();
+        let mut spot = SpotBuilder::new(DomainBounds::unit(4))
+            .seed(3)
+            .build()
+            .unwrap();
         spot.learn(&train()).unwrap();
         let snap = spot.snapshot();
         let mut restored = Spot::from_snapshot(snap).unwrap();
@@ -100,9 +106,13 @@ mod tests {
         for p in train() {
             restored.process(&p).unwrap();
         }
-        let v = restored.process(&DataPoint::new(vec![0.95, 0.02, 0.9, 0.05])).unwrap();
+        let v = restored
+            .process(&DataPoint::new(vec![0.95, 0.02, 0.9, 0.05]))
+            .unwrap();
         assert!(v.outlier);
-        let v = restored.process(&DataPoint::new(vec![0.21, 0.31, 0.45, 0.52])).unwrap();
+        let v = restored
+            .process(&DataPoint::new(vec![0.21, 0.31, 0.45, 0.52]))
+            .unwrap();
         assert!(!v.outlier);
     }
 

@@ -36,7 +36,12 @@ pub struct Sst {
 impl Sst {
     /// Builds the template: FS is enumerated immediately, CS/OS start empty
     /// with the given capacities.
-    pub fn new(phi: usize, fs_max_dimension: usize, cs_capacity: usize, os_capacity: usize) -> Result<Self> {
+    pub fn new(
+        phi: usize,
+        fs_max_dimension: usize,
+        cs_capacity: usize,
+        os_capacity: usize,
+    ) -> Result<Self> {
         let fs = SubspaceSet::from_iter(enumerate_up_to_dim(phi, fs_max_dimension)?);
         Ok(Sst {
             fs,
@@ -181,8 +186,14 @@ mod tests {
         sst.add_cs(s(&[1, 2]), 0.4);
         sst.add_os(s(&[1, 3]), 0.4);
         assert_eq!(sst.component_of(&s(&[0])), Some(SstComponent::Fixed));
-        assert_eq!(sst.component_of(&s(&[1, 2])), Some(SstComponent::Clustering));
-        assert_eq!(sst.component_of(&s(&[1, 3])), Some(SstComponent::OutlierDriven));
+        assert_eq!(
+            sst.component_of(&s(&[1, 2])),
+            Some(SstComponent::Clustering)
+        );
+        assert_eq!(
+            sst.component_of(&s(&[1, 3])),
+            Some(SstComponent::OutlierDriven)
+        );
         assert_eq!(sst.component_of(&s(&[0, 1, 2, 3])), None);
     }
 
@@ -191,9 +202,18 @@ mod tests {
         let mut sst = Sst::new(4, 1, 2, 2).unwrap();
         sst.add_cs(s(&[0, 1]), 0.9);
         sst.evolve_cs(vec![
-            ScoredSubspace { subspace: s(&[0, 1]), score: 0.9 },
-            ScoredSubspace { subspace: s(&[2, 3]), score: 0.1 },
-            ScoredSubspace { subspace: s(&[1, 2]), score: 0.5 },
+            ScoredSubspace {
+                subspace: s(&[0, 1]),
+                score: 0.9,
+            },
+            ScoredSubspace {
+                subspace: s(&[2, 3]),
+                score: 0.1,
+            },
+            ScoredSubspace {
+                subspace: s(&[1, 2]),
+                score: 0.5,
+            },
         ]);
         let cs: Vec<Subspace> = sst.cs().map(|e| e.subspace).collect();
         assert_eq!(cs, vec![s(&[2, 3]), s(&[1, 2])]); // capacity 2, best two

@@ -88,8 +88,16 @@ mod tests {
             outlier: true,
             score: 0.9,
             findings: vec![
-                SubspaceFinding { subspace: s0, rd: 0.01, irsd: 0.0 },
-                SubspaceFinding { subspace: s1, rd: 0.05, irsd: 1.0 },
+                SubspaceFinding {
+                    subspace: s0,
+                    rd: 0.01,
+                    irsd: 0.0,
+                },
+                SubspaceFinding {
+                    subspace: s1,
+                    rd: 0.05,
+                    irsd: 1.0,
+                },
             ],
             drift: false,
         };
@@ -99,7 +107,13 @@ mod tests {
 
     #[test]
     fn empty_verdict() {
-        let v = Verdict { tick: 1, outlier: false, score: 0.1, findings: vec![], drift: false };
+        let v = Verdict {
+            tick: 1,
+            outlier: false,
+            score: 0.1,
+            findings: vec![],
+            drift: false,
+        };
         assert!(v.top_finding().is_none());
         assert!(v.subspaces().is_empty());
     }

@@ -24,7 +24,9 @@ pub fn write_csv<W: Write>(w: W, records: &[LabeledRecord]) -> Result<()> {
             Label::Anomaly(info) => (info.category.as_str(), info.true_subspace.unwrap_or(0)),
         };
         if category.contains(',') {
-            return Err(SpotError::Io(format!("category {category:?} contains a comma")));
+            return Err(SpotError::Io(format!(
+                "category {category:?} contains a comma"
+            )));
         }
         write!(w, "{},{},{}", r.seq, category, mask)?;
         for v in r.point.values() {
@@ -95,8 +97,7 @@ pub fn load_csv(path: impl AsRef<Path>) -> Result<Vec<LabeledRecord>> {
 pub fn save_json<T: serde::Serialize>(path: impl AsRef<Path>, value: &T) -> Result<()> {
     let f = std::fs::File::create(path)?;
     let mut w = BufWriter::new(f);
-    serde_json::to_writer_pretty(&mut w, value)
-        .map_err(|e| SpotError::Io(e.to_string()))?;
+    serde_json::to_writer_pretty(&mut w, value).map_err(|e| SpotError::Io(e.to_string()))?;
     w.flush()?;
     Ok(())
 }

@@ -108,7 +108,9 @@ impl DriftingGenerator {
         let mut rec = if use_new {
             self.after.next().expect("synthetic generator is unbounded")
         } else {
-            self.before.next().expect("synthetic generator is unbounded")
+            self.before
+                .next()
+                .expect("synthetic generator is unbounded")
         };
         rec.seq = self.emitted - 1;
         rec
@@ -138,7 +140,11 @@ mod tests {
     use super::*;
 
     fn cfg(seed: u64) -> SyntheticConfig {
-        SyntheticConfig { seed, dims: 8, ..Default::default() }
+        SyntheticConfig {
+            seed,
+            dims: 8,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -150,14 +156,26 @@ mod tests {
         let mut before = SyntheticGenerator::new(cfg(1)).unwrap();
         let before_recs: Vec<_> = before.generate(100);
         assert_eq!(
-            recs[..100].iter().map(|r| r.point.clone()).collect::<Vec<_>>(),
-            before_recs.iter().map(|r| r.point.clone()).collect::<Vec<_>>()
+            recs[..100]
+                .iter()
+                .map(|r| r.point.clone())
+                .collect::<Vec<_>>(),
+            before_recs
+                .iter()
+                .map(|r| r.point.clone())
+                .collect::<Vec<_>>()
         );
         // Post-switch records differ from a continued pre-drift stream.
         let continued: Vec<_> = before.generate(100);
         assert_ne!(
-            recs[100..].iter().map(|r| r.point.clone()).collect::<Vec<_>>(),
-            continued.iter().map(|r| r.point.clone()).collect::<Vec<_>>()
+            recs[100..]
+                .iter()
+                .map(|r| r.point.clone())
+                .collect::<Vec<_>>(),
+            continued
+                .iter()
+                .map(|r| r.point.clone())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -166,7 +184,10 @@ mod tests {
         let mut g = DriftingGenerator::reseeded(
             cfg(2),
             7,
-            DriftKind::Gradual { start: 100, duration: 100 },
+            DriftKind::Gradual {
+                start: 100,
+                duration: 100,
+            },
         )
         .unwrap();
         assert_eq!(g.new_fraction(), 0.0);
@@ -183,7 +204,10 @@ mod tests {
         let mut g = DriftingGenerator::reseeded(
             cfg(3),
             8,
-            DriftKind::Gradual { start: 10, duration: 0 },
+            DriftKind::Gradual {
+                start: 10,
+                duration: 0,
+            },
         )
         .unwrap();
         g.generate(10);
@@ -202,9 +226,16 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seeds() {
         let make = || {
-            DriftingGenerator::reseeded(cfg(5), 11, DriftKind::Gradual { start: 5, duration: 10 })
-                .unwrap()
-                .generate(50)
+            DriftingGenerator::reseeded(
+                cfg(5),
+                11,
+                DriftKind::Gradual {
+                    start: 5,
+                    duration: 10,
+                },
+            )
+            .unwrap()
+            .generate(50)
         };
         assert_eq!(make(), make());
     }

@@ -18,25 +18,25 @@ use spot_types::{AnomalyInfo, DataPoint, DomainBounds, Label, LabeledRecord, Res
 
 /// The 20 continuous features of the simulated connection records.
 pub const FEATURE_NAMES: [&str; 20] = [
-    "duration",             // 0
-    "src_bytes",            // 1
-    "dst_bytes",            // 2
-    "wrong_fragment",       // 3
-    "urgent",               // 4
-    "hot",                  // 5
-    "num_failed_logins",    // 6
-    "num_compromised",      // 7
-    "root_shell",           // 8
-    "num_root",             // 9
-    "num_file_creations",   // 10
-    "count",                // 11
-    "srv_count",            // 12
-    "serror_rate",          // 13
-    "rerror_rate",          // 14
-    "same_srv_rate",        // 15
-    "diff_srv_rate",        // 16
-    "dst_host_count",       // 17
-    "dst_host_srv_count",   // 18
+    "duration",                    // 0
+    "src_bytes",                   // 1
+    "dst_bytes",                   // 2
+    "wrong_fragment",              // 3
+    "urgent",                      // 4
+    "hot",                         // 5
+    "num_failed_logins",           // 6
+    "num_compromised",             // 7
+    "root_shell",                  // 8
+    "num_root",                    // 9
+    "num_file_creations",          // 10
+    "count",                       // 11
+    "srv_count",                   // 12
+    "serror_rate",                 // 13
+    "rerror_rate",                 // 14
+    "same_srv_rate",               // 15
+    "diff_srv_rate",               // 16
+    "dst_host_count",              // 17
+    "dst_host_srv_count",          // 18
     "dst_host_same_src_port_rate", // 19
 ];
 
@@ -58,7 +58,12 @@ pub enum AttackKind {
 
 impl AttackKind {
     /// All families.
-    pub const ALL: [AttackKind; 4] = [AttackKind::Dos, AttackKind::Probe, AttackKind::R2l, AttackKind::U2r];
+    pub const ALL: [AttackKind; 4] = [
+        AttackKind::Dos,
+        AttackKind::Probe,
+        AttackKind::R2l,
+        AttackKind::U2r,
+    ];
 
     /// Category string used in labels.
     pub fn name(&self) -> &'static str {
@@ -118,12 +123,16 @@ impl Default for KddConfig {
 impl KddConfig {
     fn validate(&self) -> Result<()> {
         if !(0.0..=0.5).contains(&self.attack_fraction) {
-            return Err(SpotError::InvalidConfig("attack fraction must be in [0,0.5]".into()));
+            return Err(SpotError::InvalidConfig(
+                "attack fraction must be in [0,0.5]".into(),
+            ));
         }
         if self.family_weights.iter().any(|&w| w < 0.0)
             || self.family_weights.iter().sum::<f64>() <= 0.0
         {
-            return Err(SpotError::InvalidConfig("family weights must be non-negative, not all zero".into()));
+            return Err(SpotError::InvalidConfig(
+                "family weights must be non-negative, not all zero".into(),
+            ));
         }
         Ok(())
     }
@@ -151,7 +160,12 @@ impl KddGenerator {
     pub fn new(config: KddConfig) -> Result<Self> {
         config.validate()?;
         let rng = StdRng::seed_from_u64(config.seed);
-        Ok(KddGenerator { config, profiles: stock_profiles(), rng, next_seq: 0 })
+        Ok(KddGenerator {
+            config,
+            profiles: stock_profiles(),
+            rng,
+            next_seq: 0,
+        })
     }
 
     /// Feature-space bounds (all features normalized to the unit box).
@@ -275,19 +289,28 @@ fn stock_profiles() -> Vec<Profile> {
     base_sigma[19] = 0.08;
 
     // Interactive (ssh/telnet-like): long duration, few bytes.
-    let mut interactive = Profile { mean: base_mean, sigma: base_sigma };
+    let mut interactive = Profile {
+        mean: base_mean,
+        sigma: base_sigma,
+    };
     interactive.mean[0] = 0.6;
     interactive.mean[1] = 0.15;
     interactive.mean[2] = 0.15;
 
     // Bulk transfer (ftp-like): short bursts, many bytes.
-    let mut bulk = Profile { mean: base_mean, sigma: base_sigma };
+    let mut bulk = Profile {
+        mean: base_mean,
+        sigma: base_sigma,
+    };
     bulk.mean[0] = 0.1;
     bulk.mean[1] = 0.7;
     bulk.mean[2] = 0.65;
 
     // Web (http-like): the base shape.
-    let web = Profile { mean: base_mean, sigma: base_sigma };
+    let web = Profile {
+        mean: base_mean,
+        sigma: base_sigma,
+    };
 
     vec![web, interactive, bulk]
 }
@@ -298,8 +321,11 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(KddGenerator::new(KddConfig { attack_fraction: 0.9, ..Default::default() })
-            .is_err());
+        assert!(KddGenerator::new(KddConfig {
+            attack_fraction: 0.9,
+            ..Default::default()
+        })
+        .is_err());
         assert!(KddGenerator::new(KddConfig {
             family_weights: [0.0; 4],
             ..Default::default()
@@ -336,7 +362,10 @@ mod tests {
         assert!((rate - 0.2).abs() < 0.03, "rate={rate}");
         // DoS must dominate; U2R must be rare yet present.
         let count = |name: &str| {
-            attacks.iter().filter(|r| r.label.category() == name).count() as f64
+            attacks
+                .iter()
+                .filter(|r| r.label.category() == name)
+                .count() as f64
         };
         assert!(count("dos") > count("probe"));
         assert!(count("probe") > count("u2r"));
@@ -345,7 +374,12 @@ mod tests {
 
     #[test]
     fn attacks_deviate_in_signature_dims_only_mostly() {
-        let mut g = KddGenerator::new(KddConfig { attack_fraction: 0.5, seed: 11, ..Default::default() }).unwrap();
+        let mut g = KddGenerator::new(KddConfig {
+            attack_fraction: 0.5,
+            seed: 11,
+            ..Default::default()
+        })
+        .unwrap();
         // Collect per-dim means of normal vs dos records.
         let recs = g.generate(8000);
         let mut normal_sum = [0.0f64; NUM_FEATURES];
@@ -360,8 +394,8 @@ mod tests {
             } else {
                 continue;
             };
-            for d in 0..NUM_FEATURES {
-                sum[d] += r.point.value(d);
+            for (d, acc) in sum.iter_mut().enumerate() {
+                *acc += r.point.value(d);
             }
             *n += 1.0;
         }
@@ -377,7 +411,11 @@ mod tests {
 
     #[test]
     fn labels_carry_family_subspaces() {
-        let mut g = KddGenerator::new(KddConfig { attack_fraction: 0.3, ..Default::default() }).unwrap();
+        let mut g = KddGenerator::new(KddConfig {
+            attack_fraction: 0.3,
+            ..Default::default()
+        })
+        .unwrap();
         for r in g.generate(2000).iter().filter(|r| r.is_anomaly()) {
             let info = r.label.anomaly().unwrap();
             let kind = AttackKind::ALL

@@ -67,10 +67,14 @@ impl SensorConfig {
             return Err(SpotError::InvalidConfig("cycle must be positive".into()));
         }
         if !(0.0..=0.5).contains(&self.fault_fraction) {
-            return Err(SpotError::InvalidConfig("fault fraction must be in [0,0.5]".into()));
+            return Err(SpotError::InvalidConfig(
+                "fault fraction must be in [0,0.5]".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.coupling) {
-            return Err(SpotError::InvalidConfig("coupling must lie in [0,1]".into()));
+            return Err(SpotError::InvalidConfig(
+                "coupling must lie in [0,1]".into(),
+            ));
         }
         if self.noise <= 0.0 || self.amplitude < 0.0 {
             return Err(SpotError::InvalidConfig("noise must be positive".into()));
@@ -117,9 +121,16 @@ impl SensorGenerator {
     pub fn new(config: SensorConfig) -> Result<Self> {
         config.validate()?;
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let offsets: Vec<f64> =
-            (0..config.sensors).map(|_| rng.gen_range(0.35..0.65)).collect();
-        Ok(SensorGenerator { config, offsets, rng, t: 0, next_seq: 0 })
+        let offsets: Vec<f64> = (0..config.sensors)
+            .map(|_| rng.gen_range(0.35..0.65))
+            .collect();
+        Ok(SensorGenerator {
+            config,
+            offsets,
+            rng,
+            t: 0,
+            next_seq: 0,
+        })
     }
 
     /// Reading-space bounds.
@@ -143,9 +154,8 @@ impl SensorGenerator {
     }
 
     fn healthy_reading(&mut self) -> DataPoint {
-        let phase =
-            2.0 * std::f64::consts::PI * (self.t % self.config.cycle) as f64
-                / self.config.cycle as f64;
+        let phase = 2.0 * std::f64::consts::PI * (self.t % self.config.cycle) as f64
+            / self.config.cycle as f64;
         let diurnal = self.config.amplitude * phase.sin();
         let n = self.config.sensors;
         let mut vals = Vec::with_capacity(n);

@@ -80,13 +80,19 @@ impl SyntheticConfig {
             return Err(SpotError::InvalidConfig("need at least one cluster".into()));
         }
         if self.cluster_subspace_dims == 0 || self.cluster_subspace_dims > self.dims {
-            return Err(SpotError::InvalidConfig("cluster subspace dims out of range".into()));
+            return Err(SpotError::InvalidConfig(
+                "cluster subspace dims out of range".into(),
+            ));
         }
         if self.outlier_subspace_dims == 0 || self.outlier_subspace_dims > self.dims {
-            return Err(SpotError::InvalidConfig("outlier subspace dims out of range".into()));
+            return Err(SpotError::InvalidConfig(
+                "outlier subspace dims out of range".into(),
+            ));
         }
         if !(0.0..=0.5).contains(&self.outlier_fraction) {
-            return Err(SpotError::InvalidConfig("outlier fraction must be in [0, 0.5]".into()));
+            return Err(SpotError::InvalidConfig(
+                "outlier fraction must be in [0, 0.5]".into(),
+            ));
         }
         if self.tight_sigma <= 0.0 || self.broad_sigma <= 0.0 {
             return Err(SpotError::InvalidConfig("sigmas must be positive".into()));
@@ -133,8 +139,7 @@ impl SyntheticGenerator {
                 // Keep centers away from the box boundary so broad noise
                 // mostly stays in [0,1] (default range 0.25..0.75).
                 let (lo, hi) = config.center_range;
-                let center: Vec<f64> =
-                    (0..config.dims).map(|_| rng.gen_range(lo..hi)).collect();
+                let center: Vec<f64> = (0..config.dims).map(|_| rng.gen_range(lo..hi)).collect();
                 let subspace = spot_subspace::genetic::random_subspace(
                     config.dims,
                     config.cluster_subspace_dims,
@@ -151,7 +156,13 @@ impl SyntheticGenerator {
                 outlier_subspaces.push(s);
             }
         }
-        Ok(SyntheticGenerator { config, clusters, outlier_subspaces, rng, next_seq: 0 })
+        Ok(SyntheticGenerator {
+            config,
+            clusters,
+            outlier_subspaces,
+            rng,
+            next_seq: 0,
+        })
     }
 
     /// The configuration used.
@@ -372,7 +383,9 @@ mod tests {
             // away from every center (rejection sampling guarantees all
             // dims except the clamped fallback; be tolerant).
             let ok = s.dims().any(|d| {
-                clusters.iter().all(|c| (r.point.value(d) - c[d]).abs() >= min_gap * 0.99)
+                clusters
+                    .iter()
+                    .all(|c| (r.point.value(d) - c[d]).abs() >= min_gap * 0.99)
             });
             assert!(ok, "outlier not displaced: {:?}", r.point);
             checked += 1;

@@ -103,7 +103,12 @@ mod tests {
 
     #[test]
     fn rates_on_known_matrix() {
-        let m = ConfusionMatrix { tp: 8, fp: 2, tn: 85, fn_: 5 };
+        let m = ConfusionMatrix {
+            tp: 8,
+            fp: 2,
+            tn: 85,
+            fn_: 5,
+        };
         assert!((m.precision() - 0.8).abs() < 1e-12);
         assert!((m.recall() - 8.0 / 13.0).abs() < 1e-12);
         assert!((m.false_positive_rate() - 2.0 / 87.0).abs() < 1e-12);
@@ -124,7 +129,13 @@ mod tests {
 
     #[test]
     fn record_and_from_pairs_agree() {
-        let pairs = [(true, true), (true, false), (false, false), (false, true), (true, true)];
+        let pairs = [
+            (true, true),
+            (true, false),
+            (false, false),
+            (false, true),
+            (true, true),
+        ];
         let mut a = ConfusionMatrix::new();
         for &(p, t) in &pairs {
             a.record(p, t);
@@ -139,9 +150,27 @@ mod tests {
 
     #[test]
     fn merge_adds_counts() {
-        let mut a = ConfusionMatrix { tp: 1, fp: 2, tn: 3, fn_: 4 };
-        a.merge(&ConfusionMatrix { tp: 10, fp: 20, tn: 30, fn_: 40 });
-        assert_eq!(a, ConfusionMatrix { tp: 11, fp: 22, tn: 33, fn_: 44 });
+        let mut a = ConfusionMatrix {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        };
+        a.merge(&ConfusionMatrix {
+            tp: 10,
+            fp: 20,
+            tn: 30,
+            fn_: 40,
+        });
+        assert_eq!(
+            a,
+            ConfusionMatrix {
+                tp: 11,
+                fp: 22,
+                tn: 33,
+                fn_: 44
+            }
+        );
     }
 
     proptest! {

@@ -19,7 +19,10 @@ impl Default for ThroughputMeter {
 impl ThroughputMeter {
     /// Starts the clock.
     pub fn new() -> Self {
-        ThroughputMeter { started: Instant::now(), items: 0 }
+        ThroughputMeter {
+            started: Instant::now(),
+            items: 0,
+        }
     }
 
     /// Records `n` processed items.
@@ -61,7 +64,11 @@ impl LatencyRecorder {
     /// Recorder holding at most `capacity` samples (≥ 1).
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
-        LatencyRecorder { samples: Vec::with_capacity(capacity), capacity, seen: 0 }
+        LatencyRecorder {
+            samples: Vec::with_capacity(capacity),
+            capacity,
+            seen: 0,
+        }
     }
 
     /// Records one latency observation.
@@ -74,8 +81,8 @@ impl LatencyRecorder {
             // Deterministic reservoir: replace a pseudo-random slot derived
             // from the sequence number (keeps the recorder dependency-free
             // and reproducible).
-            let slot = (self.seen.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize
-                % self.capacity;
+            let slot =
+                (self.seen.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.capacity;
             self.samples[slot] = micros;
         }
     }
@@ -154,7 +161,11 @@ mod tests {
 
     #[test]
     fn memory_reading_total() {
-        let m = MemoryReading { base_cells: 3, projected_cells: 7, approx_bytes: 123 };
+        let m = MemoryReading {
+            base_cells: 3,
+            projected_cells: 7,
+            approx_bytes: 123,
+        };
         assert_eq!(m.total_cells(), 10);
     }
 }

@@ -5,7 +5,11 @@
 /// class is absent — the uninformative default.
 pub fn roc_auc(scored: &[(f64, bool)]) -> f64 {
     let pos: Vec<f64> = scored.iter().filter(|(_, y)| *y).map(|(s, _)| *s).collect();
-    let neg: Vec<f64> = scored.iter().filter(|(_, y)| !*y).map(|(s, _)| *s).collect();
+    let neg: Vec<f64> = scored
+        .iter()
+        .filter(|(_, y)| !*y)
+        .map(|(s, _)| *s)
+        .collect();
     if pos.is_empty() || neg.is_empty() {
         return 0.5;
     }
@@ -99,7 +103,11 @@ mod tests {
         ];
         // Naive: fraction of (pos, neg) pairs ranked correctly.
         let pos: Vec<f64> = scored.iter().filter(|(_, y)| *y).map(|(s, _)| *s).collect();
-        let neg: Vec<f64> = scored.iter().filter(|(_, y)| !*y).map(|(s, _)| *s).collect();
+        let neg: Vec<f64> = scored
+            .iter()
+            .filter(|(_, y)| !*y)
+            .map(|(s, _)| *s)
+            .collect();
         let mut wins = 0.0;
         for &p in &pos {
             for &q in &neg {

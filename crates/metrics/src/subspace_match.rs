@@ -74,6 +74,9 @@ mod tests {
         ];
         let r = subspace_recall_at(pairs, 0.99);
         assert!((r - 0.5).abs() < 1e-12);
-        assert_eq!(subspace_recall_at(Vec::<(Subspace, &[Subspace])>::new(), 0.5), 0.0);
+        assert_eq!(
+            subspace_recall_at(Vec::<(Subspace, &[Subspace])>::new(), 0.5),
+            0.0
+        );
     }
 }

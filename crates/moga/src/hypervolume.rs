@@ -62,7 +62,11 @@ pub fn hypervolume(front: &[Vec<f64>], reference: &[f64]) -> f64 {
             let mut active: Vec<(f64, f64)> = Vec::new();
             for (i, p) in pts.iter().enumerate() {
                 // Depth of this slice along z.
-                let z_hi = if i + 1 < pts.len() { pts[i + 1][2] } else { reference[2] };
+                let z_hi = if i + 1 < pts.len() {
+                    pts[i + 1][2]
+                } else {
+                    reference[2]
+                };
                 active.push((p[0], p[1]));
                 let mut slice: Vec<(f64, f64)> = active.clone();
                 slice.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("objectives are not NaN"));

@@ -45,16 +45,24 @@ impl Default for MogaConfig {
 impl MogaConfig {
     fn validate(&self) -> Result<()> {
         if self.population < 4 {
-            return Err(SpotError::InvalidConfig("MOGA population must be at least 4".into()));
+            return Err(SpotError::InvalidConfig(
+                "MOGA population must be at least 4".into(),
+            ));
         }
         if self.generations == 0 {
-            return Err(SpotError::InvalidConfig("MOGA needs at least one generation".into()));
+            return Err(SpotError::InvalidConfig(
+                "MOGA needs at least one generation".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.crossover_rate) {
-            return Err(SpotError::InvalidConfig("crossover rate must be in [0,1]".into()));
+            return Err(SpotError::InvalidConfig(
+                "crossover rate must be in [0,1]".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.mutation_rate) {
-            return Err(SpotError::InvalidConfig("mutation rate must be in [0,1]".into()));
+            return Err(SpotError::InvalidConfig(
+                "mutation rate must be in [0,1]".into(),
+            ));
         }
         Ok(())
     }
@@ -130,7 +138,10 @@ pub fn run<P: SubspaceProblem>(problem: &mut P, config: &MogaConfig) -> Result<M
     let mut cache: FxHashMap<u64, Vec<f64>> = FxHashMap::default();
 
     let evaluate = |s: Subspace, problem: &mut P, cache: &mut FxHashMap<u64, Vec<f64>>| {
-        cache.entry(s.mask()).or_insert_with(|| problem.evaluate(s)).clone()
+        cache
+            .entry(s.mask())
+            .or_insert_with(|| problem.evaluate(s))
+            .clone()
     };
 
     // Initial population: random subspaces up to the cardinality cap.
@@ -178,7 +189,9 @@ pub fn run<P: SubspaceProblem>(problem: &mut P, config: &MogaConfig) -> Result<M
         assign_rank_and_crowding(&mut pop);
         pop.sort_by(|x, y| {
             x.rank.cmp(&y.rank).then(
-                y.crowding.partial_cmp(&x.crowding).expect("crowding is not NaN"),
+                y.crowding
+                    .partial_cmp(&x.crowding)
+                    .expect("crowding is not NaN"),
             )
         });
         pop.truncate(config.population);
@@ -187,12 +200,19 @@ pub fn run<P: SubspaceProblem>(problem: &mut P, config: &MogaConfig) -> Result<M
     }
 
     pop.sort_by(|x, y| {
-        x.rank
-            .cmp(&y.rank)
-            .then(y.crowding.partial_cmp(&x.crowding).expect("crowding is not NaN"))
+        x.rank.cmp(&y.rank).then(
+            y.crowding
+                .partial_cmp(&x.crowding)
+                .expect("crowding is not NaN"),
+        )
     });
     let evaluations = cache.len();
-    Ok(MogaOutcome { population: pop, archive, evaluations, history })
+    Ok(MogaOutcome {
+        population: pop,
+        archive,
+        evaluations,
+        history,
+    })
 }
 
 /// Convergence snapshot of the current archive.
@@ -207,14 +227,20 @@ fn snapshot(generation: usize, archive: &[Individual]) -> GenerationStats {
         let reference = vec![1.1; m];
         crate::hypervolume::hypervolume(&front, &reference)
     });
-    GenerationStats { generation, archive_size: archive.len(), hypervolume, best_scalar }
+    GenerationStats {
+        generation,
+        archive_size: archive.len(),
+        hypervolume,
+        best_scalar,
+    }
 }
 
 /// Binary tournament by (rank, crowding).
 fn tournament<'a, R: Rng>(pop: &'a [Individual], rng: &mut R) -> &'a Individual {
     let a = &pop[rng.gen_range(0..pop.len())];
     let b = &pop[rng.gen_range(0..pop.len())];
-    if (a.rank, std::cmp::Reverse(ordered(a.crowding))) <= (b.rank, std::cmp::Reverse(ordered(b.crowding)))
+    if (a.rank, std::cmp::Reverse(ordered(a.crowding)))
+        <= (b.rank, std::cmp::Reverse(ordered(b.crowding)))
     {
         a
     } else {
@@ -312,7 +338,10 @@ fn absorb_into_archive(archive: &mut Vec<Individual>, pop: &[Individual]) {
         if archive.iter().any(|a| a.subspace == ind.subspace) {
             continue;
         }
-        if archive.iter().any(|a| dominates(&a.objectives, &ind.objectives)) {
+        if archive
+            .iter()
+            .any(|a| dominates(&a.objectives, &ind.objectives))
+        {
             continue;
         }
         archive.retain(|a| !dominates(&ind.objectives, &a.objectives));
@@ -347,8 +376,7 @@ mod tests {
         ];
         let mut pop: Vec<Individual> = objs.iter().cloned().map(individual).collect();
         assign_rank_and_crowding(&mut pop);
-        let rank0: Vec<usize> =
-            (0..pop.len()).filter(|&i| pop[i].rank == 0).collect();
+        let rank0: Vec<usize> = (0..pop.len()).filter(|&i| pop[i].rank == 0).collect();
         assert_eq!(rank0, pareto_front_indices(&objs));
         // Dominated points have strictly higher rank.
         assert!(pop[2].rank > 0);
@@ -375,7 +403,11 @@ mod tests {
     fn moga_finds_hidden_target() {
         let target = Subspace::from_dims([2, 5, 9]).unwrap();
         let mut problem = HiddenTargetProblem::new(12, target);
-        let config = MogaConfig { population: 40, generations: 40, ..Default::default() };
+        let config = MogaConfig {
+            population: 40,
+            generations: 40,
+            ..Default::default()
+        };
         let out = run(&mut problem, &config).unwrap();
         // The target has Hamming distance 0 — it must be in the archive.
         assert!(
@@ -392,7 +424,10 @@ mod tests {
         let target = Subspace::from_dims([1, 4]).unwrap();
         let run_once = || {
             let mut p = HiddenTargetProblem::new(10, target);
-            let cfg = MogaConfig { seed: 7, ..Default::default() };
+            let cfg = MogaConfig {
+                seed: 7,
+                ..Default::default()
+            };
             run(&mut p, &cfg)
                 .unwrap()
                 .top_k(5)
@@ -406,10 +441,38 @@ mod tests {
     #[test]
     fn config_validation() {
         let mut p = HiddenTargetProblem::new(8, Subspace::from_mask(1).unwrap());
-        assert!(run(&mut p, &MogaConfig { population: 2, ..Default::default() }).is_err());
-        assert!(run(&mut p, &MogaConfig { generations: 0, ..Default::default() }).is_err());
-        assert!(run(&mut p, &MogaConfig { crossover_rate: 1.5, ..Default::default() }).is_err());
-        assert!(run(&mut p, &MogaConfig { mutation_rate: -0.1, ..Default::default() }).is_err());
+        assert!(run(
+            &mut p,
+            &MogaConfig {
+                population: 2,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(run(
+            &mut p,
+            &MogaConfig {
+                generations: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(run(
+            &mut p,
+            &MogaConfig {
+                crossover_rate: 1.5,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(run(
+            &mut p,
+            &MogaConfig {
+                mutation_rate: -0.1,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -420,8 +483,7 @@ mod tests {
         for a in &out.archive {
             for b in &out.archive {
                 assert!(
-                    !dominates(&a.objectives, &b.objectives)
-                        || a.subspace == b.subspace,
+                    !dominates(&a.objectives, &b.objectives) || a.subspace == b.subspace,
                     "archive contains dominated member"
                 );
             }
@@ -443,10 +505,13 @@ mod tests {
     fn history_tracks_convergence() {
         let target = Subspace::from_dims([1, 4, 6]).unwrap();
         let mut p = HiddenTargetProblem::new(10, target);
-        let cfg = MogaConfig { generations: 25, ..Default::default() };
+        let cfg = MogaConfig {
+            generations: 25,
+            ..Default::default()
+        };
         let out = run(&mut p, &cfg).unwrap();
         assert_eq!(out.history.len(), 26); // initial + one per generation
-        // Best scalar objective never worsens (elitist archive).
+                                           // Best scalar objective never worsens (elitist archive).
         for w in out.history.windows(2) {
             assert!(w[1].best_scalar <= w[0].best_scalar + 1e-12);
             assert_eq!(w[1].generation, w[0].generation + 1);
@@ -472,7 +537,10 @@ mod tests {
                 Some(3)
             }
         }
-        let mut p = Capped(HiddenTargetProblem::new(16, Subspace::from_dims([1, 2]).unwrap()));
+        let mut p = Capped(HiddenTargetProblem::new(
+            16,
+            Subspace::from_dims([1, 2]).unwrap(),
+        ));
         let out = run(&mut p, &MogaConfig::default()).unwrap();
         assert!(out.population.iter().all(|i| i.subspace.cardinality() <= 3));
         assert!(out.archive.iter().all(|i| i.subspace.cardinality() <= 3));

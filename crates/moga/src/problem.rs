@@ -40,7 +40,11 @@ pub struct HiddenTargetProblem {
 impl HiddenTargetProblem {
     /// Creates the problem for a given hidden target.
     pub fn new(phi: usize, target: Subspace) -> Self {
-        HiddenTargetProblem { phi, target, evaluations: 0 }
+        HiddenTargetProblem {
+            phi,
+            target,
+            evaluations: 0,
+        }
     }
 }
 

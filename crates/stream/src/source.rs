@@ -38,7 +38,10 @@ impl VecSource {
 
     /// Creates a source whose first record gets sequence number `start_seq`.
     pub fn with_start_seq(points: Vec<DataPoint>, start_seq: u64) -> Self {
-        VecSource { points: points.into_iter(), next_seq: start_seq }
+        VecSource {
+            points: points.into_iter(),
+            next_seq: start_seq,
+        }
     }
 }
 
@@ -104,7 +107,10 @@ impl ChannelSource {
     {
         let (tx, rx) = bounded(capacity.max(1));
         let handle = std::thread::spawn(move || producer(tx));
-        ChannelSource { rx, handle: Some(handle) }
+        ChannelSource {
+            rx,
+            handle: Some(handle),
+        }
     }
 
     /// Spawns a producer that replays `points` with a fixed inter-arrival
@@ -200,7 +206,10 @@ mod tests {
         // still let the thread exit (no deadlock, test would hang).
         let src = ChannelSource::spawn(1, |tx| {
             for i in 0..10_000u64 {
-                if tx.send(StreamRecord::new(i, DataPoint::new(vec![0.0]))).is_err() {
+                if tx
+                    .send(StreamRecord::new(i, DataPoint::new(vec![0.0])))
+                    .is_err()
+                {
                     return;
                 }
             }

@@ -36,13 +36,21 @@ impl TimeModel {
             )));
         }
         let decay = epsilon.powf(1.0 / omega as f64);
-        Ok(TimeModel { omega, epsilon, decay })
+        Ok(TimeModel {
+            omega,
+            epsilon,
+            decay,
+        })
     }
 
     /// A landmark model that never forgets (decay factor 1). Useful for
     /// offline training evaluation where all points should count equally.
     pub fn landmark() -> Self {
-        TimeModel { omega: u64::MAX, epsilon: 1.0, decay: 1.0 }
+        TimeModel {
+            omega: u64::MAX,
+            epsilon: 1.0,
+            decay: 1.0,
+        }
     }
 
     /// Window size ω in ticks.
@@ -118,7 +126,10 @@ pub struct DecayedCounter {
 
 impl Default for DecayedCounter {
     fn default() -> Self {
-        DecayedCounter { value: 0.0, last_tick: 0 }
+        DecayedCounter {
+            value: 0.0,
+            last_tick: 0,
+        }
     }
 }
 
@@ -200,7 +211,10 @@ mod tests {
         for &(omega, eps) in &[(10u64, 0.1f64), (100, 0.01), (1000, 0.001)] {
             let tm = TimeModel::new(omega, eps).unwrap();
             let frac = tm.expired_weight_bound() / tm.steady_state_weight();
-            assert!((frac - eps).abs() < 1e-9, "omega={omega} eps={eps} frac={frac}");
+            assert!(
+                (frac - eps).abs() < 1e-9,
+                "omega={omega} eps={eps} frac={frac}"
+            );
         }
     }
 
@@ -235,7 +249,7 @@ mod tests {
         c.add(&tm, 0, 4.0);
         let v10 = c.value_at(&tm, 10);
         assert!((v10 - 2.0).abs() < 1e-9); // epsilon 0.5 at age omega
-        // Non-mutating.
+                                           // Non-mutating.
         assert!((c.value_at(&tm, 0) - 4.0).abs() < 1e-12);
     }
 

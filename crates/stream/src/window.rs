@@ -20,14 +20,20 @@ impl ExactSlidingWindow {
     /// Empty window with the given capacity (≥ 1).
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
-        ExactSlidingWindow { capacity, points: VecDeque::with_capacity(capacity) }
+        ExactSlidingWindow {
+            capacity,
+            points: VecDeque::with_capacity(capacity),
+        }
     }
 
     /// Pushes a point, evicting the oldest when full. Returns the evicted
     /// point, if any.
     pub fn push(&mut self, p: DataPoint) -> Option<DataPoint> {
-        let evicted =
-            if self.points.len() == self.capacity { self.points.pop_front() } else { None };
+        let evicted = if self.points.len() == self.capacity {
+            self.points.pop_front()
+        } else {
+            None
+        };
         self.points.push_back(p);
         evicted
     }
@@ -153,7 +159,11 @@ mod tests {
         dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for k in 1..=vals.len() {
             let got = w.knn_distance(&q, k).unwrap();
-            assert!((got - dists[k - 1]).abs() < 1e-9, "k={k}: {got} vs {}", dists[k - 1]);
+            assert!(
+                (got - dists[k - 1]).abs() < 1e-9,
+                "k={k}: {got} vs {}",
+                dists[k - 1]
+            );
         }
         assert!(w.knn_distance(&q, vals.len() + 1).is_none());
         assert!(w.knn_distance(&q, 0).is_none());

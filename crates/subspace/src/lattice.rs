@@ -29,8 +29,16 @@ pub fn enumerate_dim(phi: usize, dim: usize) -> Result<Vec<Subspace>> {
     }
     let count = binomial(phi as u64, dim as u64);
     let mut out = Vec::with_capacity(count.min(1 << 22) as usize);
-    let limit: u64 = if phi == MAX_DIMS { u64::MAX } else { (1u64 << phi) - 1 };
-    let mut v: u64 = if dim == MAX_DIMS { u64::MAX } else { (1u64 << dim) - 1 };
+    let limit: u64 = if phi == MAX_DIMS {
+        u64::MAX
+    } else {
+        (1u64 << phi) - 1
+    };
+    let mut v: u64 = if dim == MAX_DIMS {
+        u64::MAX
+    } else {
+        (1u64 << dim) - 1
+    };
     loop {
         out.push(Subspace::from_mask(v).expect("non-zero by construction"));
         if v == 0 || out.len() as u128 >= count {

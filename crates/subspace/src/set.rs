@@ -23,6 +23,7 @@ impl SubspaceSet {
     }
 
     /// Builds a set from an iterator, dropping duplicates.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = Subspace>>(iter: I) -> Self {
         let mut set = Self::new();
         for s in iter {
@@ -96,7 +97,10 @@ pub struct RankedSubspaces {
 impl RankedSubspaces {
     /// Empty ranked set with the given capacity (≥ 1).
     pub fn new(capacity: usize) -> Self {
-        RankedSubspaces { capacity: capacity.max(1), entries: Vec::new() }
+        RankedSubspaces {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
     }
 
     /// Capacity bound.
@@ -147,9 +151,7 @@ impl RankedSubspaces {
         for e in entries {
             if seen.insert(e.subspace.mask()) {
                 all.push(e);
-            } else if let Some(prev) =
-                all.iter_mut().find(|p| p.subspace == e.subspace)
-            {
+            } else if let Some(prev) = all.iter_mut().find(|p| p.subspace == e.subspace) {
                 if e.score < prev.score {
                     prev.score = e.score;
                 }
@@ -244,10 +246,22 @@ mod tests {
         let mut r = RankedSubspaces::new(2);
         r.insert(s(&[0]), 0.5);
         r.rerank(vec![
-            ScoredSubspace { subspace: s(&[1]), score: 0.3 },
-            ScoredSubspace { subspace: s(&[2]), score: 0.1 },
-            ScoredSubspace { subspace: s(&[3]), score: 0.2 },
-            ScoredSubspace { subspace: s(&[2]), score: 0.4 }, // duplicate, worse
+            ScoredSubspace {
+                subspace: s(&[1]),
+                score: 0.3,
+            },
+            ScoredSubspace {
+                subspace: s(&[2]),
+                score: 0.1,
+            },
+            ScoredSubspace {
+                subspace: s(&[3]),
+                score: 0.2,
+            },
+            ScoredSubspace {
+                subspace: s(&[2]),
+                score: 0.4,
+            }, // duplicate, worse
         ]);
         let got: Vec<_> = r.subspaces().collect();
         assert_eq!(got, vec![s(&[2]), s(&[3])]);

@@ -21,7 +21,9 @@ impl Subspace {
     /// projected cell needs at least one attribute.
     pub fn from_mask(mask: u64) -> Result<Self> {
         if mask == 0 {
-            return Err(SpotError::InvalidConfig("subspace mask must be non-empty".into()));
+            return Err(SpotError::InvalidConfig(
+                "subspace mask must be non-empty".into(),
+            ));
         }
         Ok(Subspace(mask))
     }
@@ -48,7 +50,11 @@ impl Subspace {
         if phi == 0 || phi > MAX_DIMS {
             return Err(SpotError::TooManyDimensions(phi));
         }
-        let mask = if phi == MAX_DIMS { u64::MAX } else { (1u64 << phi) - 1 };
+        let mask = if phi == MAX_DIMS {
+            u64::MAX
+        } else {
+            (1u64 << phi) - 1
+        };
         Ok(Subspace(mask))
     }
 

@@ -22,7 +22,12 @@ pub struct Bcs {
 impl Bcs {
     /// Empty summary for a `dims`-dimensional cell, created at `tick`.
     pub fn new(dims: usize, tick: u64) -> Self {
-        Bcs { d: 0.0, ls: vec![0.0; dims], ss: vec![0.0; dims], last_tick: tick }
+        Bcs {
+            d: 0.0,
+            ls: vec![0.0; dims],
+            ss: vec![0.0; dims],
+            last_tick: tick,
+        }
     }
 
     /// Dimensionality of the summary.

@@ -1,15 +1,9 @@
 //! Equi-width grid partition of the domain space.
 
+use crate::key::{CellKey, KeyCodec};
 use serde::{Deserialize, Serialize};
 use spot_subspace::Subspace;
 use spot_types::{DataPoint, DomainBounds, Result, SpotError};
-
-/// Coordinates of a cell: one interval index per participating dimension.
-///
-/// For a base cell the coordinates cover all ϕ dimensions; for a projected
-/// cell they cover only the dimensions of the subspace, in ascending
-/// dimension order. Boxed to keep the key small in the hash maps.
-pub type CellCoords = Box<[u16]>;
 
 /// Equi-width partition: each dimension's `[min, max]` range is divided
 /// into `granularity` intervals of equal width.
@@ -17,13 +11,21 @@ pub type CellCoords = Box<[u16]>;
 /// Points outside the bounds are clamped into the boundary cells — the
 /// stream may drift beyond the training range and the synopsis must keep
 /// absorbing it (the drift detector is responsible for flagging when this
-/// happens en masse).
+/// happens en masse). That includes infinities, which clamp like any other
+/// out-of-range value; `NaN` values are rejected at quantization (see
+/// [`Grid::base_coords_into`]) because they cannot be ordered into an
+/// interval and would otherwise masquerade as interval-0 inliers.
+///
+/// Cells are identified by [`CellKey`]s packed by the grid's [`KeyCodec`] —
+/// see `crate::key` for the layout and the wide-ϕ fallback.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Grid {
     bounds: DomainBounds,
     granularity: u16,
     /// Precomputed 1/width per cell per dimension (granularity / range).
     inv_cell_width: Vec<f64>,
+    /// Packs coordinate slices into cell keys.
+    codec: KeyCodec,
 }
 
 impl Grid {
@@ -38,7 +40,13 @@ impl Grid {
         let inv_cell_width = (0..bounds.dims())
             .map(|d| granularity as f64 / bounds.width(d))
             .collect();
-        Ok(Grid { bounds, granularity, inv_cell_width })
+        let codec = KeyCodec::new(bounds.dims(), granularity);
+        Ok(Grid {
+            bounds,
+            granularity,
+            inv_cell_width,
+            codec,
+        })
     }
 
     /// Dimensionality ϕ of the grid.
@@ -56,40 +64,91 @@ impl Grid {
         &self.bounds
     }
 
+    /// The key codec of this grid.
+    pub fn codec(&self) -> &KeyCodec {
+        &self.codec
+    }
+
     /// Width of one cell along dimension `d`.
     pub fn cell_width(&self, d: usize) -> f64 {
         self.bounds.width(d) / self.granularity as f64
     }
 
     /// Interval index of value `v` along dimension `d`, clamped into range.
+    /// `NaN` maps to interval 0; the coordinate entry points reject it
+    /// before it gets here.
     #[inline]
     pub fn interval(&self, d: usize, v: f64) -> u16 {
         let rel = (v - self.bounds.min(d)) * self.inv_cell_width[d];
-        if rel <= 0.0 {
-            0
-        } else {
-            let idx = rel as u64; // truncation == floor for rel > 0
+        if rel > 0.0 {
+            // Truncation == floor for rel > 0; the saturating float→int
+            // cast clamps +∞ to the last interval.
+            let idx = rel as u64;
             idx.min(self.granularity as u64 - 1) as u16
+        } else {
+            0
         }
     }
 
-    /// Base-cell coordinates of a point (all ϕ dimensions).
-    pub fn base_coords(&self, p: &DataPoint) -> Result<CellCoords> {
+    /// Quantizes a point into `out` (reused across calls: the hot path's
+    /// zero-allocation entry). Rejects dimension mismatches and `NaN`
+    /// values; infinities clamp to the boundary cells.
+    #[inline]
+    pub fn base_coords_into(&self, p: &DataPoint, out: &mut Vec<u16>) -> Result<()> {
         if p.dims() != self.dims() {
-            return Err(SpotError::DimensionMismatch { expected: self.dims(), got: p.dims() });
+            return Err(SpotError::DimensionMismatch {
+                expected: self.dims(),
+                got: p.dims(),
+            });
         }
-        Ok(p.values()
-            .iter()
-            .enumerate()
-            .map(|(d, &v)| self.interval(d, v))
-            .collect())
+        out.clear();
+        // NaN detection is folded into the quantization loop branchlessly
+        // (a per-element early exit would block vectorization); the
+        // offending dimension is only located on the cold error path.
+        let mut saw_nan = false;
+        for (d, &v) in p.values().iter().enumerate() {
+            saw_nan |= v.is_nan();
+            out.push(self.interval(d, v));
+        }
+        if saw_nan {
+            out.clear();
+            let dim = p
+                .values()
+                .iter()
+                .position(|v| v.is_nan())
+                .expect("a NaN was observed");
+            return Err(SpotError::NonFiniteValue { dim });
+        }
+        Ok(())
     }
 
-    /// Projects base-cell coordinates onto a subspace: keeps the entries of
-    /// the participating dimensions, ascending.
-    pub fn project(&self, base: &[u16], subspace: &Subspace) -> CellCoords {
+    /// Base-cell coordinates of a point (all ϕ dimensions). Allocating
+    /// convenience for offline/test use; hot paths use
+    /// [`Grid::base_coords_into`].
+    pub fn base_coords(&self, p: &DataPoint) -> Result<Vec<u16>> {
+        let mut out = Vec::with_capacity(self.dims());
+        self.base_coords_into(p, &mut out)?;
+        Ok(out)
+    }
+
+    /// Key of the base cell with the given coordinates.
+    #[inline]
+    pub fn base_key(&self, coords: &[u16]) -> CellKey {
+        self.codec.base_key(coords)
+    }
+
+    /// Key of the projection of base coordinates onto `subspace` — pure
+    /// integer shifting, no allocation.
+    #[inline]
+    pub fn project_key(&self, base: &[u16], subspace: &Subspace) -> CellKey {
         debug_assert!(subspace.fits(self.dims()));
-        subspace.dims().map(|d| base[d]).collect()
+        self.codec.project_key(base, subspace)
+    }
+
+    /// Base-cell key of a point (coordinate buffer supplied by the caller).
+    pub fn key_of(&self, p: &DataPoint, scratch: &mut Vec<u16>) -> Result<CellKey> {
+        self.base_coords_into(p, scratch)?;
+        Ok(self.base_key(scratch))
     }
 
     /// Standard deviation of a uniform distribution over one cell interval
@@ -147,26 +206,63 @@ mod tests {
     }
 
     #[test]
+    fn infinities_clamp_to_boundary_cells() {
+        let g = grid(2, 10);
+        assert_eq!(g.interval(0, f64::INFINITY), 9);
+        assert_eq!(g.interval(0, f64::NEG_INFINITY), 0);
+        let coords = g
+            .base_coords(&DataPoint::new(vec![f64::INFINITY, f64::NEG_INFINITY]))
+            .unwrap();
+        assert_eq!(&coords[..], &[9, 0]);
+    }
+
+    #[test]
+    fn nan_rejected_at_quantization() {
+        let g = grid(3, 10);
+        let err = g
+            .base_coords(&DataPoint::new(vec![0.5, f64::NAN, 0.5]))
+            .unwrap_err();
+        assert!(matches!(err, SpotError::NonFiniteValue { dim: 1 }));
+    }
+
+    #[test]
     fn granularity_validation() {
         assert!(Grid::new(DomainBounds::unit(2), 1).is_err());
         assert!(Grid::new(DomainBounds::unit(2), 2).is_ok());
     }
 
     #[test]
-    fn base_coords_and_projection() {
+    fn base_coords_and_projection_keys() {
         let g = grid(4, 10);
         let p = DataPoint::new(vec![0.05, 0.55, 0.95, 0.25]);
         let base = g.base_coords(&p).unwrap();
         assert_eq!(&base[..], &[0, 5, 9, 2]);
         let s = Subspace::from_dims([1, 3]).unwrap();
-        let proj = g.project(&base, &s);
-        assert_eq!(&proj[..], &[5, 2]);
+        let proj = g.project_key(&base, &s);
+        assert_eq!(g.codec().unpack(proj, 2), vec![5, 2]);
     }
 
     #[test]
     fn base_coords_dimension_check() {
         let g = grid(3, 10);
         assert!(g.base_coords(&DataPoint::new(vec![0.5; 2])).is_err());
+    }
+
+    #[test]
+    fn key_of_reuses_scratch() {
+        let g = grid(2, 4);
+        let mut scratch = Vec::new();
+        let k1 = g
+            .key_of(&DataPoint::new(vec![0.1, 0.1]), &mut scratch)
+            .unwrap();
+        let k2 = g
+            .key_of(&DataPoint::new(vec![0.1, 0.12]), &mut scratch)
+            .unwrap();
+        assert_eq!(k1, k2, "same cell, same key");
+        let k3 = g
+            .key_of(&DataPoint::new(vec![0.9, 0.9]), &mut scratch)
+            .unwrap();
+        assert_ne!(k1, k3);
     }
 
     #[test]
@@ -207,7 +303,7 @@ mod tests {
             let p = DataPoint::new(vals);
             let base = g.base_coords(&p).unwrap();
             let s = Subspace::from_mask(mask).unwrap();
-            let proj = g.project(&base, &s);
+            let proj = g.codec().unpack(g.project_key(&base, &s), s.cardinality());
             prop_assert_eq!(proj.len(), s.cardinality());
             for (i, d) in s.dims().enumerate() {
                 prop_assert_eq!(proj[i], base[d]);

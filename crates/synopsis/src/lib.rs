@@ -17,15 +17,31 @@
 //! bundles the base store, one projected store per SST subspace, and the
 //! global decayed weight, and is the single entry point used by the
 //! detection engine.
+//!
+//! # The zero-allocation hot path
+//!
+//! Cells are addressed by [`CellKey`] — a `Copy` 128-bit packed key (see
+//! the `key` module for the bit layout and the wide-ϕ fingerprint
+//! fallback). The per-point detection path is
+//! [`SynopsisManager::update_and_query`]: one quantization into a reused
+//! scratch buffer, one base-store probe, and per monitored subspace one
+//! integer-shift projection + one map probe that both *inserts the point
+//! and derives the cell's PCS*. On the steady state (no newly-populated
+//! cells) the path performs zero heap allocations. Batch ingestion
+//! ([`SynopsisManager::update_and_query_batch`]) amortizes the scratch
+//! work across a run of points and, with the `parallel` feature, fans the
+//! per-subspace store updates across scoped threads.
 
 pub mod bcs;
 pub mod grid;
+pub mod key;
 pub mod manager;
 pub mod pcs;
 pub mod store;
 
 pub use bcs::Bcs;
-pub use grid::{CellCoords, Grid};
-pub use manager::SynopsisManager;
+pub use grid::Grid;
+pub use key::{CellKey, KeyCodec};
+pub use manager::{SubspacePcs, SynopsisManager, UpdateOutcome};
 pub use pcs::{Pcs, PcsCell, ProjectedStore};
 pub use store::BaseStore;

@@ -1,6 +1,7 @@
 //! The synopsis manager: base store + one projected store per SST subspace.
 
-use crate::grid::{CellCoords, Grid};
+use crate::grid::Grid;
+use crate::key::CellKey;
 use crate::pcs::{Pcs, ProjectedStore};
 use crate::store::BaseStore;
 use spot_stream::{DecayedCounter, TimeModel};
@@ -9,9 +10,14 @@ use spot_types::{DataPoint, FxHashMap, Result, SpotError};
 
 /// Bundles every decayed synopsis SPOT maintains online.
 ///
-/// `update` is the per-point hot path of the detection stage: one base-cell
-/// insertion plus one projected-cell insertion per monitored subspace, each
-/// O(|s|) — no scan of historical data, as the one-pass constraint demands.
+/// [`SynopsisManager::update_and_query`] is the per-point hot path of the
+/// detection stage: one base-cell insertion plus one projected-cell
+/// insertion per monitored subspace, each O(|s|) — and the PCS of every
+/// touched projected cell is derived *in the same cell access*, so the
+/// detector never projects or hashes the same coordinates twice. On the
+/// steady state (no new cells) the whole path performs zero heap
+/// allocations: coordinates land in a reused scratch buffer, keys are
+/// `Copy` integers, and results go into a caller-reused sink.
 #[derive(Debug, Clone)]
 pub struct SynopsisManager {
     grid: Grid,
@@ -19,13 +25,17 @@ pub struct SynopsisManager {
     base: BaseStore,
     projected: FxHashMap<Subspace, ProjectedStore>,
     total: DecayedCounter,
+    /// Reused quantization buffer (ϕ entries).
+    scratch: Vec<u16>,
+    /// Reused batch quantization buffer (n·ϕ entries).
+    batch_coords: Vec<u16>,
 }
 
 /// Everything the detection logic needs to know after one update.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct UpdateOutcome {
-    /// The point's base-cell coordinates (reused for PCS queries).
-    pub base_coords: CellCoords,
+    /// Key of the point's base cell.
+    pub base_cell: CellKey,
     /// Decayed count of the base cell before this point arrived — the
     /// novelty signal used by the concept-drift detector.
     pub prior_base_count: f64,
@@ -33,15 +43,41 @@ pub struct UpdateOutcome {
     pub total_weight: f64,
 }
 
+/// One monitored subspace's verdict inputs for the point just ingested.
+#[derive(Debug, Clone, Copy)]
+pub struct SubspacePcs {
+    /// The monitored subspace.
+    pub subspace: Subspace,
+    /// PCS of the projected cell the point fell into (point included).
+    pub pcs: Pcs,
+    /// Decayed occupancy of that cell, point included — the projected
+    /// freshness signal consumed by the drift detector.
+    pub occupancy: f64,
+}
+
+/// Borrowed per-batch invariants threaded through the store-update loops.
+struct BatchCtx<'a> {
+    grid: &'a Grid,
+    model: &'a TimeModel,
+    start_tick: u64,
+    points: &'a [DataPoint],
+    /// Flat quantized coordinates, stride ϕ.
+    coords: &'a [u16],
+    outcomes: &'a [UpdateOutcome],
+}
+
 impl SynopsisManager {
     /// Creates a manager with no monitored subspaces yet.
     pub fn new(grid: Grid, model: TimeModel) -> Self {
+        let scratch = Vec::with_capacity(grid.dims());
         SynopsisManager {
             grid,
             model,
             base: BaseStore::new(),
             projected: FxHashMap::default(),
             total: DecayedCounter::new(),
+            scratch,
+            batch_coords: Vec::new(),
         }
     }
 
@@ -82,18 +118,241 @@ impl SynopsisManager {
     }
 
     /// Ingests one point at tick `now`: updates the global weight, the base
-    /// store and every monitored projected store.
+    /// store and every monitored projected store. Use
+    /// [`SynopsisManager::update_and_query`] when the per-subspace PCS is
+    /// needed too — it costs no second pass.
     pub fn update(&mut self, now: u64, p: &DataPoint) -> Result<UpdateOutcome> {
-        let (base_coords, prior_base_count) = self.base.insert(&self.grid, &self.model, now, p)?;
-        self.total.add(&self.model, now, 1.0);
+        let outcome = self.ingest_base(now, p)?;
         for store in self.projected.values_mut() {
-            store.update(&self.grid, &self.model, now, &base_coords, p);
+            store.update(&self.grid, &self.model, now, &self.scratch, p);
         }
+        Ok(outcome)
+    }
+
+    /// Single-pass update **and** query: ingests one point and pushes the
+    /// PCS of the point's cell in every monitored subspace into `sink`
+    /// (cleared first; reuse it across calls to keep the path
+    /// allocation-free). The PCS is derived from the same cell access that
+    /// inserted the point.
+    pub fn update_and_query(
+        &mut self,
+        now: u64,
+        p: &DataPoint,
+        sink: &mut Vec<SubspacePcs>,
+    ) -> Result<UpdateOutcome> {
+        sink.clear();
+        let outcome = self.ingest_base(now, p)?;
+        sink.reserve(self.projected.len());
+        for store in self.projected.values_mut() {
+            let (pcs, occupancy) = store.update_and_pcs(
+                &self.grid,
+                &self.model,
+                now,
+                &self.scratch,
+                p,
+                outcome.total_weight,
+            );
+            sink.push(SubspacePcs {
+                subspace: store.subspace(),
+                pcs,
+                occupancy,
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// Quantizes the point (into the reused scratch), feeds the base store
+    /// and the global weight.
+    fn ingest_base(&mut self, now: u64, p: &DataPoint) -> Result<UpdateOutcome> {
+        self.grid.base_coords_into(p, &mut self.scratch)?;
+        let key = self.grid.base_key(&self.scratch);
+        let prior_base_count = self
+            .base
+            .insert_at(key, self.grid.dims(), &self.model, now, p);
+        self.total.add(&self.model, now, 1.0);
         Ok(UpdateOutcome {
-            base_coords,
+            base_cell: key,
             prior_base_count,
             total_weight: self.total.value_at(&self.model, now),
         })
+    }
+
+    /// Batch ingestion: points arrive at consecutive ticks
+    /// `start_tick, start_tick+1, …`. For each point, `sinks` receives the
+    /// same per-subspace PCS list [`SynopsisManager::update_and_query`]
+    /// would produce (rows are cleared and refilled; pass the same vector
+    /// across batches to amortize its capacity). With the `parallel`
+    /// feature the per-subspace store updates fan out across
+    /// `std::thread::scope` threads for large SSTs; results are identical
+    /// to the serial path because every store is owned by exactly one
+    /// thread and processes points in arrival order.
+    pub fn update_and_query_batch(
+        &mut self,
+        start_tick: u64,
+        points: &[DataPoint],
+        sinks: &mut Vec<Vec<SubspacePcs>>,
+        outcomes: &mut Vec<UpdateOutcome>,
+    ) -> Result<()> {
+        outcomes.clear();
+        // Exactly one (cleared) row per point: rows surviving from a larger
+        // previous batch are dropped so a caller iterating `sinks` never
+        // sees stale entries.
+        sinks.truncate(points.len());
+        sinks.resize_with(points.len(), Vec::new);
+        for sink in sinks.iter_mut() {
+            sink.clear();
+        }
+
+        // Phase A1: quantize everything into the reused batch buffer. This
+        // is also the validation pass — a NaN or dimension mismatch at any
+        // position returns before *any* store mutates, so a rejected batch
+        // leaves the manager exactly as it was (the same all-or-nothing
+        // guarantee the single-point path gives).
+        let dims = self.grid.dims();
+        let mut coords = std::mem::take(&mut self.batch_coords);
+        coords.resize(points.len() * dims, 0);
+        for (i, p) in points.iter().enumerate() {
+            if let Err(e) = self.grid.base_coords_into(p, &mut self.scratch) {
+                self.batch_coords = coords;
+                return Err(e);
+            }
+            coords[i * dims..(i + 1) * dims].copy_from_slice(&self.scratch);
+        }
+
+        // Phase A2: feed base store + global weight.
+        for (i, p) in points.iter().enumerate() {
+            let now = start_tick + i as u64;
+            let key = self.grid.base_key(&coords[i * dims..(i + 1) * dims]);
+            let prior = self.base.insert_at(key, dims, &self.model, now, p);
+            self.total.add(&self.model, now, 1.0);
+            outcomes.push(UpdateOutcome {
+                base_cell: key,
+                prior_base_count: prior,
+                total_weight: self.total.value_at(&self.model, now),
+            });
+        }
+
+        // Phase B: per-store updates (each store sees points in arrival
+        // order, so per-store state evolves exactly as under one-by-one
+        // ingestion).
+        self.update_stores_batch(start_tick, points, &coords, outcomes, sinks);
+        self.batch_coords = coords;
+        Ok(())
+    }
+
+    /// Serial per-store batch loop, shared by the default build and the
+    /// `parallel` build's narrow-work fallback (one definition so the two
+    /// cfg variants cannot drift apart).
+    fn update_stores_serial<'a>(
+        ctx: &BatchCtx<'_>,
+        stores: impl Iterator<Item = &'a mut ProjectedStore>,
+        sinks: &mut [Vec<SubspacePcs>],
+    ) {
+        let dims = ctx.grid.dims();
+        for store in stores {
+            let subspace = store.subspace();
+            for (i, p) in ctx.points.iter().enumerate() {
+                let base = &ctx.coords[i * dims..(i + 1) * dims];
+                let (pcs, occupancy) = store.update_and_pcs(
+                    ctx.grid,
+                    ctx.model,
+                    ctx.start_tick + i as u64,
+                    base,
+                    p,
+                    ctx.outcomes[i].total_weight,
+                );
+                sinks[i].push(SubspacePcs {
+                    subspace,
+                    pcs,
+                    occupancy,
+                });
+            }
+        }
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn update_stores_batch(
+        &mut self,
+        start_tick: u64,
+        points: &[DataPoint],
+        coords: &[u16],
+        outcomes: &[UpdateOutcome],
+        sinks: &mut [Vec<SubspacePcs>],
+    ) {
+        let ctx = BatchCtx {
+            grid: &self.grid,
+            model: &self.model,
+            start_tick,
+            points,
+            coords,
+            outcomes,
+        };
+        Self::update_stores_serial(&ctx, self.projected.values_mut(), sinks);
+    }
+
+    #[cfg(feature = "parallel")]
+    fn update_stores_batch(
+        &mut self,
+        start_tick: u64,
+        points: &[DataPoint],
+        coords: &[u16],
+        outcomes: &[UpdateOutcome],
+        sinks: &mut [Vec<SubspacePcs>],
+    ) {
+        let ctx = BatchCtx {
+            grid: &self.grid,
+            model: &self.model,
+            start_tick,
+            points,
+            coords,
+            outcomes,
+        };
+        let mut stores: Vec<&mut ProjectedStore> = self.projected.values_mut().collect();
+        let n_stores = stores.len();
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        // Fan out only when the work is wide enough to pay for the scope.
+        if n_stores < 8 || points.len() < 8 || threads < 2 {
+            Self::update_stores_serial(&ctx, stores.into_iter(), sinks);
+            return;
+        }
+
+        let dims = ctx.grid.dims();
+        let chunk = n_stores.div_ceil(threads.min(n_stores));
+        let mut results: Vec<Vec<(Subspace, Pcs, f64)>> = Vec::new();
+        results.resize_with(n_stores, || Vec::with_capacity(points.len()));
+        let ctx = &ctx;
+        std::thread::scope(|scope| {
+            for (store_chunk, result_chunk) in
+                stores.chunks_mut(chunk).zip(results.chunks_mut(chunk))
+            {
+                scope.spawn(move || {
+                    for (store, row) in store_chunk.iter_mut().zip(result_chunk) {
+                        let subspace = store.subspace();
+                        for (i, p) in ctx.points.iter().enumerate() {
+                            let base = &ctx.coords[i * dims..(i + 1) * dims];
+                            let (pcs, occupancy) = store.update_and_pcs(
+                                ctx.grid,
+                                ctx.model,
+                                ctx.start_tick + i as u64,
+                                base,
+                                p,
+                                ctx.outcomes[i].total_weight,
+                            );
+                            row.push((subspace, pcs, occupancy));
+                        }
+                    }
+                });
+            }
+        });
+        for row in results {
+            for (i, (subspace, pcs, occupancy)) in row.into_iter().enumerate() {
+                sinks[i].push(SubspacePcs {
+                    subspace,
+                    pcs,
+                    occupancy,
+                });
+            }
+        }
     }
 
     /// Warms the projected store of `subspace` by replaying timestamped
@@ -112,14 +371,16 @@ impl SynopsisManager {
             )));
         };
         for (tick, p) in points {
-            let base = self.grid.base_coords(p)?;
-            store.update(&self.grid, &self.model, *tick, &base, p);
+            self.grid.base_coords_into(p, &mut self.scratch)?;
+            store.update(&self.grid, &self.model, *tick, &self.scratch, p);
         }
         Ok(())
     }
 
     /// PCS of the cell containing `base_coords` in `subspace` at tick
     /// `now`. Returns `None` when the subspace is not monitored.
+    /// (Query-only path for tools and tests; the detection loop gets its
+    /// PCS from [`SynopsisManager::update_and_query`] for free.)
     pub fn pcs(&self, now: u64, base_coords: &[u16], subspace: &Subspace) -> Option<Pcs> {
         let store = self.projected.get(subspace)?;
         let total = self.total.value_at(&self.model, now);
@@ -155,7 +416,11 @@ impl SynopsisManager {
     /// Approximate heap footprint of all synopses, in bytes.
     pub fn approx_bytes(&self) -> usize {
         self.base.approx_bytes()
-            + self.projected.values().map(ProjectedStore::approx_bytes).sum::<usize>()
+            + self
+                .projected
+                .values()
+                .map(ProjectedStore::approx_bytes)
+                .sum::<usize>()
     }
 
     /// Read access to one projected store (experiments and self-evolution
@@ -202,16 +467,144 @@ mod tests {
         mgr.add_subspace(s0);
         mgr.add_subspace(s01);
         let p = DataPoint::new(vec![0.3, 0.7]);
-        let out = mgr.update(1, &p).unwrap();
+        let mut sink = Vec::new();
+        let out = mgr.update_and_query(1, &p, &mut sink).unwrap();
         assert_eq!(out.prior_base_count, 0.0);
         assert!((out.total_weight - 1.0).abs() < 1e-12);
         let (base_cells, proj_cells) = mgr.live_cells();
         assert_eq!(base_cells, 1);
         assert_eq!(proj_cells, 2);
         // PCS visible in both monitored subspaces.
-        let pcs = mgr.pcs(1, &out.base_coords, &s0).unwrap();
-        assert!(pcs.rd > 0.0);
-        assert!(mgr.pcs(1, &out.base_coords, &Subspace::from_dims([1]).unwrap()).is_none());
+        assert_eq!(sink.len(), 2);
+        assert!(sink.iter().all(|e| e.pcs.rd > 0.0));
+        assert!(sink.iter().any(|e| e.subspace == s0));
+        assert!(sink.iter().any(|e| e.subspace == s01));
+    }
+
+    #[test]
+    fn fused_query_matches_separate_pcs_lookup() {
+        let mut mgr = manager(3, 5);
+        let subs = [
+            Subspace::from_dims([0]).unwrap(),
+            Subspace::from_dims([1, 2]).unwrap(),
+            Subspace::from_dims([0, 1, 2]).unwrap(),
+        ];
+        for s in subs {
+            mgr.add_subspace(s);
+        }
+        let mut sink = Vec::new();
+        for i in 0..300u64 {
+            let p = DataPoint::new(vec![
+                (i % 7) as f64 / 7.0,
+                ((i * 3) % 5) as f64 / 5.0,
+                ((i * 11) % 13) as f64 / 13.0,
+            ]);
+            let _ = mgr.update_and_query(i, &p, &mut sink).unwrap();
+            let base = mgr.grid().base_coords(&p).unwrap();
+            for entry in &sink {
+                let direct = mgr.pcs(i, &base, &entry.subspace).unwrap();
+                assert_eq!(entry.pcs, direct, "tick {i} subspace {}", entry.subspace);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_one_by_one() {
+        let build = |dims: usize| {
+            let mut mgr = manager(dims, 4);
+            mgr.add_subspace(Subspace::from_dims([0]).unwrap());
+            mgr.add_subspace(Subspace::from_dims([0, 1]).unwrap());
+            mgr.add_subspace(Subspace::from_dims([1, 2]).unwrap());
+            mgr
+        };
+        let points: Vec<DataPoint> = (0..64)
+            .map(|i| {
+                DataPoint::new(vec![
+                    (i % 9) as f64 / 9.0,
+                    ((i * 5) % 7) as f64 / 7.0,
+                    ((i * 2) % 3) as f64 / 3.0,
+                ])
+            })
+            .collect();
+
+        let mut serial = build(3);
+        let mut sink = Vec::new();
+        let mut expected: Vec<Vec<(Subspace, Pcs)>> = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            serial.update_and_query(i as u64, p, &mut sink).unwrap();
+            let mut row: Vec<(Subspace, Pcs)> = sink.iter().map(|e| (e.subspace, e.pcs)).collect();
+            row.sort_by_key(|(s, _)| s.mask());
+            expected.push(row);
+        }
+
+        let mut batched = build(3);
+        let mut sinks: Vec<Vec<SubspacePcs>> = Vec::new();
+        let mut outcomes = Vec::new();
+        batched
+            .update_and_query_batch(0, &points, &mut sinks, &mut outcomes)
+            .unwrap();
+        assert_eq!(outcomes.len(), points.len());
+        for (i, row) in expected.iter().enumerate() {
+            let mut got: Vec<(Subspace, Pcs)> =
+                sinks[i].iter().map(|e| (e.subspace, e.pcs)).collect();
+            got.sort_by_key(|(s, _)| s.mask());
+            assert_eq!(&got, row, "point {i}");
+        }
+        assert_eq!(serial.live_cells(), batched.live_cells());
+        assert!((serial.total_weight(64) - batched.total_weight(64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_matches_one_by_one_with_wide_sst() {
+        // Enough stores that the `parallel` feature's fan-out actually
+        // engages (≥ 8); without the feature this covers the serial batch.
+        let build = || {
+            let mut mgr = manager(6, 5);
+            for d in 0..6 {
+                mgr.add_subspace(Subspace::from_dims([d]).unwrap());
+            }
+            for d in 0..6 {
+                mgr.add_subspace(Subspace::from_dims([d, (d + 1) % 6]).unwrap());
+            }
+            assert!(mgr.subspace_count() >= 8);
+            mgr
+        };
+        let points: Vec<DataPoint> = (0..100)
+            .map(|i| {
+                DataPoint::new(
+                    (0..6)
+                        .map(|d| ((i * (d + 3) + d) % 17) as f64 / 17.0)
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut serial = build();
+        let mut sink = Vec::new();
+        let mut expected = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            serial.update_and_query(i as u64, p, &mut sink).unwrap();
+            let mut row: Vec<(u64, Pcs, f64)> = sink
+                .iter()
+                .map(|e| (e.subspace.mask(), e.pcs, e.occupancy))
+                .collect();
+            row.sort_by_key(|a| a.0);
+            expected.push(row);
+        }
+        let mut batched = build();
+        let mut sinks = Vec::new();
+        let mut outcomes = Vec::new();
+        batched
+            .update_and_query_batch(0, &points, &mut sinks, &mut outcomes)
+            .unwrap();
+        for (i, want) in expected.iter().enumerate() {
+            let mut got: Vec<(u64, Pcs, f64)> = sinks[i]
+                .iter()
+                .map(|e| (e.subspace.mask(), e.pcs, e.occupancy))
+                .collect();
+            got.sort_by_key(|a| a.0);
+            assert_eq!(&got, want, "point {i}");
+        }
+        assert_eq!(serial.live_cells(), batched.live_cells());
     }
 
     #[test]
@@ -225,7 +618,8 @@ mod tests {
         // working, not the property under test).
         for i in 0..100u64 {
             let x = if i % 10 == 9 { 0.9 } else { 0.1 };
-            mgr.update(i, &DataPoint::new(vec![x, (i % 7) as f64 / 7.0])).unwrap();
+            mgr.update(i, &DataPoint::new(vec![x, (i % 7) as f64 / 7.0]))
+                .unwrap();
         }
         let crowded = DataPoint::new(vec![0.1, 0.5]);
         let sparse = DataPoint::new(vec![0.9, 0.5]);
@@ -271,7 +665,8 @@ mod tests {
         mgr.update(2, &p).unwrap();
         let s = Subspace::from_dims([1]).unwrap();
         mgr.add_subspace(s);
-        mgr.replay_into(&s, &[(1, p.clone()), (2, p.clone())]).unwrap();
+        mgr.replay_into(&s, &[(1, p.clone()), (2, p.clone())])
+            .unwrap();
         let base = mgr.grid().base_coords(&p).unwrap();
         let pcs = mgr.pcs(2, &base, &s).unwrap();
         assert!(pcs.rd > 0.0, "replayed store must not look empty");
@@ -290,5 +685,48 @@ mod tests {
         let base = mgr.grid().base_coords(&p).unwrap();
         // The store was added after the first point: its cells are empty.
         assert_eq!(mgr.pcs(0, &base, &s).unwrap(), Pcs::EMPTY);
+    }
+
+    #[test]
+    fn batch_with_invalid_point_leaves_manager_untouched() {
+        // All-or-nothing: a NaN (or dimension mismatch) anywhere in the
+        // batch must be rejected before the base store, the global weight
+        // or any projected store mutates — otherwise the stores desync and
+        // RD is computed against a total weight the projected cells never
+        // absorbed.
+        let mut mgr = manager(2, 4);
+        mgr.add_subspace(Subspace::from_dims([0]).unwrap());
+        let mut points: Vec<DataPoint> = (0..10)
+            .map(|i| DataPoint::new(vec![i as f64 / 10.0, 0.5]))
+            .collect();
+        points.push(DataPoint::new(vec![f64::NAN, 0.5]));
+        let mut sinks = Vec::new();
+        let mut outcomes = Vec::new();
+        let err = mgr
+            .update_and_query_batch(0, &points, &mut sinks, &mut outcomes)
+            .unwrap_err();
+        assert!(matches!(err, SpotError::NonFiniteValue { dim: 0 }));
+        assert_eq!(mgr.live_cells(), (0, 0));
+        assert_eq!(mgr.total_weight(0), 0.0);
+        // Mismatched dimensionality mid-batch: same guarantee.
+        let bad_dims = vec![DataPoint::new(vec![0.1, 0.1]), DataPoint::new(vec![0.1])];
+        assert!(mgr
+            .update_and_query_batch(0, &bad_dims, &mut sinks, &mut outcomes)
+            .is_err());
+        assert_eq!(mgr.live_cells(), (0, 0));
+    }
+
+    #[test]
+    fn nan_point_rejected_before_any_state_change() {
+        let mut mgr = manager(2, 4);
+        mgr.add_subspace(Subspace::from_dims([0]).unwrap());
+        let bad = DataPoint::new(vec![0.5, f64::NAN]);
+        let mut sink = Vec::new();
+        assert!(matches!(
+            mgr.update_and_query(0, &bad, &mut sink),
+            Err(SpotError::NonFiniteValue { dim: 1 })
+        ));
+        assert_eq!(mgr.live_cells(), (0, 0));
+        assert_eq!(mgr.total_weight(0), 0.0);
     }
 }

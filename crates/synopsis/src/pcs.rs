@@ -1,6 +1,7 @@
 //! Projected Cell Summary.
 
-use crate::grid::{CellCoords, Grid};
+use crate::grid::Grid;
+use crate::key::CellKey;
 use serde::{Deserialize, Serialize};
 use spot_stream::TimeModel;
 use spot_subspace::Subspace;
@@ -33,46 +34,20 @@ impl Pcs {
     pub const EMPTY: Pcs = Pcs { rd: 0.0, irsd: 0.0 };
 }
 
-/// Per-projected-cell decayed statistics (count + per-dim LS/SS restricted
-/// to the subspace's dimensions).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PcsCell {
+/// Read-only view of one projected cell's decayed statistics (count +
+/// per-dim LS/SS restricted to the subspace's dimensions).
+///
+/// The store keeps cells in a structure-of-arrays layout — this view is how
+/// iteration and tests observe a single cell.
+#[derive(Debug, Clone, Copy)]
+pub struct PcsCell<'a> {
     d: f64,
-    ls: Vec<f64>,
-    ss: Vec<f64>,
     last_tick: u64,
+    /// `[ls_0..ls_card, ss_0..ss_card]`.
+    moments: &'a [f64],
 }
 
-impl PcsCell {
-    fn new(card: usize, tick: u64) -> Self {
-        PcsCell { d: 0.0, ls: vec![0.0; card], ss: vec![0.0; card], last_tick: tick }
-    }
-
-    #[inline]
-    fn decay_to(&mut self, model: &TimeModel, now: u64) {
-        let f = model.decay_between(self.last_tick, now);
-        if f != 1.0 {
-            self.d *= f;
-            for v in &mut self.ls {
-                *v *= f;
-            }
-            for v in &mut self.ss {
-                *v *= f;
-            }
-        }
-        self.last_tick = now;
-    }
-
-    /// Folds in the projected values of one point at tick `now`.
-    fn insert(&mut self, model: &TimeModel, now: u64, projected_values: impl Iterator<Item = f64>) {
-        self.decay_to(model, now);
-        self.d += 1.0;
-        for (i, v) in projected_values.enumerate() {
-            self.ls[i] += v;
-            self.ss[i] += v * v;
-        }
-    }
-
+impl PcsCell<'_> {
     /// Decayed count renormalized to `now`.
     #[inline]
     pub fn count_at(&self, model: &TimeModel, now: u64) -> f64 {
@@ -83,28 +58,45 @@ impl PcsCell {
     /// (Euclidean norm of the per-dimension deviations). `None` when the
     /// cell holds less than ~one point of decayed weight.
     pub fn sigma(&self) -> Option<f64> {
-        if self.d <= f64::EPSILON {
-            return None;
-        }
-        let mut acc = 0.0;
-        for i in 0..self.ls.len() {
-            let m = self.ls[i] / self.d;
-            acc += (self.ss[i] / self.d - m * m).max(0.0);
-        }
-        Some(acc.sqrt())
-    }
-
-    /// Approximate heap footprint in bytes.
-    pub fn approx_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + 2 * self.ls.capacity() * std::mem::size_of::<f64>()
+        sigma_of(self.d, self.moments)
     }
 }
 
+#[inline]
+fn sigma_of(d: f64, moments: &[f64]) -> Option<f64> {
+    if d <= f64::EPSILON {
+        return None;
+    }
+    let card = moments.len() / 2;
+    let (ls, ss) = moments.split_at(card);
+    let mut acc = 0.0;
+    for i in 0..card {
+        let m = ls[i] / d;
+        acc += (ss[i] / d - m * m).max(0.0);
+    }
+    Some(acc.sqrt())
+}
+
 /// All populated projected cells of one subspace.
+///
+/// Cells live in a structure-of-arrays layout: a `CellKey → slot` index
+/// plus parallel columns for the decayed count, last-touched tick and the
+/// `2·|s|` moment sums. Inserting a point into an existing cell touches no
+/// allocator and no variable-length hashing — the steady-state hot path is
+/// one integer-keyed map probe plus a contiguous stripe of float updates.
 #[derive(Debug, Clone)]
 pub struct ProjectedStore {
     subspace: Subspace,
-    cells: FxHashMap<CellCoords, PcsCell>,
+    card: usize,
+    index: FxHashMap<CellKey, u32>,
+    /// Per-slot cell key (for pruning compaction and iteration).
+    keys: Vec<CellKey>,
+    /// Per-slot decayed count.
+    d: Vec<f64>,
+    /// Per-slot last-touched tick.
+    last_tick: Vec<u64>,
+    /// Per-slot moment stripe, stride `2·card`: `ls[0..card], ss[0..card]`.
+    moments: Vec<f64>,
     /// `m^{|s|}` — precomputed RD multiplier numerator.
     cell_count: f64,
     /// `σ_uniform(s)` — precomputed IRSD numerator.
@@ -116,7 +108,12 @@ impl ProjectedStore {
     pub fn new(grid: &Grid, subspace: Subspace) -> Self {
         ProjectedStore {
             subspace,
-            cells: FxHashMap::default(),
+            card: subspace.cardinality(),
+            index: FxHashMap::default(),
+            keys: Vec::new(),
+            d: Vec::new(),
+            last_tick: Vec::new(),
+            moments: Vec::new(),
             cell_count: grid.cell_count_in(&subspace),
             uniform_sigma: grid.uniform_sigma_in(&subspace),
         }
@@ -127,18 +124,50 @@ impl ProjectedStore {
         self.subspace
     }
 
+    /// `m^{|s|}`: the number of projected cells of this subspace.
+    pub fn cell_count_total(&self) -> f64 {
+        self.cell_count
+    }
+
     /// Number of populated projected cells.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.keys.len()
     }
 
     /// `true` when no cell is populated.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.keys.is_empty()
     }
 
-    /// Updates the store with one point at tick `now`. `base` must be the
-    /// point's base-cell coordinates on the same grid.
+    #[inline]
+    fn stripe(&self, slot: usize) -> &[f64] {
+        &self.moments[slot * 2 * self.card..(slot + 1) * 2 * self.card]
+    }
+
+    /// Folds one point into its projected cell at tick `now` and derives
+    /// the cell's PCS in the same access — the fused hot path. `base` must
+    /// be the point's base-cell coordinates on the same grid; `total` the
+    /// stream's global decayed weight at `now` (point included). Returns
+    /// the PCS and the cell's decayed occupancy (point included), which
+    /// the drift detector consumes as its freshness signal.
+    pub fn update_and_pcs(
+        &mut self,
+        grid: &Grid,
+        model: &TimeModel,
+        now: u64,
+        base: &[u16],
+        point: &DataPoint,
+        total: f64,
+    ) -> (Pcs, f64) {
+        let slot = self.upsert(grid, model, now, base, point);
+        let d = self.d[slot];
+        let pcs = self.derive_slot(d, d, self.stripe(slot), total);
+        (pcs, d)
+    }
+
+    /// Updates the store with one point at tick `now` without deriving the
+    /// PCS (replay/warm-up path). `base` must be the point's base-cell
+    /// coordinates on the same grid.
     pub fn update(
         &mut self,
         grid: &Grid,
@@ -147,44 +176,96 @@ impl ProjectedStore {
         base: &[u16],
         point: &DataPoint,
     ) {
-        let coords = grid.project(base, &self.subspace);
-        let card = self.subspace.cardinality();
-        let cell =
-            self.cells.entry(coords).or_insert_with(|| PcsCell::new(card, now));
-        cell.insert(model, now, self.subspace.dims().map(|d| point.value(d)));
+        self.upsert(grid, model, now, base, point);
     }
 
-    /// PCS of the projected cell containing `base`, renormalized to `now`.
-    /// `total` is the stream's global decayed weight at `now`.
-    pub fn pcs(
-        &self,
+    /// Inserts the point, returning its slot. Existing cells are decayed to
+    /// `now` first; new cells extend the columns (the only allocating path,
+    /// taken once per distinct populated cell).
+    fn upsert(
+        &mut self,
         grid: &Grid,
         model: &TimeModel,
         now: u64,
         base: &[u16],
-        total: f64,
-    ) -> Pcs {
-        let coords = grid.project(base, &self.subspace);
-        match self.cells.get(&coords) {
+        point: &DataPoint,
+    ) -> usize {
+        let key = grid.project_key(base, &self.subspace);
+        let stride = 2 * self.card;
+        let slot = match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let slot = *e.get() as usize;
+                let f = model.decay_between(self.last_tick[slot], now);
+                if f != 1.0 {
+                    self.d[slot] *= f;
+                    for v in &mut self.moments[slot * stride..(slot + 1) * stride] {
+                        *v *= f;
+                    }
+                }
+                self.last_tick[slot] = now;
+                slot
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let slot = self.keys.len();
+                e.insert(slot as u32);
+                self.keys.push(key);
+                self.d.push(0.0);
+                self.last_tick.push(now);
+                self.moments.extend(std::iter::repeat_n(0.0, stride));
+                slot
+            }
+        };
+        self.d[slot] += 1.0;
+        let stripe = &mut self.moments[slot * stride..(slot + 1) * stride];
+        let (ls, ss) = stripe.split_at_mut(self.card);
+        for (i, d) in self.subspace.dims().enumerate() {
+            let v = point.value(d);
+            ls[i] += v;
+            ss[i] += v * v;
+        }
+        slot
+    }
+
+    /// PCS of the projected cell containing `base`, renormalized to `now`.
+    /// `total` is the stream's global decayed weight at `now`. (Query-only
+    /// path; the detection hot path uses
+    /// [`ProjectedStore::update_and_pcs`].)
+    pub fn pcs(&self, grid: &Grid, model: &TimeModel, now: u64, base: &[u16], total: f64) -> Pcs {
+        let key = grid.project_key(base, &self.subspace);
+        match self.index.get(&key) {
             None => Pcs::EMPTY,
-            Some(cell) => self.derive(model, now, cell, total),
+            Some(&slot) => {
+                let slot = slot as usize;
+                let d_now = self.d[slot] * model.decay_between(self.last_tick[slot], now);
+                // σ must come from the *stored* count alongside the stored
+                // moments — mixing the renormalized count with undecayed
+                // LS/SS sums would inflate the means and corrupt IRSD for
+                // any cell queried after its last update. σ is
+                // decay-invariant, so the stored triple is exact.
+                self.derive_slot(d_now, self.d[slot], self.stripe(slot), total)
+            }
         }
     }
 
-    /// Derives the `(RD, IRSD)` pair from a stored cell.
+    /// Derives the `(RD, IRSD)` pair from a cell's decayed count (`d_now`,
+    /// renormalized to the query tick) and its stored count + moment stripe
+    /// (`d_stored`, self-consistent with `moments`).
     ///
     /// Cells holding less than two points of decayed weight report
     /// `irsd = 0`: with at most one (weighted) occupant, dispersion carries
     /// no evidence of structure, and the cell is maximally sparse — this is
     /// what lets a lone projected outlier satisfy the paper's
     /// "small RD *and* small IRSD" rule.
-    pub fn derive(&self, model: &TimeModel, now: u64, cell: &PcsCell, total: f64) -> Pcs {
-        let d = cell.count_at(model, now);
-        let rd = if total > f64::EPSILON { d * self.cell_count / total } else { 0.0 };
-        let irsd = if d < 2.0 {
+    fn derive_slot(&self, d_now: f64, d_stored: f64, moments: &[f64], total: f64) -> Pcs {
+        let rd = if total > f64::EPSILON {
+            d_now * self.cell_count / total
+        } else {
+            0.0
+        };
+        let irsd = if d_now < 2.0 {
             0.0
         } else {
-            match cell.sigma() {
+            match sigma_of(d_stored, moments) {
                 Some(sigma) if sigma > f64::EPSILON => self.uniform_sigma / sigma,
                 // All mass on one spot (σ=0): a maximally concentrated
                 // micro-cluster, the opposite of scattered sparsity.
@@ -194,28 +275,65 @@ impl ProjectedStore {
         Pcs { rd, irsd }
     }
 
-    /// Iterates over populated cells (coords, summary).
-    pub fn iter(&self) -> impl Iterator<Item = (&CellCoords, &PcsCell)> {
-        self.cells.iter()
+    /// Iterates over populated cells as (key, cell view).
+    pub fn iter(&self) -> impl Iterator<Item = (CellKey, PcsCell<'_>)> + '_ {
+        self.keys.iter().enumerate().map(move |(slot, &key)| {
+            (
+                key,
+                PcsCell {
+                    d: self.d[slot],
+                    last_tick: self.last_tick[slot],
+                    moments: self.stripe(slot),
+                },
+            )
+        })
     }
 
     /// Removes cells whose decayed count at `now` fell below `floor`.
     /// Returns the number of evicted cells. This is what bounds the
-    /// synopsis memory on an unbounded stream.
+    /// synopsis memory on an unbounded stream. A linear sweep over the
+    /// contiguous columns with swap-remove compaction — cheap enough to
+    /// call on a short cadence.
     pub fn prune(&mut self, model: &TimeModel, now: u64, floor: f64) -> usize {
-        let before = self.cells.len();
-        self.cells.retain(|_, cell| cell.count_at(model, now) >= floor);
-        before - self.cells.len()
+        let stride = 2 * self.card;
+        let before = self.keys.len();
+        let mut slot = 0usize;
+        while slot < self.keys.len() {
+            let live = self.d[slot] * model.decay_between(self.last_tick[slot], now) >= floor;
+            if live {
+                slot += 1;
+                continue;
+            }
+            let last = self.keys.len() - 1;
+            self.index.remove(&self.keys[slot]);
+            if slot != last {
+                self.keys.swap(slot, last);
+                self.d.swap(slot, last);
+                self.last_tick.swap(slot, last);
+                for i in 0..stride {
+                    self.moments.swap(slot * stride + i, last * stride + i);
+                }
+                *self
+                    .index
+                    .get_mut(&self.keys[slot])
+                    .expect("moved key is indexed") = slot as u32;
+            }
+            self.keys.pop();
+            self.d.pop();
+            self.last_tick.pop();
+            self.moments.truncate(last * stride);
+        }
+        before - self.keys.len()
     }
 
     /// Approximate heap footprint in bytes.
     pub fn approx_bytes(&self) -> usize {
-        let cells: usize = self
-            .cells
-            .iter()
-            .map(|(k, v)| k.len() * std::mem::size_of::<u16>() + v.approx_bytes())
-            .sum();
-        std::mem::size_of::<Self>() + cells
+        std::mem::size_of::<Self>()
+            + self.keys.capacity() * std::mem::size_of::<CellKey>()
+            + self.d.capacity() * std::mem::size_of::<f64>()
+            + self.last_tick.capacity() * std::mem::size_of::<u64>()
+            + self.moments.capacity() * std::mem::size_of::<f64>()
+            + self.index.capacity() * (std::mem::size_of::<CellKey>() + std::mem::size_of::<u32>())
     }
 }
 
@@ -225,16 +343,13 @@ mod tests {
     use spot_types::DomainBounds;
 
     fn setup(dims: usize, m: u16) -> (Grid, TimeModel) {
-        (Grid::new(DomainBounds::unit(dims), m).unwrap(), TimeModel::new(100, 0.01).unwrap())
+        (
+            Grid::new(DomainBounds::unit(dims), m).unwrap(),
+            TimeModel::new(100, 0.01).unwrap(),
+        )
     }
 
-    fn update(
-        store: &mut ProjectedStore,
-        grid: &Grid,
-        tm: &TimeModel,
-        now: u64,
-        p: &DataPoint,
-    ) {
+    fn update(store: &mut ProjectedStore, grid: &Grid, tm: &TimeModel, now: u64, p: &DataPoint) {
         let base = grid.base_coords(p).unwrap();
         store.update(grid, tm, now, &base, p);
     }
@@ -266,7 +381,13 @@ mod tests {
         let mut store = ProjectedStore::new(&grid, s);
         // 99 points in interval 0 of dim 0, 1 point in interval 3.
         for i in 0..99 {
-            update(&mut store, &grid, &tm, 0, &DataPoint::new(vec![0.1, (i % 10) as f64 / 10.0]));
+            update(
+                &mut store,
+                &grid,
+                &tm,
+                0,
+                &DataPoint::new(vec![0.1, (i % 10) as f64 / 10.0]),
+            );
         }
         let lone = DataPoint::new(vec![0.9, 0.5]);
         update(&mut store, &grid, &tm, 0, &lone);
@@ -278,6 +399,33 @@ mod tests {
         let base = grid.base_coords(&crowded).unwrap();
         let dense = store.pcs(&grid, &tm, 0, &base, total);
         assert!(dense.rd > 1.0, "rd={}", dense.rd);
+    }
+
+    #[test]
+    fn fused_update_matches_separate_query() {
+        let (grid, tm) = setup(3, 8);
+        let s = Subspace::from_dims([0, 2]).unwrap();
+        let mut fused = ProjectedStore::new(&grid, s);
+        let mut split = ProjectedStore::new(&grid, s);
+        let pts: Vec<DataPoint> = (0..200)
+            .map(|i| {
+                DataPoint::new(vec![
+                    (i % 13) as f64 / 13.0,
+                    0.5,
+                    ((i * 7) % 11) as f64 / 11.0,
+                ])
+            })
+            .collect();
+        for (i, p) in pts.iter().enumerate() {
+            let now = i as u64;
+            let total = (i + 1) as f64;
+            let base = grid.base_coords(p).unwrap();
+            let (pcs_fused, occ) = fused.update_and_pcs(&grid, &tm, now, &base, p, total);
+            split.update(&grid, &tm, now, &base, p);
+            let pcs_split = split.pcs(&grid, &tm, now, &base, total);
+            assert_eq!(pcs_fused, pcs_split, "point {i}");
+            assert!(occ > 0.0);
+        }
     }
 
     #[test]
@@ -311,7 +459,12 @@ mod tests {
         let base = grid.base_coords(&probe).unwrap();
         let t = tight.pcs(&grid, &tm, 0, &base, 50.0);
         let sc = scattered.pcs(&grid, &tm, 0, &base, 50.0);
-        assert!(t.irsd > sc.irsd, "tight {} vs scattered {}", t.irsd, sc.irsd);
+        assert!(
+            t.irsd > sc.irsd,
+            "tight {} vs scattered {}",
+            t.irsd,
+            sc.irsd
+        );
         // Uniform scatter has IRSD near 1.
         assert!((sc.irsd - 1.0).abs() < 0.2, "irsd={}", sc.irsd);
     }
@@ -342,6 +495,38 @@ mod tests {
     }
 
     #[test]
+    fn stale_query_keeps_irsd_invariant() {
+        // σ (and hence IRSD) is derived from the self-consistent stored
+        // D/LS/SS triple, so querying a cell long after its last update
+        // must decay RD but leave IRSD exactly where it was — regression
+        // guard against mixing the renormalized count with undecayed
+        // moment sums (which drove σ→0 and IRSD→f64::MAX).
+        let (grid, tm) = setup(1, 2);
+        let s = Subspace::from_dims([0]).unwrap();
+        let mut store = ProjectedStore::new(&grid, s);
+        for i in 0..100 {
+            let v = 0.5 * (i as f64 + 0.5) / 100.0; // spread over interval 0
+            update(&mut store, &grid, &tm, 0, &DataPoint::new(vec![v]));
+        }
+        let base = grid.base_coords(&DataPoint::new(vec![0.25])).unwrap();
+        let fresh = store.pcs(&grid, &tm, 0, &base, 100.0);
+        let stale = store.pcs(&grid, &tm, 32, &base, 100.0);
+        assert!(fresh.irsd.is_finite() && fresh.irsd > 0.0);
+        assert_eq!(
+            stale.irsd.to_bits(),
+            fresh.irsd.to_bits(),
+            "IRSD must be query-tick-invariant: fresh={} stale={}",
+            fresh.irsd,
+            stale.irsd
+        );
+        assert!(stale.rd < fresh.rd, "RD must decay with the cell count");
+        // Once the decayed occupancy drops below 2, the cell reads as
+        // maximally sparse again (matching the seed's d<2 rule).
+        let ancient = store.pcs(&grid, &tm, 100 * 6, &base, 100.0);
+        assert_eq!(ancient.irsd, 0.0);
+    }
+
+    #[test]
     fn pruning_evicts_stale_cells() {
         let (grid, tm) = setup(1, 4);
         let s = Subspace::from_dims([0]).unwrap();
@@ -363,6 +548,41 @@ mod tests {
         update(&mut store, &grid, &tm, 1000, &DataPoint::new(vec![0.1]));
         assert_eq!(store.prune(&tm, 1000, 0.5), 0);
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn pruning_compaction_keeps_survivors_queryable() {
+        let (grid, tm) = setup(1, 8);
+        let s = Subspace::from_dims([0]).unwrap();
+        let mut store = ProjectedStore::new(&grid, s);
+        // Four old cells, then refresh two of them much later.
+        for i in 0..4 {
+            update(
+                &mut store,
+                &grid,
+                &tm,
+                0,
+                &DataPoint::new(vec![i as f64 / 8.0 + 0.01]),
+            );
+        }
+        let now = 5000;
+        let fresh = [0.01, 0.26];
+        for v in fresh {
+            update(&mut store, &grid, &tm, now, &DataPoint::new(vec![v]));
+        }
+        let evicted = store.prune(&tm, now, 0.5);
+        assert_eq!(evicted, 2);
+        assert_eq!(store.len(), 2);
+        for v in fresh {
+            let base = grid.base_coords(&DataPoint::new(vec![v])).unwrap();
+            let pcs = store.pcs(&grid, &tm, now, &base, 2.0);
+            assert!(pcs.rd > 0.0, "survivor at {v} lost its cell");
+        }
+        // Index stays consistent with the compacted columns.
+        for (key, cell) in store.iter() {
+            assert!(cell.count_at(&tm, now) >= 0.5);
+            let _ = key;
+        }
     }
 
     #[test]

@@ -1,20 +1,24 @@
 //! Store of populated base cells.
 
 use crate::bcs::Bcs;
-use crate::grid::{CellCoords, Grid};
+use crate::grid::Grid;
+use crate::key::CellKey;
 use spot_stream::TimeModel;
 use spot_types::{DataPoint, FxHashMap, Result};
 
-/// All populated base cells of the hypercube, keyed by their full
-/// ϕ-dimensional coordinates.
+/// All populated base cells of the hypercube, keyed by their packed
+/// [`CellKey`].
 ///
 /// Only *populated* cells are materialized — the hypercube has `m^ϕ` cells,
 /// astronomically more than a stream can touch; the store grows with the
 /// data's support, and [`BaseStore::prune`] shrinks it again as regions of
-/// the space fall out of the decaying window.
+/// the space fall out of the decaying window. Keys are `Copy`, so the
+/// steady-state insertion path allocates nothing (the seed implementation
+/// boxed a coordinate slice per insertion and cloned it into the map
+/// entry).
 #[derive(Debug, Clone, Default)]
 pub struct BaseStore {
-    cells: FxHashMap<CellCoords, Bcs>,
+    cells: FxHashMap<CellKey, Bcs>,
 }
 
 impl BaseStore {
@@ -33,49 +37,71 @@ impl BaseStore {
         self.cells.is_empty()
     }
 
-    /// Inserts a point at tick `now`, returning its base-cell coordinates
-    /// and the cell's decayed count *before* this insertion (the novelty
-    /// signal consumed by the concept-drift detector).
+    /// Inserts a point whose base-cell coordinates were already quantized
+    /// (the manager's zero-allocation path). Returns the cell's decayed
+    /// count *before* this insertion — the novelty signal consumed by the
+    /// concept-drift detector.
+    pub fn insert_at(
+        &mut self,
+        key: CellKey,
+        dims: usize,
+        model: &TimeModel,
+        now: u64,
+        p: &DataPoint,
+    ) -> f64 {
+        let cell = self.cells.entry(key).or_insert_with(|| Bcs::new(dims, now));
+        let prior = cell.count_at(model, now);
+        cell.insert(model, now, p);
+        prior
+    }
+
+    /// Inserts a point at tick `now`, returning its base-cell key and the
+    /// cell's decayed count before this insertion. Allocates only the
+    /// internal coordinate scratch; callers on a hot path should quantize
+    /// once themselves and use [`BaseStore::insert_at`].
     pub fn insert(
         &mut self,
         grid: &Grid,
         model: &TimeModel,
         now: u64,
         p: &DataPoint,
-    ) -> Result<(CellCoords, f64)> {
+    ) -> Result<(CellKey, f64)> {
         let coords = grid.base_coords(p)?;
-        let dims = grid.dims();
-        let cell = self
-            .cells
-            .entry(coords.clone())
-            .or_insert_with(|| Bcs::new(dims, now));
-        let prior = cell.count_at(model, now);
-        cell.insert(model, now, p);
-        Ok((coords, prior))
+        let key = grid.base_key(&coords);
+        let prior = self.insert_at(key, grid.dims(), model, now, p);
+        Ok((key, prior))
     }
 
-    /// The summary of the cell at `coords`, if populated.
-    pub fn get(&self, coords: &[u16]) -> Option<&Bcs> {
-        self.cells.get(coords)
+    /// The summary of the cell with the given key, if populated.
+    pub fn get(&self, key: CellKey) -> Option<&Bcs> {
+        self.cells.get(&key)
     }
 
     /// Decayed count of the cell containing `p` at tick `now` (0 when the
     /// cell was never populated).
-    pub fn count_for(&self, grid: &Grid, model: &TimeModel, now: u64, p: &DataPoint) -> Result<f64> {
+    pub fn count_for(
+        &self,
+        grid: &Grid,
+        model: &TimeModel,
+        now: u64,
+        p: &DataPoint,
+    ) -> Result<f64> {
         let coords = grid.base_coords(p)?;
-        Ok(self.cells.get(&coords).map_or(0.0, |c| c.count_at(model, now)))
+        let key = grid.base_key(&coords);
+        Ok(self.cells.get(&key).map_or(0.0, |c| c.count_at(model, now)))
     }
 
     /// Iterates populated cells.
-    pub fn iter(&self) -> impl Iterator<Item = (&CellCoords, &Bcs)> {
-        self.cells.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (CellKey, &Bcs)> {
+        self.cells.iter().map(|(&k, v)| (k, v))
     }
 
     /// Removes cells whose decayed count at `now` fell below `floor`;
     /// returns how many were evicted.
     pub fn prune(&mut self, model: &TimeModel, now: u64, floor: f64) -> usize {
         let before = self.cells.len();
-        self.cells.retain(|_, cell| cell.count_at(model, now) >= floor);
+        self.cells
+            .retain(|_, cell| cell.count_at(model, now) >= floor);
         before - self.cells.len()
     }
 
@@ -83,8 +109,8 @@ impl BaseStore {
     pub fn approx_bytes(&self) -> usize {
         let cells: usize = self
             .cells
-            .iter()
-            .map(|(k, v)| k.len() * std::mem::size_of::<u16>() + v.approx_bytes())
+            .values()
+            .map(|v| std::mem::size_of::<CellKey>() + v.approx_bytes())
             .sum();
         std::mem::size_of::<Self>() + cells
     }
@@ -96,7 +122,10 @@ mod tests {
     use spot_types::DomainBounds;
 
     fn setup() -> (Grid, TimeModel) {
-        (Grid::new(DomainBounds::unit(2), 4).unwrap(), TimeModel::new(50, 0.01).unwrap())
+        (
+            Grid::new(DomainBounds::unit(2), 4).unwrap(),
+            TimeModel::new(50, 0.01).unwrap(),
+        )
     }
 
     #[test]
@@ -112,11 +141,34 @@ mod tests {
     }
 
     #[test]
+    fn returned_key_addresses_the_stored_cell() {
+        // Regression guard for the seed's `coords.clone()` entry: the key
+        // handed back by insert must be exactly the key under which the
+        // summary is stored, for fresh and for existing cells alike.
+        let (grid, tm) = setup();
+        let mut store = BaseStore::new();
+        let p = DataPoint::new(vec![0.3, 0.8]);
+        let (k1, _) = store.insert(&grid, &tm, 0, &p).unwrap();
+        let cell = store.get(k1).expect("fresh key resolves");
+        assert!((cell.count() - 1.0).abs() < 1e-12);
+        let (k2, _) = store.insert(&grid, &tm, 1, &p).unwrap();
+        assert_eq!(k1, k2, "same cell must yield the same key");
+        // And it matches the grid's own quantization of the point.
+        let coords = grid.base_coords(&p).unwrap();
+        assert_eq!(grid.base_key(&coords), k1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
     fn distinct_cells_tracked_separately() {
         let (grid, tm) = setup();
         let mut store = BaseStore::new();
-        store.insert(&grid, &tm, 0, &DataPoint::new(vec![0.1, 0.1])).unwrap();
-        store.insert(&grid, &tm, 0, &DataPoint::new(vec![0.9, 0.9])).unwrap();
+        store
+            .insert(&grid, &tm, 0, &DataPoint::new(vec![0.1, 0.1]))
+            .unwrap();
+        store
+            .insert(&grid, &tm, 0, &DataPoint::new(vec![0.9, 0.9]))
+            .unwrap();
         assert_eq!(store.len(), 2);
         let c = store
             .count_for(&grid, &tm, 0, &DataPoint::new(vec![0.12, 0.13]))
@@ -132,7 +184,23 @@ mod tests {
     fn dimension_mismatch_propagates() {
         let (grid, tm) = setup();
         let mut store = BaseStore::new();
-        assert!(store.insert(&grid, &tm, 0, &DataPoint::new(vec![0.5])).is_err());
+        assert!(store
+            .insert(&grid, &tm, 0, &DataPoint::new(vec![0.5]))
+            .is_err());
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let (grid, tm) = setup();
+        let mut store = BaseStore::new();
+        let err = store
+            .insert(&grid, &tm, 0, &DataPoint::new(vec![0.5, f64::NAN]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            spot_types::SpotError::NonFiniteValue { dim: 1 }
+        ));
+        assert!(store.is_empty());
     }
 
     #[test]

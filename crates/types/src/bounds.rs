@@ -23,10 +23,15 @@ impl DomainBounds {
     /// the grid always has positive cell widths.
     pub fn new(mins: Vec<f64>, maxs: Vec<f64>) -> Result<Self> {
         if mins.len() != maxs.len() {
-            return Err(SpotError::DimensionMismatch { expected: mins.len(), got: maxs.len() });
+            return Err(SpotError::DimensionMismatch {
+                expected: mins.len(),
+                got: maxs.len(),
+            });
         }
         if mins.is_empty() {
-            return Err(SpotError::InvalidConfig("bounds must cover at least one dimension".into()));
+            return Err(SpotError::InvalidConfig(
+                "bounds must cover at least one dimension".into(),
+            ));
         }
         let mut mins = mins;
         let mut maxs = maxs;
@@ -35,7 +40,9 @@ impl DomainBounds {
                 return Err(SpotError::InvalidConfig("bounds must be finite".into()));
             }
             if *lo > *hi {
-                return Err(SpotError::InvalidConfig(format!("min {lo} exceeds max {hi}")));
+                return Err(SpotError::InvalidConfig(format!(
+                    "min {lo} exceeds max {hi}"
+                )));
             }
             if *lo == *hi {
                 // Widen degenerate dimensions so equi-width cells are well defined.
@@ -69,7 +76,10 @@ impl DomainBounds {
         let mut maxs = vec![f64::NEG_INFINITY; dims];
         for p in points {
             if p.dims() != dims {
-                return Err(SpotError::DimensionMismatch { expected: dims, got: p.dims() });
+                return Err(SpotError::DimensionMismatch {
+                    expected: dims,
+                    got: p.dims(),
+                });
             }
             for (d, &v) in p.values().iter().enumerate() {
                 if v < mins[d] {
@@ -160,8 +170,11 @@ mod tests {
 
     #[test]
     fn from_data_covers_all_points() {
-        let pts: Vec<DataPoint> =
-            vec![vec![0.0, 10.0].into(), vec![5.0, -10.0].into(), vec![2.5, 0.0].into()];
+        let pts: Vec<DataPoint> = vec![
+            vec![0.0, 10.0].into(),
+            vec![5.0, -10.0].into(),
+            vec![2.5, 0.0].into(),
+        ];
         let b = DomainBounds::from_data(&pts, 0.05).unwrap();
         for p in &pts {
             assert!(b.contains(p));

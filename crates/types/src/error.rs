@@ -26,6 +26,15 @@ pub enum SpotError {
     NotLearned,
     /// An I/O or parsing problem while loading/saving datasets.
     Io(String),
+    /// A point carried a NaN attribute value. NaN cannot be ordered into a
+    /// grid interval, so admitting it would silently file corrupt readings
+    /// as interval-0 inliers; ingestion rejects it instead. (Infinities are
+    /// fine: they clamp into the boundary cells like any out-of-range
+    /// value.)
+    NonFiniteValue {
+        /// Dimension holding the NaN.
+        dim: usize,
+    },
 }
 
 impl fmt::Display for SpotError {
@@ -37,12 +46,18 @@ impl fmt::Display for SpotError {
             SpotError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SpotError::EmptyTrainingSet => write!(f, "training set is empty"),
             SpotError::TooManyDimensions(d) => {
-                write!(f, "{d} dimensions exceed the 64-dimension subspace bitmask limit")
+                write!(
+                    f,
+                    "{d} dimensions exceed the 64-dimension subspace bitmask limit"
+                )
             }
             SpotError::NotLearned => {
                 write!(f, "detection stage invoked before the learning stage")
             }
             SpotError::Io(msg) => write!(f, "I/O error: {msg}"),
+            SpotError::NonFiniteValue { dim } => {
+                write!(f, "attribute {dim} is NaN; stream values must be non-NaN")
+            }
         }
     }
 }
@@ -61,11 +76,17 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = SpotError::DimensionMismatch { expected: 3, got: 5 };
+        let e = SpotError::DimensionMismatch {
+            expected: 3,
+            got: 5,
+        };
         assert!(e.to_string().contains("expected 3"));
         assert!(SpotError::EmptyTrainingSet.to_string().contains("empty"));
         assert!(SpotError::TooManyDimensions(70).to_string().contains("70"));
         assert!(SpotError::NotLearned.to_string().contains("learning"));
+        assert!(SpotError::NonFiniteValue { dim: 2 }
+            .to_string()
+            .contains("2"));
     }
 
     #[test]

@@ -20,12 +20,18 @@ pub struct AnomalyInfo {
 impl AnomalyInfo {
     /// An anomaly with a category but no known outlying subspace.
     pub fn category(category: impl Into<String>) -> Self {
-        AnomalyInfo { category: category.into(), true_subspace: None }
+        AnomalyInfo {
+            category: category.into(),
+            true_subspace: None,
+        }
     }
 
     /// An anomaly with a category and a known outlying-subspace bitmask.
     pub fn with_subspace(category: impl Into<String>, mask: u64) -> Self {
-        AnomalyInfo { category: category.into(), true_subspace: Some(mask) }
+        AnomalyInfo {
+            category: category.into(),
+            true_subspace: Some(mask),
+        }
     }
 }
 

@@ -40,12 +40,18 @@ pub struct Detection {
 impl Detection {
     /// A non-outlier verdict with the given score.
     pub fn inlier(score: f64) -> Self {
-        Detection { outlier: false, score }
+        Detection {
+            outlier: false,
+            score,
+        }
     }
 
     /// An outlier verdict with the given score.
     pub fn outlier(score: f64) -> Self {
-        Detection { outlier: true, score }
+        Detection {
+            outlier: true,
+            score,
+        }
     }
 }
 

@@ -62,7 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut after = config.clone();
     after.seed = 777;
     after.center_range = (0.55, 0.95);
-    let mut source = DriftingGenerator::new(config.clone(), after, DriftKind::Abrupt { at: DRIFT_AT })?;
+    let mut source =
+        DriftingGenerator::new(config.clone(), after, DriftKind::Abrupt { at: DRIFT_AT })?;
     let train = source.before_mut().generate_normal(2000);
     let records = source.generate(STREAM);
 
@@ -71,12 +72,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut b = SpotBuilder::new(bounds).fs_max_dimension(2).seed(11);
         if adaptive {
             b = b
-                .evolution(EvolutionConfig { period: 500, ..Default::default() })
+                .evolution(EvolutionConfig {
+                    period: 500,
+                    ..Default::default()
+                })
                 .drift(DriftConfig::default());
         } else {
             b = b
-                .evolution(EvolutionConfig { enabled: false, ..Default::default() })
-                .drift(DriftConfig { enabled: false, ..Default::default() });
+                .evolution(EvolutionConfig {
+                    enabled: false,
+                    ..Default::default()
+                })
+                .drift(DriftConfig {
+                    enabled: false,
+                    ..Default::default()
+                });
         }
         Ok(b.build()?)
     };
@@ -92,7 +102,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("windowed F1 (drift at point {DRIFT_AT}):");
     println!("{:>8} {:>10} {:>10}", "points", "adaptive", "frozen");
     for ((at, fa), (_, ff)) in f1_adaptive.iter().zip(f1_frozen.iter()) {
-        let marker = if *at as u64 > DRIFT_AT { "  <- post-drift" } else { "" };
+        let marker = if *at as u64 > DRIFT_AT {
+            "  <- post-drift"
+        } else {
+            ""
+        };
         println!("{at:>8} {fa:>10.3} {ff:>10.3}{marker}");
     }
     println!(
@@ -101,6 +115,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         adaptive.stats().drift_events,
         adaptive.stats().os_added
     );
-    println!("frozen:   {} evolutions (by construction)", frozen.stats().evolutions);
+    println!(
+        "frozen:   {} evolutions (by construction)",
+        frozen.stats().evolutions
+    );
     Ok(())
 }

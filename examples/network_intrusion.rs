@@ -23,7 +23,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         attack_fraction: 0.01,
         family_weights: [0.4, 0.25, 0.2, 0.15],
         seed: 2024,
-        ..Default::default()
     })?;
 
     // Supervised learning: clean history + two exemplars per family from
@@ -53,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for record in generator.generate(20_000) {
         let verdict = detector.process(&record.point)?;
         if record.is_anomaly() {
-            let entry = per_family.entry(record.label.category().to_string()).or_default();
+            let entry = per_family
+                .entry(record.label.category().to_string())
+                .or_default();
             entry.1 += 1;
             if verdict.outlier {
                 entry.0 += 1;

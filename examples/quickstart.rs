@@ -12,7 +12,12 @@ use spot_data::{SyntheticConfig, SyntheticGenerator};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 16-dimensional stream: clustered normal data plus ~2% planted
     // projected outliers (anomalous only inside a 2-dim subspace).
-    let config = SyntheticConfig { dims: 16, outlier_fraction: 0.02, seed: 7, ..Default::default() };
+    let config = SyntheticConfig {
+        dims: 16,
+        outlier_fraction: 0.02,
+        seed: 7,
+        ..Default::default()
+    };
     let mut generator = SyntheticGenerator::new(config)?;
     println!(
         "planted outlying subspaces: {}",
@@ -35,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "learning stage: {} training points, {} OD candidates, CS = {:?}",
         report.training_points,
         report.od_candidates,
-        report.cs.iter().map(|(s, _)| s.to_string()).collect::<Vec<_>>()
+        report
+            .cs
+            .iter()
+            .map(|(s, _)| s.to_string())
+            .collect::<Vec<_>>()
     );
 
     // Detection stage: one pass over 5000 arriving points.

@@ -32,16 +32,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut caught: HashMap<String, (u32, u32)> = HashMap::new();
     let mut false_alarms = 0u32;
-    let mut run = |detector: &mut Spot,
-                   generator: &mut SensorGenerator,
-                   n: usize,
-                   caught: &mut HashMap<String, (u32, u32)>,
-                   false_alarms: &mut u32|
+    let run = |detector: &mut Spot,
+               generator: &mut SensorGenerator,
+               n: usize,
+               caught: &mut HashMap<String, (u32, u32)>,
+               false_alarms: &mut u32|
      -> Result<(), Box<dyn std::error::Error>> {
         for record in generator.generate(n) {
             let verdict = detector.process(&record.point)?;
             if record.is_anomaly() {
-                let e = caught.entry(record.label.category().to_string()).or_default();
+                let e = caught
+                    .entry(record.label.category().to_string())
+                    .or_default();
                 e.1 += 1;
                 if verdict.outlier {
                     e.0 += 1;
@@ -53,7 +55,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(())
     };
 
-    run(&mut detector, &mut generator, 6000, &mut caught, &mut false_alarms)?;
+    run(
+        &mut detector,
+        &mut generator,
+        6000,
+        &mut caught,
+        &mut false_alarms,
+    )?;
 
     // Operational restart: persist the learned template, rebuild, resume.
     let snapshot = detector.snapshot();
@@ -67,7 +75,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for record in generator.generate(1500) {
         detector.process(&record.point)?;
     }
-    run(&mut detector, &mut generator, 6000, &mut caught, &mut false_alarms)?;
+    run(
+        &mut detector,
+        &mut generator,
+        6000,
+        &mut caught,
+        &mut false_alarms,
+    )?;
 
     println!("\nfault detection across 12k monitored readings (+1.5k burn-in):");
     let mut fams: Vec<_> = caught.iter().collect();

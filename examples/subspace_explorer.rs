@@ -16,7 +16,12 @@ use spot_data::{SyntheticConfig, SyntheticGenerator};
 use spot_types::DataPoint;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = SyntheticConfig { dims: 20, outlier_fraction: 0.0, seed: 31, ..Default::default() };
+    let config = SyntheticConfig {
+        dims: 20,
+        outlier_fraction: 0.0,
+        seed: 31,
+        ..Default::default()
+    };
     let mut generator = SyntheticGenerator::new(config)?;
 
     let mut detector = SpotBuilder::new(generator.bounds())
@@ -37,13 +42,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     vals[11] = 0.003;
     let outlier_probe = DataPoint::new(vals);
 
-    for (name, probe) in [("normal probe", &normal_probe), ("planted probe", &outlier_probe)] {
+    for (name, probe) in [
+        ("normal probe", &normal_probe),
+        ("planted probe", &outlier_probe),
+    ] {
         println!("== {name} ==");
         let verdict = detector.process(probe)?;
-        println!("  flagged online: {} (score {:.3})", verdict.outlier, verdict.score);
+        println!(
+            "  flagged online: {} (score {:.3})",
+            verdict.outlier, verdict.score
+        );
         let top = detector.explain(probe, 5)?;
         for (rank, (subspace, score)) in top.iter().enumerate() {
-            println!("  #{:<2} subspace {:<12} sparsity score {:.4}", rank + 1, subspace.to_string(), score);
+            println!(
+                "  #{:<2} subspace {:<12} sparsity score {:.4}",
+                rank + 1,
+                subspace.to_string(),
+                score
+            );
         }
         println!();
     }

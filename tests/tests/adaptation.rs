@@ -16,8 +16,7 @@ fn drift_setup(adaptive: bool) -> (spot::Spot, DriftingGenerator) {
     let mut after = config.clone();
     after.seed = 999;
     after.center_range = (0.6, 0.95);
-    let mut source =
-        DriftingGenerator::new(config, after, DriftKind::Abrupt { at: 4000 }).unwrap();
+    let mut source = DriftingGenerator::new(config, after, DriftKind::Abrupt { at: 4000 }).unwrap();
     let train = source.before_mut().generate_normal(1200);
     let mut spot = SpotBuilder::new(spot_types::DomainBounds::unit(10))
         .fs_max_dimension(2)
@@ -27,7 +26,10 @@ fn drift_setup(adaptive: bool) -> (spot::Spot, DriftingGenerator) {
             period: 500,
             ..Default::default()
         })
-        .drift(DriftConfig { enabled: adaptive, ..Default::default() })
+        .drift(DriftConfig {
+            enabled: adaptive,
+            ..Default::default()
+        })
         .build()
         .unwrap();
     spot.learn(&train).unwrap();
@@ -52,7 +54,12 @@ fn drift_alarm_fires_after_abrupt_change() {
 
 #[test]
 fn stable_stream_rarely_alarms() {
-    let config = SyntheticConfig { dims: 10, outlier_fraction: 0.03, seed: 51, ..Default::default() };
+    let config = SyntheticConfig {
+        dims: 10,
+        outlier_fraction: 0.03,
+        seed: 51,
+        ..Default::default()
+    };
     let mut g = spot_data::SyntheticGenerator::new(config).unwrap();
     let train = g.generate_normal(1200);
     let mut spot = SpotBuilder::new(spot_types::DomainBounds::unit(10))
@@ -64,7 +71,11 @@ fn stable_stream_rarely_alarms() {
     for r in g.generate(8000) {
         spot.process(&r.point).unwrap();
     }
-    assert!(spot.stats().drift_events <= 1, "{} alarms on a stable stream", spot.stats().drift_events);
+    assert!(
+        spot.stats().drift_events <= 1,
+        "{} alarms on a stable stream",
+        spot.stats().drift_events
+    );
 }
 
 #[test]

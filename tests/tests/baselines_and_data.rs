@@ -8,7 +8,11 @@ use spot_types::{DomainBounds, StreamDetector};
 
 #[test]
 fn window_knn_catches_global_outliers_in_kdd_stream() {
-    let mut g = KddGenerator::new(KddConfig { attack_fraction: 0.05, ..Default::default() }).unwrap();
+    let mut g = KddGenerator::new(KddConfig {
+        attack_fraction: 0.05,
+        ..Default::default()
+    })
+    .unwrap();
     let train = g.generate_normal(800);
     let mut knn = WindowKnnDetector::new(WindowKnnConfig {
         window: 800,
@@ -38,7 +42,12 @@ fn window_knn_catches_global_outliers_in_kdd_stream() {
 fn random_subspaces_underperform_spot_on_subspace_recovery() {
     // Sanity: the random-subspace detector runs end-to-end on the
     // synthetic stream and produces a plausible outlier rate.
-    let config = SyntheticConfig { dims: 12, outlier_fraction: 0.03, seed: 3, ..Default::default() };
+    let config = SyntheticConfig {
+        dims: 12,
+        outlier_fraction: 0.03,
+        seed: 3,
+        ..Default::default()
+    };
     let mut g = SyntheticGenerator::new(config).unwrap();
     let train = g.generate_normal(1000);
     let mut det = RandomSubspaceDetector::new(
@@ -55,7 +64,10 @@ fn random_subspaces_underperform_spot_on_subspace_recovery() {
         }
     }
     let rate = flagged as f64 / records.len() as f64;
-    assert!(rate < 0.5, "random-subspace detector flags {rate:.2} of stream");
+    assert!(
+        rate < 0.5,
+        "random-subspace detector flags {rate:.2} of stream"
+    );
 }
 
 /// Sparsity problem on real generator data, reused by the MOGA-vs-brute
@@ -97,15 +109,24 @@ fn moga_matches_brute_force_on_attack_explanation() {
         subs.iter().any(|s| s.intersection(&signature).is_some())
     };
 
-    let mut problem = KddSparsity { evaluator: evaluator.clone(), target };
+    let mut problem = KddSparsity {
+        evaluator: evaluator.clone(),
+        target,
+    };
     let brute = brute_force_top_k(&mut problem, 2).unwrap();
     let brute_top: Vec<_> = brute.top_k(5).into_iter().map(|(s, _)| s).collect();
-    assert!(hits_signature(&brute_top), "brute-force top-5 misses the signature: {brute_top:?}");
+    assert!(
+        hits_signature(&brute_top),
+        "brute-force top-5 misses the signature: {brute_top:?}"
+    );
 
     let mut problem = KddSparsity { evaluator, target };
     let moga = spot_moga::run(&mut problem, &MogaConfig::default()).unwrap();
     let moga_top: Vec<_> = moga.top_k(5).into_iter().map(|(s, _)| s).collect();
-    assert!(hits_signature(&moga_top), "MOGA top-5 misses the signature: {moga_top:?}");
+    assert!(
+        hits_signature(&moga_top),
+        "MOGA top-5 misses the signature: {moga_top:?}"
+    );
 }
 
 #[test]
@@ -124,9 +145,7 @@ fn csv_roundtrip_through_files() {
     spot_data::csv::save_csv(&path, &records).unwrap();
     let back = spot_data::csv::load_csv(&path).unwrap();
     assert_eq!(records.len(), back.len());
-    let anomalies = |rs: &[spot_types::LabeledRecord]| {
-        rs.iter().filter(|r| r.is_anomaly()).count()
-    };
+    let anomalies = |rs: &[spot_types::LabeledRecord]| rs.iter().filter(|r| r.is_anomaly()).count();
     assert_eq!(anomalies(&records), anomalies(&back));
     std::fs::remove_file(&path).ok();
 }

@@ -51,11 +51,18 @@ fn different_seeds_may_differ_but_stay_sane() {
 #[test]
 fn generators_are_deterministic() {
     let mk_syn = || {
-        SyntheticGenerator::new(SyntheticConfig { seed: 9, ..Default::default() })
+        SyntheticGenerator::new(SyntheticConfig {
+            seed: 9,
+            ..Default::default()
+        })
+        .unwrap()
+        .generate(300)
+    };
+    assert_eq!(mk_syn(), mk_syn());
+    let mk_kdd = || {
+        KddGenerator::new(KddConfig::default())
             .unwrap()
             .generate(300)
     };
-    assert_eq!(mk_syn(), mk_syn());
-    let mk_kdd = || KddGenerator::new(KddConfig::default()).unwrap().generate(300);
     assert_eq!(mk_kdd(), mk_kdd());
 }

@@ -8,7 +8,12 @@ use spot_metrics::ConfusionMatrix;
 use spot_types::{LabeledRecord, StreamDetector};
 
 fn stream(seed: u64, dims: usize, n: usize) -> (Vec<spot_types::DataPoint>, Vec<LabeledRecord>) {
-    let config = SyntheticConfig { dims, outlier_fraction: 0.03, seed, ..Default::default() };
+    let config = SyntheticConfig {
+        dims,
+        outlier_fraction: 0.03,
+        seed,
+        ..Default::default()
+    };
     let mut g = SyntheticGenerator::new(config).unwrap();
     let train = g.generate_normal(1500);
     let records = g.generate(n);
@@ -36,7 +41,11 @@ fn spot_detects_projected_outliers_with_good_f1() {
     let m = evaluate(&mut spot, &records);
     assert!(m.recall() > 0.7, "recall {:.3} too low ({m:?})", m.recall());
     assert!(m.f1() > 0.6, "f1 {:.3} too low ({m:?})", m.f1());
-    assert!(m.false_positive_rate() < 0.1, "fpr {:.3} too high", m.false_positive_rate());
+    assert!(
+        m.false_positive_rate() < 0.1,
+        "fpr {:.3} too high",
+        m.false_positive_rate()
+    );
 }
 
 #[test]
@@ -68,7 +77,12 @@ fn spot_beats_fullspace_baseline_on_projected_outliers() {
 
 #[test]
 fn reported_subspaces_overlap_planted_ones() {
-    let config = SyntheticConfig { dims: 12, outlier_fraction: 0.03, seed: 9, ..Default::default() };
+    let config = SyntheticConfig {
+        dims: 12,
+        outlier_fraction: 0.03,
+        seed: 9,
+        ..Default::default()
+    };
     let mut g = SyntheticGenerator::new(config).unwrap();
     let train = g.generate_normal(1500);
     let records = g.generate(4000);
@@ -95,14 +109,25 @@ fn reported_subspaces_overlap_planted_ones() {
             }
         }
     }
-    assert!(detected > 50, "too few detections ({detected}) for a meaningful check");
+    assert!(
+        detected > 50,
+        "too few detections ({detected}) for a meaningful check"
+    );
     let frac = overlaps as f64 / detected as f64;
-    assert!(frac > 0.6, "only {frac:.2} of detections overlap the planted subspace");
+    assert!(
+        frac > 0.6,
+        "only {frac:.2} of detections overlap the planted subspace"
+    );
 }
 
 #[test]
 fn memory_stays_bounded_on_long_streams() {
-    let config = SyntheticConfig { dims: 10, outlier_fraction: 0.01, seed: 4, ..Default::default() };
+    let config = SyntheticConfig {
+        dims: 10,
+        outlier_fraction: 0.01,
+        seed: 4,
+        ..Default::default()
+    };
     let mut g = SyntheticGenerator::new(config).unwrap();
     let train = g.generate_normal(1000);
     let mut spot = SpotBuilder::new(spot_types::DomainBounds::unit(10))

@@ -66,8 +66,7 @@ proptest! {
 #[test]
 fn dimension_mismatch_is_an_error_not_a_panic() {
     let mut spot = SpotBuilder::new(DomainBounds::unit(4)).build().unwrap();
-    let train: Vec<DataPoint> =
-        (0..30).map(|_| DataPoint::new(vec![0.5; 4])).collect();
+    let train: Vec<DataPoint> = (0..30).map(|_| DataPoint::new(vec![0.5; 4])).collect();
     spot.learn(&train).unwrap();
     assert!(spot.process(&DataPoint::new(vec![0.5; 3])).is_err());
     assert!(spot.process(&DataPoint::new(vec![0.5; 5])).is_err());
@@ -77,11 +76,15 @@ fn dimension_mismatch_is_an_error_not_a_panic() {
 
 #[test]
 fn extreme_values_are_clamped_into_boundary_cells() {
-    let mut spot = SpotBuilder::new(DomainBounds::unit(4)).seed(2).build().unwrap();
+    let mut spot = SpotBuilder::new(DomainBounds::unit(4))
+        .seed(2)
+        .build()
+        .unwrap();
     // Enough training mass that a singleton boundary cell is sparse
     // relative to the uniform expectation (RD needs N ≫ m/τ).
-    let train: Vec<DataPoint> =
-        (0..800).map(|i| DataPoint::new(vec![0.5 + (i % 7) as f64 * 0.01; 4])).collect();
+    let train: Vec<DataPoint> = (0..800)
+        .map(|i| DataPoint::new(vec![0.5 + (i % 7) as f64 * 0.01; 4]))
+        .collect();
     spot.learn(&train).unwrap();
     for v in [f64::MAX, f64::MIN, 1e300, -1e300] {
         let verdict = spot.process(&DataPoint::new(vec![v; 4])).unwrap();
