@@ -55,6 +55,30 @@ fn bench_grid_mapping(c: &mut Criterion) {
     }
 }
 
+/// The chunked branch-free quantizer on the reused-scratch entry — the
+/// satellite check that the autovectorizable form is no slower at any ϕ.
+fn bench_grid_quantize_chunked(c: &mut Criterion) {
+    for dims in [8usize, 24, 64] {
+        let grid = Grid::new(DomainBounds::unit(dims), 10).unwrap();
+        let pts = random_points(1024, dims, 2);
+        c.bench_with_input(
+            BenchmarkId::new("grid_base_coords_into", dims),
+            &pts,
+            |b, pts| {
+                let mut scratch = Vec::with_capacity(dims);
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for p in pts {
+                        grid.base_coords_into(black_box(p), &mut scratch).unwrap();
+                        acc += scratch[0] as usize;
+                    }
+                    acc
+                })
+            },
+        );
+    }
+}
+
 fn bench_manager_update(c: &mut Criterion) {
     for n_subspaces in [16usize, 64, 256] {
         let dims = 16;
@@ -186,7 +210,8 @@ fn bench_spot_process(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20);
-    targets = bench_bcs_insert, bench_grid_mapping, bench_manager_update,
+    targets = bench_bcs_insert, bench_grid_mapping, bench_grid_quantize_chunked,
+              bench_manager_update,
               bench_manager_update_and_query, bench_spot_process_batch,
               bench_nondominated_sort, bench_leader_clustering, bench_spot_process
 }

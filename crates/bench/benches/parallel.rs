@@ -1,0 +1,258 @@
+//! Parallel-runtime scaling baseline: multi-producer ingest throughput of
+//! the sharded cooperative `SharedSpot` against the single-mutex control,
+//! plus the batch-decay and chunked-quantizer micro numbers.
+//!
+//! Writes `BENCH_parallel.json` at the repository root (fixed seed 42).
+//! The `cores` field records the machine's available parallelism — on a
+//! single-core runner the producer arms measure protocol overhead only;
+//! the ≥2.5x scaling target applies to machines with ≥ 4 cores.
+//!
+//! `SPOT_BENCH_THREADS` (e.g. `"1,2"`) restricts the producer counts for
+//! CI smoke runs; the default sweep is 1/2/4/8.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use spot::{SharedSpot, Spot, SpotBuilder};
+use spot_stream::TimeModel;
+use spot_synopsis::{Grid, SubspacePcs, SynopsisManager};
+use spot_types::{DataPoint, DomainBounds};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const PHI: usize = 16;
+const TOTAL_POINTS: usize = 16_384;
+const CHUNK: usize = 256;
+
+fn random_points(n: usize, dims: usize, seed: u64) -> Vec<DataPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| DataPoint::new((0..dims).map(|_| rng.gen_range(0.0..1.0)).collect()))
+        .collect()
+}
+
+fn learned_spot() -> Spot {
+    let mut spot = SpotBuilder::new(DomainBounds::unit(PHI))
+        .fs_max_dimension(2)
+        .seed(SEED)
+        .build()
+        .unwrap();
+    spot.learn(&random_points(1000, PHI, SEED ^ 7)).unwrap();
+    spot
+}
+
+/// Drives `threads` producers over disjoint segments of a shared stream;
+/// returns aggregate points/sec.
+fn producer_throughput(shared: &SharedSpot, stream: &Arc<Vec<DataPoint>>, threads: usize) -> f64 {
+    let per_thread = stream.len() / threads;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let shared = shared.clone();
+            let stream = Arc::clone(stream);
+            scope.spawn(move || {
+                let segment = &stream[t * per_thread..(t + 1) * per_thread];
+                for chunk in segment.chunks(CHUNK) {
+                    shared.process_batch(chunk).unwrap();
+                }
+            });
+        }
+    });
+    (per_thread * threads) as f64 / t0.elapsed().as_secs_f64()
+}
+
+#[derive(Serialize)]
+struct ThreadPoint {
+    threads: usize,
+    single_mutex_pts_per_sec: f64,
+    sharded_pts_per_sec: f64,
+    speedup_vs_single_mutex: f64,
+}
+
+#[derive(Serialize)]
+struct QuantizePoint {
+    phi: usize,
+    scalar_pts_per_sec: f64,
+    chunked_pts_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct ParallelBaseline {
+    seed: u64,
+    /// Available parallelism of the machine that produced these numbers.
+    cores: usize,
+    phi: usize,
+    sst_subspaces: usize,
+    points_per_arm: usize,
+    chunk: usize,
+    /// Multi-producer ingest: sharded cooperative SharedSpot vs the
+    /// single-mutex control at each producer count.
+    threads: Vec<ThreadPoint>,
+    /// `sharded(4 threads) / single_mutex(4 threads)` when the sweep
+    /// includes 4 producers (the ISSUE's scaling target; meaningful on
+    /// ≥ 4 cores).
+    speedup_at_4_threads: Option<f64>,
+    /// Synopsis-level batch path (per-run decay table + closed-form
+    /// total, no per-point powi) vs the per-point path, ϕ=24 / 64 stores.
+    synopsis_per_point_pts_per_sec: f64,
+    synopsis_batch_pts_per_sec: f64,
+    batch_decay_speedup: f64,
+    /// Chunked branch-free quantizer vs the scalar reference loop.
+    quantize: Vec<QuantizePoint>,
+}
+
+fn bench_threads() -> Vec<usize> {
+    match std::env::var("SPOT_BENCH_THREADS") {
+        Ok(spec) => spec
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&t| t > 0)
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let stream = Arc::new(random_points(TOTAL_POINTS, PHI, SEED ^ 2));
+
+    // --- Multi-producer ingest scaling. ---
+    let mut thread_points = Vec::new();
+    let sst_subspaces = learned_spot().sst().sizes();
+    let sst_subspaces = sst_subspaces.0 + sst_subspaces.1 + sst_subspaces.2;
+    for threads in bench_threads() {
+        let single = SharedSpot::single_mutex(learned_spot());
+        let single_rate = producer_throughput(&single, &stream, threads);
+        let sharded = SharedSpot::new(learned_spot());
+        let sharded_rate = producer_throughput(&sharded, &stream, threads);
+        println!(
+            "producers={threads:>2}  single-mutex {single_rate:>10.0} pts/s   sharded {sharded_rate:>10.0} pts/s  ({:.2}x)",
+            sharded_rate / single_rate
+        );
+        thread_points.push(ThreadPoint {
+            threads,
+            single_mutex_pts_per_sec: single_rate,
+            sharded_pts_per_sec: sharded_rate,
+            speedup_vs_single_mutex: sharded_rate / single_rate,
+        });
+    }
+    let speedup_at_4 = thread_points
+        .iter()
+        .find(|p| p.threads == 4)
+        .map(|p| p.speedup_vs_single_mutex);
+
+    // --- Batch decay amortization (synopsis level, ϕ=24, 64 stores). ---
+    let (per_point_rate, batch_rate) = {
+        let dims = 24;
+        let grid = Grid::new(DomainBounds::unit(dims), 10).unwrap();
+        let tm = TimeModel::new(2000, 0.01).unwrap();
+        let mut rng = StdRng::seed_from_u64(SEED ^ 3);
+        let build = |rng: &mut StdRng| {
+            let mut mgr = SynopsisManager::new(grid.clone(), tm);
+            let mut added = 0;
+            while added < 64 {
+                if mgr.add_subspace(spot_subspace::genetic::random_subspace(dims, 4, rng)) {
+                    added += 1;
+                }
+            }
+            mgr
+        };
+        let warm = random_points(2000, dims, SEED ^ 4);
+        let pts = random_points(12_000, dims, SEED ^ 5);
+
+        let mut mgr = build(&mut rng);
+        let mut sink: Vec<SubspacePcs> = Vec::new();
+        let mut now = 0u64;
+        for p in &warm {
+            now += 1;
+            mgr.update_and_query(now, p, &mut sink).unwrap();
+        }
+        let t = Instant::now();
+        for p in &pts {
+            now += 1;
+            mgr.update_and_query(now, p, &mut sink).unwrap();
+        }
+        let per_point = pts.len() as f64 / t.elapsed().as_secs_f64();
+
+        let mut mgr = build(&mut StdRng::seed_from_u64(SEED ^ 3));
+        let mut sinks = Vec::new();
+        let mut outcomes = Vec::new();
+        let mut now = 0u64;
+        for chunk in warm.chunks(CHUNK) {
+            mgr.update_and_query_batch(now + 1, chunk, &mut sinks, &mut outcomes)
+                .unwrap();
+            now += chunk.len() as u64;
+        }
+        let t = Instant::now();
+        for chunk in pts.chunks(CHUNK) {
+            mgr.update_and_query_batch(now + 1, chunk, &mut sinks, &mut outcomes)
+                .unwrap();
+            now += chunk.len() as u64;
+        }
+        let batch = pts.len() as f64 / t.elapsed().as_secs_f64();
+        println!("synopsis per-point {per_point:>10.0} pts/s   batch (decay table) {batch:>10.0} pts/s  ({:.2}x)", batch / per_point);
+        (per_point, batch)
+    };
+
+    // --- Chunked quantizer vs the scalar reference. ---
+    let mut quantize = Vec::new();
+    for dims in [8usize, 24, 64] {
+        let grid = Grid::new(DomainBounds::unit(dims), 10).unwrap();
+        let pts = random_points(4096, dims, SEED ^ 6);
+        let rounds = 64;
+
+        let mut scratch: Vec<u16> = Vec::with_capacity(dims);
+        let t = Instant::now();
+        let mut acc = 0usize;
+        for _ in 0..rounds {
+            for p in &pts {
+                // The pre-chunking shape: one scalar interval() per dim.
+                scratch.clear();
+                for (d, &v) in p.values().iter().enumerate() {
+                    scratch.push(grid.interval(d, v));
+                }
+                acc += scratch[0] as usize;
+            }
+        }
+        let scalar = (rounds * pts.len()) as f64 / t.elapsed().as_secs_f64();
+        std::hint::black_box(acc);
+
+        let t = Instant::now();
+        let mut acc = 0usize;
+        for _ in 0..rounds {
+            for p in &pts {
+                grid.base_coords_into(p, &mut scratch).unwrap();
+                acc += scratch[0] as usize;
+            }
+        }
+        let chunked = (rounds * pts.len()) as f64 / t.elapsed().as_secs_f64();
+        std::hint::black_box(acc);
+        println!("quantize phi={dims:>2}  scalar {scalar:>12.0} pts/s   chunked {chunked:>12.0} pts/s  ({:.2}x)", chunked / scalar);
+        quantize.push(QuantizePoint {
+            phi: dims,
+            scalar_pts_per_sec: scalar,
+            chunked_pts_per_sec: chunked,
+        });
+    }
+
+    let out = ParallelBaseline {
+        seed: SEED,
+        cores,
+        phi: PHI,
+        sst_subspaces,
+        points_per_arm: TOTAL_POINTS,
+        chunk: CHUNK,
+        threads: thread_points,
+        speedup_at_4_threads: speedup_at_4,
+        synopsis_per_point_pts_per_sec: per_point_rate,
+        synopsis_batch_pts_per_sec: batch_rate,
+        batch_decay_speedup: batch_rate / per_point_rate,
+        quantize,
+    };
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json");
+    let f = std::fs::File::create(&path).expect("create BENCH_parallel.json");
+    serde_json::to_writer_pretty(f, &out).expect("write BENCH_parallel.json");
+    println!("(baseline written to {})", path.display());
+}

@@ -11,10 +11,13 @@ use spot_clustering::{outlying_degrees, top_outlying_indices, OdConfig};
 use spot_moga::MogaConfig;
 use spot_stream::LogicalClock;
 use spot_subspace::{genetic, ScoredSubspace, Subspace};
-use spot_synopsis::{Grid, SubspacePcs, SynopsisManager, UpdateOutcome};
+use spot_synopsis::{
+    Grid, LiveCounters, StoreExecutor, SubspacePcs, SynopsisManager, UpdateOutcome,
+};
 use spot_types::{
     DataPoint, Detection, FxHashSet, Result, SpotError, StreamDetector, StreamRecord,
 };
+use std::sync::Arc;
 
 /// Memory snapshot of the synopses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +159,23 @@ impl Spot {
             projected_cells,
             approx_bytes: self.manager.approx_bytes(),
         }
+    }
+
+    /// The synopses' lock-free footprint mirror (see [`LiveCounters`]):
+    /// monitoring threads read live cell/byte counts from it without
+    /// synchronizing with — or stalling — ingestion. `SharedSpot` serves
+    /// its `footprint()` from this.
+    pub fn live_counters(&self) -> Arc<LiveCounters> {
+        self.manager.live_counters()
+    }
+
+    /// Overrides the worker count of the synopsis manager's persistent
+    /// pool (`Some(0)` forces serial, `None` restores machine-sized
+    /// defaults). Equivalence tests and deployments pinning thread budgets
+    /// use this; results are bit-identical for every setting.
+    #[cfg(feature = "parallel")]
+    pub fn set_parallel_workers(&mut self, workers: Option<usize>) {
+        self.manager.set_parallel_workers(workers);
     }
 
     /// Unsupervised learning stage (paper, Section II-C1): MOGA over the
@@ -313,8 +333,9 @@ impl Spot {
     /// Batch detection: processes `points` as if fed one-by-one to
     /// [`Spot::process`], but ingests them in maintenance-bounded runs so
     /// the per-point synopsis work is a tight loop over pre-quantized
-    /// coordinates (and, with the `parallel` feature, fans per-subspace
-    /// store updates across threads).
+    /// coordinates (and, with the `parallel` feature, fans the
+    /// subspace-disjoint store shards across the manager's persistent
+    /// worker pool).
     ///
     /// Input validation is all-or-nothing: every point is checked for
     /// dimension mismatches and NaN values before anything is ingested.
@@ -326,6 +347,26 @@ impl Spot {
     /// pruning stay on their exact ticks — runs never span a maintenance
     /// boundary.
     pub fn process_batch(&mut self, points: &[DataPoint]) -> Result<Vec<Verdict>> {
+        self.batch_impl(points, None)
+    }
+
+    /// [`Spot::process_batch`] with an explicit executor for the synopsis
+    /// shard phase — the entry `SharedSpot` uses to let producer threads
+    /// blocked on the detector lock claim shards cooperatively. Verdicts
+    /// and synopsis state are bit-identical for every executor.
+    pub fn process_batch_with(
+        &mut self,
+        points: &[DataPoint],
+        exec: &dyn StoreExecutor,
+    ) -> Result<Vec<Verdict>> {
+        self.batch_impl(points, Some(exec))
+    }
+
+    fn batch_impl(
+        &mut self,
+        points: &[DataPoint],
+        exec: Option<&dyn StoreExecutor>,
+    ) -> Result<Vec<Verdict>> {
         for p in points {
             if p.dims() != self.phi {
                 return Err(SpotError::DimensionMismatch {
@@ -349,9 +390,18 @@ impl Spot {
 
             let mut sinks = std::mem::take(&mut self.batch_sinks);
             let mut outcomes = std::mem::take(&mut self.batch_outcomes);
-            let res = self
-                .manager
-                .update_and_query_batch(start, run, &mut sinks, &mut outcomes);
+            let res = match exec {
+                Some(exec) => self.manager.update_and_query_batch_with(
+                    start,
+                    run,
+                    &mut sinks,
+                    &mut outcomes,
+                    exec,
+                ),
+                None => self
+                    .manager
+                    .update_and_query_batch(start, run, &mut sinks, &mut outcomes),
+            };
             if let Err(e) = res {
                 self.batch_sinks = sinks;
                 self.batch_outcomes = outcomes;

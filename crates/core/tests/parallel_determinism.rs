@@ -1,0 +1,246 @@
+//! Parallel-runtime determinism: every execution strategy of the batch
+//! path — serial, multi-threaded shard executor, cooperative `SharedSpot`,
+//! and (with the `parallel` feature) the manager's persistent worker pool
+//! at any worker count — must yield verdicts and synopsis state
+//! bit-identical to one-by-one sequential processing, including streams
+//! that cross periodic evolution and pruning maintenance ticks.
+
+use proptest::prelude::*;
+use spot::synopsis::StoreExecutor;
+use spot::types::{DataPoint, DomainBounds};
+use spot::{EvolutionConfig, SharedSpot, Spot, SpotBuilder, Verdict};
+
+/// Shard executor fanning `work` across N scoped threads plus the caller —
+/// the worst-case interleaving for the claim protocol.
+struct FanOut(usize);
+
+impl StoreExecutor for FanOut {
+    fn execute(&self, work: &(dyn Fn() + Sync)) {
+        std::thread::scope(|scope| {
+            for _ in 0..self.0 {
+                scope.spawn(work);
+            }
+            work();
+        });
+    }
+}
+
+fn build_spot(seed: u64, dims: usize, evo_period: u64, prune_every: u64) -> Spot {
+    SpotBuilder::new(DomainBounds::unit(dims))
+        .seed(seed)
+        .fs_max_dimension(2)
+        .evolution(EvolutionConfig {
+            period: evo_period,
+            ..Default::default()
+        })
+        .pruning(prune_every, 1e-4)
+        .build()
+        .unwrap()
+}
+
+/// Deterministic pseudo-stream with occasional spikes so outliers (and
+/// with them OS growth and drift signals) actually occur.
+fn stream(n: usize, dims: usize, salt: u64) -> Vec<DataPoint> {
+    (0..n)
+        .map(|i| {
+            let mut v: Vec<f64> = (0..dims)
+                .map(|d| {
+                    let x = (i as u64)
+                        .wrapping_mul(d as u64 + 3)
+                        .wrapping_add(salt.wrapping_mul(7))
+                        % 23;
+                    0.2 + (x as f64 / 23.0) * 0.5
+                })
+                .collect();
+            if i % 13 == 5 {
+                v[i % dims] = if (i / 13) % 2 == 0 { 0.98 } else { 0.01 };
+            }
+            DataPoint::new(v)
+        })
+        .collect()
+}
+
+fn assert_same_verdicts(want: &[Verdict], got: &[Verdict], label: &str) {
+    assert_eq!(want.len(), got.len(), "{label}: length");
+    for (a, b) in want.iter().zip(got) {
+        assert_eq!(a.tick, b.tick, "{label}");
+        assert_eq!(a.outlier, b.outlier, "{label}: tick {}", a.tick);
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "{label}: score at tick {}",
+            a.tick
+        );
+        assert_eq!(
+            a.findings, b.findings,
+            "{label}: findings at tick {}",
+            a.tick
+        );
+        assert_eq!(a.drift, b.drift, "{label}: drift at tick {}", a.tick);
+    }
+}
+
+/// Reference run plus a probe point whose verdict exposes the final PCS of
+/// every monitored subspace.
+fn sequential_reference(
+    mut spot: Spot,
+    pts: &[DataPoint],
+    probe: &DataPoint,
+) -> (Vec<Verdict>, Verdict, Spot) {
+    let verdicts: Vec<Verdict> = pts.iter().map(|p| spot.process(p).unwrap()).collect();
+    let probe_verdict = spot.process(probe).unwrap();
+    (verdicts, probe_verdict, spot)
+}
+
+fn check_all_strategies(make: impl Fn() -> Spot, pts: &[DataPoint], chunk: usize, helpers: usize) {
+    let probe = pts[pts.len() / 2].clone();
+    let (want, want_probe, reference) = sequential_reference(make(), pts, &probe);
+
+    // Strategy: whole-batch and chunked through the default executor.
+    for (label, chunk_size) in [("whole batch", pts.len()), ("chunked batch", chunk)] {
+        let mut spot = make();
+        let mut got = Vec::new();
+        for c in pts.chunks(chunk_size) {
+            got.extend(spot.process_batch(c).unwrap());
+        }
+        assert_same_verdicts(&want, &got, label);
+        let got_probe = spot.process(&probe).unwrap();
+        assert_same_verdicts(
+            std::slice::from_ref(&want_probe),
+            std::slice::from_ref(&got_probe),
+            label,
+        );
+        assert_eq!(spot.stats(), reference.stats(), "{label}: stats");
+        assert_eq!(
+            spot.footprint(),
+            reference.footprint(),
+            "{label}: footprint"
+        );
+    }
+
+    // Strategy: explicit multi-thread shard executor.
+    {
+        let exec = FanOut(helpers);
+        let mut spot = make();
+        let mut got = Vec::new();
+        for c in pts.chunks(chunk) {
+            got.extend(spot.process_batch_with(c, &exec).unwrap());
+        }
+        assert_same_verdicts(&want, &got, "fan-out executor");
+        let got_probe = spot.process(&probe).unwrap();
+        assert_same_verdicts(
+            std::slice::from_ref(&want_probe),
+            std::slice::from_ref(&got_probe),
+            "fan-out executor",
+        );
+        assert_eq!(spot.stats(), reference.stats());
+        assert_eq!(spot.footprint(), reference.footprint());
+    }
+
+    // Strategy: cooperative SharedSpot (sharded) and single-mutex control.
+    for (label, shared) in [
+        ("cooperative SharedSpot", SharedSpot::new(make())),
+        ("single-mutex SharedSpot", SharedSpot::single_mutex(make())),
+    ] {
+        let mut got = Vec::new();
+        for c in pts.chunks(chunk) {
+            got.extend(shared.process_batch(c).unwrap());
+        }
+        assert_same_verdicts(&want, &got, label);
+        let got_probe = shared.process(&probe).unwrap();
+        assert_same_verdicts(
+            std::slice::from_ref(&want_probe),
+            std::slice::from_ref(&got_probe),
+            label,
+        );
+        assert_eq!(shared.stats(), *reference.stats(), "{label}: stats");
+        assert_eq!(
+            shared.with(|s| s.footprint()),
+            reference.footprint(),
+            "{label}: footprint"
+        );
+    }
+
+    // Strategy (parallel feature): the persistent pool at several sizes.
+    #[cfg(feature = "parallel")]
+    for workers in [1usize, 2, 4] {
+        let mut spot = make();
+        spot.set_parallel_workers(Some(workers));
+        let mut got = Vec::new();
+        for c in pts.chunks(chunk) {
+            got.extend(spot.process_batch(c).unwrap());
+        }
+        assert_same_verdicts(&want, &got, &format!("pool workers={workers}"));
+        let got_probe = spot.process(&probe).unwrap();
+        assert_same_verdicts(
+            std::slice::from_ref(&want_probe),
+            std::slice::from_ref(&got_probe),
+            &format!("pool workers={workers}"),
+        );
+        assert_eq!(spot.stats(), reference.stats());
+        assert_eq!(spot.footprint(), reference.footprint());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn every_strategy_is_bit_identical_across_maintenance_ticks(
+        seed in 0u64..1000,
+        dims in 3usize..6,
+        evo_period in 20u64..90,
+        prune_every in 15u64..70,
+        n in 80usize..200,
+        chunk in 11usize..97,
+        helpers in 1usize..4,
+        salt in 0u64..100,
+    ) {
+        // Streams are long enough to cross both maintenance periods.
+        let n = n.max(evo_period as usize + 10).max(prune_every as usize + 10);
+        let pts = stream(n, dims, salt);
+        check_all_strategies(
+            || build_spot(seed, dims, evo_period, prune_every),
+            &pts,
+            chunk,
+            helpers,
+        );
+    }
+}
+
+#[test]
+fn learned_detector_with_cs_evolution_is_bit_identical() {
+    // A learned detector has a populated CS, so periodic self-evolution
+    // actually rewrites the SST (add/remove/replay of projected stores)
+    // mid-stream — the heaviest maintenance the batch runs must split
+    // around.
+    let dims = 6;
+    let train: Vec<DataPoint> = (0..300)
+        .map(|i| {
+            let centers = [[0.2, 0.2], [0.5, 0.7], [0.8, 0.3]];
+            let c = centers[i % 3];
+            let mut v = vec![0.0; dims];
+            v[0] = c[0] + ((i * 7) % 13) as f64 / 13.0 * 0.04;
+            v[1] = c[1] + ((i * 11) % 13) as f64 / 13.0 * 0.04;
+            for (d, item) in v.iter_mut().enumerate().skip(2) {
+                *item = 0.3 + ((i * (d + 3)) % 17) as f64 / 17.0 * 0.4;
+            }
+            DataPoint::new(v)
+        })
+        .collect();
+    let make = || {
+        let mut s = SpotBuilder::new(DomainBounds::unit(dims))
+            .seed(23)
+            .evolution(EvolutionConfig {
+                period: 110,
+                ..Default::default()
+            })
+            .pruning(85, 1e-4)
+            .build()
+            .unwrap();
+        s.learn(&train).unwrap();
+        s
+    };
+    let pts = stream(320, dims, 41);
+    check_all_strategies(make, &pts, 73, 3);
+}

@@ -14,5 +14,5 @@ pub mod window;
 
 pub use clock::LogicalClock;
 pub use source::{ChannelSource, FnSource, PointStream, VecSource};
-pub use time::{DecayedCounter, TimeModel};
+pub use time::{DecayTable, DecayedCounter, TimeModel};
 pub use window::ExactSlidingWindow;

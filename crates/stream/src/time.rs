@@ -117,6 +117,65 @@ impl TimeModel {
     }
 }
 
+/// Per-run decay-factor table for batch ingestion.
+///
+/// A batch run covers the consecutive ticks `start .. start + len`. Within
+/// a run, every renormalization spans two run ticks, so its age is at most
+/// `len − 1` and one table of `len` entries serves *all* cell
+/// renormalizations of the run — the per-touch `powi` in the hot loops
+/// collapses to an indexed load. Cells last touched *before* the run fall
+/// back to [`TimeModel::decay_between`] (at most once per live cell per
+/// run).
+///
+/// Entries are computed with [`TimeModel::weight_after`] — the exact
+/// function the per-point path calls — so a table lookup is bit-identical
+/// to the sequential computation it replaces.
+#[derive(Debug, Clone, Default)]
+pub struct DecayTable {
+    start: u64,
+    /// `factors[a] == model.weight_after(a)` for `a ∈ 0..len`.
+    factors: Vec<f64>,
+}
+
+impl DecayTable {
+    /// Empty table (every lookup falls back to the model).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// (Re)fills the table for a run of `len` ticks starting at `start`,
+    /// reusing the existing allocation.
+    pub fn fill(&mut self, model: &TimeModel, start: u64, len: usize) {
+        self.start = start;
+        self.factors.clear();
+        self.factors.reserve(len);
+        for age in 0..len as u64 {
+            self.factors.push(model.weight_after(age));
+        }
+    }
+
+    /// First tick of the run this table covers.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Renormalization factor from `last` to `now`, served from the table
+    /// when `last` lies inside the run (`now` must be a run tick at or
+    /// after `last`; both invariants hold by construction in the batch
+    /// loops and are debug-asserted).
+    #[inline]
+    pub fn factor(&self, model: &TimeModel, last: u64, now: u64) -> f64 {
+        debug_assert!(now >= last, "clock must be monotonic");
+        if last >= self.start {
+            let age = (now - last) as usize;
+            debug_assert!(age < self.factors.len(), "age exceeds run length");
+            self.factors[age]
+        } else {
+            model.decay_between(last, now)
+        }
+    }
+}
+
 /// A single decayed scalar with lazy renormalization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DecayedCounter {
@@ -144,6 +203,33 @@ impl DecayedCounter {
     pub fn add(&mut self, model: &TimeModel, now: u64, amount: f64) {
         self.value = self.value * model.decay_between(self.last_tick, now) + amount;
         self.last_tick = now;
+    }
+
+    /// Advances the counter over a run of `len` unit arrivals at the
+    /// consecutive ticks `start, start+1, …`, pushing the counter's value
+    /// *after* each arrival into `out` (cleared first; reuse it across
+    /// runs). One geometric recurrence replaces `len` separate
+    /// [`DecayedCounter::add`] calls: after the single gap renormalization
+    /// to `start`, each step is `value = value · δ + 1` — exactly the
+    /// floating-point operations the per-point path performs, so the
+    /// results are bit-identical, with no per-point `powi` and no
+    /// per-point call overhead.
+    pub fn add_run(&mut self, model: &TimeModel, start: u64, len: usize, out: &mut Vec<f64>) {
+        out.clear();
+        if len == 0 {
+            return;
+        }
+        out.reserve(len);
+        let mut value = self.value * model.decay_between(self.last_tick, start);
+        let decay = model.decay();
+        value += 1.0;
+        out.push(value);
+        for _ in 1..len {
+            value = value * decay + 1.0;
+            out.push(value);
+        }
+        self.value = value;
+        self.last_tick = start + len as u64 - 1;
     }
 
     /// Value renormalized to tick `now` (does not mutate).
@@ -263,7 +349,97 @@ mod tests {
         assert!((c.value_at(&tm, 8) - 7.0).abs() < 1e-12);
     }
 
+    #[test]
+    fn add_run_matches_per_point_adds_bitwise() {
+        let tm = TimeModel::new(100, 0.01).unwrap();
+        let mut per_point = DecayedCounter::new();
+        per_point.add(&tm, 3, 1.0);
+        let mut run = per_point;
+        // Reference: one add per consecutive tick, reading back after each.
+        let mut want = Vec::new();
+        for now in 10..10 + 64u64 {
+            per_point.add(&tm, now, 1.0);
+            want.push(per_point.value_at(&tm, now));
+        }
+        let mut got = Vec::new();
+        run.add_run(&tm, 10, 64, &mut got);
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "arrival {i}: {g} vs {w}");
+        }
+        assert_eq!(run.last_tick(), per_point.last_tick());
+        assert_eq!(
+            run.value_at(&tm, 100).to_bits(),
+            per_point.value_at(&tm, 100).to_bits()
+        );
+    }
+
+    #[test]
+    fn add_run_empty_is_a_no_op() {
+        let tm = TimeModel::new(10, 0.5).unwrap();
+        let mut c = DecayedCounter::new();
+        c.add(&tm, 5, 2.0);
+        let before = c;
+        let mut out = vec![1.0];
+        c.add_run(&tm, 9, 0, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn decay_table_matches_model_bitwise() {
+        let tm = TimeModel::new(100, 0.01).unwrap();
+        let mut table = DecayTable::new();
+        table.fill(&tm, 50, 32); // run ticks 50..=81
+                                 // In-run lookups are bit-identical to the powi path.
+        for last in 50..=81u64 {
+            for now in last..=81 {
+                assert_eq!(
+                    table.factor(&tm, last, now).to_bits(),
+                    tm.decay_between(last, now).to_bits(),
+                    "last={last} now={now}"
+                );
+            }
+        }
+        // Pre-run last ticks fall back to the model.
+        assert_eq!(
+            table.factor(&tm, 7, 60).to_bits(),
+            tm.decay_between(7, 60).to_bits()
+        );
+        assert_eq!(table.start(), 50);
+    }
+
+    #[test]
+    fn decay_table_refill_reuses_allocation() {
+        let tm = TimeModel::new(10, 0.5).unwrap();
+        let mut table = DecayTable::new();
+        table.fill(&tm, 0, 64);
+        table.fill(&tm, 100, 8); // run ticks 100..=107
+        assert_eq!(
+            table.factor(&tm, 100, 107).to_bits(),
+            tm.weight_after(7).to_bits()
+        );
+    }
+
     proptest! {
+        #[test]
+        fn add_run_equals_per_point_for_any_run(
+            gap in 0u64..500, len in 1usize..200, omega in 2u64..1000
+        ) {
+            let tm = TimeModel::new(omega, 0.01).unwrap();
+            let mut a = DecayedCounter::new();
+            a.add(&tm, 1, 1.0);
+            let mut b = a;
+            let start = 2 + gap;
+            let mut got = Vec::new();
+            b.add_run(&tm, start, len, &mut got);
+            for (i, g) in got.iter().enumerate() {
+                let now = start + i as u64;
+                a.add(&tm, now, 1.0);
+                prop_assert_eq!(g.to_bits(), a.value_at(&tm, now).to_bits());
+            }
+        }
+
         #[test]
         fn omega_old_point_weighs_at_most_epsilon(
             omega in 1u64..10_000, eps in 0.0001f64..0.9999, extra in 0u64..1000

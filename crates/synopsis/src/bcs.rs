@@ -53,8 +53,27 @@ impl Bcs {
 
     /// Folds a point in at tick `now` (decaying first).
     pub fn insert(&mut self, model: &TimeModel, now: u64, p: &DataPoint) {
+        let f = model.decay_between(self.last_tick, now);
+        self.insert_with_factor(f, now, p);
+    }
+
+    /// Folds a point in at tick `now` using a renormalization `factor` the
+    /// caller already derived — the batch path serves it from the per-run
+    /// decay table instead of recomputing `δ^age` per touch. `factor` must
+    /// equal `model.decay_between(self.last_tick, now)`.
+    #[inline]
+    pub fn insert_with_factor(&mut self, factor: f64, now: u64, p: &DataPoint) {
         debug_assert_eq!(p.dims(), self.dims());
-        self.decay_to(model, now);
+        if factor != 1.0 {
+            self.d *= factor;
+            for v in &mut self.ls {
+                *v *= factor;
+            }
+            for v in &mut self.ss {
+                *v *= factor;
+            }
+        }
+        self.last_tick = now;
         self.d += 1.0;
         for (d, &v) in p.values().iter().enumerate() {
             self.ls[d] += v;

@@ -29,19 +29,33 @@
 //! and derives the cell's PCS*. On the steady state (no newly-populated
 //! cells) the path performs zero heap allocations. Batch ingestion
 //! ([`SynopsisManager::update_and_query_batch`]) amortizes the scratch
-//! work across a run of points and, with the `parallel` feature, fans the
-//! per-subspace store updates across scoped threads.
+//! work and the decay renormalization (a per-run factor table and one
+//! closed-form advance of the global weight) across a run of points.
+//!
+//! # The parallel runtime
+//!
+//! The batch path treats each per-subspace store as one shard of a
+//! subspace-disjoint SST partition, claimed heaviest-first from an atomic
+//! cursor by the participants of a [`StoreExecutor`] (see the `pool`
+//! module): the calling thread alone by default, the manager's persistent
+//! [`WorkerPool`] with the `parallel` feature, or external cooperating
+//! threads (e.g. `spot`'s `SharedSpot` producers). Every store has exactly
+//! one writer per run and sees points in arrival order, so all executors
+//! produce bit-identical results. [`LiveCounters`] mirrors the synopsis
+//! footprint into atomics for lock-free monitoring reads.
 
 pub mod bcs;
 pub mod grid;
 pub mod key;
 pub mod manager;
 pub mod pcs;
+pub mod pool;
 pub mod store;
 
 pub use bcs::Bcs;
 pub use grid::Grid;
 pub use key::{CellKey, KeyCodec};
-pub use manager::{SubspacePcs, SynopsisManager, UpdateOutcome};
+pub use manager::{LiveCounters, SubspacePcs, SynopsisManager, UpdateOutcome};
 pub use pcs::{Pcs, PcsCell, ProjectedStore};
+pub use pool::{SerialExecutor, StoreExecutor, WorkerPool};
 pub use store::BaseStore;

@@ -3,10 +3,66 @@
 use crate::grid::Grid;
 use crate::key::CellKey;
 use crate::pcs::{Pcs, ProjectedStore};
+use crate::pool::{SerialExecutor, StoreExecutor};
 use crate::store::BaseStore;
-use spot_stream::{DecayedCounter, TimeModel};
+use spot_stream::{DecayTable, DecayedCounter, TimeModel};
 use spot_subspace::Subspace;
 use spot_types::{DataPoint, FxHashMap, Result, SpotError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[cfg(feature = "parallel")]
+use crate::pool::WorkerPool;
+
+/// Lock-free mirror of the synopsis footprint, shared with monitoring
+/// readers (`spot`'s `SharedSpot` serves `footprint()` from it without
+/// taking the detector lock).
+///
+/// Writers are the shard owners: whoever holds a store (the manager's own
+/// thread, a pool worker, or a cooperating producer) publishes that
+/// store's footprint delta after mutating it — shard-local bookkeeping,
+/// one atomic add per shard per run, and only when the footprint actually
+/// changed. Readers see values at most one in-flight run stale.
+#[derive(Debug, Default)]
+pub struct LiveCounters {
+    base_cells: AtomicUsize,
+    base_bytes: AtomicUsize,
+    projected_cells: AtomicUsize,
+    projected_bytes: AtomicUsize,
+}
+
+impl LiveCounters {
+    /// Live cell count: (base cells, projected cells over all subspaces).
+    pub fn live_cells(&self) -> (usize, usize) {
+        (
+            self.base_cells.load(Ordering::Relaxed),
+            self.projected_cells.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Approximate heap footprint of all synopses, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.base_bytes.load(Ordering::Relaxed) + self.projected_bytes.load(Ordering::Relaxed)
+    }
+
+    fn set_base(&self, cells: usize, bytes: usize) {
+        self.base_cells.store(cells, Ordering::Relaxed);
+        self.base_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Folds a (cells, bytes) delta in. Two's-complement wrapping makes
+    /// `fetch_add` of a negative delta a subtraction.
+    fn apply_projected(&self, dc: isize, db: isize) {
+        if dc != 0 {
+            self.projected_cells
+                .fetch_add(dc as usize, Ordering::Relaxed);
+        }
+        if db != 0 {
+            self.projected_bytes
+                .fetch_add(db as usize, Ordering::Relaxed);
+        }
+    }
+}
 
 /// Bundles every decayed synopsis SPOT maintains online.
 ///
@@ -18,17 +74,79 @@ use spot_types::{DataPoint, FxHashMap, Result, SpotError};
 /// steady state (no new cells) the whole path performs zero heap
 /// allocations: coordinates land in a reused scratch buffer, keys are
 /// `Copy` integers, and results go into a caller-reused sink.
-#[derive(Debug, Clone)]
+///
+/// Stores live in **registration (ordinal) order** — the canonical order
+/// of per-point PCS results on every path (single-point, batch, pooled,
+/// cooperative), which is what makes the parallel paths bit-identical to
+/// the sequential one even when two subspaces tie on RD.
+#[derive(Debug)]
 pub struct SynopsisManager {
     grid: Grid,
     model: TimeModel,
     base: BaseStore,
-    projected: FxHashMap<Subspace, ProjectedStore>,
+    /// Monitored projected stores, registration order (= result order).
+    stores: Vec<ProjectedStore>,
+    /// Subspace mask → ordinal in `stores`.
+    index: FxHashMap<u64, usize>,
     total: DecayedCounter,
+    /// Lock-free footprint mirror (see [`LiveCounters`]).
+    live: Arc<LiveCounters>,
+    /// Base cell count last mirrored into `live`.
+    published_base_cells: usize,
     /// Reused quantization buffer (ϕ entries).
     scratch: Vec<u16>,
     /// Reused batch quantization buffer (n·ϕ entries).
     batch_coords: Vec<u16>,
+    /// Reused per-run total-weight buffer (n entries).
+    batch_totals: Vec<f64>,
+    /// Reused per-run decay-factor table.
+    decay_table: DecayTable,
+    /// Reused per-store result rows for the batch shard phase.
+    batch_rows: Vec<Vec<(Pcs, f64)>>,
+    /// Reused shard claim order (store ordinals, heaviest first).
+    shard_order: Vec<u32>,
+    /// Persistent worker pool (lazily spawned; shared by clones).
+    #[cfg(feature = "parallel")]
+    pool: Option<Arc<WorkerPool>>,
+    /// Explicit worker count override (None = size by the machine).
+    #[cfg(feature = "parallel")]
+    forced_workers: Option<usize>,
+}
+
+impl Clone for SynopsisManager {
+    fn clone(&self) -> Self {
+        let mut cloned = SynopsisManager {
+            grid: self.grid.clone(),
+            model: self.model,
+            base: self.base.clone(),
+            stores: self.stores.clone(),
+            index: self.index.clone(),
+            total: self.total,
+            live: Arc::new(LiveCounters::default()),
+            published_base_cells: 0,
+            scratch: Vec::with_capacity(self.grid.dims()),
+            batch_coords: Vec::new(),
+            batch_totals: Vec::new(),
+            decay_table: DecayTable::new(),
+            batch_rows: Vec::new(),
+            shard_order: Vec::new(),
+            #[cfg(feature = "parallel")]
+            pool: self.pool.clone(),
+            #[cfg(feature = "parallel")]
+            forced_workers: self.forced_workers,
+        };
+        // The clone gets its own counters; re-derive them from the cloned
+        // stores so subsequent deltas stay consistent.
+        cloned.publish_base();
+        for store in &mut cloned.stores {
+            let (dc, db) = store.publish_delta();
+            let _ = (dc, db);
+        }
+        let cells: usize = cloned.stores.iter().map(ProjectedStore::len).sum();
+        let bytes: usize = cloned.stores.iter().map(ProjectedStore::approx_bytes).sum();
+        cloned.live.apply_projected(cells as isize, bytes as isize);
+        cloned
+    }
 }
 
 /// Everything the detection logic needs to know after one update.
@@ -55,30 +173,61 @@ pub struct SubspacePcs {
     pub occupancy: f64,
 }
 
-/// Borrowed per-batch invariants threaded through the store-update loops.
-struct BatchCtx<'a> {
-    grid: &'a Grid,
-    model: &'a TimeModel,
-    start_tick: u64,
-    points: &'a [DataPoint],
-    /// Flat quantized coordinates, stride ϕ.
-    coords: &'a [u16],
-    outcomes: &'a [UpdateOutcome],
+/// Pointer wrapper handing out `&mut` to *distinct* elements from several
+/// threads. Soundness is the shard claim protocol: every index is claimed
+/// by exactly one participant (an atomic cursor over a permutation), so no
+/// element is ever aliased.
+struct SharedSlice<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for SharedSlice<T> {}
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T> SharedSlice<T> {
+    fn new(slice: &mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// `i < len`, and no other participant holds `i` (claim protocol).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
 }
 
 impl SynopsisManager {
     /// Creates a manager with no monitored subspaces yet.
     pub fn new(grid: Grid, model: TimeModel) -> Self {
         let scratch = Vec::with_capacity(grid.dims());
-        SynopsisManager {
+        let mut mgr = SynopsisManager {
             grid,
             model,
             base: BaseStore::new(),
-            projected: FxHashMap::default(),
+            stores: Vec::new(),
+            index: FxHashMap::default(),
             total: DecayedCounter::new(),
+            live: Arc::new(LiveCounters::default()),
+            published_base_cells: 0,
             scratch,
             batch_coords: Vec::new(),
-        }
+            batch_totals: Vec::new(),
+            decay_table: DecayTable::new(),
+            batch_rows: Vec::new(),
+            shard_order: Vec::new(),
+            #[cfg(feature = "parallel")]
+            pool: None,
+            #[cfg(feature = "parallel")]
+            forced_workers: None,
+        };
+        mgr.publish_base();
+        mgr
     }
 
     /// The grid the synopses quantize over.
@@ -91,30 +240,67 @@ impl SynopsisManager {
         &self.model
     }
 
+    /// The lock-free footprint mirror. Clone the `Arc` to read live cell
+    /// and byte counts without going through (or blocking on) the manager.
+    pub fn live_counters(&self) -> Arc<LiveCounters> {
+        Arc::clone(&self.live)
+    }
+
+    /// Overrides the worker count of the persistent pool: `Some(0)` forces
+    /// the serial path, `Some(n)` forces an `n`-worker pool even for
+    /// narrow batches (equivalence tests, tuning), `None` restores
+    /// machine-sized defaults. The pool is re-spawned lazily.
+    #[cfg(feature = "parallel")]
+    pub fn set_parallel_workers(&mut self, workers: Option<usize>) {
+        self.forced_workers = workers;
+        self.pool = None;
+    }
+
     /// Starts maintaining a projected store for `subspace`. No-op when
     /// already monitored. Returns `true` when newly added.
     pub fn add_subspace(&mut self, subspace: Subspace) -> bool {
-        if self.projected.contains_key(&subspace) {
+        if self.index.contains_key(&subspace.mask()) {
             return false;
         }
-        let store = ProjectedStore::new(&self.grid, subspace);
-        self.projected.insert(subspace, store);
+        let mut store = ProjectedStore::new(&self.grid, subspace);
+        let (dc, db) = store.publish_delta();
+        self.live.apply_projected(dc, db);
+        self.index.insert(subspace.mask(), self.stores.len());
+        self.stores.push(store);
         true
     }
 
     /// Stops maintaining `subspace`; returns `true` when it was monitored.
+    /// Later stores shift down one ordinal (registration order of the
+    /// survivors is preserved).
     pub fn remove_subspace(&mut self, subspace: &Subspace) -> bool {
-        self.projected.remove(subspace).is_some()
+        let Some(ordinal) = self.index.remove(&subspace.mask()) else {
+            return false;
+        };
+        let mut store = self.stores.remove(ordinal);
+        // Flush any unpublished delta, then retract the store's (now
+        // fully published) footprint from the mirror.
+        let (dc, db) = store.publish_delta();
+        self.live.apply_projected(dc, db);
+        self.live
+            .apply_projected(-(store.len() as isize), -(store.approx_bytes() as isize));
+        for slot in self.index.values_mut() {
+            if *slot > ordinal {
+                *slot -= 1;
+            }
+        }
+        true
     }
 
-    /// Currently monitored subspaces (arbitrary order).
+    /// Currently monitored subspaces, in registration order (the order
+    /// per-point PCS results are reported in).
     pub fn subspaces(&self) -> impl Iterator<Item = Subspace> + '_ {
-        self.projected.keys().copied()
+        self.stores.iter().map(ProjectedStore::subspace)
     }
 
     /// Number of monitored subspaces.
     pub fn subspace_count(&self) -> usize {
-        self.projected.len()
+        self.stores.len()
     }
 
     /// Ingests one point at tick `now`: updates the global weight, the base
@@ -123,8 +309,10 @@ impl SynopsisManager {
     /// needed too — it costs no second pass.
     pub fn update(&mut self, now: u64, p: &DataPoint) -> Result<UpdateOutcome> {
         let outcome = self.ingest_base(now, p)?;
-        for store in self.projected.values_mut() {
+        for store in &mut self.stores {
             store.update(&self.grid, &self.model, now, &self.scratch, p);
+            let (dc, db) = store.publish_delta();
+            self.live.apply_projected(dc, db);
         }
         Ok(outcome)
     }
@@ -142,8 +330,8 @@ impl SynopsisManager {
     ) -> Result<UpdateOutcome> {
         sink.clear();
         let outcome = self.ingest_base(now, p)?;
-        sink.reserve(self.projected.len());
-        for store in self.projected.values_mut() {
+        sink.reserve(self.stores.len());
+        for store in &mut self.stores {
             let (pcs, occupancy) = store.update_and_pcs(
                 &self.grid,
                 &self.model,
@@ -152,6 +340,8 @@ impl SynopsisManager {
                 p,
                 outcome.total_weight,
             );
+            let (dc, db) = store.publish_delta();
+            self.live.apply_projected(dc, db);
             sink.push(SubspacePcs {
                 subspace: store.subspace(),
                 pcs,
@@ -170,6 +360,7 @@ impl SynopsisManager {
             .base
             .insert_at(key, self.grid.dims(), &self.model, now, p);
         self.total.add(&self.model, now, 1.0);
+        self.publish_base();
         Ok(UpdateOutcome {
             base_cell: key,
             prior_base_count,
@@ -177,21 +368,92 @@ impl SynopsisManager {
         })
     }
 
+    /// Mirrors the base store's footprint into the live counters when it
+    /// changed (a new cell; eviction). Cheap: two compares on the hot path.
+    fn publish_base(&mut self) {
+        let cells = self.base.len();
+        if cells != self.published_base_cells || cells == 0 {
+            self.published_base_cells = cells;
+            let bytes =
+                std::mem::size_of::<BaseStore>() + cells * BaseStore::cell_bytes(self.grid.dims());
+            self.live.set_base(cells, bytes);
+        }
+    }
+
     /// Batch ingestion: points arrive at consecutive ticks
     /// `start_tick, start_tick+1, …`. For each point, `sinks` receives the
     /// same per-subspace PCS list [`SynopsisManager::update_and_query`]
     /// would produce (rows are cleared and refilled; pass the same vector
-    /// across batches to amortize its capacity). With the `parallel`
-    /// feature the per-subspace store updates fan out across
-    /// `std::thread::scope` threads for large SSTs; results are identical
-    /// to the serial path because every store is owned by exactly one
-    /// thread and processes points in arrival order.
+    /// across batches to amortize its capacity).
+    ///
+    /// The per-subspace store work runs through an executor picked by the
+    /// build: the [`SerialExecutor`] by default, the manager's persistent
+    /// worker pool with the `parallel` feature (for wide-enough work).
+    /// Callers with their own threads to contribute use
+    /// [`SynopsisManager::update_and_query_batch_with`].
     pub fn update_and_query_batch(
         &mut self,
         start_tick: u64,
         points: &[DataPoint],
         sinks: &mut Vec<Vec<SubspacePcs>>,
         outcomes: &mut Vec<UpdateOutcome>,
+    ) -> Result<()> {
+        #[cfg(feature = "parallel")]
+        if self.pooled_run(points.len()) {
+            let pool = self.ensure_pool();
+            return self.update_and_query_batch_with(start_tick, points, sinks, outcomes, &*pool);
+        }
+        self.update_and_query_batch_with(start_tick, points, sinks, outcomes, &SerialExecutor)
+    }
+
+    /// Whether this run is worth fanning out over the pool.
+    #[cfg(feature = "parallel")]
+    fn pooled_run(&self, points: usize) -> bool {
+        if self.stores.is_empty() || points == 0 {
+            return false;
+        }
+        match self.forced_workers {
+            Some(workers) => workers > 0,
+            // Fan out only when the work is wide enough to pay for the
+            // dispatch, and the machine has threads to give.
+            None => self.stores.len() >= 8 && points >= 8 && Self::default_workers() >= 1,
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    fn default_workers() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get()) - 1
+    }
+
+    /// The persistent pool, spawned on first use and kept for the
+    /// manager's lifetime (clones share it).
+    #[cfg(feature = "parallel")]
+    fn ensure_pool(&mut self) -> Arc<WorkerPool> {
+        let desired = self.forced_workers.unwrap_or_else(Self::default_workers);
+        match &self.pool {
+            Some(pool) if pool.workers() == desired => Arc::clone(pool),
+            _ => {
+                let pool = Arc::new(WorkerPool::new(desired));
+                self.pool = Some(Arc::clone(&pool));
+                pool
+            }
+        }
+    }
+
+    /// [`SynopsisManager::update_and_query_batch`] with an explicit
+    /// executor for the shard phase (see [`StoreExecutor`]): the SST's
+    /// stores form subspace-disjoint shards, claimed heaviest-first from
+    /// an atomic cursor by however many participants the executor brings.
+    /// Results are bit-identical for every executor — each shard has
+    /// exactly one writer, sees points in arrival order, and lands in its
+    /// registration-order slot.
+    pub fn update_and_query_batch_with(
+        &mut self,
+        start_tick: u64,
+        points: &[DataPoint],
+        sinks: &mut Vec<Vec<SubspacePcs>>,
+        outcomes: &mut Vec<UpdateOutcome>,
+        exec: &dyn StoreExecutor,
     ) -> Result<()> {
         outcomes.clear();
         // Exactly one (cleared) row per point: rows surviving from a larger
@@ -219,133 +481,98 @@ impl SynopsisManager {
             coords[i * dims..(i + 1) * dims].copy_from_slice(&self.scratch);
         }
 
-        // Phase A2: feed base store + global weight.
+        // Per-run decay machinery: the global weight advances by one
+        // geometric recurrence (no per-point powi, bit-identical to the
+        // per-point adds), and one factor table serves every cell
+        // renormalization of the run.
+        let mut totals = std::mem::take(&mut self.batch_totals);
+        self.total
+            .add_run(&self.model, start_tick, points.len(), &mut totals);
+        self.decay_table.fill(&self.model, start_tick, points.len());
+
+        // Phase A2: feed the base store.
         for (i, p) in points.iter().enumerate() {
             let now = start_tick + i as u64;
             let key = self.grid.base_key(&coords[i * dims..(i + 1) * dims]);
-            let prior = self.base.insert_at(key, dims, &self.model, now, p);
-            self.total.add(&self.model, now, 1.0);
+            let prior = self
+                .base
+                .insert_at_run(key, dims, &self.model, &self.decay_table, now, p);
             outcomes.push(UpdateOutcome {
                 base_cell: key,
                 prior_base_count: prior,
-                total_weight: self.total.value_at(&self.model, now),
+                total_weight: totals[i],
             });
         }
+        self.publish_base();
 
-        // Phase B: per-store updates (each store sees points in arrival
-        // order, so per-store state evolves exactly as under one-by-one
-        // ingestion).
-        self.update_stores_batch(start_tick, points, &coords, outcomes, sinks);
-        self.batch_coords = coords;
-        Ok(())
-    }
-
-    /// Serial per-store batch loop, shared by the default build and the
-    /// `parallel` build's narrow-work fallback (one definition so the two
-    /// cfg variants cannot drift apart).
-    fn update_stores_serial<'a>(
-        ctx: &BatchCtx<'_>,
-        stores: impl Iterator<Item = &'a mut ProjectedStore>,
-        sinks: &mut [Vec<SubspacePcs>],
-    ) {
-        let dims = ctx.grid.dims();
-        for store in stores {
-            let subspace = store.subspace();
-            for (i, p) in ctx.points.iter().enumerate() {
-                let base = &ctx.coords[i * dims..(i + 1) * dims];
-                let (pcs, occupancy) = store.update_and_pcs(
-                    ctx.grid,
-                    ctx.model,
-                    ctx.start_tick + i as u64,
-                    base,
-                    p,
-                    ctx.outcomes[i].total_weight,
-                );
-                sinks[i].push(SubspacePcs {
-                    subspace,
-                    pcs,
-                    occupancy,
-                });
-            }
-        }
-    }
-
-    #[cfg(not(feature = "parallel"))]
-    fn update_stores_batch(
-        &mut self,
-        start_tick: u64,
-        points: &[DataPoint],
-        coords: &[u16],
-        outcomes: &[UpdateOutcome],
-        sinks: &mut [Vec<SubspacePcs>],
-    ) {
-        let ctx = BatchCtx {
-            grid: &self.grid,
-            model: &self.model,
-            start_tick,
-            points,
-            coords,
-            outcomes,
-        };
-        Self::update_stores_serial(&ctx, self.projected.values_mut(), sinks);
-    }
-
-    #[cfg(feature = "parallel")]
-    fn update_stores_batch(
-        &mut self,
-        start_tick: u64,
-        points: &[DataPoint],
-        coords: &[u16],
-        outcomes: &[UpdateOutcome],
-        sinks: &mut [Vec<SubspacePcs>],
-    ) {
-        let ctx = BatchCtx {
-            grid: &self.grid,
-            model: &self.model,
-            start_tick,
-            points,
-            coords,
-            outcomes,
-        };
-        let mut stores: Vec<&mut ProjectedStore> = self.projected.values_mut().collect();
-        let n_stores = stores.len();
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        // Fan out only when the work is wide enough to pay for the scope.
-        if n_stores < 8 || points.len() < 8 || threads < 2 {
-            Self::update_stores_serial(&ctx, stores.into_iter(), sinks);
-            return;
+        // Phase B: the shard phase. Result rows are per-store slots so any
+        // claim order merges identically.
+        let n_stores = self.stores.len();
+        let mut rows = std::mem::take(&mut self.batch_rows);
+        rows.truncate(n_stores);
+        rows.resize_with(n_stores, Vec::new);
+        for row in rows.iter_mut() {
+            row.clear();
+            row.reserve(points.len());
         }
 
-        let dims = ctx.grid.dims();
-        let chunk = n_stores.div_ceil(threads.min(n_stores));
-        let mut results: Vec<Vec<(Subspace, Pcs, f64)>> = Vec::new();
-        results.resize_with(n_stores, || Vec::with_capacity(points.len()));
-        let ctx = &ctx;
-        std::thread::scope(|scope| {
-            for (store_chunk, result_chunk) in
-                stores.chunks_mut(chunk).zip(results.chunks_mut(chunk))
-            {
-                scope.spawn(move || {
-                    for (store, row) in store_chunk.iter_mut().zip(result_chunk) {
-                        let subspace = store.subspace();
-                        for (i, p) in ctx.points.iter().enumerate() {
-                            let base = &ctx.coords[i * dims..(i + 1) * dims];
-                            let (pcs, occupancy) = store.update_and_pcs(
-                                ctx.grid,
-                                ctx.model,
-                                ctx.start_tick + i as u64,
-                                base,
-                                p,
-                                ctx.outcomes[i].total_weight,
-                            );
-                            row.push((subspace, pcs, occupancy));
-                        }
-                    }
-                });
-            }
+        // Size-aware claim order: heaviest shards first, so one oversized
+        // store overlaps the tail of the small ones instead of serializing
+        // the batch behind them.
+        self.shard_order.clear();
+        self.shard_order.extend(0..n_stores as u32);
+        let stores = &mut self.stores;
+        self.shard_order.sort_by_key(|&ordinal| {
+            let store = &stores[ordinal as usize];
+            (std::cmp::Reverse(shard_weight(store)), ordinal)
         });
-        for row in results {
-            for (i, (subspace, pcs, occupancy)) in row.into_iter().enumerate() {
+
+        {
+            let grid = &self.grid;
+            let model = &self.model;
+            let table = &self.decay_table;
+            let live = &*self.live;
+            let order = &self.shard_order[..];
+            let cursor = AtomicUsize::new(0);
+            let shared_stores = SharedSlice::new(&mut stores[..]);
+            let shared_rows = SharedSlice::new(&mut rows[..]);
+            let coords = &coords[..];
+            let totals = &totals[..];
+            let work = || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= order.len() {
+                    break;
+                }
+                let ordinal = order[k] as usize;
+                // SAFETY: `ordinal` comes from a unique claim of the
+                // cursor over a permutation of 0..n_stores, so this
+                // participant is the only one touching store and row.
+                let store = unsafe { shared_stores.get_mut(ordinal) };
+                let row = unsafe { shared_rows.get_mut(ordinal) };
+                for (i, p) in points.iter().enumerate() {
+                    let base = &coords[i * dims..(i + 1) * dims];
+                    let (pcs, occupancy) = store.update_and_pcs_run(
+                        grid,
+                        model,
+                        table,
+                        start_tick + i as u64,
+                        base,
+                        p,
+                        totals[i],
+                    );
+                    row.push((pcs, occupancy));
+                }
+                let (dc, db) = store.publish_delta();
+                live.apply_projected(dc, db);
+            };
+            exec.execute(&work);
+        }
+
+        // Merge in registration order — deterministic however the shards
+        // were claimed.
+        for (ordinal, row) in rows.iter().enumerate() {
+            let subspace = self.stores[ordinal].subspace();
+            for (i, &(pcs, occupancy)) in row.iter().enumerate() {
                 sinks[i].push(SubspacePcs {
                     subspace,
                     pcs,
@@ -353,6 +580,11 @@ impl SynopsisManager {
                 });
             }
         }
+
+        self.batch_coords = coords;
+        self.batch_totals = totals;
+        self.batch_rows = rows;
+        Ok(())
     }
 
     /// Warms the projected store of `subspace` by replaying timestamped
@@ -365,15 +597,18 @@ impl SynopsisManager {
     /// brand-new store would report every cell as empty (maximally sparse)
     /// and flood the detector with false alarms.
     pub fn replay_into(&mut self, subspace: &Subspace, points: &[(u64, DataPoint)]) -> Result<()> {
-        let Some(store) = self.projected.get_mut(subspace) else {
+        let Some(&ordinal) = self.index.get(&subspace.mask()) else {
             return Err(SpotError::InvalidConfig(format!(
                 "subspace {subspace} is not monitored"
             )));
         };
+        let store = &mut self.stores[ordinal];
         for (tick, p) in points {
             self.grid.base_coords_into(p, &mut self.scratch)?;
             store.update(&self.grid, &self.model, *tick, &self.scratch, p);
         }
+        let (dc, db) = store.publish_delta();
+        self.live.apply_projected(dc, db);
         Ok(())
     }
 
@@ -382,7 +617,7 @@ impl SynopsisManager {
     /// (Query-only path for tools and tests; the detection loop gets its
     /// PCS from [`SynopsisManager::update_and_query`] for free.)
     pub fn pcs(&self, now: u64, base_coords: &[u16], subspace: &Subspace) -> Option<Pcs> {
-        let store = self.projected.get(subspace)?;
+        let store = self.projected_store(subspace)?;
         let total = self.total.value_at(&self.model, now);
         Some(store.pcs(&self.grid, &self.model, now, base_coords, total))
     }
@@ -401,15 +636,18 @@ impl SynopsisManager {
     /// `floor`. Returns the total number of evicted cells.
     pub fn prune(&mut self, now: u64, floor: f64) -> usize {
         let mut evicted = self.base.prune(&self.model, now, floor);
-        for store in self.projected.values_mut() {
+        self.publish_base();
+        for store in &mut self.stores {
             evicted += store.prune(&self.model, now, floor);
+            let (dc, db) = store.publish_delta();
+            self.live.apply_projected(dc, db);
         }
         evicted
     }
 
     /// Live cell count: (base cells, projected cells over all subspaces).
     pub fn live_cells(&self) -> (usize, usize) {
-        let proj = self.projected.values().map(ProjectedStore::len).sum();
+        let proj = self.stores.iter().map(ProjectedStore::len).sum();
         (self.base.len(), proj)
     }
 
@@ -417,8 +655,8 @@ impl SynopsisManager {
     pub fn approx_bytes(&self) -> usize {
         self.base.approx_bytes()
             + self
-                .projected
-                .values()
+                .stores
+                .iter()
                 .map(ProjectedStore::approx_bytes)
                 .sum::<usize>()
     }
@@ -426,13 +664,23 @@ impl SynopsisManager {
     /// Read access to one projected store (experiments and self-evolution
     /// scoring).
     pub fn projected_store(&self, subspace: &Subspace) -> Option<&ProjectedStore> {
-        self.projected.get(subspace)
+        self.index
+            .get(&subspace.mask())
+            .map(|&ordinal| &self.stores[ordinal])
     }
 
     /// Read access to the base store.
     pub fn base_store(&self) -> &BaseStore {
         &self.base
     }
+}
+
+/// Deterministic per-point cost estimate of a store: the moment stripe is
+/// `O(|s|)` and probes get colder as the cell population grows.
+fn shard_weight(store: &ProjectedStore) -> u64 {
+    let card = store.subspace().cardinality() as u64;
+    let occupancy_bits = (usize::BITS - store.len().leading_zeros()) as u64;
+    (2 + card) * (4 + occupancy_bits)
 }
 
 #[cfg(test)]
@@ -460,6 +708,31 @@ mod tests {
     }
 
     #[test]
+    fn results_follow_registration_order() {
+        let mut mgr = manager(3, 4);
+        let subs = [
+            Subspace::from_dims([2]).unwrap(),
+            Subspace::from_dims([0, 1]).unwrap(),
+            Subspace::from_dims([0]).unwrap(),
+        ];
+        for s in subs {
+            mgr.add_subspace(s);
+        }
+        let mut sink = Vec::new();
+        mgr.update_and_query(1, &DataPoint::new(vec![0.3, 0.7, 0.1]), &mut sink)
+            .unwrap();
+        let got: Vec<u64> = sink.iter().map(|e| e.subspace.mask()).collect();
+        let want: Vec<u64> = subs.iter().map(|s| s.mask()).collect();
+        assert_eq!(got, want, "sink order must be registration order");
+        // Removal keeps the survivors' relative order.
+        mgr.remove_subspace(&subs[1]);
+        mgr.update_and_query(2, &DataPoint::new(vec![0.3, 0.7, 0.1]), &mut sink)
+            .unwrap();
+        let got: Vec<u64> = sink.iter().map(|e| e.subspace.mask()).collect();
+        assert_eq!(got, vec![subs[0].mask(), subs[2].mask()]);
+    }
+
+    #[test]
     fn update_touches_all_stores() {
         let mut mgr = manager(2, 4);
         let s0 = Subspace::from_dims([0]).unwrap();
@@ -479,6 +752,38 @@ mod tests {
         assert!(sink.iter().all(|e| e.pcs.rd > 0.0));
         assert!(sink.iter().any(|e| e.subspace == s0));
         assert!(sink.iter().any(|e| e.subspace == s01));
+    }
+
+    #[test]
+    fn live_counters_mirror_exact_sweeps() {
+        let mut mgr = manager(2, 4);
+        mgr.add_subspace(Subspace::from_dims([0]).unwrap());
+        mgr.add_subspace(Subspace::from_dims([0, 1]).unwrap());
+        let live = mgr.live_counters();
+        let mut sink = Vec::new();
+        for i in 0..40u64 {
+            let p = DataPoint::new(vec![(i % 7) as f64 / 7.0, ((i * 3) % 5) as f64 / 5.0]);
+            mgr.update_and_query(i, &p, &mut sink).unwrap();
+            assert_eq!(live.live_cells(), mgr.live_cells(), "tick {i}");
+        }
+        assert_eq!(live.approx_bytes(), mgr.approx_bytes());
+        // Batch path keeps the mirror in sync too.
+        let pts: Vec<DataPoint> = (0..30)
+            .map(|i| DataPoint::new(vec![(i % 4) as f64 / 4.0, (i % 9) as f64 / 9.0]))
+            .collect();
+        let mut sinks = Vec::new();
+        let mut outcomes = Vec::new();
+        mgr.update_and_query_batch(40, &pts, &mut sinks, &mut outcomes)
+            .unwrap();
+        assert_eq!(live.live_cells(), mgr.live_cells());
+        assert_eq!(live.approx_bytes(), mgr.approx_bytes());
+        // Pruning retracts counters.
+        mgr.prune(100_000, 1e-6);
+        assert_eq!(live.live_cells(), mgr.live_cells());
+        assert_eq!(live.live_cells(), (0, 0));
+        // Removing a subspace retracts its footprint.
+        mgr.remove_subspace(&Subspace::from_dims([0]).unwrap());
+        assert_eq!(live.approx_bytes(), mgr.approx_bytes());
     }
 
     #[test]
@@ -508,10 +813,57 @@ mod tests {
         }
     }
 
+    fn batch_reference_check(mgr_builder: impl Fn() -> SynopsisManager, points: &[DataPoint]) {
+        let mut serial = mgr_builder();
+        let mut sink = Vec::new();
+        let mut expected: Vec<Vec<(u64, Pcs, f64)>> = Vec::new();
+        let mut expected_outcomes = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            let out = serial.update_and_query(i as u64, p, &mut sink).unwrap();
+            expected_outcomes.push(out);
+            expected.push(
+                sink.iter()
+                    .map(|e| (e.subspace.mask(), e.pcs, e.occupancy))
+                    .collect(),
+            );
+        }
+        let mut batched = mgr_builder();
+        let mut sinks: Vec<Vec<SubspacePcs>> = Vec::new();
+        let mut outcomes = Vec::new();
+        batched
+            .update_and_query_batch(0, points, &mut sinks, &mut outcomes)
+            .unwrap();
+        assert_eq!(outcomes.len(), points.len());
+        for (i, want) in expected.iter().enumerate() {
+            let got: Vec<(u64, Pcs, f64)> = sinks[i]
+                .iter()
+                .map(|e| (e.subspace.mask(), e.pcs, e.occupancy))
+                .collect();
+            assert_eq!(&got, want, "point {i}");
+            assert_eq!(
+                outcomes[i].total_weight.to_bits(),
+                expected_outcomes[i].total_weight.to_bits(),
+                "total at point {i}"
+            );
+            assert_eq!(
+                outcomes[i].prior_base_count.to_bits(),
+                expected_outcomes[i].prior_base_count.to_bits(),
+                "prior at point {i}"
+            );
+            assert_eq!(outcomes[i].base_cell, expected_outcomes[i].base_cell);
+        }
+        assert_eq!(serial.live_cells(), batched.live_cells());
+        let n = points.len() as u64;
+        assert_eq!(
+            serial.total_weight(n).to_bits(),
+            batched.total_weight(n).to_bits()
+        );
+    }
+
     #[test]
     fn batch_matches_one_by_one() {
-        let build = |dims: usize| {
-            let mut mgr = manager(dims, 4);
+        let build = || {
+            let mut mgr = manager(3, 4);
             mgr.add_subspace(Subspace::from_dims([0]).unwrap());
             mgr.add_subspace(Subspace::from_dims([0, 1]).unwrap());
             mgr.add_subspace(Subspace::from_dims([1, 2]).unwrap());
@@ -526,38 +878,14 @@ mod tests {
                 ])
             })
             .collect();
-
-        let mut serial = build(3);
-        let mut sink = Vec::new();
-        let mut expected: Vec<Vec<(Subspace, Pcs)>> = Vec::new();
-        for (i, p) in points.iter().enumerate() {
-            serial.update_and_query(i as u64, p, &mut sink).unwrap();
-            let mut row: Vec<(Subspace, Pcs)> = sink.iter().map(|e| (e.subspace, e.pcs)).collect();
-            row.sort_by_key(|(s, _)| s.mask());
-            expected.push(row);
-        }
-
-        let mut batched = build(3);
-        let mut sinks: Vec<Vec<SubspacePcs>> = Vec::new();
-        let mut outcomes = Vec::new();
-        batched
-            .update_and_query_batch(0, &points, &mut sinks, &mut outcomes)
-            .unwrap();
-        assert_eq!(outcomes.len(), points.len());
-        for (i, row) in expected.iter().enumerate() {
-            let mut got: Vec<(Subspace, Pcs)> =
-                sinks[i].iter().map(|e| (e.subspace, e.pcs)).collect();
-            got.sort_by_key(|(s, _)| s.mask());
-            assert_eq!(&got, row, "point {i}");
-        }
-        assert_eq!(serial.live_cells(), batched.live_cells());
-        assert!((serial.total_weight(64) - batched.total_weight(64)).abs() < 1e-12);
+        batch_reference_check(build, &points);
     }
 
     #[test]
     fn batch_matches_one_by_one_with_wide_sst() {
-        // Enough stores that the `parallel` feature's fan-out actually
-        // engages (≥ 8); without the feature this covers the serial batch.
+        // Enough stores that the `parallel` feature's pool actually
+        // engages (≥ 8 on a multi-core machine); without the feature this
+        // covers the serial shard loop.
         let build = || {
             let mut mgr = manager(6, 5);
             for d in 0..6 {
@@ -578,33 +906,55 @@ mod tests {
                 )
             })
             .collect();
-        let mut serial = build();
-        let mut sink = Vec::new();
-        let mut expected = Vec::new();
-        for (i, p) in points.iter().enumerate() {
-            serial.update_and_query(i as u64, p, &mut sink).unwrap();
-            let mut row: Vec<(u64, Pcs, f64)> = sink
+        batch_reference_check(build, &points);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn forced_worker_counts_are_bit_identical() {
+        let build = |workers: Option<usize>| {
+            let mut mgr = manager(4, 5);
+            mgr.set_parallel_workers(workers);
+            for d in 0..4 {
+                mgr.add_subspace(Subspace::from_dims([d]).unwrap());
+                mgr.add_subspace(Subspace::from_dims([d, (d + 1) % 4]).unwrap());
+            }
+            mgr
+        };
+        let points: Vec<DataPoint> = (0..150)
+            .map(|i| {
+                DataPoint::new(
+                    (0..4)
+                        .map(|d| ((i * (d + 2) + 3 * d) % 23) as f64 / 23.0)
+                        .collect(),
+                )
+            })
+            .collect();
+        let run = |workers: Option<usize>| {
+            let mut mgr = build(workers);
+            let mut sinks = Vec::new();
+            let mut outcomes = Vec::new();
+            // Several runs so cells age across run boundaries.
+            for (chunk_idx, chunk) in points.chunks(40).enumerate() {
+                mgr.update_and_query_batch(
+                    (chunk_idx * 40) as u64,
+                    chunk,
+                    &mut sinks,
+                    &mut outcomes,
+                )
+                .unwrap();
+            }
+            let state: Vec<(u64, Pcs, f64)> = sinks
                 .iter()
+                .flatten()
                 .map(|e| (e.subspace.mask(), e.pcs, e.occupancy))
                 .collect();
-            row.sort_by_key(|a| a.0);
-            expected.push(row);
+            (state, mgr.live_cells(), mgr.total_weight(200).to_bits())
+        };
+        let reference = run(Some(0));
+        for workers in [1usize, 2, 5] {
+            assert_eq!(run(Some(workers)), reference, "workers={workers}");
         }
-        let mut batched = build();
-        let mut sinks = Vec::new();
-        let mut outcomes = Vec::new();
-        batched
-            .update_and_query_batch(0, &points, &mut sinks, &mut outcomes)
-            .unwrap();
-        for (i, want) in expected.iter().enumerate() {
-            let mut got: Vec<(u64, Pcs, f64)> = sinks[i]
-                .iter()
-                .map(|e| (e.subspace.mask(), e.pcs, e.occupancy))
-                .collect();
-            got.sort_by_key(|a| a.0);
-            assert_eq!(&got, want, "point {i}");
-        }
-        assert_eq!(serial.live_cells(), batched.live_cells());
     }
 
     #[test]
@@ -728,5 +1078,19 @@ mod tests {
         ));
         assert_eq!(mgr.live_cells(), (0, 0));
         assert_eq!(mgr.total_weight(0), 0.0);
+    }
+
+    #[test]
+    fn clone_gets_independent_counters() {
+        let mut mgr = manager(2, 4);
+        mgr.add_subspace(Subspace::from_dims([0]).unwrap());
+        mgr.update(0, &DataPoint::new(vec![0.3, 0.3])).unwrap();
+        let mut cloned = mgr.clone();
+        let clone_live = cloned.live_counters();
+        assert_eq!(clone_live.live_cells(), mgr.live_cells());
+        cloned.update(1, &DataPoint::new(vec![0.9, 0.9])).unwrap();
+        assert_eq!(clone_live.live_cells(), cloned.live_cells());
+        // The original's counters were not disturbed by the clone.
+        assert_eq!(mgr.live_counters().live_cells(), mgr.live_cells());
     }
 }

@@ -3,7 +3,7 @@
 use crate::grid::Grid;
 use crate::key::CellKey;
 use serde::{Deserialize, Serialize};
-use spot_stream::TimeModel;
+use spot_stream::{DecayTable, TimeModel};
 use spot_subspace::Subspace;
 use spot_types::{DataPoint, FxHashMap};
 
@@ -101,6 +101,10 @@ pub struct ProjectedStore {
     cell_count: f64,
     /// `σ_uniform(s)` — precomputed IRSD numerator.
     uniform_sigma: f64,
+    /// Cell count last mirrored into the manager's lock-free counters.
+    published_cells: usize,
+    /// Byte footprint last mirrored into the manager's lock-free counters.
+    published_bytes: usize,
 }
 
 impl ProjectedStore {
@@ -116,7 +120,26 @@ impl ProjectedStore {
             moments: Vec::new(),
             cell_count: grid.cell_count_in(&subspace),
             uniform_sigma: grid.uniform_sigma_in(&subspace),
+            published_cells: 0,
+            published_bytes: 0,
         }
+    }
+
+    /// Difference between the store's current (cells, bytes) footprint and
+    /// the last published one, marking the current values as published.
+    /// The single writer of a shard calls this after mutating the store
+    /// and folds the delta into the shared atomic counters — monitoring
+    /// readers never need the store itself.
+    pub(crate) fn publish_delta(&mut self) -> (isize, isize) {
+        let cells = self.len();
+        let bytes = self.approx_bytes();
+        let delta = (
+            cells as isize - self.published_cells as isize,
+            bytes as isize - self.published_bytes as isize,
+        );
+        self.published_cells = cells;
+        self.published_bytes = bytes;
+        delta
     }
 
     /// The subspace this store projects onto.
@@ -159,7 +182,36 @@ impl ProjectedStore {
         point: &DataPoint,
         total: f64,
     ) -> (Pcs, f64) {
-        let slot = self.upsert(grid, model, now, base, point);
+        let slot = self.upsert_with(grid, now, base, point, |last| {
+            model.decay_between(last, now)
+        });
+        let d = self.d[slot];
+        let pcs = self.derive_slot(d, d, self.stripe(slot), total);
+        (pcs, d)
+    }
+
+    /// [`ProjectedStore::update_and_pcs`] with the cell renormalization
+    /// factor served from a per-run decay table (the batch ingestion
+    /// path): repeat touches of a cell within the run cost one table load
+    /// instead of one `powi`. Bit-identical to the model path.
+    // Hot-path signature: the extra argument over `update_and_pcs` is the
+    // decay table itself; bundling it with the model would cost a struct
+    // build per call site in the shard loop.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn update_and_pcs_run(
+        &mut self,
+        grid: &Grid,
+        model: &TimeModel,
+        table: &DecayTable,
+        now: u64,
+        base: &[u16],
+        point: &DataPoint,
+        total: f64,
+    ) -> (Pcs, f64) {
+        let slot = self.upsert_with(grid, now, base, point, |last| {
+            table.factor(model, last, now)
+        });
         let d = self.d[slot];
         let pcs = self.derive_slot(d, d, self.stripe(slot), total);
         (pcs, d)
@@ -176,26 +228,30 @@ impl ProjectedStore {
         base: &[u16],
         point: &DataPoint,
     ) {
-        self.upsert(grid, model, now, base, point);
+        self.upsert_with(grid, now, base, point, |last| {
+            model.decay_between(last, now)
+        });
     }
 
     /// Inserts the point, returning its slot. Existing cells are decayed to
-    /// `now` first; new cells extend the columns (the only allocating path,
+    /// `now` first — `factor_of(last_tick)` supplies the renormalization
+    /// multiplier (straight from the time model, or from a per-run decay
+    /// table). New cells extend the columns (the only allocating path,
     /// taken once per distinct populated cell).
-    fn upsert(
+    fn upsert_with(
         &mut self,
         grid: &Grid,
-        model: &TimeModel,
         now: u64,
         base: &[u16],
         point: &DataPoint,
+        factor_of: impl FnOnce(u64) -> f64,
     ) -> usize {
         let key = grid.project_key(base, &self.subspace);
         let stride = 2 * self.card;
         let slot = match self.index.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
                 let slot = *e.get() as usize;
-                let f = model.decay_between(self.last_tick[slot], now);
+                let f = factor_of(self.last_tick[slot]);
                 if f != 1.0 {
                     self.d[slot] *= f;
                     for v in &mut self.moments[slot * stride..(slot + 1) * stride] {
@@ -426,6 +482,62 @@ mod tests {
             assert_eq!(pcs_fused, pcs_split, "point {i}");
             assert!(occ > 0.0);
         }
+    }
+
+    #[test]
+    fn tabled_update_matches_model_update_bitwise() {
+        let (grid, tm) = setup(3, 8);
+        let s = Subspace::from_dims([0, 2]).unwrap();
+        let mut by_model = ProjectedStore::new(&grid, s);
+        let mut by_table = ProjectedStore::new(&grid, s);
+        let mut table = DecayTable::new();
+        let pts: Vec<DataPoint> = (0..120)
+            .map(|i| DataPoint::new(vec![(i % 5) as f64 / 5.0, 0.5, ((i * 3) % 4) as f64 / 4.0]))
+            .collect();
+        // Runs with gaps: in-run repeat touches hit the table, first
+        // touches of stale cells take the powi fallback.
+        for (run_idx, run) in pts.chunks(40).enumerate() {
+            let start = 1 + run_idx as u64 * 100;
+            table.fill(&tm, start, run.len());
+            for (i, p) in run.iter().enumerate() {
+                let now = start + i as u64;
+                let total = (run_idx * 40 + i + 1) as f64;
+                let base = grid.base_coords(p).unwrap();
+                let (pa, occ_a) = by_model.update_and_pcs(&grid, &tm, now, &base, p, total);
+                let (pb, occ_b) =
+                    by_table.update_and_pcs_run(&grid, &tm, &table, now, &base, p, total);
+                assert_eq!(pa.rd.to_bits(), pb.rd.to_bits(), "rd at point {i}");
+                assert_eq!(pa.irsd.to_bits(), pb.irsd.to_bits(), "irsd at point {i}");
+                assert_eq!(occ_a.to_bits(), occ_b.to_bits(), "occupancy at point {i}");
+            }
+        }
+        assert_eq!(by_model.len(), by_table.len());
+        for ((ka, ca), (kb, cb)) in by_model.iter().zip(by_table.iter()) {
+            assert_eq!(ka, kb);
+            assert_eq!(
+                ca.count_at(&tm, 500).to_bits(),
+                cb.count_at(&tm, 500).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn publish_delta_tracks_growth_and_pruning() {
+        let (grid, tm) = setup(1, 4);
+        let s = Subspace::from_dims([0]).unwrap();
+        let mut store = ProjectedStore::new(&grid, s);
+        let (c0, b0) = store.publish_delta();
+        assert_eq!(c0, 0);
+        assert!(b0 >= 0);
+        update(&mut store, &grid, &tm, 0, &DataPoint::new(vec![0.1]));
+        update(&mut store, &grid, &tm, 0, &DataPoint::new(vec![0.9]));
+        let (dc, db) = store.publish_delta();
+        assert_eq!(dc, 2);
+        assert!(db > 0);
+        assert_eq!(store.publish_delta(), (0, 0), "no change, no delta");
+        store.prune(&tm, 100 * 20, 1e-6);
+        let (dc, _) = store.publish_delta();
+        assert_eq!(dc, -2);
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! The parallel execution layer: a persistent worker pool and the
+//! [`StoreExecutor`] abstraction the batch ingestion path fans out through.
+//!
+//! # Why an executor trait
+//!
+//! `SynopsisManager::update_and_query_batch_with` partitions the SST's
+//! per-subspace stores into subspace-disjoint *shards* and exposes the
+//! shard work as one `Fn() + Sync` closure that claims shards from an
+//! atomic cursor until none remain. *Who* runs that closure is the
+//! executor's business:
+//!
+//! * [`SerialExecutor`] — the calling thread alone (the default build).
+//! * [`WorkerPool`] — the calling thread plus a set of persistent worker
+//!   threads owned by the manager (the `parallel` feature's default).
+//! * `spot`'s `SharedSpot` publishes the closure on a job board so that
+//!   *other producer threads* blocked on the detector lock claim shards
+//!   instead of convoying.
+//!
+//! All three produce bit-identical results: every shard is claimed by
+//! exactly one participant, every store sees its points in arrival order,
+//! and results land in per-store slots merged in a fixed order.
+//!
+//! # The pool
+//!
+//! Workers are spawned once and live for the pool's lifetime — the
+//! per-batch cost of dispatch is one channel send and one latch wait, not
+//! a `thread::spawn`. Jobs borrow the caller's stack (coordinates, store
+//! slices, result rows); [`ErasedJob`] erases the borrow lifetime to
+//! cross the channel, and the dispatcher **blocks until every worker has
+//! returned from the job**, which is what makes the erasure sound. A
+//! panic inside a job is caught in the worker, recorded on the job, and
+//! re-raised on the calling thread after all participants have stopped
+//! touching the borrowed state. (`spot`'s cooperative `SharedSpot`
+//! reuses [`ErasedJob`] for its job board, so the unsafe contract lives
+//! in exactly one place.)
+
+use crossbeam::channel::{bounded, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Runs shard-claim closures across one or more participants.
+///
+/// Contract: `execute` calls `work` on the current thread at least once,
+/// may call it concurrently from other threads, and does not return until
+/// **every** participant has returned from `work`. The closure itself is
+/// responsible for claiming disjoint units of work (it loops on an atomic
+/// cursor), so calling it from extra threads is always safe.
+pub trait StoreExecutor: Sync {
+    /// Executes `work` to completion across this executor's participants.
+    fn execute(&self, work: &(dyn Fn() + Sync));
+}
+
+/// The trivial executor: the calling thread does everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SerialExecutor;
+
+impl StoreExecutor for SerialExecutor {
+    fn execute(&self, work: &(dyn Fn() + Sync)) {
+        work();
+    }
+}
+
+/// Countdown latch: `wait` blocks until `arrive` has been called `n` times.
+#[derive(Debug)]
+struct Latch {
+    remaining: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(n),
+            zero: Condvar::new(),
+        }
+    }
+
+    fn arrive(&self) {
+        let mut left = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        *left -= 1;
+        if *left == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        while *left > 0 {
+            left = self.zero.wait(left).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A lifetime-erased, panic-recording handle to a borrowed shard-claim
+/// closure — the one place the `'a → 'static` transmute lives. Every
+/// dispatch mechanism (the pool's workers here, `spot`'s job-board
+/// helpers) shares this type, so the soundness contract is stated and
+/// maintained once.
+pub struct ErasedJob {
+    work: *const (dyn Fn() + Sync),
+    panicked: AtomicBool,
+}
+
+// SAFETY: the pointee is `Sync` (shared calls are fine) and the erasure
+// contract (below) guarantees it outlives every `run`.
+unsafe impl Send for ErasedJob {}
+unsafe impl Sync for ErasedJob {}
+
+impl ErasedJob {
+    /// Erases the borrow lifetime of `work` so the job can cross channels
+    /// and thread boundaries.
+    ///
+    /// # Safety
+    ///
+    /// The caller must not return from the frame that owns `work`'s
+    /// borrows until every thread that can reach this job has finished
+    /// calling [`ErasedJob::run`] — i.e. it must block on a completion
+    /// latch / drain counter that those threads signal *after* `run`
+    /// returns.
+    pub unsafe fn erase(work: &(dyn Fn() + Sync)) -> Self {
+        let work: *const (dyn Fn() + Sync + 'static) = std::mem::transmute::<
+            *const (dyn Fn() + Sync + '_),
+            *const (dyn Fn() + Sync + 'static),
+        >(work as *const (dyn Fn() + Sync));
+        ErasedJob {
+            work,
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    /// Runs the closure, recording (instead of propagating) a panic. The
+    /// owner re-raises via [`ErasedJob::panicked`] once all participants
+    /// have stopped touching the borrowed state.
+    pub fn run(&self) {
+        // SAFETY: the erasure contract keeps the pointee alive for every
+        // `run` call.
+        let work = unsafe { &*self.work };
+        if catch_unwind(AssertUnwindSafe(work)).is_err() {
+            self.panicked.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether any participant's `run` panicked.
+    pub fn panicked(&self) -> bool {
+        self.panicked.load(Ordering::Acquire)
+    }
+}
+
+/// One pool dispatch: the shared erased job plus the completion latch the
+/// dispatcher blocks on (which is what upholds the erasure contract).
+struct Job {
+    job: Arc<ErasedJob>,
+    latch: Arc<Latch>,
+}
+
+/// A persistent set of worker threads executing shard-claim jobs.
+///
+/// The pool adds `workers()` participants to every [`WorkerPool::run`]
+/// call; the calling thread always participates too, so a pool of size 0
+/// degrades to [`SerialExecutor`] behavior.
+pub struct WorkerPool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.senders.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` persistent threads (0 is allowed).
+    pub fn new(workers: usize) -> Self {
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            // Capacity 1: dispatch never blocks behind an idle worker, and
+            // a worker never holds more than one queued job.
+            let (tx, rx) = bounded::<Job>(1);
+            let handle = std::thread::Builder::new()
+                .name(format!("spot-synopsis-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job.job.run();
+                        job.latch.arrive();
+                    }
+                })
+                .expect("spawn synopsis worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool { senders, handles }
+    }
+
+    /// Number of worker threads (excluding the caller).
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+impl StoreExecutor for WorkerPool {
+    /// Runs `work` on every pool worker and on the calling thread,
+    /// returning once all of them are done. Panics (after all participants
+    /// have stopped) if any participant panicked.
+    fn execute(&self, work: &(dyn Fn() + Sync)) {
+        if self.senders.is_empty() {
+            work();
+            return;
+        }
+        let latch = Arc::new(Latch::new(self.senders.len()));
+        // SAFETY: `latch.wait()` below blocks this frame until every
+        // worker has signalled completion, upholding the erasure contract.
+        let job = Arc::new(unsafe { ErasedJob::erase(work) });
+        for tx in &self.senders {
+            let dispatch = Job {
+                job: Arc::clone(&job),
+                latch: Arc::clone(&latch),
+            };
+            if tx.send(dispatch).is_err() {
+                unreachable!("pool worker exited while the pool was alive");
+            }
+        }
+        job.run();
+        latch.wait();
+        if job.panicked() {
+            panic!("a synopsis batch job panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels ends the worker loops.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn drain_counter(exec: &dyn StoreExecutor, units: usize) -> Vec<u8> {
+        let cursor = AtomicUsize::new(0);
+        let hits: Vec<AtomicUsize> = (0..units).map(|_| AtomicUsize::new(0)).collect();
+        let work = || loop {
+            let k = cursor.fetch_add(1, Ordering::Relaxed);
+            if k >= units {
+                break;
+            }
+            hits[k].fetch_add(1, Ordering::Relaxed);
+        };
+        exec.execute(&work);
+        hits.iter()
+            .map(|h| h.load(Ordering::Relaxed) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn serial_executor_claims_every_unit_once() {
+        assert_eq!(drain_counter(&SerialExecutor, 17), vec![1u8; 17]);
+    }
+
+    #[test]
+    fn pool_claims_every_unit_exactly_once() {
+        for workers in [0usize, 1, 3] {
+            let pool = WorkerPool::new(workers);
+            assert_eq!(pool.workers(), workers);
+            assert_eq!(drain_counter(&pool, 97), vec![1u8; 97], "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_runs() {
+        let pool = WorkerPool::new(2);
+        for round in 0..50usize {
+            let got: usize = drain_counter(&pool, round + 1)
+                .iter()
+                .map(|&h| h as usize)
+                .sum();
+            assert_eq!(got, round + 1);
+        }
+    }
+
+    #[test]
+    fn pool_borrows_caller_stack_safely() {
+        let pool = WorkerPool::new(2);
+        let mut results = vec![0u64; 64];
+        {
+            let cursor = AtomicUsize::new(0);
+            let cells: Vec<Mutex<&mut u64>> = results.iter_mut().map(Mutex::new).collect();
+            let work = || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= cells.len() {
+                    break;
+                }
+                **cells[k].lock().unwrap() = (k as u64) * 3;
+            };
+            pool.execute(&work);
+        }
+        for (i, v) in results.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 3);
+        }
+    }
+
+    #[test]
+    fn job_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(1);
+        let cursor = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let work = || {
+                if cursor.fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("boom");
+                }
+            };
+            pool.execute(&work);
+        }));
+        assert!(result.is_err());
+        // The pool survives and is usable afterwards.
+        assert_eq!(drain_counter(&pool, 5), vec![1u8; 5]);
+    }
+}

@@ -3,7 +3,7 @@
 use crate::bcs::Bcs;
 use crate::grid::Grid;
 use crate::key::CellKey;
-use spot_stream::TimeModel;
+use spot_stream::{DecayTable, TimeModel};
 use spot_types::{DataPoint, FxHashMap, Result};
 
 /// All populated base cells of the hypercube, keyed by their packed
@@ -53,6 +53,37 @@ impl BaseStore {
         let prior = cell.count_at(model, now);
         cell.insert(model, now, p);
         prior
+    }
+
+    /// [`BaseStore::insert_at`] with the renormalization factor served from
+    /// a per-run decay table (the batch ingestion path) — one table load
+    /// instead of one `powi` per insertion, bit-identical results.
+    #[inline]
+    pub fn insert_at_run(
+        &mut self,
+        key: CellKey,
+        dims: usize,
+        model: &TimeModel,
+        table: &DecayTable,
+        now: u64,
+        p: &DataPoint,
+    ) -> f64 {
+        let cell = self.cells.entry(key).or_insert_with(|| Bcs::new(dims, now));
+        let f = table.factor(model, cell.last_tick(), now);
+        let prior = cell.count() * f;
+        cell.insert_with_factor(f, now, p);
+        prior
+    }
+
+    /// Exact heap footprint per populated cell for a `dims`-dimensional
+    /// store — [`BaseStore::approx_bytes`] equals
+    /// `size_of::<BaseStore>() + len · cell_bytes(dims)`, which is what
+    /// lets the manager mirror the footprint into lock-free counters
+    /// without sweeping the cells.
+    pub fn cell_bytes(dims: usize) -> usize {
+        std::mem::size_of::<CellKey>()
+            + std::mem::size_of::<Bcs>()
+            + 2 * dims * std::mem::size_of::<f64>()
     }
 
     /// Inserts a point at tick `now`, returning its base-cell key and the
@@ -221,6 +252,50 @@ mod tests {
         let evicted = store.prune(&tm, 5000, 1e-3);
         assert_eq!(evicted, 15);
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn tabled_insert_matches_model_insert_bitwise() {
+        let (grid, tm) = setup();
+        let mut table = DecayTable::new();
+        let mut a = BaseStore::new();
+        let mut b = BaseStore::new();
+        let pts: Vec<DataPoint> = (0..40)
+            .map(|i| DataPoint::new(vec![(i % 5) as f64 / 5.0, (i % 3) as f64 / 3.0]))
+            .collect();
+        // Two runs with a gap, so the table path exercises both the in-run
+        // lookup and the pre-run powi fallback.
+        for (start, run) in [(1u64, &pts[..25]), (60, &pts[25..])] {
+            table.fill(&tm, start, run.len());
+            for (i, p) in run.iter().enumerate() {
+                let now = start + i as u64;
+                let coords = grid.base_coords(p).unwrap();
+                let key = grid.base_key(&coords);
+                let pa = a.insert_at(key, grid.dims(), &tm, now, p);
+                let pb = b.insert_at_run(key, grid.dims(), &tm, &table, now, p);
+                assert_eq!(pa.to_bits(), pb.to_bits(), "prior at point {i}");
+            }
+        }
+        assert_eq!(a.len(), b.len());
+        for (key, cell) in a.iter() {
+            let other = b.get(key).unwrap();
+            assert_eq!(cell.count().to_bits(), other.count().to_bits());
+            assert_eq!(cell.last_tick(), other.last_tick());
+        }
+    }
+
+    #[test]
+    fn cell_bytes_matches_swept_footprint() {
+        let (grid, tm) = setup();
+        let mut store = BaseStore::new();
+        for i in 0..7 {
+            let p = DataPoint::new(vec![(i as f64 + 0.5) / 8.0, 0.5]);
+            store.insert(&grid, &tm, 0, &p).unwrap();
+        }
+        assert_eq!(
+            store.approx_bytes(),
+            std::mem::size_of::<BaseStore>() + store.len() * BaseStore::cell_bytes(2)
+        );
     }
 
     #[test]
