@@ -1,11 +1,13 @@
 //! Parallel-runtime scaling baseline: multi-producer ingest throughput of
 //! the sharded cooperative `SharedSpot` against the single-mutex control,
-//! plus the batch-decay and chunked-quantizer micro numbers.
+//! the two-phase eval arms (serial vs multi-thread sweep/overlap), plus
+//! the batch-decay and chunked-quantizer micro numbers.
 //!
 //! Writes `BENCH_parallel.json` at the repository root (fixed seed 42).
 //! The `cores` field records the machine's available parallelism — on a
-//! single-core runner the producer arms measure protocol overhead only;
-//! the ≥2.5x scaling target applies to machines with ≥ 4 cores.
+//! single-core runner the producer and eval arms measure protocol
+//! overhead only; the ≥2.5x scaling target applies to machines with
+//! ≥ 4 cores.
 //!
 //! `SPOT_BENCH_THREADS` (e.g. `"1,2"`) restricts the producer counts for
 //! CI smoke runs; the default sweep is 1/2/4/8.
@@ -15,7 +17,7 @@ use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use spot::{SharedSpot, Spot, SpotBuilder};
 use spot_stream::TimeModel;
-use spot_synopsis::{Grid, SubspacePcs, SynopsisManager};
+use spot_synopsis::{Grid, SerialExecutor, SubspacePcs, SynopsisManager};
 use spot_types::{DataPoint, DomainBounds};
 use std::sync::Arc;
 use std::time::Instant;
@@ -77,6 +79,21 @@ struct QuantizePoint {
     chunked_pts_per_sec: f64,
 }
 
+/// One two-phase-eval arm: end-to-end `process_batch` throughput with the
+/// given shard/sweep executor, plus the phase split the detector metered.
+#[derive(Serialize)]
+struct EvalPoint {
+    /// Extra threads the executor brings (0 = calling thread alone).
+    helper_threads: usize,
+    pts_per_sec: f64,
+    sweep_nanos: u64,
+    commit_nanos: u64,
+    batch_runs: u64,
+    /// Runs whose commit overlapped the next run's shard ingestion.
+    overlapped_runs: u64,
+    speedup_vs_serial: f64,
+}
+
 #[derive(Serialize)]
 struct ParallelBaseline {
     seed: u64,
@@ -93,6 +110,12 @@ struct ParallelBaseline {
     /// includes 4 producers (the ISSUE's scaling target; meaningful on
     /// ≥ 4 cores).
     speedup_at_4_threads: Option<f64>,
+    /// Two-phase eval arms: end-to-end `process_batch` with 0/1/2 helper
+    /// threads on the shard + sweep dispatch. Chunks are wider than
+    /// `Spot::BATCH_RUN` so run overlap engages. On a 1-core machine the
+    /// non-serial arms measure dispatch overhead (target: parity).
+    eval_chunk: usize,
+    eval: Vec<EvalPoint>,
     /// Synopsis-level batch path (per-run decay table + closed-form
     /// total, no per-point powi) vs the per-point path, ϕ=24 / 64 stores.
     synopsis_per_point_pts_per_sec: f64,
@@ -141,6 +164,47 @@ fn main() {
         .iter()
         .find(|p| p.threads == 4)
         .map(|p| p.speedup_vs_single_mutex);
+
+    // --- Two-phase eval arms: serial vs threaded shard+sweep dispatch. ---
+    const EVAL_CHUNK: usize = 2048; // > BATCH_RUN → run overlap engages
+    let mut eval = Vec::new();
+    let mut serial_rate = 0.0;
+    for helpers in [0usize, 1, 2] {
+        let mut spot = learned_spot();
+        // Persistent workers (one channel send + latch wait per dispatch),
+        // the same mechanism the `parallel` feature's pool uses.
+        let pool = spot_synopsis::WorkerPool::new(helpers);
+        let t0 = Instant::now();
+        for chunk in stream.chunks(EVAL_CHUNK) {
+            if helpers == 0 {
+                spot.process_batch_with(chunk, &SerialExecutor).unwrap();
+            } else {
+                spot.process_batch_with(chunk, &pool).unwrap();
+            }
+        }
+        let rate = stream.len() as f64 / t0.elapsed().as_secs_f64();
+        if helpers == 0 {
+            serial_rate = rate;
+        }
+        let stats = *spot.stats();
+        println!(
+            "eval helpers={helpers}  {rate:>10.0} pts/s  ({:.2}x vs serial)  sweep {:>6.1}ms  commit {:>6.1}ms  overlapped {}/{} runs",
+            rate / serial_rate,
+            stats.sweep_nanos as f64 / 1e6,
+            stats.commit_nanos as f64 / 1e6,
+            stats.overlapped_runs,
+            stats.batch_runs,
+        );
+        eval.push(EvalPoint {
+            helper_threads: helpers,
+            pts_per_sec: rate,
+            sweep_nanos: stats.sweep_nanos,
+            commit_nanos: stats.commit_nanos,
+            batch_runs: stats.batch_runs,
+            overlapped_runs: stats.overlapped_runs,
+            speedup_vs_serial: rate / serial_rate,
+        });
+    }
 
     // --- Batch decay amortization (synopsis level, ϕ=24, 64 stores). ---
     let (per_point_rate, batch_rate) = {
@@ -245,6 +309,8 @@ fn main() {
         chunk: CHUNK,
         threads: thread_points,
         speedup_at_4_threads: speedup_at_4,
+        eval_chunk: EVAL_CHUNK,
+        eval,
         synopsis_per_point_pts_per_sec: per_point_rate,
         synopsis_batch_pts_per_sec: batch_rate,
         batch_decay_speedup: batch_rate / per_point_rate,

@@ -15,15 +15,22 @@
 //!   writer at a time and every store sees points in arrival order, so
 //!   verdicts are bit-identical to the sequential path (pinned by tests).
 //! * **Lock-free monitoring.** [`SharedSpot::stats`] reads a seqlock of
-//!   atomics published after every operation, and
-//!   [`SharedSpot::footprint`] reads the synopsis manager's
+//!   atomics published after every operation — the logical counters plus
+//!   the eval-phase metrics (sweep/commit timings, pipeline counters) —
+//!   and [`SharedSpot::footprint`] reads the synopsis manager's
 //!   [`LiveCounters`] mirror — neither touches the detector lock, so
 //!   dashboards never stall ingestion.
-//! * **Batch pipelining unchanged.** The per-batch critical section is
-//!   still one `process_batch` call; maintenance (self-evolution, OS
-//!   growth, pruning) runs under the lock exactly as in the sequential
-//!   detector, which is what keeps the shard phase's single-writer
-//!   guarantee trivial to uphold.
+//! * **Two-phase batch pipelining.** A batch run now dispatches *three*
+//!   kinds of helpable work through the job board: the shard ingestion,
+//!   the pure verdict **sweep** over the run's points, and — when a run's
+//!   commit cannot mutate the synopses — the previous run's sequential
+//!   **commit**, riding the next run's shard dispatch as a claim-once
+//!   unit. Producers blocked on the detector lock therefore spend far
+//!   less time in the idle spin/park fallback: the board has work during
+//!   evaluation too, not just during ingestion. Maintenance
+//!   (self-evolution, OS growth, pruning) still runs under the lock
+//!   exactly as in the sequential detector, which is what keeps the
+//!   single-writer guarantees trivial to uphold.
 
 use crate::detector::{Spot, SynopsisFootprint};
 use crate::verdict::{SpotStats, Verdict};
@@ -138,9 +145,12 @@ impl StoreExecutor for CooperativeExecutor<'_> {
 /// Seqlock over the running counters: single writer (whoever holds the
 /// detector lock), wait-free readers. An odd sequence number marks a write
 /// in progress; readers retry until they straddle a stable even value.
+/// Carries the logical counters *and* the eval-phase metrics
+/// (sweep/commit timings, pipeline counters), so monitoring threads read
+/// batch-eval throughput without ever touching the detector lock.
 struct StatsCell {
     seq: AtomicU64,
-    fields: [AtomicU64; 6],
+    fields: [AtomicU64; 11],
 }
 
 impl StatsCell {
@@ -159,6 +169,11 @@ impl StatsCell {
             stats.os_added,
             stats.drift_events,
             stats.cells_pruned,
+            stats.batch_points,
+            stats.batch_runs,
+            stats.overlapped_runs,
+            stats.sweep_nanos,
+            stats.commit_nanos,
         ];
         // Odd: write in progress. The fence orders the field stores after
         // the odd sequence number becomes visible — a Release on the
@@ -180,7 +195,7 @@ impl StatsCell {
                 std::hint::spin_loop();
                 continue;
             }
-            let mut values = [0u64; 6];
+            let mut values = [0u64; 11];
             for (v, cell) in values.iter_mut().zip(&self.fields) {
                 *v = cell.load(Ordering::Relaxed);
             }
@@ -195,6 +210,11 @@ impl StatsCell {
                     os_added: values[3],
                     drift_events: values[4],
                     cells_pruned: values[5],
+                    batch_points: values[6],
+                    batch_runs: values[7],
+                    overlapped_runs: values[8],
+                    sweep_nanos: values[9],
+                    commit_nanos: values[10],
                 };
             }
         }
@@ -266,8 +286,11 @@ impl SharedSpot {
             }
             idle_spins += 1;
             if idle_spins > 64 {
-                // Owner is in a non-helpable phase (evaluation,
-                // maintenance); park on the mutex.
+                // Owner is in a non-helpable phase. With two-phase
+                // evaluation these are rare — sweeps, shard ingestion and
+                // overlapped commits all publish board work — leaving only
+                // maintenance (self-evolution, OS growth, pruning) and the
+                // gaps between dispatches; park on the mutex.
                 return self.inner.core.lock();
             }
             std::thread::yield_now();

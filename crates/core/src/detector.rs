@@ -4,7 +4,7 @@ use crate::config::SpotConfig;
 use crate::drift::PageHinkley;
 use crate::evaluator::{SparsityProblem, TrainingEvaluator};
 use crate::sst::Sst;
-use crate::verdict::{LearningReport, SpotStats, SubspaceFinding, Verdict};
+use crate::verdict::{EvalPlan, LearningReport, SpotStats, SubspaceFinding, Verdict};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spot_clustering::{outlying_degrees, top_outlying_indices, OdConfig};
@@ -12,12 +12,15 @@ use spot_moga::MogaConfig;
 use spot_stream::LogicalClock;
 use spot_subspace::{genetic, ScoredSubspace, Subspace};
 use spot_synopsis::{
-    Grid, LiveCounters, StoreExecutor, SubspacePcs, SynopsisManager, UpdateOutcome,
+    Grid, LiveCounters, OnceTask, SerialExecutor, SharedSlice, StoreExecutor, SubspacePcs,
+    SynopsisManager, UpdateOutcome,
 };
 use spot_types::{
     DataPoint, Detection, FxHashSet, Result, SpotError, StreamDetector, StreamRecord,
 };
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Memory snapshot of the synopses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,9 +75,17 @@ pub struct Spot {
     learned: bool,
     /// Reused per-point PCS sink (keeps the hot path allocation-free).
     pcs_sink: Vec<SubspacePcs>,
+    /// Reused sweep plan for the single-point path.
+    point_plan: EvalPlan,
     /// Reused batch sinks/outcomes for [`Spot::process_batch`].
     batch_sinks: Vec<Vec<SubspacePcs>>,
     batch_outcomes: Vec<UpdateOutcome>,
+    /// Second sink/outcome buffers: the batch path double-buffers runs so
+    /// the next run's shard ingestion can overlap the previous commit.
+    batch_sinks_alt: Vec<Vec<SubspacePcs>>,
+    batch_outcomes_alt: Vec<UpdateOutcome>,
+    /// Reused per-run sweep plans for the batch path.
+    batch_plans: Vec<EvalPlan>,
 }
 
 impl Spot {
@@ -112,8 +123,12 @@ impl Spot {
             stats: SpotStats::default(),
             learned: false,
             pcs_sink: Vec::new(),
+            point_plan: EvalPlan::default(),
             batch_sinks: Vec::new(),
             batch_outcomes: Vec::new(),
+            batch_sinks_alt: Vec::new(),
+            batch_outcomes_alt: Vec::new(),
+            batch_plans: Vec::new(),
         };
         spot.sync_manager_subspaces(false);
         Ok(spot)
@@ -204,7 +219,8 @@ impl Spot {
             }
         }
         let learning = self.config.learning.clone();
-        let evaluator = TrainingEvaluator::new(self.manager.grid().clone(), training.to_vec())?;
+        // The evaluator borrows the training batch — no clone of it is made.
+        let evaluator = TrainingEvaluator::new(self.manager.grid().clone(), training)?;
         let mut evaluations = 0usize;
 
         // (1) MOGA over the whole batch: globally sparse subspaces.
@@ -288,7 +304,14 @@ impl Spot {
             for p in training {
                 let now = self.clock.tick();
                 self.manager.update(now, p)?;
-                self.sample_reservoir(now, p);
+                sample_reservoir(
+                    self.config.evolution.reservoir,
+                    &mut self.rng,
+                    &mut self.reservoir,
+                    &mut self.reservoir_seen,
+                    now,
+                    p,
+                );
             }
         }
         self.learned = true;
@@ -315,18 +338,18 @@ impl Spot {
             });
         }
         let now = self.clock.tick();
-        // The sink is swapped out so `evaluate_point` can borrow self
+        // The sink is swapped out so the commit phase can borrow self
         // mutably; its capacity survives the round-trip.
         let mut sink = std::mem::take(&mut self.pcs_sink);
-        let outcome = match self.manager.update_and_query(now, point, &mut sink) {
-            Ok(o) => o,
-            Err(e) => {
-                self.pcs_sink = sink;
-                return Err(e);
-            }
-        };
-        let verdict = self.evaluate_point(now, point, &outcome, &sink);
+        if let Err(e) = self.manager.update_and_query(now, point, &mut sink) {
+            self.pcs_sink = sink;
+            return Err(e);
+        }
+        let mut plan = std::mem::take(&mut self.point_plan);
+        sweep_point(&self.config, &sink, &mut plan);
         self.pcs_sink = sink;
+        let verdict = self.commit_point(now, point, &mut plan);
+        self.point_plan = plan;
         Ok(verdict)
     }
 
@@ -336,6 +359,16 @@ impl Spot {
     /// coordinates (and, with the `parallel` feature, fans the
     /// subspace-disjoint store shards across the manager's persistent
     /// worker pool).
+    ///
+    /// Evaluation is **two-phase** per run: a pure *sweep* over each
+    /// point's per-subspace PCS list produces an immutable [`EvalPlan`]
+    /// (shardable jobs over the run's points, dispatched through the same
+    /// executor as the shard phase), then a sequential *commit* applies
+    /// the plans in point order (counters, reservoir RNG, drift test,
+    /// maintenance). When a run's commit cannot mutate the synopses — no
+    /// maintenance tick inside it and no drift-triggered SST rewrite
+    /// possible — the **next run's shard ingestion overlaps the commit**
+    /// instead of waiting behind it.
     ///
     /// Input validation is all-or-nothing: every point is checked for
     /// dimension mismatches and NaN values before anything is ingested.
@@ -380,42 +413,231 @@ impl Spot {
                 }
             }
         }
-        let mut verdicts = Vec::with_capacity(points.len());
-        let mut rest = points;
-        while !rest.is_empty() {
-            let start = self.clock.now() + 1;
-            let len = self.run_len(start, rest.len());
-            let (run, tail) = rest.split_at(len);
-            rest = tail;
-
-            let mut sinks = std::mem::take(&mut self.batch_sinks);
-            let mut outcomes = std::mem::take(&mut self.batch_outcomes);
-            let res = match exec {
-                Some(exec) => self.manager.update_and_query_batch_with(
-                    start,
-                    run,
-                    &mut sinks,
-                    &mut outcomes,
-                    exec,
-                ),
-                None => self
-                    .manager
-                    .update_and_query_batch(start, run, &mut sinks, &mut outcomes),
-            };
-            if let Err(e) = res {
-                self.batch_sinks = sinks;
-                self.batch_outcomes = outcomes;
-                return Err(e);
-            }
-            for (i, p) in run.iter().enumerate() {
-                let now = self.clock.tick();
-                debug_assert_eq!(now, start + i as u64);
-                verdicts.push(self.evaluate_point(now, p, &outcomes[i], &sinks[i]));
-            }
-            self.batch_sinks = sinks;
-            self.batch_outcomes = outcomes;
+        if points.is_empty() {
+            return Ok(Vec::new());
         }
-        Ok(verdicts)
+        // One executor serves the whole batch: the caller's (cooperative
+        // SharedSpot), the manager's persistent pool when the first run is
+        // wide enough (`parallel` feature), or the calling thread alone.
+        // Both the shard phase and the verdict sweep dispatch through it.
+        // The width estimate is the *actual* first run length, so tight
+        // maintenance periods (tiny runs) never pay pool dispatch.
+        let first_run = self.run_len(self.clock.now() + 1, points.len());
+        let chosen = match exec {
+            Some(e) => BatchExec::External(e),
+            None => self.default_exec(first_run),
+        };
+
+        let mut verdicts = Vec::with_capacity(points.len());
+        let mut cur_sinks = std::mem::take(&mut self.batch_sinks);
+        let mut cur_outcomes = std::mem::take(&mut self.batch_outcomes);
+        let mut nxt_sinks = std::mem::take(&mut self.batch_sinks_alt);
+        let mut nxt_outcomes = std::mem::take(&mut self.batch_outcomes_alt);
+        let mut plans = std::mem::take(&mut self.batch_plans);
+        let result = self.batch_runs(
+            points,
+            chosen.as_dyn(),
+            &mut cur_sinks,
+            &mut cur_outcomes,
+            &mut nxt_sinks,
+            &mut nxt_outcomes,
+            &mut plans,
+            &mut verdicts,
+        );
+        self.batch_sinks = cur_sinks;
+        self.batch_outcomes = cur_outcomes;
+        self.batch_sinks_alt = nxt_sinks;
+        self.batch_outcomes_alt = nxt_outcomes;
+        self.batch_plans = plans;
+        result.map(|()| verdicts)
+    }
+
+    /// The pipelined run loop behind [`Spot::batch_impl`]. Per run:
+    /// ingest (shard phase) → sweep (parallel, pure) → commit
+    /// (sequential); whenever [`Spot::commit_is_manager_pure`] holds, the
+    /// commit of run *k* rides the shard dispatch of run *k + 1* as a
+    /// claim-once unit, so ingestion never waits behind evaluation.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_runs(
+        &mut self,
+        points: &[DataPoint],
+        exec: &dyn StoreExecutor,
+        cur_sinks: &mut Vec<Vec<SubspacePcs>>,
+        cur_outcomes: &mut Vec<UpdateOutcome>,
+        nxt_sinks: &mut Vec<Vec<SubspacePcs>>,
+        nxt_outcomes: &mut Vec<UpdateOutcome>,
+        plans: &mut Vec<EvalPlan>,
+        verdicts: &mut Vec<Verdict>,
+    ) -> Result<()> {
+        let mut start = self.clock.now() + 1;
+        let mut len = self.run_len(start, points.len());
+        let (mut run, mut rest) = points.split_at(len);
+        self.manager
+            .update_and_query_batch_with(start, run, cur_sinks, cur_outcomes, exec)?;
+        loop {
+            self.stats.batch_runs += 1;
+            self.stats.batch_points += run.len() as u64;
+            let sweep_t0 = Instant::now();
+            sweep_run(&self.config, exec, cur_sinks, plans);
+            self.stats.sweep_nanos += sweep_t0.elapsed().as_nanos() as u64;
+
+            if rest.is_empty() {
+                self.commit_run(run, plans, verdicts);
+                return Ok(());
+            }
+            let next_start = start + len as u64;
+            let next_len = self.run_len(next_start, rest.len());
+            let (next_run, next_rest) = rest.split_at(next_len);
+
+            if self.commit_is_manager_pure(start, len as u64, plans) {
+                self.stats.overlapped_runs += 1;
+                // For the rider's invariant check: a drift alarm may fire
+                // during an overlapped commit only when CS is empty (where
+                // self-evolution is a no-op); otherwise the gate's PH
+                // simulation proved no alarm fires at all.
+                let cs_was_empty = self.sst.sizes().1 == 0;
+                // Overlap: this run's commit becomes a claim-once rider on
+                // the next run's shard dispatch. Commit touches only
+                // detector state, ingestion only synopsis state, so the
+                // interleaving is unobservable (bit-identical to
+                // commit-then-ingest, which is exactly what a serial
+                // executor degrades to).
+                let config = &self.config;
+                let stats = &mut self.stats;
+                let clock = &mut self.clock;
+                let rng = &mut self.rng;
+                let reservoir = &mut self.reservoir;
+                let reservoir_seen = &mut self.reservoir_seen;
+                let outlier_buffer = &mut self.outlier_buffer;
+                let drift = &mut self.drift;
+                let run_points = run;
+                let run_plans: &mut [EvalPlan] = plans;
+                let out: &mut Vec<Verdict> = verdicts;
+                let commit = OnceTask::new(move || {
+                    let t0 = Instant::now();
+                    let mut ctx = CommitCtx {
+                        config,
+                        stats,
+                        rng,
+                        reservoir,
+                        reservoir_seen,
+                        outlier_buffer,
+                        drift,
+                    };
+                    for (i, p) in run_points.iter().enumerate() {
+                        let now = clock.tick();
+                        let (verdict, effects) = ctx.commit_one(now, p, &mut run_plans[i]);
+                        // The overlap gate excludes every manager-mutating
+                        // effect: maintenance ticks sit outside the run,
+                        // and a drift-triggered evolution either cannot
+                        // fire (the gate simulated this run's PH updates)
+                        // or is a no-op (CS empty).
+                        debug_assert!(!effects.periodic && !effects.prune);
+                        debug_assert!(
+                            !effects.drift_evolve || cs_was_empty,
+                            "gate let an SST-rewriting drift evolution into an overlapped commit"
+                        );
+                        out.push(verdict);
+                    }
+                    ctx.stats.commit_nanos += t0.elapsed().as_nanos() as u64;
+                });
+                self.manager.update_and_query_batch_prelude(
+                    next_start,
+                    next_run,
+                    nxt_sinks,
+                    nxt_outcomes,
+                    exec,
+                    &commit,
+                )?;
+            } else {
+                self.commit_run(run, plans, verdicts);
+                self.manager.update_and_query_batch_with(
+                    next_start,
+                    next_run,
+                    nxt_sinks,
+                    nxt_outcomes,
+                    exec,
+                )?;
+            }
+            std::mem::swap(cur_sinks, nxt_sinks);
+            std::mem::swap(cur_outcomes, nxt_outcomes);
+            (run, rest) = (next_run, next_rest);
+            (start, len) = (next_start, next_len);
+        }
+    }
+
+    /// Sequential commit of a swept run, maintenance effects applied
+    /// inline (the non-overlapped path and every final run).
+    fn commit_run(
+        &mut self,
+        run: &[DataPoint],
+        plans: &mut [EvalPlan],
+        verdicts: &mut Vec<Verdict>,
+    ) {
+        let t0 = Instant::now();
+        for (i, p) in run.iter().enumerate() {
+            let now = self.clock.tick();
+            let verdict = self.commit_point(now, p, &mut plans[i]);
+            verdicts.push(verdict);
+        }
+        self.stats.commit_nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Whether committing the run `[start, start + len)` is guaranteed not
+    /// to mutate the synopsis manager or the SST — the gate for
+    /// overlapping the next run's shard ingestion with this commit.
+    /// Mutations come from maintenance ticks (periodic evolution, pruning;
+    /// excluded by tick arithmetic) and from a drift-triggered CS
+    /// self-evolution. The latter is decidable *before* the commit runs:
+    /// the swept `plans` fully determine every Page–Hinkley update the
+    /// commit will perform (no RNG is involved in the drift test), so a
+    /// cheap simulation over the run's novelty signals tells exactly
+    /// whether an alarm — and with it an SST rewrite — will fire. (A
+    /// fired alarm with CS empty is still pure: self-evolution of an
+    /// empty CS is a no-op, and CS cannot become non-empty mid-commit —
+    /// only `evolve_cs` of a non-empty CS or a learning stage populate
+    /// it.)
+    fn commit_is_manager_pure(&self, start: u64, len: u64, plans: &[EvalPlan]) -> bool {
+        // First multiple of `p` at or after `start`, inside the run?
+        let period_tick_inside = |p: u64| p > 0 && start.div_ceil(p) * p < start + len;
+        if self.config.evolution.enabled && period_tick_inside(self.config.evolution.period) {
+            return false;
+        }
+        if period_tick_inside(self.config.prune_every) {
+            return false;
+        }
+        if self.config.drift.enabled && self.config.evolution.enabled && self.sst.sizes().1 > 0 {
+            // Replay the commit's exact observe() sequence on a scratch
+            // copy of the drift detector (commits of earlier runs have
+            // already completed, so `self.drift` is the state this run's
+            // commit starts from).
+            let mut ph = self.drift.clone();
+            for plan in plans {
+                if plan.monitored > 0 {
+                    let novel = plan.monitored_fresh as f64 / plan.monitored as f64;
+                    if ph.observe(novel) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Default executor for [`Spot::process_batch`]: the manager's
+    /// persistent pool when the run is wide enough to pay for dispatch.
+    #[cfg(feature = "parallel")]
+    fn default_exec(&mut self, run_points: usize) -> BatchExec<'static> {
+        match self.manager.batch_pool(run_points) {
+            Some(pool) => BatchExec::Pool(pool),
+            None => BatchExec::Serial(SerialExecutor),
+        }
+    }
+
+    /// Default executor for [`Spot::process_batch`]: the calling thread.
+    #[cfg(not(feature = "parallel"))]
+    fn default_exec(&mut self, _run_points: usize) -> BatchExec<'static> {
+        BatchExec::Serial(SerialExecutor)
     }
 
     /// Maximum points per internal batch run (bounds how late a
@@ -445,97 +667,34 @@ impl Spot {
         len
     }
 
-    /// Thresholds, drift signal, maintenance — everything that happens to a
-    /// point after its synopsis pass. `entries` is the per-subspace PCS
-    /// list produced in that pass.
-    fn evaluate_point(
-        &mut self,
-        now: u64,
-        point: &DataPoint,
-        outcome: &UpdateOutcome,
-        entries: &[SubspacePcs],
-    ) -> Verdict {
-        let _ = outcome; // prior_base_count is an observability hook today
-        self.stats.processed += 1;
-
-        // Outlier-ness check in every SST subspace. The same sweep collects
-        // the drift signal: the fraction of the point's monitored projected
-        // cells that are sparse. (Full-space novelty is useless here — in
-        // high dimensions nearly every base cell is empty, so that signal
-        // saturates; low-dimensional projections stay dense under a stable
-        // distribution and light up when it moves.)
-        let thresholds = self.config.thresholds;
-        let mut findings: Vec<SubspaceFinding> = Vec::new();
-        let mut min_rd = f64::INFINITY;
-        let mut monitored = 0u32;
-        let mut monitored_fresh = 0u32;
-        for e in entries {
-            min_rd = min_rd.min(e.pcs.rd);
-            // Freshness: the decayed occupancy of the cell counts the point
-            // itself, so `< novelty_floor` means the cell held (almost)
-            // nothing before this arrival. A stationary stream revisits its
-            // cells; a drifting one keeps opening fresh ones. Only the
-            // immutable FS stores feed the signal — CS/OS churn under
-            // self-evolution and their freshly warmed stores would
-            // contaminate it.
-            if e.subspace.cardinality() <= self.config.fs_max_dimension {
-                monitored += 1;
-                if e.occupancy < self.config.drift.novelty_floor {
-                    monitored_fresh += 1;
-                }
-            }
-            let flagged =
-                e.pcs.rd < thresholds.rd && thresholds.irsd.is_none_or(|t| e.pcs.irsd < t);
-            if flagged {
-                findings.push(SubspaceFinding {
-                    subspace: e.subspace,
-                    rd: e.pcs.rd,
-                    irsd: e.pcs.irsd,
-                });
-            }
+    /// The sequential **commit** phase for one swept point: counters,
+    /// outlier retention, reservoir sampling, the drift test, and —
+    /// applied inline here — every maintenance effect (drift-triggered and
+    /// periodic self-evolution, OS growth, pruning). Consumes the plan's
+    /// findings into the verdict.
+    fn commit_point(&mut self, now: u64, point: &DataPoint, plan: &mut EvalPlan) -> Verdict {
+        let (verdict, effects) = CommitCtx {
+            config: &self.config,
+            stats: &mut self.stats,
+            rng: &mut self.rng,
+            reservoir: &mut self.reservoir,
+            reservoir_seen: &mut self.reservoir_seen,
+            outlier_buffer: &mut self.outlier_buffer,
+            drift: &mut self.drift,
         }
-        findings.sort_by(|a, b| a.rd.partial_cmp(&b.rd).expect("RD values are not NaN"));
-        let outlier = !findings.is_empty();
-        if outlier {
-            self.stats.outliers += 1;
-            self.push_outlier(now, point.clone());
+        .commit_one(now, point, plan);
+        // Maintenance, in the order the pre-split evaluator applied it.
+        if effects.drift_evolve {
+            self.self_evolve(now);
         }
-        self.sample_reservoir(now, point);
-
-        // Concept drift on the projected-freshness signal.
-        let mut drift_fired = false;
-        if self.config.drift.enabled && monitored > 0 {
-            let novel = monitored_fresh as f64 / monitored as f64;
-            if self.drift.observe(novel) {
-                drift_fired = true;
-                self.stats.drift_events += 1;
-                if self.config.evolution.enabled {
-                    self.self_evolve(now);
-                }
-            }
-        }
-
-        // Periodic maintenance.
-        if self.config.evolution.enabled && now.is_multiple_of(self.config.evolution.period) {
+        if effects.periodic {
             self.self_evolve(now);
             self.grow_os(now);
         }
-        if self.config.prune_every > 0 && now.is_multiple_of(self.config.prune_every) {
+        if effects.prune {
             self.stats.cells_pruned += self.manager.prune(now, self.config.prune_floor) as u64;
         }
-
-        let score = if min_rd.is_finite() {
-            1.0 / (1.0 + min_rd)
-        } else {
-            0.0
-        };
-        Verdict {
-            tick: now,
-            outlier,
-            score,
-            findings,
-            drift: drift_fired,
-        }
+        verdict
     }
 
     /// Convenience wrapper over [`Spot::process`] for stream records.
@@ -681,7 +840,7 @@ impl Spot {
 
     /// Evaluator over reservoir ∪ outlier buffer; targets = buffer indices
     /// (None when the buffer is empty → whole-batch objectives).
-    fn reservoir_evaluator(&self) -> Option<(TrainingEvaluator, Option<Vec<usize>>)> {
+    fn reservoir_evaluator(&self) -> Option<(TrainingEvaluator<'static>, Option<Vec<usize>>)> {
         let mut pts: Vec<DataPoint> = self.reservoir.iter().map(|(_, p)| p.clone()).collect();
         let n_reservoir = pts.len();
         pts.extend(self.outlier_buffer.iter().map(|(_, p)| p.clone()));
@@ -722,25 +881,241 @@ impl Spot {
             }
         }
     }
+}
 
-    fn push_outlier(&mut self, now: u64, p: DataPoint) {
-        if self.outlier_buffer.len() >= self.config.evolution.outlier_buffer {
-            self.outlier_buffer.remove(0);
+/// The effects a committed point demands beyond its own verdict — the
+/// state mutations that must run between points, applied by the caller
+/// (inline on the sequential paths; excluded by the overlap gate on the
+/// pipelined path, where `drift_evolve` is provably a no-op).
+#[derive(Debug, Default, Clone, Copy)]
+struct CommitEffects {
+    /// A drift alarm fired and evolution is enabled → CS self-evolution.
+    drift_evolve: bool,
+    /// This tick is a periodic-evolution tick → self-evolution + OS growth.
+    periodic: bool,
+    /// This tick is a pruning tick.
+    prune: bool,
+}
+
+/// The split-borrow bundle of every detector field the commit phase
+/// mutates — constructed over `&mut Spot` on the sequential paths, and
+/// captured field-by-field into the claim-once rider on the overlapped
+/// path (where `Spot::manager` is concurrently ingesting the next run).
+struct CommitCtx<'a> {
+    config: &'a SpotConfig,
+    stats: &'a mut SpotStats,
+    rng: &'a mut StdRng,
+    reservoir: &'a mut Vec<(u64, DataPoint)>,
+    reservoir_seen: &'a mut u64,
+    outlier_buffer: &'a mut Vec<(u64, DataPoint)>,
+    drift: &'a mut PageHinkley,
+}
+
+impl CommitCtx<'_> {
+    /// Commits one swept point: the sequential, state-mutating half of
+    /// two-phase evaluation. Returns the verdict (taking the plan's
+    /// findings) plus the maintenance effects due on this tick.
+    fn commit_one(
+        &mut self,
+        now: u64,
+        point: &DataPoint,
+        plan: &mut EvalPlan,
+    ) -> (Verdict, CommitEffects) {
+        self.stats.processed += 1;
+        if plan.outlier {
+            self.stats.outliers += 1;
+            push_outlier(
+                self.config.evolution.outlier_buffer,
+                self.outlier_buffer,
+                now,
+                point,
+            );
         }
-        self.outlier_buffer.push((now, p));
-    }
+        sample_reservoir(
+            self.config.evolution.reservoir,
+            self.rng,
+            self.reservoir,
+            self.reservoir_seen,
+            now,
+            point,
+        );
 
-    /// Algorithm-R reservoir sampling of the recent stream.
-    fn sample_reservoir(&mut self, now: u64, p: &DataPoint) {
-        self.reservoir_seen += 1;
-        let cap = self.config.evolution.reservoir;
-        if self.reservoir.len() < cap {
-            self.reservoir.push((now, p.clone()));
-        } else {
-            let j = self.rng.gen_range(0..self.reservoir_seen);
-            if (j as usize) < cap {
-                self.reservoir[j as usize] = (now, p.clone());
+        // Concept drift on the projected-freshness signal.
+        let mut effects = CommitEffects::default();
+        let mut drift_fired = false;
+        if self.config.drift.enabled && plan.monitored > 0 {
+            let novel = plan.monitored_fresh as f64 / plan.monitored as f64;
+            if self.drift.observe(novel) {
+                drift_fired = true;
+                self.stats.drift_events += 1;
+                if self.config.evolution.enabled {
+                    effects.drift_evolve = true;
+                }
             }
+        }
+        if self.config.evolution.enabled && now.is_multiple_of(self.config.evolution.period) {
+            effects.periodic = true;
+        }
+        if self.config.prune_every > 0 && now.is_multiple_of(self.config.prune_every) {
+            effects.prune = true;
+        }
+        let verdict = Verdict {
+            tick: now,
+            outlier: plan.outlier,
+            score: plan.score,
+            findings: std::mem::take(&mut plan.findings),
+            drift: drift_fired,
+        };
+        (verdict, effects)
+    }
+}
+
+/// Retains a detected outlier for OS growth — the clone happens only once
+/// the point is actually kept (a zero-capacity buffer never clones).
+fn push_outlier(cap: usize, buffer: &mut Vec<(u64, DataPoint)>, now: u64, p: &DataPoint) {
+    if cap == 0 {
+        return;
+    }
+    if buffer.len() >= cap {
+        buffer.remove(0);
+    }
+    buffer.push((now, p.clone()));
+}
+
+/// Algorithm-R reservoir sampling of the recent stream. The point is
+/// cloned only on accept (fill or replacement); the RNG is still drawn for
+/// every rejected candidate, which is what keeps the seeded stream
+/// identical across paths.
+fn sample_reservoir(
+    cap: usize,
+    rng: &mut StdRng,
+    reservoir: &mut Vec<(u64, DataPoint)>,
+    seen: &mut u64,
+    now: u64,
+    p: &DataPoint,
+) {
+    *seen += 1;
+    if reservoir.len() < cap {
+        reservoir.push((now, p.clone()));
+    } else {
+        let j = rng.gen_range(0..*seen);
+        if (j as usize) < cap {
+            reservoir[j as usize] = (now, p.clone());
+        }
+    }
+}
+
+/// The pure **sweep** phase for one point: thresholds and the drift
+/// signal, from the per-subspace PCS list and the configuration alone.
+/// Reads no detector state, writes only `plan` — which is what makes
+/// sweeps shardable across a run's points.
+///
+/// Outlier-ness is checked in every SST subspace. The same sweep collects
+/// the drift signal: the fraction of the point's monitored projected
+/// cells that are sparse. (Full-space novelty is useless here — in high
+/// dimensions nearly every base cell is empty, so that signal saturates;
+/// low-dimensional projections stay dense under a stable distribution and
+/// light up when it moves.)
+fn sweep_point(config: &SpotConfig, entries: &[SubspacePcs], plan: &mut EvalPlan) {
+    plan.clear();
+    let thresholds = config.thresholds;
+    let mut min_rd = f64::INFINITY;
+    for e in entries {
+        min_rd = min_rd.min(e.pcs.rd);
+        // Freshness: the decayed occupancy of the cell counts the point
+        // itself, so `< novelty_floor` means the cell held (almost)
+        // nothing before this arrival. A stationary stream revisits its
+        // cells; a drifting one keeps opening fresh ones. Only the
+        // immutable FS stores feed the signal — CS/OS churn under
+        // self-evolution and their freshly warmed stores would
+        // contaminate it.
+        if e.subspace.cardinality() <= config.fs_max_dimension {
+            plan.monitored += 1;
+            if e.occupancy < config.drift.novelty_floor {
+                plan.monitored_fresh += 1;
+            }
+        }
+        let flagged = e.pcs.rd < thresholds.rd && thresholds.irsd.is_none_or(|t| e.pcs.irsd < t);
+        if flagged {
+            plan.findings.push(SubspaceFinding {
+                subspace: e.subspace,
+                rd: e.pcs.rd,
+                irsd: e.pcs.irsd,
+            });
+        }
+    }
+    plan.findings
+        .sort_by(|a, b| a.rd.partial_cmp(&b.rd).expect("RD values are not NaN"));
+    plan.outlier = !plan.findings.is_empty();
+    plan.score = if min_rd.is_finite() {
+        1.0 / (1.0 + min_rd)
+    } else {
+        0.0
+    };
+}
+
+/// Points claimed per cursor hit in the parallel verdict sweep — small
+/// enough that a 256-point run splits across participants, large enough
+/// that the cursor is not contended.
+const SWEEP_CHUNK: usize = 32;
+
+/// Sweeps a whole run into `plans` (resized/cleared to `sinks.len()`),
+/// fanning point chunks across the executor's participants when the run
+/// is wide enough to pay for dispatch. Sweeps are pure per point, so any
+/// claim interleaving produces identical plans.
+fn sweep_run(
+    config: &SpotConfig,
+    exec: &dyn StoreExecutor,
+    sinks: &[Vec<SubspacePcs>],
+    plans: &mut Vec<EvalPlan>,
+) {
+    let n = sinks.len();
+    plans.truncate(n);
+    plans.resize_with(n, EvalPlan::default);
+    if n <= SWEEP_CHUNK {
+        for (plan, entries) in plans.iter_mut().zip(sinks) {
+            sweep_point(config, entries, plan);
+        }
+        return;
+    }
+    let chunks = n.div_ceil(SWEEP_CHUNK);
+    let cursor = AtomicUsize::new(0);
+    let shared = SharedSlice::new(&mut plans[..]);
+    let work = || loop {
+        let k = cursor.fetch_add(1, Ordering::Relaxed);
+        if k >= chunks {
+            break;
+        }
+        let lo = k * SWEEP_CHUNK;
+        let hi = (lo + SWEEP_CHUNK).min(n);
+        for (i, entries) in sinks[lo..hi].iter().enumerate() {
+            // SAFETY: `lo + i` belongs to chunk `k`, claimed exactly once.
+            let plan = unsafe { shared.get_mut(lo + i) };
+            sweep_point(config, entries, plan);
+        }
+    };
+    exec.execute(&work);
+}
+
+/// The executor a batch call resolved to (owned where necessary so one
+/// choice serves every run of the batch).
+enum BatchExec<'a> {
+    /// Caller-supplied (e.g. the cooperative `SharedSpot` job board).
+    External(&'a dyn StoreExecutor),
+    /// The manager's persistent worker pool.
+    #[cfg(feature = "parallel")]
+    Pool(Arc<spot_synopsis::WorkerPool>),
+    /// The calling thread alone.
+    Serial(SerialExecutor),
+}
+
+impl BatchExec<'_> {
+    fn as_dyn(&self) -> &dyn StoreExecutor {
+        match self {
+            BatchExec::External(e) => *e,
+            #[cfg(feature = "parallel")]
+            BatchExec::Pool(pool) => &**pool,
+            BatchExec::Serial(serial) => serial,
         }
     }
 }
@@ -980,6 +1355,89 @@ mod tests {
         // Infinities are clamped, not rejected.
         assert!(s.process(&DataPoint::new(vec![f64::INFINITY; 6])).is_ok());
         assert!(s.process(&DataPoint::new(vec![0.5; 6])).is_ok());
+    }
+
+    #[test]
+    fn nan_batch_rejection_leaves_scratch_state_clean() {
+        // A rejected batch (NaN point) must not corrupt the reused
+        // batch_sinks / batch_outcomes / batch_plans scratch buffers: every
+        // subsequent batch must be bit-identical to a detector that never
+        // saw the poisoned batch. The failed batch lands mid-stream, after
+        // the scratch buffers are warm from earlier (larger) batches.
+        let stream = training(300);
+        let mut tainted = spot();
+        tainted.learn(&training(200)).unwrap();
+        let mut clean = spot();
+        clean.learn(&training(200)).unwrap();
+
+        let before = tainted.process_batch(&stream[..120]).unwrap();
+        assert_eq!(before, clean.process_batch(&stream[..120]).unwrap());
+
+        let mut poisoned: Vec<DataPoint> = stream[120..180].to_vec();
+        let mut bad = vec![0.4; 6];
+        bad[2] = f64::NAN;
+        poisoned.insert(30, DataPoint::new(bad));
+        assert!(matches!(
+            tainted.process_batch(&poisoned).unwrap_err(),
+            SpotError::NonFiniteValue { dim: 2 }
+        ));
+        assert_eq!(
+            tainted.stats(),
+            clean.stats(),
+            "rejected batch must not count"
+        );
+
+        // Smaller-than-before batches reuse (truncated) scratch rows;
+        // larger ones regrow them. Both must match the clean detector.
+        for chunk in [&stream[120..150], &stream[150..300]] {
+            let want = clean.process_batch(chunk).unwrap();
+            let got = tainted.process_batch(chunk).unwrap();
+            assert_eq!(want.len(), got.len());
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.tick, b.tick);
+                assert_eq!(a.outlier, b.outlier, "tick {}", a.tick);
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "tick {}", a.tick);
+                assert_eq!(a.findings, b.findings, "tick {}", a.tick);
+            }
+        }
+        assert_eq!(tainted.stats(), clean.stats());
+        assert_eq!(tainted.footprint(), clean.footprint());
+    }
+
+    #[test]
+    fn zero_capacity_outlier_buffer_never_panics() {
+        // cap = 0 used to hit `remove(0)` on an empty buffer; the commit
+        // path must simply skip retention (and never clone the point).
+        let mut s = SpotBuilder::new(DomainBounds::unit(6))
+            .seed(5)
+            .evolution(EvolutionConfig {
+                outlier_buffer: 0,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        s.learn(&training(300)).unwrap();
+        let mut v = vec![0.5; 6];
+        v[0] = 0.02;
+        v[1] = 0.98;
+        let verdict = s.process(&DataPoint::new(v)).unwrap();
+        assert!(verdict.outlier);
+        assert_eq!(s.stats().outliers, 1);
+    }
+
+    #[test]
+    fn batch_eval_metrics_advance() {
+        let mut s = spot();
+        s.learn(&training(300)).unwrap();
+        s.process_batch(&training(400)).unwrap();
+        let stats = *s.stats();
+        assert_eq!(stats.batch_points, 400);
+        assert!(stats.batch_runs >= 2, "{stats:?}");
+        assert!(stats.sweep_nanos > 0 && stats.commit_nanos > 0, "{stats:?}");
+        assert!(stats.eval_points_per_sec().unwrap() > 0.0);
+        // The single-point path leaves the batch metrics untouched.
+        s.process(&DataPoint::new(vec![0.5; 6])).unwrap();
+        assert_eq!(s.stats().batch_points, 400);
     }
 
     #[test]

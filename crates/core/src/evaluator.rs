@@ -18,6 +18,7 @@ use spot_moga::SubspaceProblem;
 use spot_subspace::Subspace;
 use spot_synopsis::{CellKey, Grid};
 use spot_types::{DataPoint, FxHashMap, Result, SpotError};
+use std::borrow::Cow;
 
 /// IRSD values are clamped to this cap before normalization so a single
 /// zero-variance micro-cluster cannot blow up a mean objective.
@@ -32,18 +33,24 @@ struct CellAgg {
 }
 
 /// A quantized training batch that can score any subspace.
+///
+/// The batch is held as a [`Cow`]: the offline learning stage borrows the
+/// caller's training slice (no clone of the batch is ever made), while
+/// online callers that assemble an ad-hoc batch (reservoir ∪ outliers,
+/// `explain` probes) pass an owned `Vec`.
 #[derive(Debug, Clone)]
-pub struct TrainingEvaluator {
+pub struct TrainingEvaluator<'a> {
     grid: Grid,
-    points: Vec<DataPoint>,
+    points: Cow<'a, [DataPoint]>,
     /// Base-cell coordinates per point, precomputed once.
     coords: Vec<Vec<u16>>,
 }
 
-impl TrainingEvaluator {
-    /// Quantizes `points` over `grid`. Fails on dimension mismatches or an
-    /// empty batch.
-    pub fn new(grid: Grid, points: Vec<DataPoint>) -> Result<Self> {
+impl<'a> TrainingEvaluator<'a> {
+    /// Quantizes `points` over `grid` — borrowed (`&[DataPoint]`) or owned
+    /// (`Vec<DataPoint>`). Fails on dimension mismatches or an empty batch.
+    pub fn new(grid: Grid, points: impl Into<Cow<'a, [DataPoint]>>) -> Result<Self> {
+        let points = points.into();
         if points.is_empty() {
             return Err(SpotError::EmptyTrainingSet);
         }
@@ -156,7 +163,7 @@ impl TrainingEvaluator {
 /// MOGA problem: minimize the mean normalized RD and IRSD of the target
 /// points plus a dimensionality penalty.
 pub struct SparsityProblem<'a> {
-    evaluator: &'a TrainingEvaluator,
+    evaluator: &'a TrainingEvaluator<'a>,
     targets: Option<Vec<usize>>,
     max_cardinality: Option<usize>,
     /// Weight of the `|s|/ϕ` objective (0 disables it; the objective vector
@@ -166,7 +173,10 @@ pub struct SparsityProblem<'a> {
 
 impl<'a> SparsityProblem<'a> {
     /// Problem over all batch points.
-    pub fn whole_batch(evaluator: &'a TrainingEvaluator, max_cardinality: Option<usize>) -> Self {
+    pub fn whole_batch(
+        evaluator: &'a TrainingEvaluator<'a>,
+        max_cardinality: Option<usize>,
+    ) -> Self {
         SparsityProblem {
             evaluator,
             targets: None,
@@ -178,7 +188,7 @@ impl<'a> SparsityProblem<'a> {
     /// Problem over a target subset (e.g. the top outlying-degree points or
     /// one outlier exemplar).
     pub fn for_targets(
-        evaluator: &'a TrainingEvaluator,
+        evaluator: &'a TrainingEvaluator<'a>,
         targets: Vec<usize>,
         max_cardinality: Option<usize>,
     ) -> Self {
@@ -218,7 +228,7 @@ mod tests {
 
     /// 2-dim batch: a tight cluster in dim 0 at 0.2 and a lone point at
     /// 0.9; dim 1 is uniform for everyone.
-    fn batch() -> TrainingEvaluator {
+    fn batch() -> TrainingEvaluator<'static> {
         let grid = Grid::new(DomainBounds::unit(2), 10).unwrap();
         let mut pts: Vec<DataPoint> = (0..99)
             .map(|i| DataPoint::new(vec![0.2 + (i % 10) as f64 * 0.005, i as f64 / 99.0]))

@@ -69,7 +69,7 @@ pub use drift::PageHinkley;
 pub use evaluator::{SparsityProblem, TrainingEvaluator};
 pub use snapshot::{SpotSnapshot, SNAPSHOT_VERSION};
 pub use sst::{Sst, SstComponent};
-pub use verdict::{LearningReport, SpotStats, SubspaceFinding, Verdict};
+pub use verdict::{EvalPlan, LearningReport, SpotStats, SubspaceFinding, Verdict};
 
 // Re-export the substrate crates so downstream users need a single
 // dependency.

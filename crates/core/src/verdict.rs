@@ -43,6 +43,39 @@ impl Verdict {
     }
 }
 
+/// The immutable product of the **sweep** phase of two-phase verdict
+/// evaluation: everything derivable from a point's per-subspace PCS list
+/// and the configuration alone — no detector state read or written.
+/// Sweeps are pure per point, so the batch path computes plans for a whole
+/// run in parallel (shardable jobs over the run's points) and then applies
+/// the small sequential **commit** phase (RNG, drift, maintenance) in
+/// point order from the plans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalPlan {
+    /// Flagged subspaces, sparsest (lowest RD) first — moved into the
+    /// point's [`Verdict`] at commit.
+    pub findings: Vec<SubspaceFinding>,
+    /// Anomaly score `1/(1+min_rd)` (0.0 when no subspace is monitored).
+    pub score: f64,
+    /// `true` when at least one subspace flagged the point.
+    pub outlier: bool,
+    /// FS projected cells inspected for the drift signal.
+    pub monitored: u32,
+    /// Of those, cells whose decayed occupancy was below the novelty floor.
+    pub monitored_fresh: u32,
+}
+
+impl EvalPlan {
+    /// Resets the plan for reuse (keeps the findings capacity).
+    pub fn clear(&mut self) {
+        self.findings.clear();
+        self.score = 0.0;
+        self.outlier = false;
+        self.monitored = 0;
+        self.monitored_fresh = 0;
+    }
+}
+
 /// Summary of a learning-stage run.
 #[derive(Debug, Clone)]
 pub struct LearningReport {
@@ -59,7 +92,15 @@ pub struct LearningReport {
 }
 
 /// Running counters of a SPOT instance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// The first six fields are *logical* counters: for a fixed seed and
+/// stream they are identical on every execution strategy (one-by-one,
+/// batched, pooled, cooperative), and equality compares **only them**.
+/// The remaining fields are eval-phase observability metrics — wall-clock
+/// timings and pipeline counters that legitimately differ between
+/// strategies and machines — excluded from `==` so equivalence tests can
+/// keep pinning the logical state bit-exactly.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SpotStats {
     /// Stream points processed by the detection stage.
     pub processed: u64,
@@ -73,6 +114,55 @@ pub struct SpotStats {
     pub drift_events: u64,
     /// Cells evicted by pruning.
     pub cells_pruned: u64,
+    /// Points that went through the batch path (the denominator for the
+    /// eval-phase throughput; the timers below cover only batch runs).
+    pub batch_points: u64,
+    /// Internal maintenance-bounded batch runs executed.
+    pub batch_runs: u64,
+    /// Batch runs whose shard ingestion overlapped the previous run's
+    /// commit phase (run pipelining).
+    pub overlapped_runs: u64,
+    /// Wall-clock nanoseconds spent in the (parallelizable) verdict sweep
+    /// phase of batch runs.
+    pub sweep_nanos: u64,
+    /// Wall-clock nanoseconds spent in the sequential commit phase of
+    /// batch runs (overlapped commits still accrue here).
+    pub commit_nanos: u64,
+}
+
+impl PartialEq for SpotStats {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical counters only — see the type docs.
+        (
+            self.processed,
+            self.outliers,
+            self.evolutions,
+            self.os_added,
+            self.drift_events,
+            self.cells_pruned,
+        ) == (
+            other.processed,
+            other.outliers,
+            other.evolutions,
+            other.os_added,
+            other.drift_events,
+            other.cells_pruned,
+        )
+    }
+}
+
+impl Eq for SpotStats {}
+
+impl SpotStats {
+    /// Batch eval-phase throughput in points/sec (sweep + commit), or
+    /// `None` before any batch run completed.
+    pub fn eval_points_per_sec(&self) -> Option<f64> {
+        let nanos = self.sweep_nanos + self.commit_nanos;
+        if nanos == 0 || self.batch_points == 0 {
+            return None;
+        }
+        Some(self.batch_points as f64 * 1e9 / nanos as f64)
+    }
 }
 
 #[cfg(test)]
@@ -103,6 +193,45 @@ mod tests {
         };
         assert_eq!(v.top_finding().unwrap().subspace, s0);
         assert_eq!(v.subspaces(), vec![s0, s1]);
+    }
+
+    #[test]
+    fn stats_equality_ignores_eval_metrics() {
+        let mut a = SpotStats {
+            processed: 10,
+            outliers: 2,
+            ..Default::default()
+        };
+        let mut b = a;
+        b.sweep_nanos = 12345;
+        b.commit_nanos = 999;
+        b.batch_points = 10;
+        b.batch_runs = 1;
+        b.overlapped_runs = 1;
+        assert_eq!(a, b, "timings and pipeline counters are observability only");
+        a.outliers = 3;
+        assert_ne!(a, b, "logical counters still compare");
+        assert_eq!(a.eval_points_per_sec(), None);
+        assert!(b.eval_points_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn eval_plan_clear_keeps_capacity() {
+        let mut plan = EvalPlan {
+            findings: Vec::with_capacity(8),
+            score: 0.5,
+            outlier: true,
+            monitored: 3,
+            monitored_fresh: 1,
+        };
+        plan.findings.push(SubspaceFinding {
+            subspace: Subspace::from_dims([0]).unwrap(),
+            rd: 0.01,
+            irsd: 0.0,
+        });
+        plan.clear();
+        assert_eq!(plan, EvalPlan::default());
+        assert!(plan.findings.capacity() >= 8);
     }
 
     #[test]

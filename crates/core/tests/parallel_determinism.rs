@@ -6,9 +6,9 @@
 //! that cross periodic evolution and pruning maintenance ticks.
 
 use proptest::prelude::*;
-use spot::synopsis::StoreExecutor;
+use spot::synopsis::{SerialExecutor, StoreExecutor};
 use spot::types::{DataPoint, DomainBounds};
-use spot::{EvolutionConfig, SharedSpot, Spot, SpotBuilder, Verdict};
+use spot::{DriftConfig, EvolutionConfig, SharedSpot, Spot, SpotBuilder, Verdict};
 
 /// Shard executor fanning `work` across N scoped threads plus the caller —
 /// the worst-case interleaving for the claim protocol.
@@ -204,6 +204,205 @@ proptest! {
             &pts,
             chunk,
             helpers,
+        );
+    }
+}
+
+/// Dense 6-dim training batch (three tight clusters in dims {0,1}).
+fn clustered_train(dims: usize, n: usize) -> Vec<DataPoint> {
+    (0..n)
+        .map(|i| {
+            let centers = [[0.2, 0.2], [0.5, 0.7], [0.8, 0.3]];
+            let c = centers[i % 3];
+            let mut v = vec![0.0; dims];
+            v[0] = c[0] + ((i * 7) % 13) as f64 / 13.0 * 0.04;
+            v[1] = c[1] + ((i * 11) % 13) as f64 / 13.0 * 0.04;
+            for (d, item) in v.iter_mut().enumerate().skip(2) {
+                *item = 0.3 + ((i * (d + 3)) % 17) as f64 / 17.0 * 0.4;
+            }
+            DataPoint::new(v)
+        })
+        .collect()
+}
+
+#[test]
+fn drift_triggered_mid_run_evolution_is_bit_identical_across_executors() {
+    // A learned detector (CS populated) under an aggressive Page–Hinkley
+    // configuration, fed a stream that shifts into fresh territory: drift
+    // alarms fire *inside* batch runs and trigger immediate CS
+    // self-evolution — a full SST rewrite (store add/remove + reservoir
+    // replay) mid-commit, the heaviest state mutation the two-phase split
+    // has to sequence correctly. Every executor must match the
+    // serial-executor batch reference bit-for-bit at identical chunking.
+    // (One-by-one processing is deliberately *not* the reference here:
+    // drift-triggered evolution timing is the batch path's one documented
+    // divergence.)
+    let dims = 5;
+    let train = clustered_train(dims, 260);
+    let make = || {
+        let mut s = SpotBuilder::new(DomainBounds::unit(dims))
+            .seed(17)
+            .fs_max_dimension(2)
+            .evolution(EvolutionConfig {
+                period: 5000, // periodic maintenance out of the way
+                ..Default::default()
+            })
+            .drift(DriftConfig {
+                enabled: true,
+                delta: 0.01,
+                lambda: 0.4,
+                min_points: 40,
+                novelty_floor: 5.0,
+            })
+            .pruning(0, 1e-4)
+            .build()
+            .unwrap();
+        s.learn(&train).unwrap();
+        s
+    };
+    // Familiar territory first (alarm-free runs → the PH-simulation gate
+    // lets their commits overlap), then a shifting tail that keeps opening
+    // fresh projected cells (high novelty fraction → PH alarms → those
+    // runs refuse overlap and commit sequentially).
+    let mut pts = stream(300, dims, 9);
+    for i in 0..300usize {
+        let v: Vec<f64> = (0..dims)
+            .map(|d| 0.76 + ((i * (d + 3) + 5 * d) % 23) as f64 / 23.0 * 0.23)
+            .collect();
+        pts.push(DataPoint::new(v));
+    }
+    // Wider than `Spot::BATCH_RUN` so each call splits into several runs:
+    // alarm-free runs overlap (the gate simulates the PH updates from the
+    // sweep plans), alarm-carrying runs fall back to sequential commits.
+    let chunk = 300;
+
+    let mut reference = make();
+    let mut want = Vec::new();
+    for c in pts.chunks(chunk) {
+        want.extend(reference.process_batch_with(c, &SerialExecutor).unwrap());
+    }
+    assert!(
+        reference.stats().drift_events > 0,
+        "scenario must raise drift alarms: {:?}",
+        reference.stats()
+    );
+    assert!(
+        reference.stats().evolutions > 0,
+        "drift alarms must trigger CS self-evolution mid-run: {:?}",
+        reference.stats()
+    );
+    assert!(
+        reference.stats().overlapped_runs > 0,
+        "the PH-simulation gate must still overlap alarm-free runs: {:?}",
+        reference.stats()
+    );
+    assert!(
+        reference.stats().overlapped_runs < reference.stats().batch_runs,
+        "alarm-carrying runs must refuse overlap: {:?}",
+        reference.stats()
+    );
+
+    // Multi-threaded fan-out executor.
+    {
+        let exec = FanOut(3);
+        let mut spot = make();
+        let mut got = Vec::new();
+        for c in pts.chunks(chunk) {
+            got.extend(spot.process_batch_with(c, &exec).unwrap());
+        }
+        assert_same_verdicts(&want, &got, "fan-out under drift evolution");
+        assert_eq!(spot.stats(), reference.stats());
+        assert_eq!(spot.footprint(), reference.footprint());
+    }
+
+    // Cooperative and single-mutex SharedSpot.
+    for (label, shared) in [
+        ("cooperative under drift evolution", SharedSpot::new(make())),
+        (
+            "single-mutex under drift evolution",
+            SharedSpot::single_mutex(make()),
+        ),
+    ] {
+        let mut got = Vec::new();
+        for c in pts.chunks(chunk) {
+            got.extend(shared.process_batch(c).unwrap());
+        }
+        assert_same_verdicts(&want, &got, label);
+        assert_eq!(shared.stats(), *reference.stats(), "{label}: stats");
+        assert_eq!(
+            shared.with(|s| s.footprint()),
+            reference.footprint(),
+            "{label}: footprint"
+        );
+    }
+
+    // The persistent pool at several sizes (parallel feature).
+    #[cfg(feature = "parallel")]
+    for workers in [1usize, 3] {
+        let mut spot = make();
+        spot.set_parallel_workers(Some(workers));
+        let mut got = Vec::new();
+        for c in pts.chunks(chunk) {
+            got.extend(spot.process_batch(c).unwrap());
+        }
+        assert_same_verdicts(&want, &got, &format!("pool workers={workers} under drift"));
+        assert_eq!(spot.stats(), reference.stats());
+        assert_eq!(spot.footprint(), reference.footprint());
+    }
+}
+
+#[test]
+fn run_overlap_engages_and_matches_one_by_one() {
+    // With CS empty and maintenance periods far apart, the batch path may
+    // overlap every run's commit with the next run's shard ingestion. The
+    // overlap must actually engage (the pipeline counter advances) and
+    // stay bit-identical to one-by-one sequential processing.
+    let dims = 4;
+    let make = || {
+        SpotBuilder::new(DomainBounds::unit(dims))
+            .seed(29)
+            .fs_max_dimension(2)
+            .evolution(EvolutionConfig {
+                period: 100_000,
+                ..Default::default()
+            })
+            .pruning(100_000, 1e-4)
+            .build()
+            .unwrap()
+    };
+    // Chunks wider than `Spot::BATCH_RUN` (256), so every batch call
+    // splits into several runs — the only place run overlap can engage.
+    let pts = stream(900, dims, 13);
+    let chunk = 450;
+    let mut reference = make();
+    let want: Vec<Verdict> = pts.iter().map(|p| reference.process(p).unwrap()).collect();
+
+    for (label, exec_helpers) in [("overlap serial", 0usize), ("overlap fan-out", 3)] {
+        let mut spot = make();
+        let mut got = Vec::new();
+        for c in pts.chunks(chunk) {
+            if exec_helpers == 0 {
+                got.extend(spot.process_batch(c).unwrap());
+            } else {
+                got.extend(spot.process_batch_with(c, &FanOut(exec_helpers)).unwrap());
+            }
+        }
+        assert_same_verdicts(&want, &got, label);
+        assert_eq!(spot.stats(), reference.stats(), "{label}: stats");
+        assert_eq!(
+            spot.footprint(),
+            reference.footprint(),
+            "{label}: footprint"
+        );
+        assert!(
+            spot.stats().overlapped_runs > 0,
+            "{label}: run overlap never engaged ({:?})",
+            spot.stats()
+        );
+        assert_eq!(
+            spot.stats().batch_runs,
+            spot.stats().overlapped_runs + pts.chunks(chunk).len() as u64,
+            "{label}: every non-final run of each batch call must overlap"
         );
     }
 }

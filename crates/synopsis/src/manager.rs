@@ -3,7 +3,7 @@
 use crate::grid::Grid;
 use crate::key::CellKey;
 use crate::pcs::{Pcs, ProjectedStore};
-use crate::pool::{SerialExecutor, StoreExecutor};
+use crate::pool::{OnceTask, SerialExecutor, SharedSlice, StoreExecutor};
 use crate::store::BaseStore;
 use spot_stream::{DecayTable, DecayedCounter, TimeModel};
 use spot_subspace::Subspace;
@@ -171,35 +171,6 @@ pub struct SubspacePcs {
     /// Decayed occupancy of that cell, point included — the projected
     /// freshness signal consumed by the drift detector.
     pub occupancy: f64,
-}
-
-/// Pointer wrapper handing out `&mut` to *distinct* elements from several
-/// threads. Soundness is the shard claim protocol: every index is claimed
-/// by exactly one participant (an atomic cursor over a permutation), so no
-/// element is ever aliased.
-struct SharedSlice<T> {
-    ptr: *mut T,
-    len: usize,
-}
-
-unsafe impl<T: Send> Send for SharedSlice<T> {}
-unsafe impl<T: Send> Sync for SharedSlice<T> {}
-
-impl<T> SharedSlice<T> {
-    fn new(slice: &mut [T]) -> Self {
-        SharedSlice {
-            ptr: slice.as_mut_ptr(),
-            len: slice.len(),
-        }
-    }
-
-    /// # Safety
-    /// `i < len`, and no other participant holds `i` (claim protocol).
-    #[allow(clippy::mut_from_ref)]
-    unsafe fn get_mut(&self, i: usize) -> &mut T {
-        debug_assert!(i < self.len);
-        &mut *self.ptr.add(i)
-    }
 }
 
 impl SynopsisManager {
@@ -406,6 +377,20 @@ impl SynopsisManager {
         self.update_and_query_batch_with(start_tick, points, sinks, outcomes, &SerialExecutor)
     }
 
+    /// The executor the default batch path would pick for a run of
+    /// `points`: the persistent pool when the run is wide enough to pay
+    /// for dispatch, `None` for the serial path. Exposed so the detector
+    /// can route its verdict-sweep dispatch through the same pool the
+    /// shard phase uses.
+    #[cfg(feature = "parallel")]
+    pub fn batch_pool(&mut self, points: usize) -> Option<Arc<WorkerPool>> {
+        if self.pooled_run(points) {
+            Some(self.ensure_pool())
+        } else {
+            None
+        }
+    }
+
     /// Whether this run is worth fanning out over the pool.
     #[cfg(feature = "parallel")]
     fn pooled_run(&self, points: usize) -> bool {
@@ -454,6 +439,49 @@ impl SynopsisManager {
         sinks: &mut Vec<Vec<SubspacePcs>>,
         outcomes: &mut Vec<UpdateOutcome>,
         exec: &dyn StoreExecutor,
+    ) -> Result<()> {
+        self.batch_inner(start_tick, points, sinks, outcomes, exec, None)
+    }
+
+    /// [`SynopsisManager::update_and_query_batch_with`] with a rider: the
+    /// claim cursor gains one extra unit — claimed exactly once, alongside
+    /// the store shards — that runs `prelude`. The detector uses this to
+    /// overlap the *previous* run's sequential commit phase with this
+    /// run's shard ingestion: commit work and shard work touch disjoint
+    /// state, so whichever participant claims the prelude performs it while
+    /// the rest ingest, and the result is bit-identical to running the
+    /// prelude first.
+    ///
+    /// The prelude is guaranteed to have run by the time this returns
+    /// (including on the error path, where it runs on the calling thread
+    /// before the error propagates — the caller's commit must not be lost).
+    pub fn update_and_query_batch_prelude(
+        &mut self,
+        start_tick: u64,
+        points: &[DataPoint],
+        sinks: &mut Vec<Vec<SubspacePcs>>,
+        outcomes: &mut Vec<UpdateOutcome>,
+        exec: &dyn StoreExecutor,
+        prelude: &OnceTask<'_>,
+    ) -> Result<()> {
+        let res = self.batch_inner(start_tick, points, sinks, outcomes, exec, Some(prelude));
+        if res.is_err() {
+            // Phase A failed before the shard dispatch: the prelude never
+            // entered the claim loop. Run it here so the previous run's
+            // commit is applied exactly once no matter what.
+            prelude.run();
+        }
+        res
+    }
+
+    fn batch_inner(
+        &mut self,
+        start_tick: u64,
+        points: &[DataPoint],
+        sinks: &mut Vec<Vec<SubspacePcs>>,
+        outcomes: &mut Vec<UpdateOutcome>,
+        exec: &dyn StoreExecutor,
+        prelude: Option<&OnceTask<'_>>,
     ) -> Result<()> {
         outcomes.clear();
         // Exactly one (cleared) row per point: rows surviving from a larger
@@ -538,12 +566,22 @@ impl SynopsisManager {
             let shared_rows = SharedSlice::new(&mut rows[..]);
             let coords = &coords[..];
             let totals = &totals[..];
+            // The rider commit task (if any) is claim unit 0, ahead of the
+            // shards: under a serial executor it runs first (the exact
+            // sequential order), and with more participants it overlaps.
+            let extra = usize::from(prelude.is_some());
             let work = || loop {
                 let k = cursor.fetch_add(1, Ordering::Relaxed);
-                if k >= order.len() {
+                if k >= order.len() + extra {
                     break;
                 }
-                let ordinal = order[k] as usize;
+                if extra == 1 && k == 0 {
+                    if let Some(task) = prelude {
+                        task.run();
+                    }
+                    continue;
+                }
+                let ordinal = order[k - extra] as usize;
                 // SAFETY: `ordinal` comes from a unique claim of the
                 // cursor over a permutation of 0..n_stores, so this
                 // participant is the only one touching store and row.
@@ -955,6 +993,86 @@ mod tests {
         for workers in [1usize, 2, 5] {
             assert_eq!(run(Some(workers)), reference, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn prelude_rider_runs_exactly_once_and_results_match() {
+        // The prelude-rider dispatch must produce the same synopsis state
+        // and sinks as the plain batch path, and run the rider exactly once
+        // — on the success path and on the all-or-nothing error path alike.
+        let build = || {
+            let mut mgr = manager(3, 4);
+            mgr.add_subspace(Subspace::from_dims([0]).unwrap());
+            mgr.add_subspace(Subspace::from_dims([1, 2]).unwrap());
+            mgr
+        };
+        let points: Vec<DataPoint> = (0..40)
+            .map(|i| {
+                DataPoint::new(vec![
+                    (i % 5) as f64 / 5.0,
+                    ((i * 3) % 7) as f64 / 7.0,
+                    ((i * 7) % 11) as f64 / 11.0,
+                ])
+            })
+            .collect();
+        let mut plain = build();
+        let mut want_sinks = Vec::new();
+        let mut want_outcomes = Vec::new();
+        plain
+            .update_and_query_batch(0, &points, &mut want_sinks, &mut want_outcomes)
+            .unwrap();
+
+        let mut mgr = build();
+        let mut sinks = Vec::new();
+        let mut outcomes = Vec::new();
+        let mut ran = 0u32;
+        {
+            let task = OnceTask::new(|| ran += 1);
+            mgr.update_and_query_batch_prelude(
+                0,
+                &points,
+                &mut sinks,
+                &mut outcomes,
+                &SerialExecutor,
+                &task,
+            )
+            .unwrap();
+        }
+        assert_eq!(ran, 1, "prelude ran exactly once");
+        assert_eq!(mgr.live_cells(), plain.live_cells());
+        for (a, b) in want_sinks.iter().zip(&sinks) {
+            let want: Vec<(u64, Pcs, f64)> = a
+                .iter()
+                .map(|e| (e.subspace.mask(), e.pcs, e.occupancy))
+                .collect();
+            let got: Vec<(u64, Pcs, f64)> = b
+                .iter()
+                .map(|e| (e.subspace.mask(), e.pcs, e.occupancy))
+                .collect();
+            assert_eq!(want, got);
+        }
+
+        // Error path: validation fails before dispatch, yet the rider
+        // (somebody's pending commit) must still be applied.
+        let mut ran_on_err = 0u32;
+        {
+            let task = OnceTask::new(|| ran_on_err += 1);
+            let bad = vec![DataPoint::new(vec![0.1, 0.2, f64::NAN])];
+            assert!(mgr
+                .update_and_query_batch_prelude(
+                    40,
+                    &bad,
+                    &mut sinks,
+                    &mut outcomes,
+                    &SerialExecutor,
+                    &task,
+                )
+                .is_err());
+        }
+        assert_eq!(
+            ran_on_err, 1,
+            "prelude still runs when the batch is rejected"
+        );
     }
 
     #[test]

@@ -40,6 +40,67 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+/// Pointer wrapper handing out `&mut` to *distinct* elements from several
+/// threads. Soundness is the shard claim protocol: every index is claimed
+/// by exactly one participant (an atomic cursor over a permutation), so no
+/// element is ever aliased. Shared by the manager's shard phase and the
+/// detector's parallel verdict sweep.
+pub struct SharedSlice<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for SharedSlice<T> {}
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T> SharedSlice<T> {
+    /// Wraps a slice for claim-protocol access.
+    pub fn new(slice: &mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// `i < len`, and no other participant holds `i` (claim protocol).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// A claim-once task: many participants may race to [`OnceTask::run`] it,
+/// exactly one executes the closure. The detector uses this to ride a
+/// previous run's sequential commit phase on the next run's shard
+/// dispatch — whichever participant claims it performs the (single-writer)
+/// detector-state mutations while the others ingest shards.
+pub struct OnceTask<'a> {
+    inner: Mutex<Option<Box<dyn FnOnce() + Send + 'a>>>,
+}
+
+impl<'a> OnceTask<'a> {
+    /// Wraps `f` for at-most-once execution.
+    pub fn new(f: impl FnOnce() + Send + 'a) -> Self {
+        OnceTask {
+            inner: Mutex::new(Some(Box::new(f))),
+        }
+    }
+
+    /// Runs the closure if nobody has yet; returns whether this call ran it.
+    pub fn run(&self) -> bool {
+        let taken = self.inner.lock().unwrap_or_else(|e| e.into_inner()).take();
+        match taken {
+            Some(f) => {
+                f();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
 /// Runs shard-claim closures across one or more participants.
 ///
 /// Contract: `execute` calls `work` on the current thread at least once,
@@ -308,6 +369,54 @@ mod tests {
         }
         for (i, v) in results.iter().enumerate() {
             assert_eq!(*v, (i as u64) * 3);
+        }
+    }
+
+    #[test]
+    fn once_task_runs_exactly_once_under_contention() {
+        let counter = AtomicUsize::new(0);
+        let task = OnceTask::new(|| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        let ran: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| task.run() as usize))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(ran, 1, "exactly one claimant executes");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+        assert!(!task.run(), "already consumed");
+    }
+
+    #[test]
+    fn once_task_mutates_borrowed_state() {
+        let mut hits = 0u64;
+        {
+            let task = OnceTask::new(|| hits += 7);
+            assert!(task.run());
+        }
+        assert_eq!(hits, 7);
+    }
+
+    #[test]
+    fn shared_slice_disjoint_claims() {
+        let mut data = [0u32; 33];
+        {
+            let shared = SharedSlice::new(&mut data[..]);
+            let cursor = AtomicUsize::new(0);
+            let work = || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= 33 {
+                    break;
+                }
+                // SAFETY: k is a unique cursor claim.
+                *unsafe { shared.get_mut(k) } = k as u32 + 1;
+            };
+            WorkerPool::new(2).execute(&work);
+        }
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32 + 1);
         }
     }
 

@@ -73,7 +73,7 @@ fn random_subspaces_underperform_spot_on_subspace_recovery() {
 /// Sparsity problem on real generator data, reused by the MOGA-vs-brute
 /// check below.
 struct KddSparsity {
-    evaluator: spot::TrainingEvaluator,
+    evaluator: spot::TrainingEvaluator<'static>,
     target: usize,
 }
 
