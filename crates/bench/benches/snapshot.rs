@@ -1,0 +1,151 @@
+//! Checkpoint-overhead baseline: ingest throughput with periodic v2
+//! checkpoints vs none, plus per-checkpoint capture/render cost and
+//! snapshot size.
+//!
+//! Writes `BENCH_snapshot.json` at the repository root (fixed seed 42).
+//! The capture arm holds the detector only for the state walk; JSON
+//! rendering (the expensive half) happens after, exactly as
+//! `SharedSpot::checkpoint` callers would do outside the lock — the two
+//! are timed separately. A restore-and-continue check at the end keeps the
+//! bench honest: the last checkpoint must resume bit-identically.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use spot::{Spot, SpotBuilder};
+use spot_types::{DataPoint, DomainBounds};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const PHI: usize = 16;
+const TOTAL_POINTS: usize = 16_384;
+const CHUNK: usize = 256;
+const CHECKPOINT_EVERY: usize = 2_048;
+
+fn random_points(n: usize, dims: usize, seed: u64) -> Vec<DataPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| DataPoint::new((0..dims).map(|_| rng.gen_range(0.0..1.0)).collect()))
+        .collect()
+}
+
+fn learned_spot() -> Spot {
+    let mut spot = SpotBuilder::new(DomainBounds::unit(PHI))
+        .fs_max_dimension(2)
+        .seed(SEED)
+        .build()
+        .unwrap();
+    spot.learn(&random_points(1000, PHI, SEED ^ 7)).unwrap();
+    spot
+}
+
+#[derive(Serialize)]
+struct SnapshotBaseline {
+    seed: u64,
+    cores: usize,
+    phi: usize,
+    points: usize,
+    chunk: usize,
+    checkpoint_every: usize,
+    /// Plain ingest throughput, no checkpoints.
+    baseline_pts_per_sec: f64,
+    /// Ingest throughput with a capture + render every `checkpoint_every`
+    /// points (capture and render both on the ingest thread — the
+    /// worst case; SharedSpot deployments render off-lock).
+    checkpointed_pts_per_sec: f64,
+    /// Throughput cost of periodic checkpointing, percent.
+    overhead_pct: f64,
+    checkpoints_taken: usize,
+    /// State walk (detector held) per checkpoint, milliseconds.
+    capture_ms_mean: f64,
+    capture_ms_max: f64,
+    /// JSON render (detector free) per checkpoint, milliseconds.
+    render_ms_mean: f64,
+    render_ms_max: f64,
+    snapshot_bytes: usize,
+    /// Bit-exact resume verified against the uninterrupted detector.
+    resume_verified: bool,
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let pts = random_points(TOTAL_POINTS, PHI, SEED ^ 21);
+
+    // Arm 1: no checkpoints.
+    let mut baseline = learned_spot();
+    let t0 = Instant::now();
+    let mut baseline_verdicts = Vec::new();
+    for chunk in pts.chunks(CHUNK) {
+        baseline_verdicts.extend(baseline.process_batch(chunk).unwrap());
+    }
+    let baseline_rate = TOTAL_POINTS as f64 / t0.elapsed().as_secs_f64();
+
+    // Arm 2: capture + render every CHECKPOINT_EVERY points.
+    let mut checkpointed = learned_spot();
+    let mut capture_ms = Vec::new();
+    let mut render_ms = Vec::new();
+    let mut last_json = String::new();
+    let mut since_checkpoint = 0usize;
+    let t0 = Instant::now();
+    let mut verdicts = Vec::new();
+    for chunk in pts.chunks(CHUNK) {
+        verdicts.extend(checkpointed.process_batch(chunk).unwrap());
+        since_checkpoint += chunk.len();
+        if since_checkpoint >= CHECKPOINT_EVERY {
+            since_checkpoint = 0;
+            let t = Instant::now();
+            let cp = checkpointed.checkpoint();
+            capture_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            let t = Instant::now();
+            last_json = serde_json::to_string(&cp).unwrap();
+            render_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let checkpointed_rate = TOTAL_POINTS as f64 / t0.elapsed().as_secs_f64();
+
+    // Honesty check: the final checkpoint resumes bit-identically.
+    let tail = random_points(512, PHI, SEED ^ 33);
+    let want = checkpointed.process_batch(&tail).unwrap();
+    let mut resumed = spot::restore_from_json(&last_json).unwrap();
+    let got = resumed.process_batch(&tail).unwrap();
+    let resume_verified =
+        want.len() == got.len() && want.iter().zip(&got).all(|(a, b)| a.bitwise_eq(b));
+    assert!(resume_verified, "restored detector diverged");
+    std::hint::black_box((&baseline_verdicts, &verdicts));
+
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let max = |xs: &[f64]| xs.iter().copied().fold(0.0f64, f64::max);
+    let out = SnapshotBaseline {
+        seed: SEED,
+        cores,
+        phi: PHI,
+        points: TOTAL_POINTS,
+        chunk: CHUNK,
+        checkpoint_every: CHECKPOINT_EVERY,
+        baseline_pts_per_sec: baseline_rate,
+        checkpointed_pts_per_sec: checkpointed_rate,
+        overhead_pct: 100.0 * (1.0 - checkpointed_rate / baseline_rate),
+        checkpoints_taken: capture_ms.len(),
+        capture_ms_mean: mean(&capture_ms),
+        capture_ms_max: max(&capture_ms),
+        render_ms_mean: mean(&render_ms),
+        render_ms_max: max(&render_ms),
+        snapshot_bytes: last_json.len(),
+        resume_verified,
+    };
+    println!(
+        "ingest {baseline_rate:>9.0} pts/s plain | {checkpointed_rate:>9.0} pts/s with a \
+         checkpoint every {CHECKPOINT_EVERY} pts ({:.1}% overhead)",
+        out.overhead_pct
+    );
+    println!(
+        "checkpoint: capture {:.2} ms mean / {:.2} ms max (detector held), render {:.2} ms mean \
+         (off-lock), {} bytes",
+        out.capture_ms_mean, out.capture_ms_max, out.render_ms_mean, out.snapshot_bytes
+    );
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_snapshot.json");
+    let f = std::fs::File::create(&path).expect("create BENCH_snapshot.json");
+    serde_json::to_writer_pretty(f, &out).expect("write BENCH_snapshot.json");
+    println!("(baseline written to {})", path.display());
+}

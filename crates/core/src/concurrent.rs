@@ -33,6 +33,7 @@
 //!   single-writer guarantees trivial to uphold.
 
 use crate::detector::{Spot, SynopsisFootprint};
+use crate::snapshot::SpotCheckpoint;
 use crate::verdict::{SpotStats, Verdict};
 use parking_lot::Mutex;
 use spot_synopsis::pool::ErasedJob;
@@ -334,6 +335,27 @@ impl SharedSpot {
         };
         self.publish_stats(&guard);
         r
+    }
+
+    /// Captures a complete v2 checkpoint of the detector (see
+    /// [`Spot::checkpoint`]) without stalling concurrent producers: while
+    /// the capture holds the detector lock, every projected store's column
+    /// encoding is published on the job board as a claim unit — the same
+    /// claim-once protocol batch ingestion rides — so producers blocked on
+    /// the lock *help finish the capture* instead of convoying behind it.
+    /// The expensive part of persistence (rendering the checkpoint to
+    /// JSON, writing it out) happens on the returned value, entirely
+    /// outside the lock.
+    pub fn checkpoint(&self) -> SpotCheckpoint {
+        let guard = self.lock_core();
+        if self.inner.cooperative {
+            let exec = CooperativeExecutor {
+                board: &self.inner.board,
+            };
+            guard.checkpoint_with(&exec)
+        } else {
+            guard.checkpoint()
+        }
     }
 
     /// Snapshot of the running counters — served wait-free from a seqlock

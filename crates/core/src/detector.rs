@@ -7,20 +7,26 @@ use crate::sst::Sst;
 use crate::verdict::{EvalPlan, LearningReport, SpotStats, SubspaceFinding, Verdict};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::Value;
 use spot_clustering::{outlying_degrees, top_outlying_indices, OdConfig};
 use spot_moga::MogaConfig;
-use spot_stream::LogicalClock;
+use spot_stream::{LogicalClock, Reservoir};
 use spot_subspace::{genetic, ScoredSubspace, Subspace};
 use spot_synopsis::{
     Grid, LiveCounters, OnceTask, SerialExecutor, SharedSlice, StoreExecutor, SubspacePcs,
     SynopsisManager, UpdateOutcome,
 };
 use spot_types::{
-    DataPoint, Detection, FxHashSet, Result, SpotError, StreamDetector, StreamRecord,
+    DataPoint, Detection, FxHashSet, PersistError, Result, SpotError, StateReader, StateWriter,
+    StreamDetector, StreamRecord,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Salt separating the reservoir's counter-based draw stream from the
+/// other seeded components.
+const RESERVOIR_SEED_SALT: u64 = 0x5EED_CAFE_D00D_F00D;
 
 /// Memory snapshot of the synopses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,9 +73,10 @@ pub struct Spot {
     rng: StdRng,
     /// Recently detected outliers (tick, point), bounded ring.
     outlier_buffer: Vec<(u64, DataPoint)>,
-    /// Reservoir sample of recent stream points (tick, point).
-    reservoir: Vec<(u64, DataPoint)>,
-    reservoir_seen: u64,
+    /// Reservoir sample of recent stream points; draws are counter-based
+    /// (keyed on the offer ordinal), so sampling neither consumes the
+    /// sequential RNG nor depends on acceptance history.
+    reservoir: Reservoir,
     drift: PageHinkley,
     stats: SpotStats,
     learned: bool,
@@ -108,6 +115,7 @@ impl Spot {
             config.drift.min_points,
         );
         let rng = StdRng::seed_from_u64(config.seed);
+        let reservoir = Reservoir::new(config.seed ^ RESERVOIR_SEED_SALT);
         let mut spot = Spot {
             config,
             phi,
@@ -117,8 +125,7 @@ impl Spot {
             clock: LogicalClock::new(),
             rng,
             outlier_buffer: Vec::new(),
-            reservoir: Vec::new(),
-            reservoir_seen: 0,
+            reservoir,
             drift,
             stats: SpotStats::default(),
             learned: false,
@@ -304,14 +311,8 @@ impl Spot {
             for p in training {
                 let now = self.clock.tick();
                 self.manager.update(now, p)?;
-                sample_reservoir(
-                    self.config.evolution.reservoir,
-                    &mut self.rng,
-                    &mut self.reservoir,
-                    &mut self.reservoir_seen,
-                    now,
-                    p,
-                );
+                self.reservoir
+                    .offer(self.config.evolution.reservoir, now, p);
             }
         }
         self.learned = true;
@@ -505,9 +506,7 @@ impl Spot {
                 let config = &self.config;
                 let stats = &mut self.stats;
                 let clock = &mut self.clock;
-                let rng = &mut self.rng;
                 let reservoir = &mut self.reservoir;
-                let reservoir_seen = &mut self.reservoir_seen;
                 let outlier_buffer = &mut self.outlier_buffer;
                 let drift = &mut self.drift;
                 let run_points = run;
@@ -518,9 +517,7 @@ impl Spot {
                     let mut ctx = CommitCtx {
                         config,
                         stats,
-                        rng,
                         reservoir,
-                        reservoir_seen,
                         outlier_buffer,
                         drift,
                     };
@@ -676,9 +673,7 @@ impl Spot {
         let (verdict, effects) = CommitCtx {
             config: &self.config,
             stats: &mut self.stats,
-            rng: &mut self.rng,
             reservoir: &mut self.reservoir,
-            reservoir_seen: &mut self.reservoir_seen,
             outlier_buffer: &mut self.outlier_buffer,
             drift: &mut self.drift,
         }
@@ -711,6 +706,68 @@ impl Spot {
         self.sync_manager_subspaces(false);
     }
 
+    /// Captures the detector's complete runtime state — everything beyond
+    /// config + SST — as the `state` payload of a v2 checkpoint. The
+    /// synopsis stores are encoded through `exec` (one claim unit per
+    /// store), so a cooperative caller's helpers share the column-encoding
+    /// work. Read-only; any claim interleaving yields the identical tree.
+    pub(crate) fn capture_runtime_state(&self, exec: &dyn StoreExecutor) -> Value {
+        let mut w = StateWriter::new();
+        w.component("clock", &self.clock);
+        w.bool("learned", self.learned);
+        w.u64_col("rng", self.rng.state());
+        w.component("stats", &self.stats);
+        w.component("drift", &self.drift);
+        w.component("reservoir", &self.reservoir);
+        w.point_list("outlier_buffer", &self.outlier_buffer);
+        w.value("synopsis", self.manager.capture_state_with(exec));
+        w.finish()
+    }
+
+    /// Restores the complete runtime state captured by
+    /// [`Spot::capture_runtime_state`] into a freshly-constructed detector
+    /// of the same configuration. The SST is installed without the usual
+    /// reconcile-and-warm pass: the manager's stores are rebuilt wholesale
+    /// from the snapshot, preserving their capture-time registration order
+    /// (which defines per-point result order — the bit-exactness contract).
+    pub(crate) fn restore_runtime_state(
+        &mut self,
+        mut sst: Sst,
+        r: &StateReader<'_>,
+    ) -> std::result::Result<(), PersistError> {
+        sst.rebuild_index();
+        self.sst = sst;
+        self.active = self.sst.iter_all().collect();
+        r.restore_component("clock", &mut self.clock)?;
+        self.learned = r.bool("learned")?;
+        let rng_words = r.u64_col("rng")?;
+        let rng_state: [u64; 4] = rng_words
+            .as_slice()
+            .try_into()
+            .map_err(|_| PersistError::custom("rng state must be exactly 4 words"))?;
+        self.rng = StdRng::from_state(rng_state);
+        r.restore_component("stats", &mut self.stats)?;
+        r.restore_component("drift", &mut self.drift)?;
+        r.restore_component("reservoir", &mut self.reservoir)?;
+        // The reservoir itself is dimension-agnostic; reject mismatched
+        // payloads here, at load time, not at the next self-evolution.
+        if let Some((_, p)) = self
+            .reservoir
+            .items()
+            .iter()
+            .find(|(_, p)| p.dims() != self.phi)
+        {
+            return Err(PersistError::custom(format!(
+                "reservoir point dimensionality {} does not match ϕ = {}",
+                p.dims(),
+                self.phi
+            )));
+        }
+        self.outlier_buffer = r.point_list("outlier_buffer", Some(self.phi))?;
+        self.manager.restore_state(&r.nested("synopsis")?)?;
+        Ok(())
+    }
+
     /// Empties the CS component (SST-ablation studies: e.g. an "FS+OS"
     /// configuration). The monitored stores are reconciled immediately.
     pub fn clear_cs(&mut self) {
@@ -731,7 +788,12 @@ impl Spot {
         if self.reservoir.len() < 8 {
             return Err(SpotError::NotLearned);
         }
-        let mut pts: Vec<DataPoint> = self.reservoir.iter().map(|(_, p)| p.clone()).collect();
+        let mut pts: Vec<DataPoint> = self
+            .reservoir
+            .items()
+            .iter()
+            .map(|(_, p)| p.clone())
+            .collect();
         let target = pts.len();
         pts.push(point.clone());
         let evaluator = TrainingEvaluator::new(self.manager.grid().clone(), pts)?;
@@ -841,7 +903,12 @@ impl Spot {
     /// Evaluator over reservoir ∪ outlier buffer; targets = buffer indices
     /// (None when the buffer is empty → whole-batch objectives).
     fn reservoir_evaluator(&self) -> Option<(TrainingEvaluator<'static>, Option<Vec<usize>>)> {
-        let mut pts: Vec<DataPoint> = self.reservoir.iter().map(|(_, p)| p.clone()).collect();
+        let mut pts: Vec<DataPoint> = self
+            .reservoir
+            .items()
+            .iter()
+            .map(|(_, p)| p.clone())
+            .collect();
         let n_reservoir = pts.len();
         pts.extend(self.outlier_buffer.iter().map(|(_, p)| p.clone()));
         let targets = if self.outlier_buffer.is_empty() {
@@ -872,7 +939,7 @@ impl Spot {
             }
         }
         if warm && !added.is_empty() && !self.reservoir.is_empty() {
-            let mut replay = self.reservoir.clone();
+            let mut replay = self.reservoir.items().to_vec();
             replay.sort_by_key(|(tick, _)| *tick);
             for s in added {
                 // Replay failures only leave a colder store; detection
@@ -904,9 +971,7 @@ struct CommitEffects {
 struct CommitCtx<'a> {
     config: &'a SpotConfig,
     stats: &'a mut SpotStats,
-    rng: &'a mut StdRng,
-    reservoir: &'a mut Vec<(u64, DataPoint)>,
-    reservoir_seen: &'a mut u64,
+    reservoir: &'a mut Reservoir,
     outlier_buffer: &'a mut Vec<(u64, DataPoint)>,
     drift: &'a mut PageHinkley,
 }
@@ -931,14 +996,8 @@ impl CommitCtx<'_> {
                 point,
             );
         }
-        sample_reservoir(
-            self.config.evolution.reservoir,
-            self.rng,
-            self.reservoir,
-            self.reservoir_seen,
-            now,
-            point,
-        );
+        self.reservoir
+            .offer(self.config.evolution.reservoir, now, point);
 
         // Concept drift on the projected-freshness signal.
         let mut effects = CommitEffects::default();
@@ -980,29 +1039,6 @@ fn push_outlier(cap: usize, buffer: &mut Vec<(u64, DataPoint)>, now: u64, p: &Da
         buffer.remove(0);
     }
     buffer.push((now, p.clone()));
-}
-
-/// Algorithm-R reservoir sampling of the recent stream. The point is
-/// cloned only on accept (fill or replacement); the RNG is still drawn for
-/// every rejected candidate, which is what keeps the seeded stream
-/// identical across paths.
-fn sample_reservoir(
-    cap: usize,
-    rng: &mut StdRng,
-    reservoir: &mut Vec<(u64, DataPoint)>,
-    seen: &mut u64,
-    now: u64,
-    p: &DataPoint,
-) {
-    *seen += 1;
-    if reservoir.len() < cap {
-        reservoir.push((now, p.clone()));
-    } else {
-        let j = rng.gen_range(0..*seen);
-        if (j as usize) < cap {
-            reservoir[j as usize] = (now, p.clone());
-        }
-    }
 }
 
 /// The pure **sweep** phase for one point: thresholds and the drift

@@ -7,6 +7,8 @@
 //! jumps. A Page–Hinkley test on that signal raises the drift alarm, which
 //! the detector answers with an immediate SST re-evolution.
 
+use spot_types::{DurableState, PersistError, StateReader, StateWriter};
+
 /// One-sided (increase) Page–Hinkley change detector.
 #[derive(Debug, Clone)]
 pub struct PageHinkley {
@@ -73,6 +75,29 @@ impl PageHinkley {
         self.mean = 0.0;
         self.cum = 0.0;
         self.min_cum = 0.0;
+    }
+}
+
+impl DurableState for PageHinkley {
+    fn capture(&self, w: &mut StateWriter) {
+        w.f64_bits("delta", self.delta);
+        w.f64_bits("lambda", self.lambda);
+        w.u64("min_n", self.min_n);
+        w.u64("n", self.n);
+        w.f64_bits("mean", self.mean);
+        w.f64_bits("cum", self.cum);
+        w.f64_bits("min_cum", self.min_cum);
+    }
+
+    fn restore(&mut self, r: &StateReader<'_>) -> Result<(), PersistError> {
+        self.delta = r.f64_bits("delta")?;
+        self.lambda = r.f64_bits("lambda")?;
+        self.min_n = r.u64("min_n")?;
+        self.n = r.u64("n")?;
+        self.mean = r.f64_bits("mean")?;
+        self.cum = r.f64_bits("cum")?;
+        self.min_cum = r.f64_bits("min_cum")?;
+        Ok(())
     }
 }
 

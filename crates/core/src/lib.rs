@@ -67,7 +67,9 @@ pub use config::{
 pub use detector::{Spot, SynopsisFootprint};
 pub use drift::PageHinkley;
 pub use evaluator::{SparsityProblem, TrainingEvaluator};
-pub use snapshot::{SpotSnapshot, SNAPSHOT_VERSION};
+pub use snapshot::{
+    restore_from_json, SpotCheckpoint, SpotSnapshot, CHECKPOINT_VERSION, SNAPSHOT_VERSION,
+};
 pub use sst::{Sst, SstComponent};
 pub use verdict::{EvalPlan, LearningReport, SpotStats, SubspaceFinding, Verdict};
 

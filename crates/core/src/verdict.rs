@@ -1,6 +1,7 @@
 //! Detection-stage outputs.
 
 use spot_subspace::Subspace;
+use spot_types::{DurableState, PersistError, StateReader, StateWriter};
 
 /// One subspace in which a point was found outlying, with the PCS values
 /// that triggered the call — the "associated outlying subspace(s)" the
@@ -32,6 +33,25 @@ pub struct Verdict {
 }
 
 impl Verdict {
+    /// Bit-exact equality: every field compared, float scores by their
+    /// IEEE-754 bit patterns. This is the equivalence predicate the
+    /// executor-determinism and warm-restart suites pin — one definition,
+    /// so growing [`Verdict`] can never silently weaken those checks.
+    pub fn bitwise_eq(&self, other: &Verdict) -> bool {
+        let Verdict {
+            tick,
+            outlier,
+            score,
+            findings,
+            drift,
+        } = self;
+        *tick == other.tick
+            && *outlier == other.outlier
+            && score.to_bits() == other.score.to_bits()
+            && *findings == other.findings
+            && *drift == other.drift
+    }
+
     /// The single sparsest finding, if any.
     pub fn top_finding(&self) -> Option<&SubspaceFinding> {
         self.findings.first()
@@ -162,6 +182,37 @@ impl SpotStats {
             return None;
         }
         Some(self.batch_points as f64 * 1e9 / nanos as f64)
+    }
+}
+
+impl DurableState for SpotStats {
+    fn capture(&self, w: &mut StateWriter) {
+        w.u64("processed", self.processed);
+        w.u64("outliers", self.outliers);
+        w.u64("evolutions", self.evolutions);
+        w.u64("os_added", self.os_added);
+        w.u64("drift_events", self.drift_events);
+        w.u64("cells_pruned", self.cells_pruned);
+        w.u64("batch_points", self.batch_points);
+        w.u64("batch_runs", self.batch_runs);
+        w.u64("overlapped_runs", self.overlapped_runs);
+        w.u64("sweep_nanos", self.sweep_nanos);
+        w.u64("commit_nanos", self.commit_nanos);
+    }
+
+    fn restore(&mut self, r: &StateReader<'_>) -> Result<(), PersistError> {
+        self.processed = r.u64("processed")?;
+        self.outliers = r.u64("outliers")?;
+        self.evolutions = r.u64("evolutions")?;
+        self.os_added = r.u64("os_added")?;
+        self.drift_events = r.u64("drift_events")?;
+        self.cells_pruned = r.u64("cells_pruned")?;
+        self.batch_points = r.u64("batch_points")?;
+        self.batch_runs = r.u64("batch_runs")?;
+        self.overlapped_runs = r.u64("overlapped_runs")?;
+        self.sweep_nanos = r.u64("sweep_nanos")?;
+        self.commit_nanos = r.u64("commit_nanos")?;
+        Ok(())
     }
 }
 

@@ -63,20 +63,15 @@ fn stream(n: usize, dims: usize, salt: u64) -> Vec<DataPoint> {
 fn assert_same_verdicts(want: &[Verdict], got: &[Verdict], label: &str) {
     assert_eq!(want.len(), got.len(), "{label}: length");
     for (a, b) in want.iter().zip(got) {
-        assert_eq!(a.tick, b.tick, "{label}");
+        // Field-level asserts for diagnostics; bitwise_eq is the
+        // authoritative (field-complete) predicate.
         assert_eq!(a.outlier, b.outlier, "{label}: tick {}", a.tick);
-        assert_eq!(
-            a.score.to_bits(),
-            b.score.to_bits(),
-            "{label}: score at tick {}",
-            a.tick
-        );
         assert_eq!(
             a.findings, b.findings,
             "{label}: findings at tick {}",
             a.tick
         );
-        assert_eq!(a.drift, b.drift, "{label}: drift at tick {}", a.tick);
+        assert!(a.bitwise_eq(b), "{label}: tick {}: {a:?} vs {b:?}", a.tick);
     }
 }
 
@@ -442,4 +437,142 @@ fn learned_detector_with_cs_evolution_is_bit_identical() {
     };
     let pts = stream(320, dims, 41);
     check_all_strategies(make, &pts, 73, 3);
+}
+
+#[test]
+fn checkpoint_capture_is_executor_invariant_and_resume_is_bit_identical() {
+    // Capturing a checkpoint through any executor (serial, fan-out
+    // threads, pool workers) must produce byte-identical JSON — each
+    // store's column encoding is one claim unit, and capture is read-only
+    // per store. Resuming from it must then continue bit-identically to
+    // the uninterrupted detector on every execution strategy.
+    let make = || {
+        let mut s = build_spot(31, 5, 90, 70);
+        s.learn(&stream(250, 5, 9)).unwrap();
+        s
+    };
+    let pts = stream(400, 5, 17);
+
+    let mut uninterrupted = make();
+    let want: Vec<Verdict> = pts
+        .iter()
+        .map(|p| uninterrupted.process(p).unwrap())
+        .collect();
+
+    let mut first_half = make();
+    let prefix: Vec<Verdict> = pts[..210]
+        .iter()
+        .map(|p| first_half.process(p).unwrap())
+        .collect();
+    let serial_json = serde_json::to_string(&first_half.checkpoint()).unwrap();
+    let fanout_json = serde_json::to_string(&first_half.checkpoint_with(&FanOut(3))).unwrap();
+    assert_eq!(serial_json, fanout_json, "capture is executor-invariant");
+    #[cfg(feature = "parallel")]
+    {
+        let mut pooled = first_half;
+        pooled.set_parallel_workers(Some(2));
+        let pool_json = serde_json::to_string(&pooled.checkpoint()).unwrap();
+        assert_eq!(serial_json, pool_json, "pool capture matches serial");
+        first_half = pooled;
+    }
+
+    // Resume and continue: one-by-one, chunked batches, and (with the
+    // feature) pooled batches all match the uninterrupted run.
+    drop(first_half); // the "crash"
+    let resume = || spot::restore_from_json(&serial_json).unwrap();
+    {
+        let mut r = resume();
+        let mut got = prefix.clone();
+        got.extend(pts[210..].iter().map(|p| r.process(p).unwrap()));
+        assert_same_verdicts(&want, &got, "resumed one-by-one");
+        assert_eq!(r.stats(), uninterrupted.stats());
+        assert_eq!(r.footprint(), uninterrupted.footprint());
+    }
+    {
+        let mut r = resume();
+        let mut got = prefix.clone();
+        for c in pts[210..].chunks(47) {
+            got.extend(r.process_batch_with(c, &FanOut(3)).unwrap());
+        }
+        assert_same_verdicts(&want, &got, "resumed fan-out batches");
+        assert_eq!(r.stats(), uninterrupted.stats());
+        assert_eq!(r.footprint(), uninterrupted.footprint());
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let mut r = resume();
+        r.set_parallel_workers(Some(2));
+        let mut got = prefix.clone();
+        for c in pts[210..].chunks(47) {
+            got.extend(r.process_batch(c).unwrap());
+        }
+        assert_same_verdicts(&want, &got, "resumed pooled batches");
+        assert_eq!(r.stats(), uninterrupted.stats());
+        assert_eq!(r.footprint(), uninterrupted.footprint());
+    }
+}
+
+#[test]
+fn shared_checkpoint_never_stalls_concurrent_producers() {
+    // SharedSpot::checkpoint must complete while producers keep the
+    // detector busy — blocked producers claim capture units (the job-board
+    // protocol) instead of convoying — and every checkpoint taken
+    // mid-traffic must be a valid, restorable prefix state.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let mut spot = build_spot(37, 4, 95, 75);
+    spot.learn(&stream(250, 4, 5)).unwrap();
+    let shared = SharedSpot::new(spot);
+    let base_processed = shared.stats().processed;
+
+    let pts = Arc::new(stream(1800, 4, 21));
+    let stop = Arc::new(AtomicBool::new(false));
+    let checkpoints = std::thread::scope(|scope| {
+        let mut producers = Vec::new();
+        for t in 0..3usize {
+            let shared = shared.clone();
+            let pts = Arc::clone(&pts);
+            producers.push(scope.spawn(move || {
+                for chunk in pts[t * 600..(t + 1) * 600].chunks(60) {
+                    shared.process_batch(chunk).unwrap();
+                }
+            }));
+        }
+        let checkpointer = {
+            let shared = shared.clone();
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut taken = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    // Render outside the lock, as a real persister would.
+                    taken.push(serde_json::to_string(&shared.checkpoint()).unwrap());
+                }
+                taken
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        checkpointer.join().unwrap()
+    });
+
+    assert_eq!(shared.stats().processed, base_processed + 1800);
+    assert!(
+        !checkpoints.is_empty(),
+        "checkpointer made progress under load"
+    );
+    // Every mid-traffic checkpoint restores to a consistent prefix state,
+    // and a restored detector accepts further traffic.
+    for json in [checkpoints.first().unwrap(), checkpoints.last().unwrap()] {
+        let mut restored = spot::restore_from_json(json).unwrap();
+        let processed = restored.stats().processed;
+        assert!(processed >= base_processed && processed <= base_processed + 1800);
+        restored.process(&pts[0]).unwrap();
+    }
+    // A quiescent checkpoint equals the detector's own serial capture.
+    let quiescent = serde_json::to_string(&shared.checkpoint()).unwrap();
+    let direct = shared.with(|s| serde_json::to_string(&s.checkpoint()).unwrap());
+    assert_eq!(quiescent, direct);
 }

@@ -1,6 +1,7 @@
 //! Logical stream clock.
 
 use serde::{Deserialize, Serialize};
+use spot_types::{DurableState, PersistError, StateReader, StateWriter};
 
 /// Monotonic logical clock.
 ///
@@ -36,6 +37,17 @@ impl LogicalClock {
     pub fn advance(&mut self, ticks: u64) -> u64 {
         self.now += ticks;
         self.now
+    }
+}
+
+impl DurableState for LogicalClock {
+    fn capture(&self, w: &mut StateWriter) {
+        w.u64("now", self.now);
+    }
+
+    fn restore(&mut self, r: &StateReader<'_>) -> Result<(), PersistError> {
+        self.now = r.u64("now")?;
+        Ok(())
     }
 }
 

@@ -8,11 +8,13 @@
 //! (ω, ε) model (experiment E9).
 
 pub mod clock;
+pub mod sample;
 pub mod source;
 pub mod time;
 pub mod window;
 
 pub use clock::LogicalClock;
+pub use sample::{CounterRng, Reservoir};
 pub use source::{ChannelSource, FnSource, PointStream, VecSource};
 pub use time::{DecayTable, DecayedCounter, TimeModel};
 pub use window::ExactSlidingWindow;

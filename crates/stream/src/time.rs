@@ -13,7 +13,7 @@
 //! update and is renormalized by `δ^(now − last)` on access.
 
 use serde::{Deserialize, Serialize};
-use spot_types::{Result, SpotError};
+use spot_types::{DurableState, PersistError, Result, SpotError, StateReader, StateWriter};
 
 /// The (ω, ε) time model: window size ω (ticks) and approximation factor ε.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -247,6 +247,19 @@ impl DecayedCounter {
     pub fn reset(&mut self, value: f64, tick: u64) {
         self.value = value;
         self.last_tick = tick;
+    }
+}
+
+impl DurableState for DecayedCounter {
+    fn capture(&self, w: &mut StateWriter) {
+        w.f64_bits("value", self.value);
+        w.u64("last_tick", self.last_tick);
+    }
+
+    fn restore(&mut self, r: &StateReader<'_>) -> std::result::Result<(), PersistError> {
+        self.value = r.f64_bits("value")?;
+        self.last_tick = r.u64("last_tick")?;
+        Ok(())
     }
 }
 

@@ -35,6 +35,25 @@ impl Bcs {
         self.ls.len()
     }
 
+    /// Rebuilds a summary from captured raw parts (snapshot restore). The
+    /// triple must be self-consistent: `ls`/`ss` decayed to `last_tick`
+    /// exactly like `d`.
+    pub fn from_parts(d: f64, ls: Vec<f64>, ss: Vec<f64>, last_tick: u64) -> Self {
+        debug_assert_eq!(ls.len(), ss.len());
+        Bcs {
+            d,
+            ls,
+            ss,
+            last_tick,
+        }
+    }
+
+    /// The stored per-dimension moment sums `(LS, SS)`, decayed to
+    /// [`Bcs::last_tick`] (snapshot capture).
+    pub fn moments(&self) -> (&[f64], &[f64]) {
+        (&self.ls, &self.ss)
+    }
+
     /// Decays the stored values to tick `now`.
     #[inline]
     pub fn decay_to(&mut self, model: &TimeModel, now: u64) {

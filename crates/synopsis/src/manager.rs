@@ -5,9 +5,12 @@ use crate::key::CellKey;
 use crate::pcs::{Pcs, ProjectedStore};
 use crate::pool::{OnceTask, SerialExecutor, SharedSlice, StoreExecutor};
 use crate::store::BaseStore;
+use serde::Value;
 use spot_stream::{DecayTable, DecayedCounter, TimeModel};
 use spot_subspace::Subspace;
-use spot_types::{DataPoint, FxHashMap, Result, SpotError};
+use spot_types::{
+    DataPoint, DurableState, FxHashMap, PersistError, Result, SpotError, StateReader, StateWriter,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -710,6 +713,87 @@ impl SynopsisManager {
     /// Read access to the base store.
     pub fn base_store(&self) -> &BaseStore {
         &self.base
+    }
+
+    /// Captures the complete synopsis state — global weight, base cells,
+    /// and every projected store's columns in **registration order** (the
+    /// order that defines per-point result order, so a restored manager
+    /// reproduces verdicts bit-exactly).
+    pub fn capture_state(&self) -> Value {
+        self.capture_state_with(&SerialExecutor)
+    }
+
+    /// [`SynopsisManager::capture_state`] with an explicit executor: each
+    /// projected store's column encoding is one claim unit on the shard
+    /// cursor, so a cooperative caller's helpers (or the worker pool)
+    /// capture stores concurrently — the same protocol the batch shard
+    /// phase rides. Capture is read-only per store; any claim interleaving
+    /// produces the identical tree.
+    pub fn capture_state_with(&self, exec: &dyn StoreExecutor) -> Value {
+        let mut w = StateWriter::new();
+        w.component("total", &self.total);
+        w.component("base", &self.base);
+        let n = self.stores.len();
+        let mut slots: Vec<Value> = vec![Value::Null; n];
+        {
+            let cursor = AtomicUsize::new(0);
+            let shared = SharedSlice::new(&mut slots[..]);
+            let stores = &self.stores;
+            let work = || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
+                }
+                let mut sw = StateWriter::new();
+                stores[k].capture(&mut sw);
+                // SAFETY: `k` is a unique cursor claim over 0..n.
+                *unsafe { shared.get_mut(k) } = sw.finish();
+            };
+            exec.execute(&work);
+        }
+        w.nested_list("stores", slots);
+        w.finish()
+    }
+
+    /// Restores the complete synopsis state captured by
+    /// [`SynopsisManager::capture_state`]: existing stores are discarded
+    /// and rebuilt from the snapshot in its registration order; the
+    /// lock-free footprint mirror is re-derived in place (the shared
+    /// [`LiveCounters`] handle stays valid for monitoring readers).
+    pub fn restore_state(&mut self, r: &StateReader<'_>) -> std::result::Result<(), PersistError> {
+        // Retract the current projected footprint from the mirror before
+        // dropping the stores (flush pending deltas first, as removal does).
+        for store in &mut self.stores {
+            let (dc, db) = store.publish_delta();
+            self.live.apply_projected(dc, db);
+        }
+        for store in &self.stores {
+            self.live
+                .apply_projected(-(store.len() as isize), -(store.approx_bytes() as isize));
+        }
+        self.stores.clear();
+        self.index.clear();
+
+        r.restore_component("total", &mut self.total)?;
+        r.restore_component("base", &mut self.base)?;
+        self.publish_base();
+
+        for sr in r.nested_list("stores")? {
+            let mask = sr.u64("mask")?;
+            let subspace = Subspace::from_mask(mask)
+                .map_err(|e| PersistError::custom(format!("store subspace: {e}")))?;
+            let mut store = ProjectedStore::new(&self.grid, subspace);
+            store.restore(&sr)?;
+            let (dc, db) = store.publish_delta();
+            self.live.apply_projected(dc, db);
+            if self.index.insert(mask, self.stores.len()).is_some() {
+                return Err(PersistError::custom(format!(
+                    "duplicate projected store for subspace mask {mask:#x}"
+                )));
+            }
+            self.stores.push(store);
+        }
+        Ok(())
     }
 }
 

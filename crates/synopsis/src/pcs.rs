@@ -5,7 +5,7 @@ use crate::key::CellKey;
 use serde::{Deserialize, Serialize};
 use spot_stream::{DecayTable, TimeModel};
 use spot_subspace::Subspace;
-use spot_types::{DataPoint, FxHashMap};
+use spot_types::{DataPoint, DurableState, FxHashMap, PersistError, StateReader, StateWriter};
 
 /// The derived PCS pair of a projected cell: `(RD, IRSD)`.
 ///
@@ -382,14 +382,75 @@ impl ProjectedStore {
         before - self.keys.len()
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint in bytes. Accounted from the *content*
+    /// (live cells), not `Vec` capacities — allocator history is neither
+    /// restorable nor comparable, and the footprint must be a pure
+    /// function of the synopsis content so a checkpoint-restored store
+    /// reports exactly what the uninterrupted one does.
     pub fn approx_bytes(&self) -> usize {
+        let cells = self.keys.len();
         std::mem::size_of::<Self>()
-            + self.keys.capacity() * std::mem::size_of::<CellKey>()
-            + self.d.capacity() * std::mem::size_of::<f64>()
-            + self.last_tick.capacity() * std::mem::size_of::<u64>()
-            + self.moments.capacity() * std::mem::size_of::<f64>()
-            + self.index.capacity() * (std::mem::size_of::<CellKey>() + std::mem::size_of::<u32>())
+            + cells * std::mem::size_of::<CellKey>()
+            + cells * std::mem::size_of::<f64>()
+            + cells * std::mem::size_of::<u64>()
+            + cells * 2 * self.card * std::mem::size_of::<f64>()
+            + cells * (std::mem::size_of::<CellKey>() + std::mem::size_of::<u32>())
+    }
+}
+
+impl DurableState for ProjectedStore {
+    /// The SoA columns are captured verbatim in slot order — restoring
+    /// reproduces the exact slot layout (and with it iteration and
+    /// pruning-compaction order), not just the logical cell map.
+    fn capture(&self, w: &mut StateWriter) {
+        w.u64("mask", self.subspace.mask());
+        w.u128_col("keys", self.keys.iter().map(|k| k.0));
+        w.f64_bits_col("d", self.d.iter().copied());
+        w.u64_col("last", self.last_tick.iter().copied());
+        w.f64_bits_col("moments", self.moments.iter().copied());
+    }
+
+    /// Restores the columns into a store already constructed for the same
+    /// grid and subspace (`ProjectedStore::new` supplies the derived
+    /// RD/IRSD numerators; the snapshot supplies the cells).
+    fn restore(&mut self, r: &StateReader<'_>) -> Result<(), PersistError> {
+        let mask = r.u64("mask")?;
+        if mask != self.subspace.mask() {
+            return Err(PersistError::custom(format!(
+                "store subspace mismatch: snapshot has {mask:#x}, store is {:#x}",
+                self.subspace.mask()
+            )));
+        }
+        let keys = r.u128_col("keys")?;
+        let d = r.f64_bits_col("d")?;
+        let last = r.u64_col("last")?;
+        let moments = r.f64_bits_col("moments")?;
+        let n = keys.len();
+        let stride = 2 * self.card;
+        if d.len() != n || last.len() != n || moments.len() != n * stride {
+            return Err(PersistError::custom(format!(
+                "projected store columns disagree: {n} keys, {} d, {} last, {} moments \
+                 (cardinality {})",
+                d.len(),
+                last.len(),
+                moments.len(),
+                self.card
+            )));
+        }
+        self.index.clear();
+        self.index.reserve(n);
+        for (slot, &key) in keys.iter().enumerate() {
+            if self.index.insert(CellKey(key), slot as u32).is_some() {
+                return Err(PersistError::custom(format!(
+                    "duplicate projected cell key at slot {slot}"
+                )));
+            }
+        }
+        self.keys = keys.into_iter().map(CellKey).collect();
+        self.d = d;
+        self.last_tick = last;
+        self.moments = moments;
+        Ok(())
     }
 }
 

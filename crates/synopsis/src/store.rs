@@ -4,7 +4,9 @@ use crate::bcs::Bcs;
 use crate::grid::Grid;
 use crate::key::CellKey;
 use spot_stream::{DecayTable, TimeModel};
-use spot_types::{DataPoint, FxHashMap, Result};
+use spot_types::{
+    DataPoint, DurableState, FxHashMap, PersistError, Result, StateReader, StateWriter,
+};
 
 /// All populated base cells of the hypercube, keyed by their packed
 /// [`CellKey`].
@@ -144,6 +146,69 @@ impl BaseStore {
             .map(|v| std::mem::size_of::<CellKey>() + v.approx_bytes())
             .sum();
         std::mem::size_of::<Self>() + cells
+    }
+}
+
+impl DurableState for BaseStore {
+    /// Columns sorted by cell key, so the same logical state always
+    /// captures to the same bytes regardless of hash-map history. One
+    /// sorted pass over the map — this runs while the detector lock is
+    /// held, so no per-column re-probing.
+    fn capture(&self, w: &mut StateWriter) {
+        let mut cells: Vec<(CellKey, &Bcs)> = self.cells.iter().map(|(&k, v)| (k, v)).collect();
+        cells.sort_unstable_by_key(|(k, _)| *k);
+        let dims = cells.first().map_or(0, |(_, c)| c.dims());
+        w.u64("dims", dims as u64);
+        w.u128_col("keys", cells.iter().map(|(k, _)| k.0));
+        w.f64_bits_col("d", cells.iter().map(|(_, c)| c.count()));
+        w.u64_col("last", cells.iter().map(|(_, c)| c.last_tick()));
+        w.f64_bits_col(
+            "ls",
+            cells
+                .iter()
+                .flat_map(|(_, c)| c.moments().0.iter().copied()),
+        );
+        w.f64_bits_col(
+            "ss",
+            cells
+                .iter()
+                .flat_map(|(_, c)| c.moments().1.iter().copied()),
+        );
+    }
+
+    fn restore(&mut self, r: &StateReader<'_>) -> std::result::Result<(), PersistError> {
+        let dims = r.u64("dims")? as usize;
+        let keys = r.u128_col("keys")?;
+        let d = r.f64_bits_col("d")?;
+        let last = r.u64_col("last")?;
+        let ls = r.f64_bits_col("ls")?;
+        let ss = r.f64_bits_col("ss")?;
+        let n = keys.len();
+        if d.len() != n || last.len() != n || ls.len() != n * dims || ss.len() != n * dims {
+            return Err(PersistError::custom(format!(
+                "base store columns disagree: {n} keys, {} d, {} last, {} ls, {} ss ({dims} dims)",
+                d.len(),
+                last.len(),
+                ls.len(),
+                ss.len()
+            )));
+        }
+        self.cells.clear();
+        self.cells.reserve(n);
+        for i in 0..n {
+            let cell = Bcs::from_parts(
+                d[i],
+                ls[i * dims..(i + 1) * dims].to_vec(),
+                ss[i * dims..(i + 1) * dims].to_vec(),
+                last[i],
+            );
+            if self.cells.insert(CellKey(keys[i]), cell).is_some() {
+                return Err(PersistError::custom(format!(
+                    "duplicate base cell key at column {i}"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 

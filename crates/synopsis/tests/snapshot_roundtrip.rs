@@ -1,0 +1,205 @@
+//! Snapshot v2 round-trip pins for the synopsis layer: serializing and
+//! restoring any populated `BaseStore` / `SynopsisManager` must be
+//! bit-exact — keys, SoA columns, decay weights, registration order —
+//! including the wide-ϕ fingerprint-key fallback.
+
+use proptest::prelude::*;
+use serde::Value;
+use spot_stream::TimeModel;
+use spot_subspace::Subspace;
+use spot_synopsis::{Grid, SynopsisManager};
+use spot_types::{DataPoint, DomainBounds, DurableState, StateReader, StateWriter};
+
+fn capture(c: &dyn DurableState) -> Value {
+    let mut w = StateWriter::new();
+    c.capture(&mut w);
+    w.finish()
+}
+
+/// Captures `mgr`, restores into a fresh manager of the same grid/model
+/// (no subspaces pre-registered — registration order must come from the
+/// snapshot), and checks the restored state is bit-exact.
+fn roundtrip_and_check(mgr: &SynopsisManager, now: u64, probes: &[DataPoint]) {
+    let state = mgr.capture_state();
+    let mut restored = SynopsisManager::new(mgr.grid().clone(), *mgr.model());
+    restored
+        .restore_state(&StateReader::new(&state).unwrap())
+        .unwrap();
+
+    // Registration order (= per-point result order) is preserved.
+    let order: Vec<u64> = mgr.subspaces().map(|s| s.mask()).collect();
+    let restored_order: Vec<u64> = restored.subspaces().map(|s| s.mask()).collect();
+    assert_eq!(order, restored_order);
+
+    // Logical state is bit-exact.
+    assert_eq!(mgr.live_cells(), restored.live_cells());
+    assert_eq!(mgr.approx_bytes(), restored.approx_bytes());
+    assert_eq!(
+        mgr.total_weight(now).to_bits(),
+        restored.total_weight(now).to_bits()
+    );
+    for p in probes {
+        let base = mgr.grid().base_coords(p).unwrap();
+        assert_eq!(
+            mgr.base_count_for(now, p).unwrap().to_bits(),
+            restored.base_count_for(now, p).unwrap().to_bits()
+        );
+        for s in mgr.subspaces() {
+            let a = mgr.pcs(now, &base, &s).unwrap();
+            let b = restored.pcs(now, &base, &s).unwrap();
+            assert_eq!(a.rd.to_bits(), b.rd.to_bits(), "rd in {s}");
+            assert_eq!(a.irsd.to_bits(), b.irsd.to_bits(), "irsd in {s}");
+        }
+    }
+
+    // Per-store columns are captured verbatim, slot order included.
+    for s in mgr.subspaces() {
+        let a = mgr.projected_store(&s).unwrap();
+        let b = restored.projected_store(&s).unwrap();
+        let cells_a: Vec<_> = a
+            .iter()
+            .map(|(k, c)| (k, c.count_at(mgr.model(), now).to_bits()))
+            .collect();
+        let cells_b: Vec<_> = b
+            .iter()
+            .map(|(k, c)| (k, c.count_at(mgr.model(), now).to_bits()))
+            .collect();
+        assert_eq!(cells_a, cells_b, "slot layout of {s}");
+    }
+
+    // A second capture is byte-identical: capture → restore → capture is a
+    // fixed point (the base store's sorted columns make the encoding
+    // independent of hash-map history).
+    let again = restored.capture_state();
+    assert_eq!(
+        serde_json::to_string(&state).unwrap(),
+        serde_json::to_string(&again).unwrap()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn populated_manager_roundtrips_bit_exactly(
+        raw in proptest::collection::vec(0.0f64..1.0, 24..240),
+        granularity in 3u16..12,
+        omega in 20u64..400,
+        prune_at in 10u64..120,
+    ) {
+        let dims = 4;
+        let grid = Grid::new(DomainBounds::unit(dims), granularity).unwrap();
+        let model = TimeModel::new(omega, 0.01).unwrap();
+        let mut mgr = SynopsisManager::new(grid, model);
+        for d in 0..dims {
+            mgr.add_subspace(Subspace::from_dims([d]).unwrap());
+        }
+        mgr.add_subspace(Subspace::from_dims([0, 1]).unwrap());
+        mgr.add_subspace(Subspace::from_dims([2, 3]).unwrap());
+        // Exercise removal so registration ordinals have real history.
+        mgr.remove_subspace(&Subspace::from_dims([1]).unwrap());
+
+        let points: Vec<DataPoint> = raw
+            .chunks_exact(dims)
+            .map(|c| DataPoint::new(c.to_vec()))
+            .collect();
+        let mut now = 0;
+        for (i, p) in points.iter().enumerate() {
+            now = 1 + i as u64 * 3; // gaps, so decay factors vary
+            mgr.update(now, p).unwrap();
+            // Fires for some streams only (prune_at beyond short streams).
+            if i as u64 == prune_at {
+                mgr.prune(now, 1e-3);
+            }
+        }
+        roundtrip_and_check(&mgr, now, &points);
+    }
+
+    #[test]
+    fn base_store_column_roundtrip_is_bit_exact(
+        raw in proptest::collection::vec(0.0f64..1.0, 9..90),
+    ) {
+        let dims = 3;
+        let grid = Grid::new(DomainBounds::unit(dims), 5).unwrap();
+        let model = TimeModel::new(50, 0.01).unwrap();
+        let mut store = spot_synopsis::BaseStore::new();
+        let points: Vec<DataPoint> = raw
+            .chunks_exact(dims)
+            .map(|c| DataPoint::new(c.to_vec()))
+            .collect();
+        for (i, p) in points.iter().enumerate() {
+            store.insert(&grid, &model, i as u64, p).unwrap();
+        }
+        let state = capture(&store);
+        let mut restored = spot_synopsis::BaseStore::new();
+        restored.restore(&StateReader::new(&state).unwrap()).unwrap();
+        prop_assert_eq!(store.len(), restored.len());
+        let now = points.len() as u64 + 7;
+        for (key, cell) in store.iter() {
+            let other = restored.get(key).expect("restored cell");
+            prop_assert_eq!(cell.count_at(&model, now).to_bits(), other.count_at(&model, now).to_bits());
+            prop_assert_eq!(cell.last_tick(), other.last_tick());
+            let (ls_a, ss_a) = cell.moments();
+            let (ls_b, ss_b) = other.moments();
+            for (a, b) in ls_a.iter().zip(ls_b).chain(ss_a.iter().zip(ss_b)) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn wide_phi_fingerprint_keys_roundtrip() {
+    // ϕ = 40 at m = 10 needs 160 bits: base keys take the fingerprint
+    // fallback. A 33-dim monitored subspace (> 128/4 packed-bit budget)
+    // forces fingerprinted *projected* keys too.
+    let dims = 40usize;
+    let grid = Grid::new(DomainBounds::unit(dims), 10).unwrap();
+    assert!(
+        !grid.codec().base_is_exact(),
+        "test premise: wide base keys"
+    );
+    let model = TimeModel::new(120, 0.01).unwrap();
+    let mut mgr = SynopsisManager::new(grid, model);
+    mgr.add_subspace(Subspace::from_dims([0]).unwrap());
+    mgr.add_subspace(Subspace::from_dims([3, 17]).unwrap());
+    let wide = Subspace::from_dims(0..33).unwrap();
+    assert!(
+        !mgr.grid().codec().is_exact(wide.cardinality()),
+        "test premise: fingerprinted projected keys"
+    );
+    mgr.add_subspace(wide);
+
+    let points: Vec<DataPoint> = (0..80)
+        .map(|i| {
+            DataPoint::new(
+                (0..dims)
+                    .map(|d| ((i * (d + 3) + 7 * d) % 23) as f64 / 23.0)
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut now = 0;
+    for (i, p) in points.iter().enumerate() {
+        now = 1 + i as u64;
+        mgr.update(now, p).unwrap();
+    }
+    roundtrip_and_check(&mgr, now, &points);
+}
+
+#[test]
+fn corrupt_manager_state_is_rejected() {
+    let grid = Grid::new(DomainBounds::unit(2), 4).unwrap();
+    let model = TimeModel::new(50, 0.01).unwrap();
+    let mut mgr = SynopsisManager::new(grid.clone(), model);
+    mgr.add_subspace(Subspace::from_dims([0]).unwrap());
+    mgr.update(1, &DataPoint::new(vec![0.2, 0.8])).unwrap();
+    let good = mgr.capture_state();
+    let json = serde_json::to_string(&good).unwrap();
+
+    // Dropping a required column must fail restore, not panic.
+    let broken = json.replace("\"total\"", "\"tot\"");
+    let v: Value = serde_json::from_str(&broken).unwrap();
+    let mut fresh = SynopsisManager::new(grid, model);
+    assert!(fresh.restore_state(&StateReader::new(&v).unwrap()).is_err());
+}

@@ -35,6 +35,12 @@ pub enum SpotError {
         /// Dimension holding the NaN.
         dim: usize,
     },
+    /// A snapshot declared a format version this build does not know how to
+    /// restore (newer than this code, or garbage).
+    UnsupportedSnapshotVersion(u32),
+    /// A snapshot parsed but its payload does not describe a valid engine
+    /// state (missing field, wrong shape, inconsistent columns).
+    SnapshotCorrupt(String),
 }
 
 impl fmt::Display for SpotError {
@@ -58,6 +64,10 @@ impl fmt::Display for SpotError {
             SpotError::NonFiniteValue { dim } => {
                 write!(f, "attribute {dim} is NaN; stream values must be non-NaN")
             }
+            SpotError::UnsupportedSnapshotVersion(v) => {
+                write!(f, "snapshot format version {v} is not supported")
+            }
+            SpotError::SnapshotCorrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
         }
     }
 }

@@ -13,6 +13,7 @@ pub mod bounds;
 pub mod error;
 pub mod fxhash;
 pub mod label;
+pub mod persist;
 pub mod point;
 pub mod stats;
 
@@ -20,6 +21,7 @@ pub use bounds::DomainBounds;
 pub use error::{Result, SpotError};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use label::{AnomalyInfo, Label};
+pub use persist::{DurableState, PersistError, StateReader, StateWriter};
 pub use point::{DataPoint, LabeledRecord, StreamRecord};
 
 /// Verdict produced by a generic stream detector for a single point.

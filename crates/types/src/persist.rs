@@ -1,0 +1,429 @@
+//! Capture/restore substrate for durable engine state ("snapshot v2").
+//!
+//! Every stateful layer of the detector — decayed counters, cell stores,
+//! the drift test, the reservoir, the clock — owns its own serialization by
+//! implementing [`DurableState`] (or an inherent `capture_state` /
+//! `restore_state` pair when extra context such as a grid is needed). The
+//! top-level snapshot composes the layers' value trees instead of reaching
+//! into their internals.
+//!
+//! # Bit-exactness
+//!
+//! Warm restarts must reproduce the *exact* runtime state: a restored
+//! detector has to emit bit-identical verdicts to one that never stopped.
+//! Floating-point state is therefore encoded as raw IEEE-754 bit patterns
+//! (`u64`), never as decimal text — that round-trips every value including
+//! `±0.0`, subnormals and infinities through any textual carrier. Wide
+//! [`u128`] cell keys are split into two `u64` lanes for the same reason.
+//!
+//! Columns (the natural shape of the SoA synopsis stores) are written as
+//! flat arrays, one field per column — the "compact column-oriented
+//! encoding" of the v2 snapshot format. See `docs/persistence.md` for the
+//! full format layout and versioning policy.
+
+use crate::error::SpotError;
+use serde::Value;
+
+/// Restore failure: the snapshot's value tree does not describe a valid
+/// state for the component (missing field, wrong shape, out-of-range
+/// value). Converts into [`SpotError::SnapshotCorrupt`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistError(pub String);
+
+impl PersistError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        PersistError(msg.into())
+    }
+
+    /// Adds field context to an error.
+    pub fn in_field(self, field: &str) -> Self {
+        PersistError(format!("{field}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "state restore error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<PersistError> for SpotError {
+    fn from(e: PersistError) -> Self {
+        SpotError::SnapshotCorrupt(e.0)
+    }
+}
+
+/// Capture/restore of a component's complete runtime state.
+///
+/// `capture` must write everything `restore` needs to rebuild the
+/// component bit-exactly; `restore` must leave the component exactly as it
+/// was at capture time (derived caches may be rebuilt).
+pub trait DurableState {
+    /// Writes the component's runtime state.
+    fn capture(&self, w: &mut StateWriter);
+
+    /// Rebuilds the component's runtime state from a captured tree.
+    fn restore(&mut self, r: &StateReader<'_>) -> Result<(), PersistError>;
+}
+
+/// Builder for one component's state object (ordered name → value fields).
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    fields: Vec<(String, Value)>,
+}
+
+impl StateWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes into the value tree.
+    pub fn finish(self) -> Value {
+        Value::Object(self.fields)
+    }
+
+    /// Raw field.
+    pub fn value(&mut self, name: &str, v: Value) {
+        self.fields.push((name.to_string(), v));
+    }
+
+    /// Unsigned scalar.
+    pub fn u64(&mut self, name: &str, v: u64) {
+        self.value(name, Value::U64(v));
+    }
+
+    /// Boolean scalar.
+    pub fn bool(&mut self, name: &str, v: bool) {
+        self.value(name, Value::Bool(v));
+    }
+
+    /// Float scalar, stored as its IEEE-754 bit pattern (exact).
+    pub fn f64_bits(&mut self, name: &str, v: f64) {
+        self.value(name, Value::U64(v.to_bits()));
+    }
+
+    /// Column of unsigned scalars.
+    pub fn u64_col(&mut self, name: &str, vs: impl IntoIterator<Item = u64>) {
+        self.value(name, Value::Array(vs.into_iter().map(Value::U64).collect()));
+    }
+
+    /// Column of floats, stored as bit patterns (exact).
+    pub fn f64_bits_col(&mut self, name: &str, vs: impl IntoIterator<Item = f64>) {
+        self.u64_col(name, vs.into_iter().map(f64::to_bits));
+    }
+
+    /// Column of 128-bit values, flattened into `[hi, lo, hi, lo, …]`.
+    pub fn u128_col(&mut self, name: &str, vs: impl IntoIterator<Item = u128>) {
+        let mut flat = Vec::new();
+        for v in vs {
+            flat.push(Value::U64((v >> 64) as u64));
+            flat.push(Value::U64(v as u64));
+        }
+        self.value(name, Value::Array(flat));
+    }
+
+    /// Column-encoded list of `(tick, point)` pairs — the shared codec for
+    /// the reservoir and the outlier buffer: a `dims` scalar plus parallel
+    /// `ticks` / flat bit-pattern `values` columns.
+    pub fn point_list(&mut self, name: &str, items: &[(u64, crate::point::DataPoint)]) {
+        let dims = items.first().map_or(0, |(_, p)| p.dims());
+        self.nested(name, |w| {
+            w.u64("dims", dims as u64);
+            w.u64_col("ticks", items.iter().map(|(t, _)| *t));
+            w.f64_bits_col(
+                "values",
+                items.iter().flat_map(|(_, p)| p.values().iter().copied()),
+            );
+        });
+    }
+
+    /// Nested component state captured via [`DurableState`].
+    pub fn component(&mut self, name: &str, c: &dyn DurableState) {
+        let mut w = StateWriter::new();
+        c.capture(&mut w);
+        self.value(name, w.finish());
+    }
+
+    /// Nested object built by a closure.
+    pub fn nested(&mut self, name: &str, f: impl FnOnce(&mut StateWriter)) {
+        let mut w = StateWriter::new();
+        f(&mut w);
+        self.value(name, w.finish());
+    }
+
+    /// List of nested objects (`n` entries, built by index).
+    pub fn nested_list(&mut self, name: &str, items: Vec<Value>) {
+        self.value(name, Value::Array(items));
+    }
+}
+
+/// Typed reads over one component's captured state object.
+#[derive(Debug, Clone, Copy)]
+pub struct StateReader<'a> {
+    v: &'a Value,
+}
+
+impl<'a> StateReader<'a> {
+    /// Wraps a captured value tree (must be an object).
+    pub fn new(v: &'a Value) -> Result<Self, PersistError> {
+        match v {
+            Value::Object(_) => Ok(StateReader { v }),
+            other => Err(PersistError::custom(format!(
+                "expected state object, found {other:?}"
+            ))),
+        }
+    }
+
+    fn field(&self, name: &str) -> Result<&'a Value, PersistError> {
+        self.v
+            .get_field(name)
+            .ok_or_else(|| PersistError::custom(format!("missing field `{name}`")))
+    }
+
+    /// Raw field access.
+    pub fn value(&self, name: &str) -> Result<&'a Value, PersistError> {
+        self.field(name)
+    }
+
+    /// Unsigned scalar.
+    pub fn u64(&self, name: &str) -> Result<u64, PersistError> {
+        match self.field(name)? {
+            Value::U64(n) => Ok(*n),
+            other => Err(PersistError::custom(format!(
+                "field `{name}`: expected u64, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Boolean scalar.
+    pub fn bool(&self, name: &str) -> Result<bool, PersistError> {
+        match self.field(name)? {
+            Value::Bool(b) => Ok(*b),
+            other => Err(PersistError::custom(format!(
+                "field `{name}`: expected bool, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Float scalar stored as a bit pattern.
+    pub fn f64_bits(&self, name: &str) -> Result<f64, PersistError> {
+        self.u64(name).map(f64::from_bits)
+    }
+
+    fn array(&self, name: &str) -> Result<&'a [Value], PersistError> {
+        match self.field(name)? {
+            Value::Array(items) => Ok(items),
+            other => Err(PersistError::custom(format!(
+                "field `{name}`: expected array, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Column of unsigned scalars.
+    pub fn u64_col(&self, name: &str) -> Result<Vec<u64>, PersistError> {
+        self.array(name)?
+            .iter()
+            .map(|v| match v {
+                Value::U64(n) => Ok(*n),
+                other => Err(PersistError::custom(format!(
+                    "column `{name}`: expected u64 entry, found {other:?}"
+                ))),
+            })
+            .collect()
+    }
+
+    /// Column of floats stored as bit patterns.
+    pub fn f64_bits_col(&self, name: &str) -> Result<Vec<f64>, PersistError> {
+        Ok(self
+            .u64_col(name)?
+            .into_iter()
+            .map(f64::from_bits)
+            .collect())
+    }
+
+    /// Column of 128-bit values flattened as `[hi, lo, …]`.
+    pub fn u128_col(&self, name: &str) -> Result<Vec<u128>, PersistError> {
+        let flat = self.u64_col(name)?;
+        if flat.len() % 2 != 0 {
+            return Err(PersistError::custom(format!(
+                "column `{name}`: odd number of u128 lanes"
+            )));
+        }
+        Ok(flat
+            .chunks_exact(2)
+            .map(|c| ((c[0] as u128) << 64) | c[1] as u128)
+            .collect())
+    }
+
+    /// Decodes a [`StateWriter::point_list`] column group. When
+    /// `expect_dims` is given, every restored point must have exactly that
+    /// dimensionality — inconsistent payloads fail here, at load time,
+    /// instead of corrupting the detector mid-stream.
+    pub fn point_list(
+        &self,
+        name: &str,
+        expect_dims: Option<usize>,
+    ) -> Result<Vec<(u64, crate::point::DataPoint)>, PersistError> {
+        let r = self.nested(name)?;
+        let dims = r.u64("dims")? as usize;
+        let ticks = r.u64_col("ticks")?;
+        let values = r.f64_bits_col("values")?;
+        if ticks.len() * dims != values.len() || (!ticks.is_empty() && dims == 0) {
+            return Err(PersistError::custom(format!(
+                "point list `{name}`: {} ticks × {dims} dims ≠ {} values",
+                ticks.len(),
+                values.len()
+            )));
+        }
+        if let Some(want) = expect_dims {
+            if !ticks.is_empty() && dims != want {
+                return Err(PersistError::custom(format!(
+                    "point list `{name}`: dimensionality {dims} does not match expected {want}"
+                )));
+            }
+        }
+        Ok(ticks
+            .into_iter()
+            .zip(values.chunks(dims.max(1)))
+            .map(|(t, vs)| (t, crate::point::DataPoint::new(vs.to_vec())))
+            .collect())
+    }
+
+    /// Nested component state.
+    pub fn nested(&self, name: &str) -> Result<StateReader<'a>, PersistError> {
+        StateReader::new(self.field(name)?).map_err(|e| e.in_field(name))
+    }
+
+    /// List of nested component states.
+    pub fn nested_list(&self, name: &str) -> Result<Vec<StateReader<'a>>, PersistError> {
+        self.array(name)?
+            .iter()
+            .map(|v| StateReader::new(v).map_err(|e| e.in_field(name)))
+            .collect()
+    }
+
+    /// Restores a nested component via [`DurableState`].
+    pub fn restore_component(
+        &self,
+        name: &str,
+        c: &mut dyn DurableState,
+    ) -> Result<(), PersistError> {
+        c.restore(&self.nested(name)?).map_err(|e| e.in_field(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        let mut w = StateWriter::new();
+        w.u64("n", u64::MAX);
+        w.bool("b", true);
+        w.f64_bits("f", -0.0);
+        w.f64_bits("inf", f64::INFINITY);
+        let v = w.finish();
+        let r = StateReader::new(&v).unwrap();
+        assert_eq!(r.u64("n").unwrap(), u64::MAX);
+        assert!(r.bool("b").unwrap());
+        assert_eq!(r.f64_bits("f").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64_bits("inf").unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn columns_roundtrip_bit_exact() {
+        let floats = [0.1, -0.0, f64::MIN_POSITIVE / 2.0, 1e308, -3.5];
+        let wide = [0u128, 1, u128::MAX, (7u128 << 64) | 9];
+        let mut w = StateWriter::new();
+        w.f64_bits_col("f", floats.iter().copied());
+        w.u128_col("k", wide.iter().copied());
+        w.u64_col("u", [3u64, 0, u64::MAX]);
+        let v = w.finish();
+        let r = StateReader::new(&v).unwrap();
+        let back = r.f64_bits_col("f").unwrap();
+        for (a, b) in floats.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(r.u128_col("k").unwrap(), wide);
+        assert_eq!(r.u64_col("u").unwrap(), vec![3, 0, u64::MAX]);
+    }
+
+    #[test]
+    fn missing_and_mistyped_fields_error() {
+        let mut w = StateWriter::new();
+        w.u64("n", 1);
+        let v = w.finish();
+        let r = StateReader::new(&v).unwrap();
+        assert!(r.u64("gone").is_err());
+        assert!(r.bool("n").is_err());
+        assert!(r.nested("n").is_err());
+        assert!(StateReader::new(&Value::U64(3)).is_err());
+    }
+
+    #[test]
+    fn nested_components_compose() {
+        struct Counter(u64);
+        impl DurableState for Counter {
+            fn capture(&self, w: &mut StateWriter) {
+                w.u64("count", self.0);
+            }
+            fn restore(&mut self, r: &StateReader<'_>) -> Result<(), PersistError> {
+                self.0 = r.u64("count")?;
+                Ok(())
+            }
+        }
+        let mut w = StateWriter::new();
+        w.component("inner", &Counter(41));
+        let v = w.finish();
+        let r = StateReader::new(&v).unwrap();
+        let mut c = Counter(0);
+        r.restore_component("inner", &mut c).unwrap();
+        assert_eq!(c.0, 41);
+    }
+
+    #[test]
+    fn point_list_roundtrips_and_validates() {
+        use crate::point::DataPoint;
+        let items = vec![
+            (3u64, DataPoint::new(vec![0.25, -0.0])),
+            (9, DataPoint::new(vec![f64::INFINITY, 1e-310])),
+        ];
+        let mut w = StateWriter::new();
+        w.point_list("pts", &items);
+        w.point_list("empty", &[]);
+        let v = w.finish();
+        let r = StateReader::new(&v).unwrap();
+        let back = r.point_list("pts", Some(2)).unwrap();
+        assert_eq!(back.len(), 2);
+        for ((ta, pa), (tb, pb)) in items.iter().zip(&back) {
+            assert_eq!(ta, tb);
+            for (a, b) in pa.values().iter().zip(pb.values()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert!(r.point_list("empty", Some(5)).unwrap().is_empty());
+        // Dimensionality mismatches fail at decode time.
+        assert!(r.point_list("pts", Some(3)).is_err());
+        // dims = 0 with non-empty ticks is rejected, not silently dropped.
+        let mut w = StateWriter::new();
+        w.nested("bad", |w| {
+            w.u64("dims", 0);
+            w.u64_col("ticks", [1u64]);
+            w.f64_bits_col("values", []);
+        });
+        let v = w.finish();
+        let r = StateReader::new(&v).unwrap();
+        assert!(r.point_list("bad", None).is_err());
+    }
+
+    #[test]
+    fn persist_error_maps_to_spot_error() {
+        let e: SpotError = PersistError::custom("bad").into();
+        assert!(matches!(e, SpotError::SnapshotCorrupt(_)));
+    }
+}

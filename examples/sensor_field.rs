@@ -11,12 +11,88 @@
 //! ```text
 //! cargo run --release --example sensor_field
 //! ```
+//!
+//! With `--resume`, the example instead exercises the **v2 warm-restart
+//! checkpoint**: it streams half the readings, writes a full checkpoint to
+//! JSON, restores a detector from that text, and diffs the second half's
+//! verdicts against an uninterrupted detector — they must be bit-identical
+//! (exit code 1 otherwise). This is the checkpoint/restore smoke CI runs:
+//! ```text
+//! cargo run --release --example sensor_field -- --resume
+//! ```
 
 use spot::{Spot, SpotBuilder};
 use spot_data::{SensorConfig, SensorGenerator};
 use std::collections::HashMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--resume") {
+        return resume_smoke();
+    }
+    template_restart_demo()
+}
+
+/// `--resume`: checkpoint mid-stream, restart from the serialized text,
+/// and prove the resumed detector is bit-identical to one that never
+/// stopped.
+fn resume_smoke() -> Result<(), Box<dyn std::error::Error>> {
+    let mut generator = SensorGenerator::new(SensorConfig {
+        sensors: 24,
+        fault_fraction: 0.02,
+        seed: 99,
+        ..Default::default()
+    })?;
+    let train = generator.generate_normal(3000);
+    let first: Vec<_> = generator.generate(3000);
+    let second: Vec<_> = generator.generate(3000);
+
+    let mut uninterrupted = SpotBuilder::new(generator.bounds()).seed(21).build()?;
+    uninterrupted.learn(&train)?;
+    let mut resumable = SpotBuilder::new(generator.bounds()).seed(21).build()?;
+    resumable.learn(&train)?;
+
+    for r in &first {
+        uninterrupted.process(&r.point)?;
+        resumable.process(&r.point)?;
+    }
+
+    // Persist → "crash" → restore from the serialized text alone.
+    let json = serde_json::to_string(&resumable.checkpoint())?;
+    println!(
+        "checkpoint at tick {}: {} bytes of JSON (v2, column-oriented)",
+        resumable.now(),
+        json.len()
+    );
+    drop(resumable);
+    let mut resumed = spot::restore_from_json(&json)?;
+
+    let mut mismatches = 0usize;
+    for r in &second {
+        let a = uninterrupted.process(&r.point)?;
+        let b = resumed.process(&r.point)?;
+        if !a.bitwise_eq(&b) {
+            mismatches += 1;
+        }
+    }
+    let stats_match = uninterrupted.stats() == resumed.stats()
+        && uninterrupted.footprint() == resumed.footprint();
+    if mismatches == 0 && stats_match {
+        println!(
+            "resume OK: {}/{} post-restart verdicts bit-identical; stats and footprint match",
+            second.len(),
+            second.len()
+        );
+        Ok(())
+    } else {
+        eprintln!(
+            "resume FAILED: {mismatches}/{} verdicts diverged (stats match: {stats_match})",
+            second.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn template_restart_demo() -> Result<(), Box<dyn std::error::Error>> {
     let mut generator = SensorGenerator::new(SensorConfig {
         sensors: 24,
         fault_fraction: 0.02,
