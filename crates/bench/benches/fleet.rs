@@ -1,0 +1,195 @@
+//! Fleet-runtime scaling baseline: aggregate ingest throughput of a
+//! multi-tenant `SpotFleet` (one shared executor service) at 1/4/16
+//! tenants × 0/2 pool workers, plus the per-tenant queue path.
+//!
+//! Writes `BENCH_fleet.json` at the repository root (fixed seed 42). The
+//! `cores` field records the machine's available parallelism — on a 1- or
+//! 2-core runner the pooled arms measure dispatch overhead (target:
+//! parity); the scaling claims need a ≥ 4-core box (see ROADMAP).
+//!
+//! `SPOT_BENCH_TENANTS` (e.g. `"1,4"`) restricts the tenant counts for CI
+//! smoke runs; the default sweep is 1/4/16.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use spot::{SpotBuilder, SpotConfig};
+use spot_runtime::{FleetConfig, SpotFleet, TenantId};
+use spot_types::{DataPoint, DomainBounds};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const PHI: usize = 8;
+const POINTS_PER_TENANT: usize = 4096;
+const CHUNK: usize = 256;
+
+fn random_points(n: usize, dims: usize, seed: u64) -> Vec<DataPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| DataPoint::new((0..dims).map(|_| rng.gen_range(0.0..1.0)).collect()))
+        .collect()
+}
+
+fn tenant_config(seed: u64) -> SpotConfig {
+    SpotBuilder::new(DomainBounds::unit(PHI))
+        .fs_max_dimension(2)
+        .seed(seed)
+        .build_config()
+        .unwrap()
+}
+
+/// Builds a learned fleet of `tenants` detectors on `workers` pool workers.
+fn build_fleet(tenants: usize, workers: usize, train: &[DataPoint]) -> (SpotFleet, Vec<TenantId>) {
+    let fleet = SpotFleet::with_workers(FleetConfig::default(), Some(workers));
+    let ids: Vec<TenantId> = (0..tenants)
+        .map(|t| TenantId::new(format!("tenant-{t:02}")).unwrap())
+        .collect();
+    for (t, id) in ids.iter().enumerate() {
+        fleet
+            .register(id.clone(), tenant_config(SEED ^ t as u64))
+            .unwrap();
+        fleet.learn(id, train).unwrap();
+    }
+    (fleet, ids)
+}
+
+/// Each tenant ingests its own stream from its own producer thread;
+/// returns aggregate points/sec over the whole fleet.
+fn fleet_throughput(fleet: &SpotFleet, ids: &[TenantId], streams: &[Vec<DataPoint>]) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (id, pts) in ids.iter().zip(streams) {
+            let fleet = fleet.clone();
+            scope.spawn(move || {
+                for chunk in pts.chunks(CHUNK) {
+                    fleet.process_batch(id, chunk).unwrap();
+                }
+            });
+        }
+    });
+    (ids.len() * POINTS_PER_TENANT) as f64 / t0.elapsed().as_secs_f64()
+}
+
+#[derive(Serialize)]
+struct FleetPoint {
+    tenants: usize,
+    workers: usize,
+    pts_per_sec: f64,
+    /// Pools spawned by the shared executor service over the run — by
+    /// construction at most 1 however many tenants ingest.
+    pools_spawned: usize,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct FleetBaseline {
+    seed: u64,
+    cores: usize,
+    phi: usize,
+    points_per_tenant: usize,
+    chunk: usize,
+    /// tenants × workers sweep, threaded producers (one per tenant).
+    arms: Vec<FleetPoint>,
+    /// Queue path: ingest → bounded queue → micro-batch drain, one tenant.
+    queued_pts_per_sec: f64,
+    /// Synchronous path on the same tenant/stream, for the queue overhead.
+    direct_pts_per_sec: f64,
+}
+
+fn bench_tenants() -> Vec<usize> {
+    match std::env::var("SPOT_BENCH_TENANTS") {
+        Ok(spec) => spec
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&t| t > 0)
+            .collect(),
+        Err(_) => vec![1, 4, 16],
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let train = random_points(1000, PHI, SEED ^ 7);
+
+    let mut arms = Vec::new();
+    for tenants in bench_tenants() {
+        let streams: Vec<Vec<DataPoint>> = (0..tenants)
+            .map(|t| random_points(POINTS_PER_TENANT, PHI, SEED ^ (100 + t as u64)))
+            .collect();
+        let mut serial_rate = 0.0;
+        for workers in [0usize, 2] {
+            let (fleet, ids) = build_fleet(tenants, workers, &train);
+            let rate = fleet_throughput(&fleet, &ids, &streams);
+            if workers == 0 {
+                serial_rate = rate;
+            }
+            let pools = fleet.executor().pools_spawned();
+            assert!(pools <= 1, "fleet must share at most one pool");
+            println!(
+                "tenants={tenants:>2} workers={workers}  {rate:>10.0} pts/s  ({:.2}x vs serial)  pools={pools}",
+                rate / serial_rate
+            );
+            arms.push(FleetPoint {
+                tenants,
+                workers,
+                pts_per_sec: rate,
+                pools_spawned: pools,
+                speedup_vs_serial: rate / serial_rate,
+            });
+        }
+    }
+
+    // Queue-path overhead: one tenant, producer thread ingesting into the
+    // bounded queue while the main thread drains micro-batches.
+    let (queued_rate, direct_rate) = {
+        let pts = random_points(POINTS_PER_TENANT, PHI, SEED ^ 300);
+        let (fleet, ids) = build_fleet(1, 0, &train);
+        let id = &ids[0];
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let producer_fleet = fleet.clone();
+            let pts = &pts;
+            scope.spawn(move || {
+                for p in pts {
+                    producer_fleet.ingest(id, p.clone()).unwrap();
+                }
+            });
+            let mut drained = 0usize;
+            while drained < pts.len() {
+                let batch = fleet.drain(id).unwrap();
+                if batch.is_empty() {
+                    std::thread::yield_now();
+                }
+                drained += batch.len();
+            }
+        });
+        let queued = pts.len() as f64 / t0.elapsed().as_secs_f64();
+
+        let (fleet, ids) = build_fleet(1, 0, &train);
+        let t0 = Instant::now();
+        for chunk in pts.chunks(CHUNK) {
+            fleet.process_batch(&ids[0], chunk).unwrap();
+        }
+        let direct = pts.len() as f64 / t0.elapsed().as_secs_f64();
+        println!(
+            "queue path {queued:>10.0} pts/s   direct {direct:>10.0} pts/s  ({:.2}x overhead)",
+            direct / queued
+        );
+        (queued, direct)
+    };
+
+    let out = FleetBaseline {
+        seed: SEED,
+        cores,
+        phi: PHI,
+        points_per_tenant: POINTS_PER_TENANT,
+        chunk: CHUNK,
+        arms,
+        queued_pts_per_sec: queued_rate,
+        direct_pts_per_sec: direct_rate,
+    };
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet.json");
+    let f = std::fs::File::create(&path).expect("create BENCH_fleet.json");
+    serde_json::to_writer_pretty(f, &out).expect("write BENCH_fleet.json");
+    println!("(baseline written to {})", path.display());
+}

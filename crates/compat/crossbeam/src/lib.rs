@@ -17,6 +17,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by a non-blocking send that could not enqueue.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel buffer is at capacity.
+        Full(T),
+        /// The receiving side is gone.
+        Disconnected(T),
+    }
+
     /// Error returned when the sending side is gone and the buffer drained.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -25,6 +34,15 @@ pub mod channel {
         /// Blocks until the value is enqueued (or the receiver is gone).
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value).map_err(|e| SendError(e.0))
+        }
+
+        /// Enqueues without blocking; distinguishes a full buffer from a
+        /// hung-up receiver.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
         }
     }
 
@@ -77,5 +95,18 @@ mod tests {
         let (tx, rx) = bounded::<u8>(1);
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_send_distinguishes_full_from_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<u8>(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 }

@@ -34,7 +34,7 @@
 
 use crate::detector::{Spot, SynopsisFootprint};
 use crate::snapshot::SpotCheckpoint;
-use crate::verdict::{SpotStats, Verdict};
+use crate::verdict::{LearningReport, SpotStats, Verdict};
 use parking_lot::Mutex;
 use spot_synopsis::pool::ErasedJob;
 use spot_synopsis::{LiveCounters, StoreExecutor};
@@ -251,6 +251,18 @@ impl SharedSpot {
         Self::build(spot, false)
     }
 
+    /// Wraps a detector whose batch work should dispatch through its own
+    /// executor service (`Spot::executor`) instead of the cooperative job
+    /// board — the fleet runtime's mode: every tenant's shards and sweeps
+    /// fan out over the one pool the shared [`spot_synopsis::ExecutorHandle`]
+    /// owns, while `stats()`/`footprint()` stay lock-free as in every
+    /// other mode. Verdicts are bit-identical to both other modes.
+    pub fn with_service_executor(spot: Spot) -> Self {
+        // Non-cooperative: process_batch falls through to
+        // `Spot::process_batch`, which asks the executor service.
+        Self::build(spot, false)
+    }
+
     fn build(spot: Spot, cooperative: bool) -> Self {
         let live = spot.live_counters();
         let shared = SharedSpot {
@@ -302,10 +314,12 @@ impl SharedSpot {
         self.inner.stats.publish(spot.stats());
     }
 
-    /// Runs the learning stage.
-    pub fn learn(&self, training: &[DataPoint]) -> Result<()> {
+    /// Runs the learning stage, returning the same [`LearningReport`] the
+    /// unwrapped [`Spot::learn`] produces (CS/OS contents, MOGA effort) —
+    /// the lock adds no information loss.
+    pub fn learn(&self, training: &[DataPoint]) -> Result<LearningReport> {
         let mut guard = self.lock_core();
-        let r = guard.learn(training).map(|_| ());
+        let r = guard.learn(training);
         self.publish_stats(&guard);
         r
     }

@@ -2,6 +2,7 @@
 
 use spot_moga::MogaConfig;
 use spot_stream::TimeModel;
+use spot_synopsis::ExecutorHandle;
 use spot_types::{DomainBounds, Result, SpotError};
 
 /// Outlier-ness thresholds applied to the PCS of a point's projected cell.
@@ -260,6 +261,10 @@ impl SpotConfig {
 #[derive(Debug, Clone)]
 pub struct SpotBuilder {
     config: SpotConfig,
+    /// Executor service the built detector dispatches through (None = its
+    /// own, per the build's default). Runtime-only wiring: deliberately
+    /// not part of [`SpotConfig`], which stays serializable.
+    executor: Option<ExecutorHandle>,
 }
 
 impl SpotBuilder {
@@ -267,7 +272,16 @@ impl SpotBuilder {
     pub fn new(bounds: DomainBounds) -> Self {
         SpotBuilder {
             config: SpotConfig::new(bounds),
+            executor: None,
         }
+    }
+
+    /// Dispatches the built detector's batch work through `exec` — many
+    /// detectors sharing one handle share its single worker pool (the
+    /// fleet runtime's wiring). Results are bit-identical regardless.
+    pub fn executor(mut self, exec: ExecutorHandle) -> Self {
+        self.executor = Some(exec);
+        self
     }
 
     /// Grid granularity per dimension.
@@ -351,7 +365,12 @@ impl SpotBuilder {
 
     /// Builds the detector directly.
     pub fn build(self) -> Result<crate::Spot> {
-        crate::Spot::new(self.build_config()?)
+        let executor = self.executor.clone();
+        let config = self.build_config()?;
+        match executor {
+            Some(exec) => crate::Spot::with_executor(config, exec),
+            None => crate::Spot::new(config),
+        }
     }
 }
 

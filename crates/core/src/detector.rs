@@ -13,8 +13,8 @@ use spot_moga::MogaConfig;
 use spot_stream::{LogicalClock, Reservoir};
 use spot_subspace::{genetic, ScoredSubspace, Subspace};
 use spot_synopsis::{
-    Grid, LiveCounters, OnceTask, SerialExecutor, SharedSlice, StoreExecutor, SubspacePcs,
-    SynopsisManager, UpdateOutcome,
+    ExecutorHandle, Grid, LiveCounters, OnceTask, SerialExecutor, SharedSlice, StoreExecutor,
+    SubspacePcs, SynopsisManager, UpdateOutcome,
 };
 use spot_types::{
     DataPoint, Detection, FxHashSet, PersistError, Result, SpotError, StateReader, StateWriter,
@@ -97,12 +97,23 @@ pub struct Spot {
 
 impl Spot {
     /// Creates a detector from a validated configuration. FS is enumerated
-    /// immediately; CS/OS await the learning stage.
+    /// immediately; CS/OS await the learning stage. The detector gets its
+    /// own executor service; use [`Spot::with_executor`] (or
+    /// `SpotBuilder::executor`) to share one service — and with it one
+    /// worker pool — across many detectors.
     pub fn new(config: SpotConfig) -> Result<Self> {
+        Self::with_executor(config, ExecutorHandle::default_for_build())
+    }
+
+    /// [`Spot::new`] with an explicit executor service for the synopsis
+    /// shard phase and verdict sweep. Detectors sharing a handle share its
+    /// single worker pool (the fleet runtime's wiring); verdicts are
+    /// bit-identical for every service configuration.
+    pub fn with_executor(config: SpotConfig, exec: ExecutorHandle) -> Result<Self> {
         config.validate()?;
         let phi = config.phi();
         let grid = Grid::new(config.bounds.clone(), config.granularity)?;
-        let manager = SynopsisManager::new(grid, config.time_model);
+        let manager = SynopsisManager::with_executor(grid, config.time_model, exec);
         let sst = Sst::new(
             phi,
             config.fs_max_dimension,
@@ -191,13 +202,25 @@ impl Spot {
         self.manager.live_counters()
     }
 
-    /// Overrides the worker count of the synopsis manager's persistent
-    /// pool (`Some(0)` forces serial, `None` restores machine-sized
-    /// defaults). Equivalence tests and deployments pinning thread budgets
-    /// use this; results are bit-identical for every setting.
-    #[cfg(feature = "parallel")]
+    /// Overrides the worker count of the executor service (`Some(0)`
+    /// forces serial, `None` restores machine-sized defaults).
+    /// Equivalence tests and deployments pinning thread budgets use this;
+    /// results are bit-identical for every setting. Affects every
+    /// detector sharing the service.
     pub fn set_parallel_workers(&mut self, workers: Option<usize>) {
         self.manager.set_parallel_workers(workers);
+    }
+
+    /// The executor service this detector's batch path dispatches through.
+    pub fn executor(&self) -> &ExecutorHandle {
+        self.manager.executor()
+    }
+
+    /// Replaces the executor service (the fleet runtime rewires restored
+    /// detectors onto its shared service with this). Safe at any quiescent
+    /// point: results are bit-identical for every executor.
+    pub fn set_executor(&mut self, exec: ExecutorHandle) {
+        self.manager.set_executor(exec);
     }
 
     /// Unsupervised learning stage (paper, Section II-C1): MOGA over the
@@ -621,20 +644,14 @@ impl Spot {
         true
     }
 
-    /// Default executor for [`Spot::process_batch`]: the manager's
-    /// persistent pool when the run is wide enough to pay for dispatch.
-    #[cfg(feature = "parallel")]
+    /// Default executor for [`Spot::process_batch`]: the service's shared
+    /// pool when the run is wide enough to pay for dispatch, the calling
+    /// thread otherwise.
     fn default_exec(&mut self, run_points: usize) -> BatchExec<'static> {
         match self.manager.batch_pool(run_points) {
             Some(pool) => BatchExec::Pool(pool),
             None => BatchExec::Serial(SerialExecutor),
         }
-    }
-
-    /// Default executor for [`Spot::process_batch`]: the calling thread.
-    #[cfg(not(feature = "parallel"))]
-    fn default_exec(&mut self, _run_points: usize) -> BatchExec<'static> {
-        BatchExec::Serial(SerialExecutor)
     }
 
     /// Maximum points per internal batch run (bounds how late a
@@ -1138,8 +1155,7 @@ fn sweep_run(
 enum BatchExec<'a> {
     /// Caller-supplied (e.g. the cooperative `SharedSpot` job board).
     External(&'a dyn StoreExecutor),
-    /// The manager's persistent worker pool.
-    #[cfg(feature = "parallel")]
+    /// The executor service's shared worker pool.
     Pool(Arc<spot_synopsis::WorkerPool>),
     /// The calling thread alone.
     Serial(SerialExecutor),
@@ -1149,7 +1165,6 @@ impl BatchExec<'_> {
     fn as_dyn(&self) -> &dyn StoreExecutor {
         match self {
             BatchExec::External(e) => *e,
-            #[cfg(feature = "parallel")]
             BatchExec::Pool(pool) => &**pool,
             BatchExec::Serial(serial) => serial,
         }

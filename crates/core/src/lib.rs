@@ -70,6 +70,7 @@ pub use evaluator::{SparsityProblem, TrainingEvaluator};
 pub use snapshot::{
     restore_from_json, SpotCheckpoint, SpotSnapshot, CHECKPOINT_VERSION, SNAPSHOT_VERSION,
 };
+pub use spot_synopsis::ExecutorHandle;
 pub use sst::{Sst, SstComponent};
 pub use verdict::{EvalPlan, LearningReport, SpotStats, SubspaceFinding, Verdict};
 

@@ -156,8 +156,9 @@ fn check_all_strategies(make: impl Fn() -> Spot, pts: &[DataPoint], chunk: usize
         );
     }
 
-    // Strategy (parallel feature): the persistent pool at several sizes.
-    #[cfg(feature = "parallel")]
+    // Strategy: the executor service's persistent pool at several sizes
+    // (available in every build; the `parallel` feature only changes the
+    // default engagement policy).
     for workers in [1usize, 2, 4] {
         let mut spot = make();
         spot.set_parallel_workers(Some(workers));
@@ -331,8 +332,7 @@ fn drift_triggered_mid_run_evolution_is_bit_identical_across_executors() {
         );
     }
 
-    // The persistent pool at several sizes (parallel feature).
-    #[cfg(feature = "parallel")]
+    // The persistent pool at several sizes.
     for workers in [1usize, 3] {
         let mut spot = make();
         spot.set_parallel_workers(Some(workers));
@@ -467,7 +467,6 @@ fn checkpoint_capture_is_executor_invariant_and_resume_is_bit_identical() {
     let serial_json = serde_json::to_string(&first_half.checkpoint()).unwrap();
     let fanout_json = serde_json::to_string(&first_half.checkpoint_with(&FanOut(3))).unwrap();
     assert_eq!(serial_json, fanout_json, "capture is executor-invariant");
-    #[cfg(feature = "parallel")]
     {
         let mut pooled = first_half;
         pooled.set_parallel_workers(Some(2));
@@ -476,8 +475,8 @@ fn checkpoint_capture_is_executor_invariant_and_resume_is_bit_identical() {
         first_half = pooled;
     }
 
-    // Resume and continue: one-by-one, chunked batches, and (with the
-    // feature) pooled batches all match the uninterrupted run.
+    // Resume and continue: one-by-one, chunked batches, and pooled
+    // batches all match the uninterrupted run.
     drop(first_half); // the "crash"
     let resume = || spot::restore_from_json(&serial_json).unwrap();
     {
@@ -498,7 +497,6 @@ fn checkpoint_capture_is_executor_invariant_and_resume_is_bit_identical() {
         assert_eq!(r.stats(), uninterrupted.stats());
         assert_eq!(r.footprint(), uninterrupted.footprint());
     }
-    #[cfg(feature = "parallel")]
     {
         let mut r = resume();
         r.set_parallel_workers(Some(2));

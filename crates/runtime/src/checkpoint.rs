@@ -1,0 +1,149 @@
+//! Fleet-level durable state: a versioned container of per-tenant v2
+//! checkpoints.
+//!
+//! A [`FleetCheckpoint`] composes, per tenant, exactly the
+//! [`SpotCheckpoint`] a standalone detector captures — the same
+//! column-oriented `DurableState` trees, the same bit-exactness contract
+//! (see `docs/persistence.md`). The fleet layer adds only an envelope:
+//! its own format version and the tenant ids, sorted so capture →
+//! restore → capture is a byte-level fixed point.
+//!
+//! Versioning follows the detector loader's policy: unknown envelope
+//! versions yield [`SpotError::UnsupportedSnapshotVersion`], structurally
+//! broken payloads yield [`SpotError::SnapshotCorrupt`] — never a panic.
+//! The per-tenant payloads version independently (they carry the v2
+//! `SpotCheckpoint` version field), so a future v3 detector format slots
+//! in without changing the envelope.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use spot::SpotCheckpoint;
+use spot_types::{Result, SpotError, TenantId};
+
+/// Fleet checkpoint envelope version.
+pub const FLEET_CHECKPOINT_VERSION: u32 = 1;
+
+/// Durable state of a whole fleet: one v2 [`SpotCheckpoint`] per tenant,
+/// sorted by tenant id.
+#[derive(Debug, Clone)]
+pub struct FleetCheckpoint {
+    tenants: Vec<(TenantId, SpotCheckpoint)>,
+}
+
+impl FleetCheckpoint {
+    /// Wraps per-tenant checkpoints (sorted by id; later duplicates of an
+    /// id are dropped — the fleet registry cannot produce any).
+    pub fn new(mut tenants: Vec<(TenantId, SpotCheckpoint)>) -> Self {
+        tenants.sort_by(|a, b| a.0.cmp(&b.0));
+        tenants.dedup_by(|a, b| a.0 == b.0);
+        FleetCheckpoint { tenants }
+    }
+
+    /// Tenant ids held by this checkpoint, sorted.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.tenants.iter().map(|(id, _)| id.clone()).collect()
+    }
+
+    /// The checkpoint of one tenant, if present.
+    pub fn get(&self, id: &TenantId) -> Option<&SpotCheckpoint> {
+        self.tenants
+            .binary_search_by(|(t, _)| t.cmp(id))
+            .ok()
+            .map(|i| &self.tenants[i].1)
+    }
+
+    /// Number of tenants captured.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// `true` when no tenant was captured.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// Renders the checkpoint to JSON text (the expensive part of
+    /// persistence; do it off any ingestion path).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("fleet checkpoint serialization is infallible")
+    }
+
+    /// Parses JSON text into a fleet checkpoint with typed errors:
+    /// unknown envelope versions yield
+    /// [`SpotError::UnsupportedSnapshotVersion`], anything structurally
+    /// broken (including duplicate or invalid tenant ids) yields
+    /// [`SpotError::SnapshotCorrupt`].
+    pub fn from_json(text: &str) -> Result<Self> {
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| SpotError::SnapshotCorrupt(e.to_string()))?;
+        let version = match value.get_field("version") {
+            Some(&Value::U64(n)) => u32::try_from(n).unwrap_or(u32::MAX),
+            Some(other) => {
+                return Err(SpotError::SnapshotCorrupt(format!(
+                    "version field is not an integer: {other:?}"
+                )))
+            }
+            None => {
+                return Err(SpotError::SnapshotCorrupt(
+                    "missing version field".to_string(),
+                ))
+            }
+        };
+        if version != FLEET_CHECKPOINT_VERSION {
+            return Err(SpotError::UnsupportedSnapshotVersion(version));
+        }
+        Self::from_value(&value).map_err(|e| SpotError::SnapshotCorrupt(e.0))
+    }
+}
+
+impl Serialize for FleetCheckpoint {
+    fn to_value(&self) -> Value {
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|(id, cp)| {
+                Value::Object(vec![
+                    ("id".to_string(), Value::Str(id.to_string())),
+                    ("checkpoint".to_string(), cp.to_value()),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            (
+                "version".to_string(),
+                Value::U64(FLEET_CHECKPOINT_VERSION as u64),
+            ),
+            ("tenants".to_string(), Value::Array(tenants)),
+        ])
+    }
+}
+
+impl Deserialize for FleetCheckpoint {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let version = u32::from_value(v.get_field("version").unwrap_or(&Value::Null))
+            .map_err(|e| e.in_field("version"))?;
+        if version != FLEET_CHECKPOINT_VERSION {
+            return Err(DeError::custom(format!(
+                "expected fleet checkpoint version {FLEET_CHECKPOINT_VERSION}, found {version}"
+            )));
+        }
+        let Some(Value::Array(entries)) = v.get_field("tenants") else {
+            return Err(DeError::custom("missing or non-array field `tenants`"));
+        };
+        let mut tenants: Vec<(TenantId, SpotCheckpoint)> = Vec::with_capacity(entries.len());
+        for (i, entry) in entries.iter().enumerate() {
+            let id = match entry.get_field("id") {
+                Some(Value::Str(name)) => TenantId::new(name)
+                    .map_err(|e| DeError::custom(format!("tenant {i}: invalid id: {e}")))?,
+                _ => return Err(DeError::custom(format!("tenant {i}: missing string id"))),
+            };
+            if tenants.iter().any(|(t, _)| *t == id) {
+                return Err(DeError::custom(format!("duplicate tenant id {id:?}")));
+            }
+            let cp =
+                SpotCheckpoint::from_value(entry.get_field("checkpoint").unwrap_or(&Value::Null))
+                    .map_err(|e| e.in_field("checkpoint"))?;
+            tenants.push((id, cp));
+        }
+        Ok(FleetCheckpoint::new(tenants))
+    }
+}

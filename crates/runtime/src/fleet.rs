@@ -1,0 +1,497 @@
+//! The multi-tenant fleet: a registry of detectors on one shared executor.
+
+use crate::checkpoint::FleetCheckpoint;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use spot::{LearningReport, SharedSpot, Spot, SpotConfig, SpotStats, SynopsisFootprint, Verdict};
+use spot_synopsis::{ExecutorHandle, SerialExecutor, StoreExecutor};
+use spot_types::{DataPoint, Result, SpotError, TenantId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Fleet-wide knobs. `Default` gives a 1024-point queue per tenant and
+/// 256-point micro-batches (matching `Spot::BATCH_RUN`, so one drain pass
+/// is one maintenance-bounded run in the common case).
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Capacity of each tenant's bounded ingestion queue (clamped to at
+    /// least 1). A producer ingesting into a full queue blocks — the
+    /// streaming model's space bound, enforced per tenant.
+    pub queue_capacity: usize,
+    /// Maximum points one [`SpotFleet::drain`] pass processes (clamped to
+    /// at least 1).
+    pub micro_batch: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            queue_capacity: 1024,
+            micro_batch: 256,
+        }
+    }
+}
+
+/// Aggregated logical counters over every tenant, plus queue occupancy.
+/// Served entirely from lock-free mirrors (each tenant's stats seqlock and
+/// queue counter) — reading it never blocks, or is blocked by, ingestion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Points waiting in tenant ingestion queues (not yet processed).
+    pub queued: usize,
+    /// Sum of [`SpotStats::processed`] over all tenants.
+    pub processed: u64,
+    /// Sum of [`SpotStats::outliers`] over all tenants.
+    pub outliers: u64,
+    /// Sum of [`SpotStats::evolutions`] over all tenants.
+    pub evolutions: u64,
+    /// Sum of [`SpotStats::os_added`] over all tenants.
+    pub os_added: u64,
+    /// Sum of [`SpotStats::drift_events`] over all tenants.
+    pub drift_events: u64,
+    /// Sum of [`SpotStats::cells_pruned`] over all tenants.
+    pub cells_pruned: u64,
+}
+
+/// Aggregated synopsis memory over every tenant — from each tenant's
+/// lock-free `LiveCounters` mirror; never touches a detector lock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetFootprint {
+    /// Registered tenants.
+    pub tenants: usize,
+    /// Sum of populated base cells.
+    pub base_cells: usize,
+    /// Sum of populated projected cells.
+    pub projected_cells: usize,
+    /// Sum of approximate synopsis bytes.
+    pub approx_bytes: usize,
+}
+
+/// One registered tenant: the detector handle plus its bounded queue.
+struct Tenant {
+    shared: SharedSpot,
+    tx: Sender<DataPoint>,
+    /// Drains are exclusive per tenant (points must commit in arrival
+    /// order, so the guard is held through processing); concurrent drains
+    /// of *different* tenants proceed freely. `None` after eviction — the
+    /// dropped receiver is what unblocks producers stuck in a full-queue
+    /// `send` (their `SendError` becomes `UnknownTenant`).
+    rx: Mutex<Option<Receiver<DataPoint>>>,
+    /// Points currently queued: incremented *before* the enqueue (rolled
+    /// back on failure), decremented per dequeued point — so the counter
+    /// never lags the channel and a concurrent drain cannot wrap it below
+    /// zero. May transiently overcount by the producers currently blocked
+    /// in `send`. A lock-free occupancy mirror for [`SpotFleet::stats`]
+    /// (the channel itself exposes no length).
+    queued: AtomicUsize,
+}
+
+struct FleetInner {
+    exec: ExecutorHandle,
+    config: FleetConfig,
+    tenants: RwLock<HashMap<TenantId, Arc<Tenant>>>,
+}
+
+/// A registry of named SPOT detectors sharing one executor service.
+///
+/// Cloning the fleet clones a handle (tenants and executor are shared).
+/// Every tenant keeps full single-stream semantics — its own
+/// configuration, seed, SST, clock and stats — while all synopsis shard
+/// phases, verdict sweeps and checkpoint captures fan out over the one
+/// worker pool the shared [`ExecutorHandle`] owns. See the crate docs for
+/// the determinism guarantee.
+#[derive(Clone)]
+pub struct SpotFleet {
+    inner: Arc<FleetInner>,
+}
+
+impl SpotFleet {
+    /// A fleet on the build's default executor service: machine-sized pool
+    /// engagement with the `parallel` feature, serial otherwise.
+    pub fn new(config: FleetConfig) -> Self {
+        Self::with_executor(config, ExecutorHandle::default_for_build())
+    }
+
+    /// A fleet with an explicit worker budget: `Some(0)` forces serial,
+    /// `Some(n)` an `n`-worker pool, `None` machine-sized defaults.
+    pub fn with_workers(config: FleetConfig, workers: Option<usize>) -> Self {
+        let exec = match workers {
+            Some(0) => ExecutorHandle::serial(),
+            Some(n) => ExecutorHandle::with_workers(n),
+            None => ExecutorHandle::auto(),
+        };
+        Self::with_executor(config, exec)
+    }
+
+    /// A fleet dispatching through a caller-supplied executor service
+    /// (e.g. one also shared with detectors outside the fleet).
+    pub fn with_executor(config: FleetConfig, exec: ExecutorHandle) -> Self {
+        SpotFleet {
+            inner: Arc::new(FleetInner {
+                exec,
+                config: FleetConfig {
+                    queue_capacity: config.queue_capacity.max(1),
+                    micro_batch: config.micro_batch.max(1),
+                },
+                tenants: RwLock::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The shared executor service. All tenants dispatch through it; its
+    /// `pools_spawned()` stays at ≤ 1 however many tenants register.
+    pub fn executor(&self) -> &ExecutorHandle {
+        &self.inner.exec
+    }
+
+    /// Retargets the shared worker budget (see [`ExecutorHandle::set_workers`]).
+    /// Verdicts are bit-identical for every setting.
+    pub fn set_workers(&self, workers: Option<usize>) {
+        self.inner.exec.set_workers(workers);
+    }
+
+    // ---- registry -------------------------------------------------------
+
+    /// Registers a new tenant with its own detector configuration. The
+    /// detector is built on the fleet's shared executor service. Errors
+    /// with [`SpotError::DuplicateTenant`] when the name is taken.
+    pub fn register(&self, id: TenantId, config: SpotConfig) -> Result<()> {
+        let spot = Spot::with_executor(config, self.inner.exec.clone())?;
+        self.install(id, spot, false)
+    }
+
+    /// Registers a pre-built detector (it is rewired onto the fleet's
+    /// shared executor service — bit-identical, see [`Spot::set_executor`]).
+    pub fn register_spot(&self, id: TenantId, mut spot: Spot) -> Result<()> {
+        spot.set_executor(self.inner.exec.clone());
+        self.install(id, spot, false)
+    }
+
+    fn install(&self, id: TenantId, spot: Spot, replace: bool) -> Result<()> {
+        let (tx, rx) = bounded(self.inner.config.queue_capacity);
+        let tenant = Arc::new(Tenant {
+            shared: SharedSpot::with_service_executor(spot),
+            tx,
+            rx: Mutex::new(Some(rx)),
+            queued: AtomicUsize::new(0),
+        });
+        let mut map = write_lock(&self.inner.tenants);
+        if !replace && map.contains_key(&id) {
+            return Err(SpotError::DuplicateTenant(id.to_string()));
+        }
+        map.insert(id, tenant);
+        Ok(())
+    }
+
+    /// Removes a tenant, dropping its detector and discarding any points
+    /// still queued. Errors with [`SpotError::UnknownTenant`]. Producers
+    /// blocked in [`SpotFleet::ingest`] on the evicted tenant's full
+    /// queue unblock with `UnknownTenant` (the queue's receiving half is
+    /// dropped here, failing their pending `send`).
+    pub fn evict(&self, id: &TenantId) -> Result<()> {
+        let tenant = write_lock(&self.inner.tenants)
+            .remove(id)
+            .ok_or_else(|| SpotError::UnknownTenant(id.to_string()))?;
+        // Disconnect the channel even if a blocked producer still holds
+        // an `Arc<Tenant>` of its own — dropping the registry's Arc alone
+        // would leave the receiver alive inside that clone.
+        *tenant.rx.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        Ok(())
+    }
+
+    /// Registered tenant ids, sorted (a stable order for reports and
+    /// checkpoints).
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        let map = read_lock(&self.inner.tenants);
+        let mut ids: Vec<TenantId> = map.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        read_lock(&self.inner.tenants).len()
+    }
+
+    /// `true` when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `id` is registered.
+    pub fn contains(&self, id: &TenantId) -> bool {
+        read_lock(&self.inner.tenants).contains_key(id)
+    }
+
+    fn tenant(&self, id: &TenantId) -> Result<Arc<Tenant>> {
+        read_lock(&self.inner.tenants)
+            .get(id)
+            .cloned()
+            .ok_or_else(|| SpotError::UnknownTenant(id.to_string()))
+    }
+
+    // ---- the tenant lifecycle: learn → ingest/drain → checkpoint --------
+
+    /// Runs a tenant's learning stage, returning the same
+    /// [`LearningReport`] a standalone detector produces.
+    pub fn learn(&self, id: &TenantId, training: &[DataPoint]) -> Result<LearningReport> {
+        self.tenant(id)?.shared.learn(training)
+    }
+
+    /// Processes one point synchronously (bypasses the queue; do not mix
+    /// with queued ingestion for the same tenant unless the queue is
+    /// drained first — verdict order is arrival order either way).
+    pub fn process(&self, id: &TenantId, point: &DataPoint) -> Result<Verdict> {
+        self.tenant(id)?.shared.process(point)
+    }
+
+    /// Processes a batch synchronously through the shared executor.
+    pub fn process_batch(&self, id: &TenantId, points: &[DataPoint]) -> Result<Vec<Verdict>> {
+        self.tenant(id)?.shared.process_batch(points)
+    }
+
+    /// Enqueues one point onto the tenant's bounded queue, **blocking**
+    /// while the queue is full (backpressure: a slow tenant stalls its own
+    /// producers, never the co-tenants).
+    pub fn ingest(&self, id: &TenantId, point: DataPoint) -> Result<()> {
+        let tenant = self.tenant(id)?;
+        // Count before the send so a drain that pops the point immediately
+        // can never decrement a counter that was not yet incremented.
+        tenant.queued.fetch_add(1, Ordering::Relaxed);
+        tenant.tx.send(point).map_err(|_| {
+            tenant.queued.fetch_sub(1, Ordering::Relaxed);
+            SpotError::UnknownTenant(id.to_string())
+        })?;
+        Ok(())
+    }
+
+    /// Non-blocking enqueue: `Ok(false)` when the queue is at capacity.
+    pub fn try_ingest(&self, id: &TenantId, point: DataPoint) -> Result<bool> {
+        let tenant = self.tenant(id)?;
+        tenant.queued.fetch_add(1, Ordering::Relaxed);
+        match tenant.tx.try_send(point) {
+            Ok(()) => Ok(true),
+            Err(TrySendError::Full(_)) => {
+                tenant.queued.fetch_sub(1, Ordering::Relaxed);
+                Ok(false)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                tenant.queued.fetch_sub(1, Ordering::Relaxed);
+                Err(SpotError::UnknownTenant(id.to_string()))
+            }
+        }
+    }
+
+    /// Points currently queued for `id`.
+    pub fn queue_len(&self, id: &TenantId) -> Result<usize> {
+        Ok(self.tenant(id)?.queued.load(Ordering::Relaxed))
+    }
+
+    /// Drains up to one micro-batch (`FleetConfig::micro_batch` points)
+    /// from the tenant's queue and processes it through the shared
+    /// executor, returning the verdicts in arrival order. An empty queue
+    /// returns an empty vector. Call in a loop (or use
+    /// [`SpotFleet::drain_fully`]) to exhaust a backlog.
+    ///
+    /// An error (e.g. a NaN point → [`SpotError::NonFiniteValue`])
+    /// discards the dequeued micro-batch: the detector's all-or-nothing
+    /// validation rejected it wholesale, and a poisoned batch cannot be
+    /// replayed. Validate upstream when inputs are untrusted.
+    pub fn drain(&self, id: &TenantId) -> Result<Vec<Verdict>> {
+        let tenant = self.tenant(id)?;
+        self.drain_tenant(&tenant)
+    }
+
+    /// Drains the tenant's queue to exhaustion (micro-batch at a time).
+    pub fn drain_fully(&self, id: &TenantId) -> Result<Vec<Verdict>> {
+        let tenant = self.tenant(id)?;
+        let mut verdicts = Vec::new();
+        loop {
+            let batch = self.drain_tenant(&tenant)?;
+            if batch.is_empty() {
+                return Ok(verdicts);
+            }
+            verdicts.extend(batch);
+        }
+    }
+
+    /// One service pass over the whole fleet: drains up to one micro-batch
+    /// from every tenant (sorted id order), returning each tenant's
+    /// verdicts. The building block for a fleet service loop. The first
+    /// drain error aborts the pass (see [`SpotFleet::drain`] for the
+    /// discard semantics of a rejected batch); tenants evicted mid-pass
+    /// are skipped.
+    pub fn pump(&self) -> Result<Vec<(TenantId, Vec<Verdict>)>> {
+        let mut out = Vec::new();
+        for id in self.tenant_ids() {
+            // A tenant evicted between the listing and the drain is skipped.
+            let Ok(tenant) = self.tenant(&id) else {
+                continue;
+            };
+            let verdicts = self.drain_tenant(&tenant)?;
+            if !verdicts.is_empty() {
+                out.push((id, verdicts));
+            }
+        }
+        Ok(out)
+    }
+
+    fn drain_tenant(&self, tenant: &Tenant) -> Result<Vec<Verdict>> {
+        // The rx guard is held through processing: it is what serializes
+        // concurrent drains of this tenant, and releasing it between the
+        // pop and the process_batch would let a second drainer commit a
+        // later micro-batch first, breaking arrival order. Producers are
+        // unaffected — they block on the channel's capacity, not this
+        // lock.
+        let rx = tenant.rx.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(rx) = rx.as_ref() else {
+            // Evicted while this caller still held an Arc to the entry.
+            return Ok(Vec::new());
+        };
+        let mut batch: Vec<DataPoint> = Vec::new();
+        while batch.len() < self.inner.config.micro_batch {
+            match rx.try_recv() {
+                Ok(p) => {
+                    tenant.queued.fetch_sub(1, Ordering::Relaxed);
+                    batch.push(p);
+                }
+                Err(_) => break,
+            }
+        }
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        tenant.shared.process_batch(&batch)
+    }
+
+    // ---- monitoring (never takes a detector lock) -----------------------
+
+    /// Aggregated logical counters + queue occupancy over every tenant.
+    /// Reads each tenant's stats seqlock and queue counter only — never
+    /// any detector lock, so dashboards cannot stall (or be stalled by)
+    /// ingestion.
+    pub fn stats(&self) -> FleetStats {
+        let tenants: Vec<Arc<Tenant>> = read_lock(&self.inner.tenants).values().cloned().collect();
+        let mut agg = FleetStats {
+            tenants: tenants.len(),
+            ..FleetStats::default()
+        };
+        for t in &tenants {
+            let s = t.shared.stats();
+            agg.queued += t.queued.load(Ordering::Relaxed);
+            agg.processed += s.processed;
+            agg.outliers += s.outliers;
+            agg.evolutions += s.evolutions;
+            agg.os_added += s.os_added;
+            agg.drift_events += s.drift_events;
+            agg.cells_pruned += s.cells_pruned;
+        }
+        agg
+    }
+
+    /// One tenant's logical counters (lock-free seqlock read).
+    pub fn tenant_stats(&self, id: &TenantId) -> Result<SpotStats> {
+        Ok(self.tenant(id)?.shared.stats())
+    }
+
+    /// Aggregated synopsis memory over every tenant (lock-free mirrors).
+    pub fn footprint(&self) -> FleetFootprint {
+        let tenants: Vec<Arc<Tenant>> = read_lock(&self.inner.tenants).values().cloned().collect();
+        let mut agg = FleetFootprint {
+            tenants: tenants.len(),
+            ..FleetFootprint::default()
+        };
+        for t in &tenants {
+            let f = t.shared.footprint();
+            agg.base_cells += f.base_cells;
+            agg.projected_cells += f.projected_cells;
+            agg.approx_bytes += f.approx_bytes;
+        }
+        agg
+    }
+
+    /// One tenant's synopsis footprint (lock-free mirror read).
+    pub fn tenant_footprint(&self, id: &TenantId) -> Result<SynopsisFootprint> {
+        Ok(self.tenant(id)?.shared.footprint())
+    }
+
+    /// Runs a closure with exclusive access to one tenant's detector (the
+    /// escape hatch for anything the fleet API does not cover).
+    pub fn with_tenant<R>(&self, id: &TenantId, f: impl FnOnce(&mut Spot) -> R) -> Result<R> {
+        Ok(self.tenant(id)?.shared.with(f))
+    }
+
+    // ---- durability -----------------------------------------------------
+
+    /// Captures a versioned checkpoint of every tenant (sorted id order).
+    /// Each tenant's capture is the standard v2 `SpotCheckpoint` — one
+    /// claim unit per projected store, dispatched over the shared pool
+    /// when the service is pooled — so a tenant restored from it is
+    /// bit-exact, standalone or in any fleet. Queued-but-undrained points
+    /// are *not* part of the checkpoint (they have not been processed;
+    /// drain first for a checkpoint at a chosen stream position).
+    pub fn checkpoint(&self) -> FleetCheckpoint {
+        let pool = self.inner.exec.pool_for_capture();
+        let exec: &dyn StoreExecutor = match &pool {
+            Some(pool) => &**pool,
+            None => &SerialExecutor,
+        };
+        let mut tenants = Vec::new();
+        for id in self.tenant_ids() {
+            let Ok(tenant) = self.tenant(&id) else {
+                continue;
+            };
+            let cp = tenant.shared.with(|s| s.checkpoint_with(exec));
+            tenants.push((id, cp));
+        }
+        FleetCheckpoint::new(tenants)
+    }
+
+    /// Restores one tenant from a fleet checkpoint, **replacing** any
+    /// detector currently registered under the id (or registering it
+    /// fresh). The restored detector is rewired onto this fleet's shared
+    /// executor service — restoring into a fleet with a different worker
+    /// count is bit-exact. Errors with [`SpotError::UnknownTenant`] when
+    /// the checkpoint holds no such tenant; the tenant's queue restarts
+    /// empty.
+    pub fn restore_tenant(&self, checkpoint: &FleetCheckpoint, id: &TenantId) -> Result<()> {
+        let cp = checkpoint
+            .get(id)
+            .ok_or_else(|| SpotError::UnknownTenant(id.to_string()))?;
+        let mut spot = Spot::from_checkpoint(cp)?;
+        spot.set_executor(self.inner.exec.clone());
+        self.install(id.clone(), spot, true)
+    }
+
+    /// Builds a fleet holding every tenant of the checkpoint.
+    pub fn from_checkpoint(checkpoint: &FleetCheckpoint, config: FleetConfig) -> Result<Self> {
+        Self::from_checkpoint_with(checkpoint, config, ExecutorHandle::default_for_build())
+    }
+
+    /// [`SpotFleet::from_checkpoint`] with an explicit executor service.
+    pub fn from_checkpoint_with(
+        checkpoint: &FleetCheckpoint,
+        config: FleetConfig,
+        exec: ExecutorHandle,
+    ) -> Result<Self> {
+        let fleet = Self::with_executor(config, exec);
+        for id in checkpoint.tenant_ids() {
+            fleet.restore_tenant(checkpoint, &id)?;
+        }
+        Ok(fleet)
+    }
+}
+
+fn read_lock<'a, K, V>(
+    lock: &'a RwLock<HashMap<K, V>>,
+) -> std::sync::RwLockReadGuard<'a, HashMap<K, V>> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock<'a, K, V>(
+    lock: &'a RwLock<HashMap<K, V>>,
+) -> std::sync::RwLockWriteGuard<'a, HashMap<K, V>> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}

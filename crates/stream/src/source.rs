@@ -193,6 +193,26 @@ mod tests {
     }
 
     #[test]
+    fn fn_source_numbers_sequentially_and_passes_seq_to_generator() {
+        // The closure receives the sequence number of the record it is
+        // about to produce, and records carry exactly those numbers,
+        // consecutively from 0 — even when the closure's output does not
+        // depend on its input.
+        let mut seen = Vec::new();
+        let recs: Vec<_> = FnSource::new(|seq| {
+            seen.push(seq);
+            (seq < 7).then(|| DataPoint::new(vec![(seq * 2) as f64]))
+        })
+        .collect();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let seqs: Vec<u64> = recs.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5, 6]);
+        for r in &recs {
+            assert!((r.point[0] - (r.seq * 2) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn channel_source_delivers_everything_in_order() {
         let src = ChannelSource::replay_with_rate(pts(100), Duration::ZERO);
         let recs: Vec<_> = src.collect();
@@ -215,5 +235,108 @@ mod tests {
             }
         });
         drop(src);
+    }
+
+    #[test]
+    fn channel_source_early_drop_mid_stream_joins_producer() {
+        // Consume a few records, then drop the source while the producer
+        // is mid-stream (blocked on a full buffer). Drop must disconnect
+        // the channel first (so the pending `send` fails) and then join
+        // the thread — observable through a flag the producer sets on its
+        // way out. Without the join, the flag read races; without the
+        // disconnect, the join deadlocks and the test hangs.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let exited = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&exited);
+        let mut src = ChannelSource::spawn(2, move |tx| {
+            let mut i = 0u64;
+            while tx
+                .send(StreamRecord::new(i, DataPoint::new(vec![0.0])))
+                .is_ok()
+            {
+                i += 1;
+            }
+            flag.store(true, Ordering::SeqCst);
+        });
+        for want in 0..3 {
+            assert_eq!(src.next().unwrap().seq, want);
+        }
+        drop(src);
+        assert!(
+            exited.load(Ordering::SeqCst),
+            "drop must join the producer thread"
+        );
+    }
+
+    #[test]
+    fn channel_source_zero_capacity_clamps_to_one() {
+        // A zero-capacity request clamps to 1 (a rendezvous of 0 would
+        // deadlock mpsc-style stand-ins); the stream still delivers
+        // everything in order and an explicit join() keeps working.
+        let src = ChannelSource::spawn(0, |tx| {
+            for i in 0..50u64 {
+                if tx
+                    .send(StreamRecord::new(i, DataPoint::new(vec![i as f64])))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        });
+        let recs: Vec<_> = src.collect();
+        assert_eq!(recs.len(), 50);
+        assert!(recs.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        // Explicit join after drain: returns promptly, no panic.
+        ChannelSource::replay_with_rate(pts(5), Duration::ZERO)
+            .by_ref()
+            .for_each(drop);
+    }
+
+    #[test]
+    fn channel_source_explicit_join_still_works() {
+        let mut src = ChannelSource::replay_with_rate(pts(20), Duration::ZERO);
+        let n = src.by_ref().count();
+        assert_eq!(n, 20);
+        src.join(); // consumes; Drop then runs with the handle already taken
+    }
+
+    #[test]
+    fn bounded_queue_never_exceeds_capacity_under_slow_consumer() {
+        // Backpressure: with a capacity-C channel, the producer can be at
+        // most C records ahead of the consumer. `sent` is incremented
+        // after each successful send, so `sent - received <= C` must hold
+        // at every consumer step even though the consumer is deliberately
+        // slow.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        const CAP: usize = 4;
+        let sent = Arc::new(AtomicU64::new(0));
+        let sent_producer = Arc::clone(&sent);
+        let src = ChannelSource::spawn(CAP, move |tx| {
+            for i in 0..200u64 {
+                if tx
+                    .send(StreamRecord::new(i, DataPoint::new(vec![0.0])))
+                    .is_err()
+                {
+                    return;
+                }
+                sent_producer.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        let mut received = 0u64;
+        for rec in src {
+            received += 1;
+            assert_eq!(rec.seq, received - 1, "arrival order preserved");
+            let in_flight = sent.load(Ordering::SeqCst).saturating_sub(received);
+            assert!(
+                in_flight <= CAP as u64,
+                "queue exceeded capacity: {in_flight} > {CAP}"
+            );
+            if received.is_multiple_of(10) {
+                std::thread::sleep(Duration::from_micros(200)); // slow consumer
+            }
+        }
+        assert_eq!(received, 200);
     }
 }

@@ -3,7 +3,9 @@
 use crate::grid::Grid;
 use crate::key::CellKey;
 use crate::pcs::{Pcs, ProjectedStore};
-use crate::pool::{OnceTask, SerialExecutor, SharedSlice, StoreExecutor};
+use crate::pool::{
+    ExecutorHandle, OnceTask, SerialExecutor, SharedSlice, StoreExecutor, WorkerPool,
+};
 use crate::store::BaseStore;
 use serde::Value;
 use spot_stream::{DecayTable, DecayedCounter, TimeModel};
@@ -13,9 +15,6 @@ use spot_types::{
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-
-#[cfg(feature = "parallel")]
-use crate::pool::WorkerPool;
 
 /// Lock-free mirror of the synopsis footprint, shared with monitoring
 /// readers (`spot`'s `SharedSpot` serves `footprint()` from it without
@@ -108,12 +107,10 @@ pub struct SynopsisManager {
     batch_rows: Vec<Vec<(Pcs, f64)>>,
     /// Reused shard claim order (store ordinals, heaviest first).
     shard_order: Vec<u32>,
-    /// Persistent worker pool (lazily spawned; shared by clones).
-    #[cfg(feature = "parallel")]
-    pool: Option<Arc<WorkerPool>>,
-    /// Explicit worker count override (None = size by the machine).
-    #[cfg(feature = "parallel")]
-    forced_workers: Option<usize>,
+    /// The shared executor service the batch path dispatches through (see
+    /// [`ExecutorHandle`]): clones — and every co-tenant manager of a
+    /// fleet — share the one lazily-spawned pool this handle owns.
+    exec: ExecutorHandle,
 }
 
 impl Clone for SynopsisManager {
@@ -133,10 +130,7 @@ impl Clone for SynopsisManager {
             decay_table: DecayTable::new(),
             batch_rows: Vec::new(),
             shard_order: Vec::new(),
-            #[cfg(feature = "parallel")]
-            pool: self.pool.clone(),
-            #[cfg(feature = "parallel")]
-            forced_workers: self.forced_workers,
+            exec: self.exec.clone(),
         };
         // The clone gets its own counters; re-derive them from the cloned
         // stores so subsequent deltas stay consistent.
@@ -177,8 +171,18 @@ pub struct SubspacePcs {
 }
 
 impl SynopsisManager {
-    /// Creates a manager with no monitored subspaces yet.
+    /// Creates a manager with no monitored subspaces yet, on its own
+    /// executor service — machine-sized with the `parallel` feature,
+    /// serial otherwise. Use [`SynopsisManager::with_executor`] to share
+    /// one service across many managers.
     pub fn new(grid: Grid, model: TimeModel) -> Self {
+        Self::with_executor(grid, model, ExecutorHandle::default_for_build())
+    }
+
+    /// Creates a manager dispatching its batch shard phase through `exec`.
+    /// Many managers sharing one handle share its single worker pool —
+    /// the fleet runtime's "N detectors, one executor" wiring.
+    pub fn with_executor(grid: Grid, model: TimeModel, exec: ExecutorHandle) -> Self {
         let scratch = Vec::with_capacity(grid.dims());
         let mut mgr = SynopsisManager {
             grid,
@@ -195,10 +199,7 @@ impl SynopsisManager {
             decay_table: DecayTable::new(),
             batch_rows: Vec::new(),
             shard_order: Vec::new(),
-            #[cfg(feature = "parallel")]
-            pool: None,
-            #[cfg(feature = "parallel")]
-            forced_workers: None,
+            exec,
         };
         mgr.publish_base();
         mgr
@@ -220,14 +221,25 @@ impl SynopsisManager {
         Arc::clone(&self.live)
     }
 
-    /// Overrides the worker count of the persistent pool: `Some(0)` forces
-    /// the serial path, `Some(n)` forces an `n`-worker pool even for
-    /// narrow batches (equivalence tests, tuning), `None` restores
-    /// machine-sized defaults. The pool is re-spawned lazily.
-    #[cfg(feature = "parallel")]
+    /// Overrides the worker count of the executor service: `Some(0)`
+    /// forces the serial path, `Some(n)` forces an `n`-worker pool even
+    /// for narrow batches (equivalence tests, tuning), `None` restores
+    /// machine-sized defaults. The pool is re-spawned lazily. Affects
+    /// every manager sharing this service.
     pub fn set_parallel_workers(&mut self, workers: Option<usize>) {
-        self.forced_workers = workers;
-        self.pool = None;
+        self.exec.set_workers(workers);
+    }
+
+    /// The executor service this manager dispatches through.
+    pub fn executor(&self) -> &ExecutorHandle {
+        &self.exec
+    }
+
+    /// Replaces the executor service — the fleet runtime's rewiring hook
+    /// (results are bit-identical for every executor, so this is safe at
+    /// any quiescent point).
+    pub fn set_executor(&mut self, exec: ExecutorHandle) {
+        self.exec = exec;
     }
 
     /// Starts maintaining a projected store for `subspace`. No-op when
@@ -360,10 +372,11 @@ impl SynopsisManager {
     /// would produce (rows are cleared and refilled; pass the same vector
     /// across batches to amortize its capacity).
     ///
-    /// The per-subspace store work runs through an executor picked by the
-    /// build: the [`SerialExecutor`] by default, the manager's persistent
-    /// worker pool with the `parallel` feature (for wide-enough work).
-    /// Callers with their own threads to contribute use
+    /// The per-subspace store work runs through the executor service: the
+    /// shared pool when the service engages (forced workers, or a
+    /// wide-enough run under the `parallel` feature's machine-sized
+    /// default), the [`SerialExecutor`] otherwise. Callers with their own
+    /// threads to contribute use
     /// [`SynopsisManager::update_and_query_batch_with`].
     pub fn update_and_query_batch(
         &mut self,
@@ -372,60 +385,19 @@ impl SynopsisManager {
         sinks: &mut Vec<Vec<SubspacePcs>>,
         outcomes: &mut Vec<UpdateOutcome>,
     ) -> Result<()> {
-        #[cfg(feature = "parallel")]
-        if self.pooled_run(points.len()) {
-            let pool = self.ensure_pool();
+        if let Some(pool) = self.batch_pool(points.len()) {
             return self.update_and_query_batch_with(start_tick, points, sinks, outcomes, &*pool);
         }
         self.update_and_query_batch_with(start_tick, points, sinks, outcomes, &SerialExecutor)
     }
 
     /// The executor the default batch path would pick for a run of
-    /// `points`: the persistent pool when the run is wide enough to pay
-    /// for dispatch, `None` for the serial path. Exposed so the detector
-    /// can route its verdict-sweep dispatch through the same pool the
-    /// shard phase uses.
-    #[cfg(feature = "parallel")]
+    /// `points`: the service's shared pool when the run is wide enough to
+    /// pay for dispatch, `None` for the serial path. Exposed so the
+    /// detector can route its verdict-sweep dispatch through the same pool
+    /// the shard phase uses.
     pub fn batch_pool(&mut self, points: usize) -> Option<Arc<WorkerPool>> {
-        if self.pooled_run(points) {
-            Some(self.ensure_pool())
-        } else {
-            None
-        }
-    }
-
-    /// Whether this run is worth fanning out over the pool.
-    #[cfg(feature = "parallel")]
-    fn pooled_run(&self, points: usize) -> bool {
-        if self.stores.is_empty() || points == 0 {
-            return false;
-        }
-        match self.forced_workers {
-            Some(workers) => workers > 0,
-            // Fan out only when the work is wide enough to pay for the
-            // dispatch, and the machine has threads to give.
-            None => self.stores.len() >= 8 && points >= 8 && Self::default_workers() >= 1,
-        }
-    }
-
-    #[cfg(feature = "parallel")]
-    fn default_workers() -> usize {
-        std::thread::available_parallelism().map_or(1, |n| n.get()) - 1
-    }
-
-    /// The persistent pool, spawned on first use and kept for the
-    /// manager's lifetime (clones share it).
-    #[cfg(feature = "parallel")]
-    fn ensure_pool(&mut self) -> Arc<WorkerPool> {
-        let desired = self.forced_workers.unwrap_or_else(Self::default_workers);
-        match &self.pool {
-            Some(pool) if pool.workers() == desired => Arc::clone(pool),
-            _ => {
-                let pool = Arc::new(WorkerPool::new(desired));
-                self.pool = Some(Arc::clone(&pool));
-                pool
-            }
-        }
+        self.exec.pool_for(self.stores.len(), points)
     }
 
     /// [`SynopsisManager::update_and_query_batch`] with an explicit
@@ -1031,7 +1003,6 @@ mod tests {
         batch_reference_check(build, &points);
     }
 
-    #[cfg(feature = "parallel")]
     #[test]
     fn forced_worker_counts_are_bit_identical() {
         let build = |workers: Option<usize>| {

@@ -36,7 +36,7 @@
 
 use crossbeam::channel::{bounded, Sender};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -304,6 +304,173 @@ impl Drop for WorkerPool {
     }
 }
 
+/// A cloneable, `Arc`-backed **executor service**: the one place that owns
+/// the persistent [`WorkerPool`] and decides when a piece of shard-claim
+/// work is worth fanning out.
+///
+/// Historically each `SynopsisManager` owned its own lazily-spawned pool,
+/// so hosting N detectors cost N pools and N uncoordinated sets of worker
+/// threads. The handle inverts that ownership: serial and pooled execution
+/// are *modes of one shared runtime* — every manager (and, through it,
+/// every detector of a fleet) holds a clone of the same handle, and at
+/// most **one** pool is ever spawned per handle, shared by all of them.
+/// `spot`'s cooperative `SharedSpot` remains a third mode layered on top
+/// (an external [`StoreExecutor`] passed per call).
+///
+/// Results are bit-identical whichever mode runs a dispatch — the claim
+/// protocol guarantees one writer per shard regardless of who the
+/// participants are — so the handle can be retargeted (worker count
+/// changed, pool dropped) at any quiescent point without observable
+/// effect on verdicts, stats, or synopsis state.
+#[derive(Debug, Clone)]
+pub struct ExecutorHandle {
+    inner: Arc<ExecutorInner>,
+}
+
+#[derive(Debug)]
+struct ExecutorInner {
+    /// `Some(0)` forces serial, `Some(n)` forces an `n`-worker pool even
+    /// for narrow work, `None` sizes by the machine (and engages only for
+    /// wide-enough dispatches).
+    forced: Mutex<Option<usize>>,
+    /// The lazily-spawned pool (dropped and respawned when retargeted).
+    pool: Mutex<Option<Arc<WorkerPool>>>,
+    /// Pools this handle spawned over its lifetime — observability for the
+    /// fleet tests, which pin "one pool for N tenants" with it.
+    pools_spawned: AtomicUsize,
+}
+
+impl ExecutorHandle {
+    fn with_forced(forced: Option<usize>) -> Self {
+        ExecutorHandle {
+            inner: Arc::new(ExecutorInner {
+                forced: Mutex::new(forced),
+                pool: Mutex::new(None),
+                pools_spawned: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// A handle that never spawns workers: every dispatch runs on the
+    /// calling thread (plus whatever external executor a caller supplies).
+    pub fn serial() -> Self {
+        Self::with_forced(Some(0))
+    }
+
+    /// A machine-sized handle: spawns `available_parallelism - 1` workers,
+    /// lazily, the first time a dispatch is wide enough to pay for fan-out.
+    pub fn auto() -> Self {
+        Self::with_forced(None)
+    }
+
+    /// A handle with a fixed worker budget (0 degrades to [`Self::serial`]
+    /// behavior; `n > 0` engages the pool even for narrow work — the
+    /// setting equivalence tests and pinned deployments use).
+    pub fn with_workers(workers: usize) -> Self {
+        Self::with_forced(Some(workers))
+    }
+
+    /// The handle a standalone manager/detector gets by default:
+    /// machine-sized with the `parallel` feature, serial otherwise (the
+    /// historical per-build behavior, now just two settings of one
+    /// service).
+    pub fn default_for_build() -> Self {
+        if cfg!(feature = "parallel") {
+            Self::auto()
+        } else {
+            Self::serial()
+        }
+    }
+
+    /// Retargets the worker budget: `Some(0)` forces serial, `Some(n)`
+    /// forces an `n`-worker pool, `None` restores machine-sized defaults.
+    /// An existing pool of a different size is dropped (its threads join)
+    /// and respawned lazily. Affects every manager sharing this handle.
+    pub fn set_workers(&self, workers: Option<usize>) {
+        let mut forced = self.inner.forced.lock().unwrap_or_else(|e| e.into_inner());
+        *forced = workers;
+        // Drop under the forced lock so a concurrent `pool_for` cannot
+        // resurrect the old size between the store and the clear.
+        *self.inner.pool.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Identity of this service (clones compare equal): two managers with
+    /// the same id share one pool by construction.
+    pub fn id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// How many [`WorkerPool`]s this handle has spawned over its lifetime.
+    /// A fleet that shares one handle across N tenants asserts this stays
+    /// at 1 however many tenants ingest.
+    pub fn pools_spawned(&self) -> usize {
+        self.inner.pools_spawned.load(Ordering::Relaxed)
+    }
+
+    /// The pool to use for a dispatch over `stores` shards and `points`
+    /// points — `None` when the work should run serially (forced serial,
+    /// empty work, or too narrow to pay for fan-out under machine-sized
+    /// defaults). Spawns the pool on first engagement and returns the same
+    /// shared pool afterwards.
+    pub fn pool_for(&self, stores: usize, points: usize) -> Option<Arc<WorkerPool>> {
+        if stores == 0 || points == 0 {
+            return None;
+        }
+        // Hold the forced lock across the ensure: a concurrent
+        // `set_workers` must not interleave between reading the budget and
+        // installing the pool, or a stale-size pool could be re-installed
+        // right after the retarget cleared the slot.
+        let guard = self.inner.forced.lock().unwrap_or_else(|e| e.into_inner());
+        let forced = *guard;
+        let engage = match forced {
+            Some(workers) => workers > 0,
+            // Fan out only when the work is wide enough to pay for the
+            // dispatch, and the machine has threads to give.
+            None => stores >= 8 && points >= 8 && Self::default_workers() >= 1,
+        };
+        if !engage {
+            return None;
+        }
+        let pool = self.ensure_pool(forced.unwrap_or_else(Self::default_workers));
+        drop(guard);
+        Some(pool)
+    }
+
+    /// The pool for a dispatch whose width should not gate engagement
+    /// (checkpoint capture, other cold-path fan-outs): `None` only when
+    /// the service is in a serial mode.
+    pub fn pool_for_capture(&self) -> Option<Arc<WorkerPool>> {
+        self.pool_for(usize::MAX, usize::MAX)
+    }
+
+    /// The pool, if one is currently spawned (monitoring/tests; does not
+    /// spawn).
+    pub fn current_pool(&self) -> Option<Arc<WorkerPool>> {
+        self.inner
+            .pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn ensure_pool(&self, desired: usize) -> Arc<WorkerPool> {
+        let mut slot = self.inner.pool.lock().unwrap_or_else(|e| e.into_inner());
+        match &*slot {
+            Some(pool) if pool.workers() == desired => Arc::clone(pool),
+            _ => {
+                let pool = Arc::new(WorkerPool::new(desired));
+                self.inner.pools_spawned.fetch_add(1, Ordering::Relaxed);
+                *slot = Some(Arc::clone(&pool));
+                pool
+            }
+        }
+    }
+
+    fn default_workers() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get()) - 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +585,53 @@ mod tests {
         for (i, v) in data.iter().enumerate() {
             assert_eq!(*v, i as u32 + 1);
         }
+    }
+
+    #[test]
+    fn executor_handle_serial_never_spawns() {
+        let handle = ExecutorHandle::serial();
+        assert!(handle.pool_for(64, 4096).is_none());
+        assert_eq!(handle.pools_spawned(), 0);
+        assert!(handle.current_pool().is_none());
+    }
+
+    #[test]
+    fn executor_handle_spawns_exactly_one_shared_pool() {
+        let handle = ExecutorHandle::with_workers(2);
+        // Narrow/empty work never engages.
+        assert!(handle.pool_for(0, 100).is_none());
+        assert!(handle.pool_for(100, 0).is_none());
+        let clones: Vec<ExecutorHandle> = (0..8).map(|_| handle.clone()).collect();
+        let pools: Vec<Arc<WorkerPool>> = clones
+            .iter()
+            .map(|h| h.pool_for(4, 4).expect("forced workers engage"))
+            .collect();
+        for pool in &pools {
+            assert!(Arc::ptr_eq(pool, &pools[0]), "clones share one pool");
+            assert_eq!(pool.workers(), 2);
+        }
+        assert_eq!(handle.pools_spawned(), 1);
+        for clone in &clones {
+            assert_eq!(clone.id(), handle.id());
+        }
+    }
+
+    #[test]
+    fn executor_handle_retargets_worker_budget() {
+        let handle = ExecutorHandle::with_workers(1);
+        let first = handle.pool_for(4, 4).unwrap();
+        assert_eq!(first.workers(), 1);
+        handle.set_workers(Some(3));
+        let second = handle.pool_for(4, 4).unwrap();
+        assert_eq!(second.workers(), 3);
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(handle.pools_spawned(), 2);
+        // Same size again: no respawn.
+        assert!(Arc::ptr_eq(&second, &handle.pool_for(4, 4).unwrap()));
+        assert_eq!(handle.pools_spawned(), 2);
+        handle.set_workers(Some(0));
+        assert!(handle.pool_for(4, 4).is_none());
+        assert!(handle.current_pool().is_none(), "serial drops the pool");
     }
 
     #[test]

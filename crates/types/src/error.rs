@@ -41,6 +41,10 @@ pub enum SpotError {
     /// A snapshot parsed but its payload does not describe a valid engine
     /// state (missing field, wrong shape, inconsistent columns).
     SnapshotCorrupt(String),
+    /// A fleet operation named a tenant the registry does not hold.
+    UnknownTenant(String),
+    /// A tenant registration reused a name already in the registry.
+    DuplicateTenant(String),
 }
 
 impl fmt::Display for SpotError {
@@ -68,6 +72,10 @@ impl fmt::Display for SpotError {
                 write!(f, "snapshot format version {v} is not supported")
             }
             SpotError::SnapshotCorrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
+            SpotError::UnknownTenant(id) => write!(f, "unknown tenant {id:?}"),
+            SpotError::DuplicateTenant(id) => {
+                write!(f, "tenant {id:?} is already registered")
+            }
         }
     }
 }

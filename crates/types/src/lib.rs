@@ -16,6 +16,7 @@ pub mod label;
 pub mod persist;
 pub mod point;
 pub mod stats;
+pub mod tenant;
 
 pub use bounds::DomainBounds;
 pub use error::{Result, SpotError};
@@ -23,6 +24,7 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use label::{AnomalyInfo, Label};
 pub use persist::{DurableState, PersistError, StateReader, StateWriter};
 pub use point::{DataPoint, LabeledRecord, StreamRecord};
+pub use tenant::TenantId;
 
 /// Verdict produced by a generic stream detector for a single point.
 ///
