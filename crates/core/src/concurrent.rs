@@ -137,9 +137,10 @@ impl StoreExecutor for CooperativeExecutor<'_> {
         let job = self.board.publish(work);
         job.job.run();
         self.board.retire(&job);
-        if job.job.panicked() {
-            panic!("a shard job panicked");
-        }
+        // Re-raise with the original payload (helpers included) so the
+        // batch owner — and any supervision layer above it — sees the
+        // claim unit's actual panic, not a generic marker.
+        job.job.resume_if_panicked();
     }
 }
 

@@ -14,10 +14,22 @@
 //! The per-tenant payloads version independently (they carry the v2
 //! `SpotCheckpoint` version field), so a future v3 detector format slots
 //! in without changing the envelope.
+//!
+//! The envelope additionally seals its payload with an FNV-1a 64 checksum
+//! (`checksum` field, over the canonical rendering of the `tenants`
+//! array): a torn or bit-flipped file that still parses as JSON is
+//! rejected as [`SpotError::SnapshotCorrupt`] instead of silently
+//! restoring a subtly wrong engine. Envelopes without the field (written
+//! before it existed) are still accepted. [`CheckpointStore`] layers
+//! crash-safe *files* on top: atomic tmp + fsync + rename writes, a
+//! bounded window of retained generations, and recovery that scans for
+//! the newest valid file.
 
 use serde::{DeError, Deserialize, Serialize, Value};
 use spot::SpotCheckpoint;
-use spot_types::{Result, SpotError, TenantId};
+use spot_types::{fnv1a64, Result, SpotError, TenantId};
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 /// Fleet checkpoint envelope version.
 pub const FLEET_CHECKPOINT_VERSION: u32 = 1;
@@ -95,24 +107,38 @@ impl FleetCheckpoint {
     }
 }
 
+/// FNV-1a 64 of the canonical (compact-JSON) rendering of the `tenants`
+/// array — the quantity the envelope's `checksum` field seals. Both sides
+/// of the trip hash a *rendering of a `Value`*, and capture → restore →
+/// capture being a byte-level fixed point guarantees a re-parsed tree
+/// renders identically, so a clean round trip always verifies.
+fn tenants_checksum(tenants: &Value) -> u64 {
+    let text = serde_json::to_string(tenants)
+        .expect("fleet checkpoint payload serialization is infallible");
+    fnv1a64(text.as_bytes())
+}
+
 impl Serialize for FleetCheckpoint {
     fn to_value(&self) -> Value {
-        let tenants = self
-            .tenants
-            .iter()
-            .map(|(id, cp)| {
-                Value::Object(vec![
-                    ("id".to_string(), Value::Str(id.to_string())),
-                    ("checkpoint".to_string(), cp.to_value()),
-                ])
-            })
-            .collect();
+        let tenants = Value::Array(
+            self.tenants
+                .iter()
+                .map(|(id, cp)| {
+                    Value::Object(vec![
+                        ("id".to_string(), Value::Str(id.to_string())),
+                        ("checkpoint".to_string(), cp.to_value()),
+                    ])
+                })
+                .collect(),
+        );
+        let checksum = tenants_checksum(&tenants);
         Value::Object(vec![
             (
                 "version".to_string(),
                 Value::U64(FLEET_CHECKPOINT_VERSION as u64),
             ),
-            ("tenants".to_string(), Value::Array(tenants)),
+            ("checksum".to_string(), Value::U64(checksum)),
+            ("tenants".to_string(), tenants),
         ])
     }
 }
@@ -126,9 +152,28 @@ impl Deserialize for FleetCheckpoint {
                 "expected fleet checkpoint version {FLEET_CHECKPOINT_VERSION}, found {version}"
             )));
         }
-        let Some(Value::Array(entries)) = v.get_field("tenants") else {
+        let tenants_value = v.get_field("tenants");
+        let Some(tenants_field @ Value::Array(entries)) = tenants_value else {
             return Err(DeError::custom("missing or non-array field `tenants`"));
         };
+        // Verify the checksum seal when present (older envelopes lack it).
+        match v.get_field("checksum") {
+            Some(&Value::U64(stored)) => {
+                let computed = tenants_checksum(tenants_field);
+                if stored != computed {
+                    return Err(DeError::custom(format!(
+                        "checksum mismatch: envelope declares {stored:#018x}, \
+                         payload hashes to {computed:#018x}"
+                    )));
+                }
+            }
+            Some(other) => {
+                return Err(DeError::custom(format!(
+                    "checksum field is not an integer: {other:?}"
+                )))
+            }
+            None => {}
+        }
         let mut tenants: Vec<(TenantId, SpotCheckpoint)> = Vec::with_capacity(entries.len());
         for (i, entry) in entries.iter().enumerate() {
             let id = match entry.get_field("id") {
@@ -146,4 +191,194 @@ impl Deserialize for FleetCheckpoint {
         }
         Ok(FleetCheckpoint::new(tenants))
     }
+}
+
+// ---- crash-safe checkpoint files ---------------------------------------
+
+const CKPT_PREFIX: &str = "fleet-";
+const CKPT_SUFFIX: &str = ".ckpt";
+
+/// Result of [`CheckpointStore::load_latest`]: the newest generation that
+/// parsed and verified, plus every newer generation that had to be
+/// rejected on the way there (and why).
+#[derive(Debug)]
+pub struct RecoveryScan {
+    /// The newest valid retained checkpoint, or `None` when every
+    /// retained generation is invalid (or none exist).
+    pub recovered: Option<(u64, FleetCheckpoint)>,
+    /// Generations rejected during the scan, newest first, with the typed
+    /// error each produced (torn writes, bit flips, bad versions — never
+    /// a panic).
+    pub rejected: Vec<(u64, SpotError)>,
+}
+
+/// A directory of crash-safe fleet checkpoint files with bounded
+/// retention.
+///
+/// * **Atomic writes** — [`CheckpointStore::save`] writes
+///   `fleet-<generation>.ckpt.tmp`, fsyncs it, then renames it into place
+///   (and best-effort fsyncs the directory): a crash at any instant
+///   leaves either the complete previous state or the complete new one,
+///   never a half-written `.ckpt` file. Stray `.tmp` files from a crash
+///   are ignored by every read path and overwritten by the next save.
+/// * **Generations** — each save gets the next number; the oldest files
+///   beyond the retention window are pruned after a successful rename, so
+///   a corrupt newest generation never strands the fleet (recovery falls
+///   back to an older one).
+/// * **Typed recovery** — [`CheckpointStore::load_latest`] scans newest →
+///   oldest, returning the first checkpoint that parses *and* passes the
+///   envelope checksum; everything rejected is reported, not panicked on.
+/// * **Fault harness** — [`CheckpointStore::corrupt`] and
+///   [`CheckpointStore::truncate`] deterministically damage a retained
+///   file so tests can drive the recovery path (see `docs/robustness.md`).
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    retain: usize,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory retaining the
+    /// newest `retain` generations (clamped to at least 1).
+    pub fn open(dir: impl Into<PathBuf>, retain: usize) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err("create", &dir, &e))?;
+        Ok(CheckpointStore {
+            dir,
+            retain: retain.max(1),
+        })
+    }
+
+    /// The directory holding the checkpoint files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The retention window (newest generations kept).
+    pub fn retain(&self) -> usize {
+        self.retain
+    }
+
+    fn path_for(&self, generation: u64) -> PathBuf {
+        self.dir
+            .join(format!("{CKPT_PREFIX}{generation:08}{CKPT_SUFFIX}"))
+    }
+
+    /// Retained generation numbers, oldest first.
+    pub fn generations(&self) -> Result<Vec<u64>> {
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| io_err("list", &self.dir, &e))?;
+        let mut gens = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("list", &self.dir, &e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(digits) = name
+                .strip_prefix(CKPT_PREFIX)
+                .and_then(|rest| rest.strip_suffix(CKPT_SUFFIX))
+            else {
+                continue;
+            };
+            if let Ok(g) = digits.parse::<u64>() {
+                gens.push(g);
+            }
+        }
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// Atomically persists a checkpoint as the next generation, prunes
+    /// generations beyond the retention window, and returns the new
+    /// generation number.
+    pub fn save(&self, checkpoint: &FleetCheckpoint) -> Result<u64> {
+        let generation = self.generations()?.last().copied().unwrap_or(0) + 1;
+        let final_path = self.path_for(generation);
+        let tmp_path = final_path.with_extension("ckpt.tmp");
+        {
+            let mut file =
+                std::fs::File::create(&tmp_path).map_err(|e| io_err("create", &tmp_path, &e))?;
+            file.write_all(checkpoint.to_json().as_bytes())
+                .map_err(|e| io_err("write", &tmp_path, &e))?;
+            // The data must be on stable storage *before* the rename makes
+            // it reachable, or a crash could publish an empty file.
+            file.sync_all().map_err(|e| io_err("sync", &tmp_path, &e))?;
+        }
+        std::fs::rename(&tmp_path, &final_path).map_err(|e| io_err("rename", &tmp_path, &e))?;
+        // Best effort: make the rename itself durable. Not all platforms
+        // support fsync on a directory handle; recovery tolerates a
+        // missing newest generation either way.
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        let gens = self.generations()?;
+        if gens.len() > self.retain {
+            for g in &gens[..gens.len() - self.retain] {
+                let _ = std::fs::remove_file(self.path_for(*g));
+            }
+        }
+        Ok(generation)
+    }
+
+    /// Loads one retained generation, with the envelope's typed errors
+    /// ([`SpotError::SnapshotCorrupt`] / `UnsupportedSnapshotVersion`) for
+    /// damaged files and [`SpotError::Io`] for missing ones.
+    pub fn load(&self, generation: u64) -> Result<FleetCheckpoint> {
+        let path = self.path_for(generation);
+        let bytes = std::fs::read(&path).map_err(|e| io_err("read", &path, &e))?;
+        let text = String::from_utf8(bytes).map_err(|e| {
+            SpotError::SnapshotCorrupt(format!("{}: not valid UTF-8: {e}", path.display()))
+        })?;
+        FleetCheckpoint::from_json(&text)
+    }
+
+    /// Scans retained generations newest → oldest and returns the first
+    /// that parses and verifies, together with every rejected newer
+    /// generation. Never panics on damaged files.
+    pub fn load_latest(&self) -> Result<RecoveryScan> {
+        let mut rejected = Vec::new();
+        for g in self.generations()?.into_iter().rev() {
+            match self.load(g) {
+                Ok(cp) => {
+                    return Ok(RecoveryScan {
+                        recovered: Some((g, cp)),
+                        rejected,
+                    })
+                }
+                Err(e) => rejected.push((g, e)),
+            }
+        }
+        Ok(RecoveryScan {
+            recovered: None,
+            rejected,
+        })
+    }
+
+    /// Fault harness: XORs `mask` into the byte at `offset` (taken modulo
+    /// the file length) of a retained generation. A zero mask leaves the
+    /// file intact.
+    pub fn corrupt(&self, generation: u64, offset: usize, mask: u8) -> Result<()> {
+        let path = self.path_for(generation);
+        let mut bytes = std::fs::read(&path).map_err(|e| io_err("read", &path, &e))?;
+        if bytes.is_empty() {
+            return Err(SpotError::Io(format!("{}: empty file", path.display())));
+        }
+        let at = offset % bytes.len();
+        bytes[at] ^= mask;
+        std::fs::write(&path, &bytes).map_err(|e| io_err("write", &path, &e))?;
+        Ok(())
+    }
+
+    /// Fault harness: truncates a retained generation to its first `len`
+    /// bytes (a simulated torn write from a crash mid-`write` without the
+    /// atomic rename protocol).
+    pub fn truncate(&self, generation: u64, len: usize) -> Result<()> {
+        let path = self.path_for(generation);
+        let bytes = std::fs::read(&path).map_err(|e| io_err("read", &path, &e))?;
+        let keep = len.min(bytes.len());
+        std::fs::write(&path, &bytes[..keep]).map_err(|e| io_err("write", &path, &e))?;
+        Ok(())
+    }
+}
+
+fn io_err(action: &str, path: &Path, e: &std::io::Error) -> SpotError {
+    SpotError::Io(format!("{action} {}: {e}", path.display()))
 }

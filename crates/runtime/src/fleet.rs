@@ -1,12 +1,35 @@
 //! The multi-tenant fleet: a registry of detectors on one shared executor.
+//!
+//! # Fault containment
+//!
+//! Every path that runs tenant detector code (`process`, `process_batch`,
+//! `drain`, `pump`) executes under a panic guard. A panic — the tenant's
+//! own detector code, a worker-pool job re-raised on the dispatching
+//! thread, or an injected fault — is caught, converted into a typed
+//! [`SpotError::TenantPoisoned`], and **quarantines only that tenant**:
+//! co-tenants keep executing on the shared pool, bit-identical to a run
+//! where the faulted tenant never existed. A quarantined tenant's
+//! in-memory detector is untrusted (the panic may have torn it mid-update
+//! behind its non-poisoning lock), so every processing and checkpoint
+//! operation fails until the tenant is restored from a checkpoint — see
+//! [`SpotFleet::revive_tenant`] and the [`crate::Supervisor`] that
+//! automates restoration. Ingestion keeps enqueuing for a quarantined
+//! tenant (subject to its [`OverloadPolicy`]) so the backlog survives into
+//! recovery.
 
 use crate::checkpoint::FleetCheckpoint;
+use crate::faults::{FaultInjector, FaultPlan};
+use crate::health::{IngestOutcome, OverloadPolicy, QuarantineInfo, TenantHealth};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use spot::{LearningReport, SharedSpot, Spot, SpotConfig, SpotStats, SynopsisFootprint, Verdict};
-use spot_synopsis::{ExecutorHandle, SerialExecutor, StoreExecutor};
+use spot::{
+    LearningReport, SharedSpot, Spot, SpotCheckpoint, SpotConfig, SpotStats, SynopsisFootprint,
+    Verdict,
+};
+use spot_synopsis::{panic_message, ExecutorHandle, SerialExecutor, StoreExecutor};
 use spot_types::{DataPoint, Result, SpotError, TenantId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Fleet-wide knobs. `Default` gives a 1024-point queue per tenant and
@@ -15,8 +38,8 @@ use std::sync::{Arc, Mutex, RwLock};
 #[derive(Debug, Clone, Copy)]
 pub struct FleetConfig {
     /// Capacity of each tenant's bounded ingestion queue (clamped to at
-    /// least 1). A producer ingesting into a full queue blocks — the
-    /// streaming model's space bound, enforced per tenant.
+    /// least 1). What happens when the queue is full is the tenant's
+    /// [`OverloadPolicy`]: block the producer (default), shed, or sample.
     pub queue_capacity: usize,
     /// Maximum points one [`SpotFleet::drain`] pass processes (clamped to
     /// at least 1).
@@ -32,13 +55,19 @@ impl Default for FleetConfig {
     }
 }
 
-/// Aggregated logical counters over every tenant, plus queue occupancy.
-/// Served entirely from lock-free mirrors (each tenant's stats seqlock and
-/// queue counter) — reading it never blocks, or is blocked by, ingestion.
+/// Aggregated logical counters over every tenant, plus queue occupancy and
+/// the supervision plane's fault/overload counters. Served entirely from
+/// lock-free mirrors (each tenant's stats seqlock, queue counter, health
+/// tag and overload atomics) — reading it never blocks, or is blocked by,
+/// ingestion.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FleetStats {
     /// Registered tenants.
     pub tenants: usize,
+    /// Tenants currently quarantined after a panic.
+    pub quarantined: usize,
+    /// Tenants marked failed (recovery budget exhausted).
+    pub failed: usize,
     /// Points waiting in tenant ingestion queues (not yet processed).
     pub queued: usize,
     /// Sum of [`SpotStats::processed`] over all tenants.
@@ -53,6 +82,14 @@ pub struct FleetStats {
     pub drift_events: u64,
     /// Sum of [`SpotStats::cells_pruned`] over all tenants.
     pub cells_pruned: u64,
+    /// Points dropped by `Shed`/`Sample` overload policies, all tenants.
+    pub shed: u64,
+    /// Points admitted by the `Sample` policy's 1-in-k survivor slot.
+    pub sampled_kept: u64,
+    /// Tenant panics caught (each moved one tenant to quarantine).
+    pub panics: u64,
+    /// Successful tenant restorations ([`SpotFleet::revive_tenant`]).
+    pub recoveries: u64,
 }
 
 /// Aggregated synopsis memory over every tenant — from each tenant's
@@ -69,7 +106,19 @@ pub struct FleetFootprint {
     pub approx_bytes: usize,
 }
 
-/// One registered tenant: the detector handle plus its bounded queue.
+// `Tenant::state` mirror values — a lock-free fast gate so healthy-path
+// operations never touch the health mutex.
+const HEALTH_HEALTHY: u8 = 0;
+const HEALTH_QUARANTINED: u8 = 1;
+const HEALTH_FAILED: u8 = 2;
+
+// `Tenant::policy_kind` values (with `policy_k` carrying Sample's k).
+const POLICY_BLOCK: u8 = 0;
+const POLICY_SHED: u8 = 1;
+const POLICY_SAMPLE: u8 = 2;
+
+/// One registered tenant: the detector handle plus its bounded queue and
+/// supervision-plane state.
 struct Tenant {
     shared: SharedSpot,
     tx: Sender<DataPoint>,
@@ -86,12 +135,83 @@ struct Tenant {
     /// in `send`. A lock-free occupancy mirror for [`SpotFleet::stats`]
     /// (the channel itself exposes no length).
     queued: AtomicUsize,
+    /// Full health state (quarantine reason, counters). Taken only on the
+    /// unhealthy path and on transitions; `state` is the hot-path mirror.
+    health: Mutex<TenantHealth>,
+    /// Lock-free mirror of the health discriminant (`HEALTH_*`).
+    state: AtomicU8,
+    /// Overload policy, packed into atomics so `ingest` never locks:
+    /// `policy_kind` is a `POLICY_*` tag, `policy_k` Sample's `keep_one_in`.
+    policy_kind: AtomicU8,
+    policy_k: AtomicU32,
+    /// Full-queue encounters (drives the deterministic 1-in-k sampler).
+    overflow_seen: AtomicU64,
+    /// Points dropped by `Shed`/`Sample`.
+    shed: AtomicU64,
+    /// Points admitted through the `Sample` survivor slot.
+    sampled_kept: AtomicU64,
+}
+
+impl Tenant {
+    /// A fresh healthy tenant with default (`Block`) overload policy.
+    fn fresh(spot: Spot, capacity: usize) -> Tenant {
+        let (tx, rx) = bounded(capacity);
+        Tenant {
+            shared: SharedSpot::with_service_executor(spot),
+            tx,
+            rx: Mutex::new(Some(rx)),
+            queued: AtomicUsize::new(0),
+            health: Mutex::new(TenantHealth::Healthy),
+            state: AtomicU8::new(HEALTH_HEALTHY),
+            policy_kind: AtomicU8::new(POLICY_BLOCK),
+            policy_k: AtomicU32::new(1),
+            overflow_seen: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            sampled_kept: AtomicU64::new(0),
+        }
+    }
+
+    fn policy(&self) -> OverloadPolicy {
+        match self.policy_kind.load(Ordering::Relaxed) {
+            POLICY_SHED => OverloadPolicy::Shed,
+            POLICY_SAMPLE => OverloadPolicy::Sample {
+                keep_one_in: self.policy_k.load(Ordering::Relaxed).max(1),
+            },
+            _ => OverloadPolicy::Block,
+        }
+    }
+
+    fn set_policy(&self, policy: OverloadPolicy) {
+        let (kind, k) = match policy {
+            OverloadPolicy::Block => (POLICY_BLOCK, 1),
+            OverloadPolicy::Shed => (POLICY_SHED, 1),
+            OverloadPolicy::Sample { keep_one_in } => (POLICY_SAMPLE, keep_one_in.max(1)),
+        };
+        self.policy_k.store(k, Ordering::Relaxed);
+        self.policy_kind.store(kind, Ordering::Relaxed);
+    }
+
+    fn health_snapshot(&self) -> TenantHealth {
+        self.health
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
 }
 
 struct FleetInner {
     exec: ExecutorHandle,
     config: FleetConfig,
     tenants: RwLock<HashMap<TenantId, Arc<Tenant>>>,
+    /// Armed fault plan (tests only). `faults_armed` is the lock-free
+    /// fast flag consulted on hot paths; the mutex is touched only when a
+    /// plan is actually armed.
+    faults: Mutex<Option<Arc<FaultInjector>>>,
+    faults_armed: AtomicBool,
+    /// Tenant panics caught fleet-wide.
+    panics: AtomicU64,
+    /// Successful tenant restorations fleet-wide.
+    recoveries: AtomicU64,
 }
 
 /// A registry of named SPOT detectors sharing one executor service.
@@ -101,7 +221,7 @@ struct FleetInner {
 /// configuration, seed, SST, clock and stats — while all synopsis shard
 /// phases, verdict sweeps and checkpoint captures fan out over the one
 /// worker pool the shared [`ExecutorHandle`] owns. See the crate docs for
-/// the determinism guarantee.
+/// the determinism guarantee and the module docs for fault containment.
 #[derive(Clone)]
 pub struct SpotFleet {
     inner: Arc<FleetInner>,
@@ -136,6 +256,10 @@ impl SpotFleet {
                     micro_batch: config.micro_batch.max(1),
                 },
                 tenants: RwLock::new(HashMap::new()),
+                faults: Mutex::new(None),
+                faults_armed: AtomicBool::new(false),
+                panics: AtomicU64::new(0),
+                recoveries: AtomicU64::new(0),
             }),
         }
     }
@@ -170,13 +294,7 @@ impl SpotFleet {
     }
 
     fn install(&self, id: TenantId, spot: Spot, replace: bool) -> Result<()> {
-        let (tx, rx) = bounded(self.inner.config.queue_capacity);
-        let tenant = Arc::new(Tenant {
-            shared: SharedSpot::with_service_executor(spot),
-            tx,
-            rx: Mutex::new(Some(rx)),
-            queued: AtomicUsize::new(0),
-        });
+        let tenant = Arc::new(Tenant::fresh(spot, self.inner.config.queue_capacity));
         let mut map = write_lock(&self.inner.tenants);
         if !replace && map.contains_key(&id) {
             return Err(SpotError::DuplicateTenant(id.to_string()));
@@ -232,50 +350,288 @@ impl SpotFleet {
             .ok_or_else(|| SpotError::UnknownTenant(id.to_string()))
     }
 
+    // ---- the supervision plane ------------------------------------------
+
+    /// One tenant's health state (quarantine reason and counters included).
+    pub fn health(&self, id: &TenantId) -> Result<TenantHealth> {
+        Ok(self.tenant(id)?.health_snapshot())
+    }
+
+    /// Sets one tenant's overload policy (effective for subsequent
+    /// [`SpotFleet::ingest`] calls; `Sample { keep_one_in: 0 }` is
+    /// normalized to `1`). The policy survives [`SpotFleet::revive_tenant`]
+    /// but not `restore_tenant`/`register` (those are fresh registrations).
+    pub fn set_overload_policy(&self, id: &TenantId, policy: OverloadPolicy) -> Result<()> {
+        self.tenant(id)?.set_policy(policy);
+        Ok(())
+    }
+
+    /// One tenant's current overload policy.
+    pub fn overload_policy(&self, id: &TenantId) -> Result<OverloadPolicy> {
+        Ok(self.tenant(id)?.policy())
+    }
+
+    /// Arms a deterministic [`FaultPlan`] (replacing any previous plan,
+    /// ordinal counters reset). Test harness facility: with no plan armed
+    /// the hot paths check one atomic flag and nothing else.
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        *self.inner.faults.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(Arc::new(FaultInjector::new(plan)));
+        self.inner.faults_armed.store(true, Ordering::Release);
+    }
+
+    /// Disarms fault injection.
+    pub fn disarm_faults(&self) {
+        self.inner.faults_armed.store(false, Ordering::Release);
+        *self.inner.faults.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    fn injector(&self) -> Option<Arc<FaultInjector>> {
+        if !self.inner.faults_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.inner
+            .faults
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Consults the armed fault plan for one recovery attempt (supervisor
+    /// hook; `false` when no plan is armed).
+    pub(crate) fn recovery_attempt_must_fail(&self, id: &TenantId) -> bool {
+        self.injector().is_some_and(|i| i.take_recovery_failure(id))
+    }
+
+    /// Transitions a quarantined tenant to the terminal `Failed` state
+    /// (supervisor hook, called when the retry budget is exhausted).
+    pub(crate) fn mark_failed(&self, id: &TenantId) -> Result<()> {
+        let tenant = self.tenant(id)?;
+        let mut health = tenant.health.lock().unwrap_or_else(|e| e.into_inner());
+        if let TenantHealth::Quarantined(info) = &*health {
+            *health = TenantHealth::Failed(info.clone());
+            tenant.state.store(HEALTH_FAILED, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    /// The lock-free unhealthy gate: errors with the tenant's quarantine
+    /// reason when it is not `Healthy`.
+    fn gate(&self, id: &TenantId, tenant: &Tenant) -> Result<()> {
+        if tenant.state.load(Ordering::Acquire) == HEALTH_HEALTHY {
+            return Ok(());
+        }
+        let health = tenant.health.lock().unwrap_or_else(|e| e.into_inner());
+        match &*health {
+            TenantHealth::Healthy => Ok(()),
+            TenantHealth::Quarantined(info) | TenantHealth::Failed(info) => {
+                Err(SpotError::TenantPoisoned {
+                    tenant: id.to_string(),
+                    panic: info.reason.clone(),
+                })
+            }
+        }
+    }
+
+    /// Records a caught panic: quarantines the tenant (first report wins)
+    /// and returns the typed error for the caller.
+    fn quarantine(
+        &self,
+        id: &TenantId,
+        tenant: &Tenant,
+        reason: String,
+        failed_batch: u64,
+    ) -> SpotError {
+        // The stats seqlock still holds the last *stable* publication: the
+        // panicked operation never reached its publish step, so this read
+        // cannot observe (or spin on) a torn write.
+        let processed = tenant.shared.stats().processed;
+        {
+            let mut health = tenant.health.lock().unwrap_or_else(|e| e.into_inner());
+            if health.is_healthy() {
+                *health = TenantHealth::Quarantined(QuarantineInfo {
+                    reason: reason.clone(),
+                    processed,
+                    failed_batch,
+                });
+                tenant.state.store(HEALTH_QUARANTINED, Ordering::Release);
+                self.inner.panics.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        SpotError::TenantPoisoned {
+            tenant: id.to_string(),
+            panic: reason,
+        }
+    }
+
+    /// Runs tenant detector work under the panic guard. A panic anywhere
+    /// inside — including one caught in a pool worker and re-raised on
+    /// this (dispatching) thread — quarantines this tenant only.
+    fn run_guarded(
+        &self,
+        id: &TenantId,
+        tenant: &Tenant,
+        points: &[DataPoint],
+    ) -> Result<Vec<Verdict>> {
+        self.gate(id, tenant)?;
+        if points.is_empty() {
+            return Ok(Vec::new());
+        }
+        let injected = self
+            .injector()
+            .and_then(|i| i.take_panic_offset(id, points.len()));
+        // AssertUnwindSafe: on panic the tenant is quarantined and its
+        // detector is never touched again until replaced from a checkpoint,
+        // so the torn state the unwind leaves behind is unobservable.
+        let outcome = catch_unwind(AssertUnwindSafe(|| match injected {
+            Some(off) => tenant.shared.with(|s| {
+                // Apply the pre-fault prefix first so the panic fires with
+                // the detector genuinely mid-batch behind its lock — the
+                // torn state a real fault produces.
+                for p in &points[..off] {
+                    s.process(p)?;
+                }
+                panic_any(format!(
+                    "injected fault: panic at offset {off} of a {}-point batch for tenant {id}",
+                    points.len()
+                ))
+            }),
+            None if points.len() == 1 => tenant.shared.process(&points[0]).map(|v| vec![v]),
+            None => tenant.shared.process_batch(points),
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => Err(self.quarantine(
+                id,
+                tenant,
+                panic_message(payload.as_ref()),
+                points.len() as u64,
+            )),
+        }
+    }
+
     // ---- the tenant lifecycle: learn → ingest/drain → checkpoint --------
 
     /// Runs a tenant's learning stage, returning the same
-    /// [`LearningReport`] a standalone detector produces.
+    /// [`LearningReport`] a standalone detector produces. Errors with
+    /// [`SpotError::TenantPoisoned`] on a quarantined tenant.
     pub fn learn(&self, id: &TenantId, training: &[DataPoint]) -> Result<LearningReport> {
-        self.tenant(id)?.shared.learn(training)
+        let tenant = self.tenant(id)?;
+        self.gate(id, &tenant)?;
+        tenant.shared.learn(training)
     }
 
     /// Processes one point synchronously (bypasses the queue; do not mix
     /// with queued ingestion for the same tenant unless the queue is
-    /// drained first — verdict order is arrival order either way).
+    /// drained first — verdict order is arrival order either way). Runs
+    /// under the panic guard: a panic quarantines this tenant only.
     pub fn process(&self, id: &TenantId, point: &DataPoint) -> Result<Verdict> {
-        self.tenant(id)?.shared.process(point)
-    }
-
-    /// Processes a batch synchronously through the shared executor.
-    pub fn process_batch(&self, id: &TenantId, points: &[DataPoint]) -> Result<Vec<Verdict>> {
-        self.tenant(id)?.shared.process_batch(points)
-    }
-
-    /// Enqueues one point onto the tenant's bounded queue, **blocking**
-    /// while the queue is full (backpressure: a slow tenant stalls its own
-    /// producers, never the co-tenants).
-    pub fn ingest(&self, id: &TenantId, point: DataPoint) -> Result<()> {
         let tenant = self.tenant(id)?;
+        let mut verdicts = self.run_guarded(id, &tenant, std::slice::from_ref(point))?;
+        Ok(verdicts.pop().expect("one verdict per point"))
+    }
+
+    /// Processes a batch synchronously through the shared executor, under
+    /// the panic guard.
+    pub fn process_batch(&self, id: &TenantId, points: &[DataPoint]) -> Result<Vec<Verdict>> {
+        let tenant = self.tenant(id)?;
+        self.run_guarded(id, &tenant, points)
+    }
+
+    /// Enqueues one point under the tenant's [`OverloadPolicy`]. With the
+    /// default `Block` policy this **blocks** while the queue is full
+    /// (backpressure: a slow tenant stalls its own producers, never the
+    /// co-tenants) and always returns [`IngestOutcome::Enqueued`]; `Shed`
+    /// and `Sample` never block and may return [`IngestOutcome::Shed`].
+    /// Quarantined tenants still enqueue — the backlog is carried into the
+    /// recovered tenant by [`SpotFleet::revive_tenant`].
+    pub fn ingest(&self, id: &TenantId, point: DataPoint) -> Result<IngestOutcome> {
+        let tenant = self.tenant(id)?;
+        let policy = tenant.policy();
+        // Scripted queue-full windows apply to the non-blocking policies
+        // only: a blocking send on a queue with room returns immediately,
+        // so a faked "full" has no observable Block behavior to test.
+        let forced_full = !matches!(policy, OverloadPolicy::Block)
+            && self.injector().is_some_and(|i| i.ingest_forced_full(id));
+        match policy {
+            OverloadPolicy::Block => {
+                self.enqueue_blocking(id, &tenant, point)?;
+                Ok(IngestOutcome::Enqueued)
+            }
+            OverloadPolicy::Shed => {
+                let rejected = if forced_full {
+                    Some(point)
+                } else {
+                    self.enqueue_nonblocking(id, &tenant, point)?
+                };
+                match rejected {
+                    None => Ok(IngestOutcome::Enqueued),
+                    Some(_) => {
+                        tenant.overflow_seen.fetch_add(1, Ordering::Relaxed);
+                        tenant.shed.fetch_add(1, Ordering::Relaxed);
+                        Ok(IngestOutcome::Shed)
+                    }
+                }
+            }
+            OverloadPolicy::Sample { keep_one_in } => {
+                let k = u64::from(keep_one_in.max(1));
+                let rejected = if forced_full {
+                    Some(point)
+                } else {
+                    self.enqueue_nonblocking(id, &tenant, point)?
+                };
+                match rejected {
+                    None => Ok(IngestOutcome::Enqueued),
+                    Some(point) => {
+                        // Deterministic 1-in-k: admit full-queue encounters
+                        // 0, k, 2k, … — a pure function of the encounter
+                        // ordinal, independent of clocks and scheduling.
+                        let n = tenant.overflow_seen.fetch_add(1, Ordering::Relaxed);
+                        if n % k == 0 {
+                            self.enqueue_blocking(id, &tenant, point)?;
+                            tenant.sampled_kept.fetch_add(1, Ordering::Relaxed);
+                            Ok(IngestOutcome::Enqueued)
+                        } else {
+                            tenant.shed.fetch_add(1, Ordering::Relaxed);
+                            Ok(IngestOutcome::Shed)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking enqueue: `Ok(false)` when the queue is at capacity.
+    /// Policy-independent (never sheds, never consults the fault plan).
+    pub fn try_ingest(&self, id: &TenantId, point: DataPoint) -> Result<bool> {
+        let tenant = self.tenant(id)?;
+        Ok(self.enqueue_nonblocking(id, &tenant, point)?.is_none())
+    }
+
+    fn enqueue_blocking(&self, id: &TenantId, tenant: &Tenant, point: DataPoint) -> Result<()> {
         // Count before the send so a drain that pops the point immediately
         // can never decrement a counter that was not yet incremented.
         tenant.queued.fetch_add(1, Ordering::Relaxed);
         tenant.tx.send(point).map_err(|_| {
             tenant.queued.fetch_sub(1, Ordering::Relaxed);
             SpotError::UnknownTenant(id.to_string())
-        })?;
-        Ok(())
+        })
     }
 
-    /// Non-blocking enqueue: `Ok(false)` when the queue is at capacity.
-    pub fn try_ingest(&self, id: &TenantId, point: DataPoint) -> Result<bool> {
-        let tenant = self.tenant(id)?;
+    /// `Ok(None)`: enqueued. `Ok(Some(point))`: queue full, point handed
+    /// back to the caller (for the sampler's survivor slot).
+    fn enqueue_nonblocking(
+        &self,
+        id: &TenantId,
+        tenant: &Tenant,
+        point: DataPoint,
+    ) -> Result<Option<DataPoint>> {
         tenant.queued.fetch_add(1, Ordering::Relaxed);
         match tenant.tx.try_send(point) {
-            Ok(()) => Ok(true),
-            Err(TrySendError::Full(_)) => {
+            Ok(()) => Ok(None),
+            Err(TrySendError::Full(point)) => {
                 tenant.queued.fetch_sub(1, Ordering::Relaxed);
-                Ok(false)
+                Ok(Some(point))
             }
             Err(TrySendError::Disconnected(_)) => {
                 tenant.queued.fetch_sub(1, Ordering::Relaxed);
@@ -298,10 +654,12 @@ impl SpotFleet {
     /// An error (e.g. a NaN point → [`SpotError::NonFiniteValue`])
     /// discards the dequeued micro-batch: the detector's all-or-nothing
     /// validation rejected it wholesale, and a poisoned batch cannot be
-    /// replayed. Validate upstream when inputs are untrusted.
+    /// replayed. Validate upstream when inputs are untrusted. A
+    /// quarantined tenant errors with [`SpotError::TenantPoisoned`]
+    /// *without* dequeuing — its backlog is preserved for recovery.
     pub fn drain(&self, id: &TenantId) -> Result<Vec<Verdict>> {
         let tenant = self.tenant(id)?;
-        self.drain_tenant(&tenant)
+        self.drain_tenant(id, &tenant)
     }
 
     /// Drains the tenant's queue to exhaustion (micro-batch at a time).
@@ -309,7 +667,7 @@ impl SpotFleet {
         let tenant = self.tenant(id)?;
         let mut verdicts = Vec::new();
         loop {
-            let batch = self.drain_tenant(&tenant)?;
+            let batch = self.drain_tenant(id, &tenant)?;
             if batch.is_empty() {
                 return Ok(verdicts);
             }
@@ -318,33 +676,44 @@ impl SpotFleet {
     }
 
     /// One service pass over the whole fleet: drains up to one micro-batch
-    /// from every tenant (sorted id order), returning each tenant's
-    /// verdicts. The building block for a fleet service loop. The first
-    /// drain error aborts the pass (see [`SpotFleet::drain`] for the
-    /// discard semantics of a rejected batch); tenants evicted mid-pass
-    /// are skipped.
-    pub fn pump(&self) -> Result<Vec<(TenantId, Vec<Verdict>)>> {
+    /// from every tenant (sorted id order). The building block for a fleet
+    /// service loop.
+    ///
+    /// Faults are **isolated, not propagated**: a tenant whose drain fails
+    /// — quarantined after a panic, or a rejected batch — is reported as
+    /// its own `(id, Err(..))` entry and the sweep continues; co-tenants
+    /// are drained exactly as if the faulted tenant did not exist. Healthy
+    /// tenants with nothing queued are omitted; a quarantined tenant is
+    /// reported every pass until it recovers (or is evicted). Tenants
+    /// evicted mid-pass are skipped.
+    pub fn pump(&self) -> Vec<(TenantId, Result<Vec<Verdict>>)> {
         let mut out = Vec::new();
         for id in self.tenant_ids() {
             // A tenant evicted between the listing and the drain is skipped.
             let Ok(tenant) = self.tenant(&id) else {
                 continue;
             };
-            let verdicts = self.drain_tenant(&tenant)?;
-            if !verdicts.is_empty() {
-                out.push((id, verdicts));
+            match self.drain_tenant(&id, &tenant) {
+                Ok(verdicts) if verdicts.is_empty() => {}
+                result => out.push((id, result)),
             }
         }
-        Ok(out)
+        out
     }
 
-    fn drain_tenant(&self, tenant: &Tenant) -> Result<Vec<Verdict>> {
+    fn drain_tenant(&self, id: &TenantId, tenant: &Tenant) -> Result<Vec<Verdict>> {
+        // Gate *before* touching the queue: a quarantined tenant must not
+        // consume its backlog — those points are carried into the
+        // recovered tenant by `revive_tenant`.
+        self.gate(id, tenant)?;
         // The rx guard is held through processing: it is what serializes
         // concurrent drains of this tenant, and releasing it between the
         // pop and the process_batch would let a second drainer commit a
         // later micro-batch first, breaking arrival order. Producers are
         // unaffected — they block on the channel's capacity, not this
-        // lock.
+        // lock. A panic inside `run_guarded` is caught *inside* this
+        // frame, so the guard is released normally and the queue stays
+        // drainable after recovery.
         let rx = tenant.rx.lock().unwrap_or_else(|e| e.into_inner());
         let Some(rx) = rx.as_ref() else {
             // Evicted while this caller still held an Arc to the entry.
@@ -360,26 +729,30 @@ impl SpotFleet {
                 Err(_) => break,
             }
         }
-        if batch.is_empty() {
-            return Ok(Vec::new());
-        }
-        tenant.shared.process_batch(&batch)
+        self.run_guarded(id, tenant, &batch)
     }
 
     // ---- monitoring (never takes a detector lock) -----------------------
 
-    /// Aggregated logical counters + queue occupancy over every tenant.
-    /// Reads each tenant's stats seqlock and queue counter only — never
-    /// any detector lock, so dashboards cannot stall (or be stalled by)
-    /// ingestion.
+    /// Aggregated logical counters + queue occupancy + supervision
+    /// counters over every tenant. Reads each tenant's stats seqlock,
+    /// queue counter and health/overload atomics only — never any detector
+    /// lock, so dashboards cannot stall (or be stalled by) ingestion.
     pub fn stats(&self) -> FleetStats {
         let tenants: Vec<Arc<Tenant>> = read_lock(&self.inner.tenants).values().cloned().collect();
         let mut agg = FleetStats {
             tenants: tenants.len(),
+            panics: self.inner.panics.load(Ordering::Relaxed),
+            recoveries: self.inner.recoveries.load(Ordering::Relaxed),
             ..FleetStats::default()
         };
         for t in &tenants {
             let s = t.shared.stats();
+            match t.state.load(Ordering::Acquire) {
+                HEALTH_QUARANTINED => agg.quarantined += 1,
+                HEALTH_FAILED => agg.failed += 1,
+                _ => {}
+            }
             agg.queued += t.queued.load(Ordering::Relaxed);
             agg.processed += s.processed;
             agg.outliers += s.outliers;
@@ -387,6 +760,8 @@ impl SpotFleet {
             agg.os_added += s.os_added;
             agg.drift_events += s.drift_events;
             agg.cells_pruned += s.cells_pruned;
+            agg.shed += t.shed.load(Ordering::Relaxed);
+            agg.sampled_kept += t.sampled_kept.load(Ordering::Relaxed);
         }
         agg
     }
@@ -418,20 +793,26 @@ impl SpotFleet {
     }
 
     /// Runs a closure with exclusive access to one tenant's detector (the
-    /// escape hatch for anything the fleet API does not cover).
+    /// escape hatch for anything the fleet API does not cover). Not
+    /// health-gated and not panic-guarded: the caller sees the detector as
+    /// it is, torn state included — check [`SpotFleet::health`] first when
+    /// that matters.
     pub fn with_tenant<R>(&self, id: &TenantId, f: impl FnOnce(&mut Spot) -> R) -> Result<R> {
         Ok(self.tenant(id)?.shared.with(f))
     }
 
     // ---- durability -----------------------------------------------------
 
-    /// Captures a versioned checkpoint of every tenant (sorted id order).
-    /// Each tenant's capture is the standard v2 `SpotCheckpoint` — one
-    /// claim unit per projected store, dispatched over the shared pool
-    /// when the service is pooled — so a tenant restored from it is
-    /// bit-exact, standalone or in any fleet. Queued-but-undrained points
-    /// are *not* part of the checkpoint (they have not been processed;
-    /// drain first for a checkpoint at a chosen stream position).
+    /// Captures a versioned checkpoint of every **healthy** tenant (sorted
+    /// id order). Each tenant's capture is the standard v2
+    /// `SpotCheckpoint` — one claim unit per projected store, dispatched
+    /// over the shared pool when the service is pooled — so a tenant
+    /// restored from it is bit-exact, standalone or in any fleet.
+    /// Quarantined/failed tenants are skipped: their in-memory state is
+    /// untrusted and must not contaminate a checkpoint (restore them from
+    /// a pre-fault shadow instead). Queued-but-undrained points are *not*
+    /// part of the checkpoint (they have not been processed; drain first
+    /// for a checkpoint at a chosen stream position).
     pub fn checkpoint(&self) -> FleetCheckpoint {
         let pool = self.inner.exec.pool_for_capture();
         let exec: &dyn StoreExecutor = match &pool {
@@ -443,10 +824,82 @@ impl SpotFleet {
             let Ok(tenant) = self.tenant(&id) else {
                 continue;
             };
+            if tenant.state.load(Ordering::Acquire) != HEALTH_HEALTHY {
+                continue;
+            }
             let cp = tenant.shared.with(|s| s.checkpoint_with(exec));
             tenants.push((id, cp));
         }
         FleetCheckpoint::new(tenants)
+    }
+
+    /// Captures one healthy tenant's checkpoint (the supervisor's shadow
+    /// primitive). Errors with [`SpotError::TenantPoisoned`] when the
+    /// tenant is quarantined/failed — a torn detector must never be
+    /// checkpointed.
+    pub fn checkpoint_tenant(&self, id: &TenantId) -> Result<SpotCheckpoint> {
+        let tenant = self.tenant(id)?;
+        self.gate(id, &tenant)?;
+        let pool = self.inner.exec.pool_for_capture();
+        let exec: &dyn StoreExecutor = match &pool {
+            Some(pool) => &**pool,
+            None => &SerialExecutor,
+        };
+        Ok(tenant.shared.with(|s| s.checkpoint_with(exec)))
+    }
+
+    /// Replaces a registered tenant's detector with one restored from a
+    /// checkpoint, **carrying over** its queued backlog (arrival order
+    /// preserved — both queues share one capacity bound, so the backlog
+    /// always fits), its overload policy and its overload counters, and
+    /// marking it healthy. This is the recovery primitive the
+    /// [`crate::Supervisor`] drives for quarantined tenants; it also works
+    /// on a healthy tenant (a forced rollback). Returns the number of
+    /// backlog points carried over. Errors with
+    /// [`SpotError::UnknownTenant`] when `id` is not registered.
+    ///
+    /// Points a producer ingests during the swap itself may land in the
+    /// retiring queue and be dropped with it — drive recovery from the
+    /// thread that also services the tenant, or pause its producers.
+    pub fn revive_tenant(&self, id: &TenantId, cp: &SpotCheckpoint) -> Result<u64> {
+        let mut spot = Spot::from_checkpoint(cp)?;
+        spot.set_executor(self.inner.exec.clone());
+        let replacement = Tenant::fresh(spot, self.inner.config.queue_capacity);
+        // Hold the registry write lock across the backlog transfer so no
+        // new `ingest` can resolve the retiring entry mid-swap.
+        let mut map = write_lock(&self.inner.tenants);
+        let old = map
+            .get(id)
+            .cloned()
+            .ok_or_else(|| SpotError::UnknownTenant(id.to_string()))?;
+        let mut carried = 0u64;
+        {
+            let guard = old.rx.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(old_rx) = guard.as_ref() {
+                while let Ok(p) = old_rx.try_recv() {
+                    old.queued.fetch_sub(1, Ordering::Relaxed);
+                    if replacement.tx.try_send(p).is_ok() {
+                        carried += 1;
+                    }
+                }
+            }
+        }
+        replacement
+            .queued
+            .store(carried as usize, Ordering::Relaxed);
+        replacement.set_policy(old.policy());
+        replacement
+            .overflow_seen
+            .store(old.overflow_seen.load(Ordering::Relaxed), Ordering::Relaxed);
+        replacement
+            .shed
+            .store(old.shed.load(Ordering::Relaxed), Ordering::Relaxed);
+        replacement
+            .sampled_kept
+            .store(old.sampled_kept.load(Ordering::Relaxed), Ordering::Relaxed);
+        map.insert(id.clone(), Arc::new(replacement));
+        self.inner.recoveries.fetch_add(1, Ordering::Relaxed);
+        Ok(carried)
     }
 
     /// Restores one tenant from a fleet checkpoint, **replacing** any
@@ -455,7 +908,7 @@ impl SpotFleet {
     /// executor service — restoring into a fleet with a different worker
     /// count is bit-exact. Errors with [`SpotError::UnknownTenant`] when
     /// the checkpoint holds no such tenant; the tenant's queue restarts
-    /// empty.
+    /// empty (use [`SpotFleet::revive_tenant`] to carry a backlog).
     pub fn restore_tenant(&self, checkpoint: &FleetCheckpoint, id: &TenantId) -> Result<()> {
         let cp = checkpoint
             .get(id)
@@ -484,6 +937,13 @@ impl SpotFleet {
     }
 }
 
+// Lock-poisoning policy (audited with the supervision plane): every std
+// lock in this module recovers the guard with `into_inner` instead of
+// panicking. The compat `parking_lot` Mutex guarding each detector does
+// the same, which means a panic inside detector code leaves a *usable
+// lock around torn state* — that is exactly why a caught panic
+// quarantines the tenant: the health gate, not lock poisoning, is what
+// keeps torn state unobservable.
 fn read_lock<'a, K, V>(
     lock: &'a RwLock<HashMap<K, V>>,
 ) -> std::sync::RwLockReadGuard<'a, HashMap<K, V>> {

@@ -29,10 +29,36 @@
 //! configuration and input, regardless of co-tenant load or worker count —
 //! pinned by the proptest suite in `tests/fleet_determinism.rs`. See
 //! `docs/runtime.md` for the ownership model and tenant lifecycle.
+//!
+//! **Supervision.** The fleet carries a fault-containment plane on top of
+//! the registry:
+//!
+//! * **Panic isolation** — tenant detector work runs under a panic guard;
+//!   a panic quarantines *only* that tenant
+//!   ([`spot_types::SpotError::TenantPoisoned`]) while co-tenants stay
+//!   bit-identical to a fault-free run ([`TenantHealth`]).
+//! * **Self-healing** — a [`Supervisor`] keeps rolling per-tenant shadow
+//!   checkpoints and auto-restores quarantined tenants with bounded
+//!   retries and deterministic exponential backoff, reporting each
+//!   recovery as a [`RecoveryReport`].
+//! * **Graceful degradation** — per-tenant [`OverloadPolicy`] (block /
+//!   shed / deterministic 1-in-k sampling) when a bounded queue fills.
+//! * **Crash-safe checkpoint files** — [`CheckpointStore`] writes
+//!   atomically (tmp + fsync + rename), seals envelopes with a checksum,
+//!   and recovers from the newest *valid* retained generation.
+//! * **Deterministic fault injection** — a [`FaultPlan`] scripts panics,
+//!   queue-full windows and recovery failures at exact ordinals, so chaos
+//!   tests replay bit-identically. See `docs/robustness.md`.
 
 pub mod checkpoint;
+pub mod faults;
 pub mod fleet;
+pub mod health;
+pub mod supervisor;
 
-pub use checkpoint::{FleetCheckpoint, FLEET_CHECKPOINT_VERSION};
+pub use checkpoint::{CheckpointStore, FleetCheckpoint, FLEET_CHECKPOINT_VERSION};
+pub use faults::FaultPlan;
 pub use fleet::{FleetConfig, FleetFootprint, FleetStats, SpotFleet};
+pub use health::{IngestOutcome, OverloadPolicy, QuarantineInfo, RecoveryReport, TenantHealth};
 pub use spot_types::TenantId;
+pub use supervisor::{Supervisor, SupervisorConfig, SupervisorPass};

@@ -1,0 +1,268 @@
+//! Self-healing for the fleet: rolling shadow checkpoints and automatic
+//! restoration of quarantined tenants.
+//!
+//! The [`Supervisor`] wraps a [`SpotFleet`] and runs a *supervision pass*
+//! ([`Supervisor::tick`]) alongside the normal service loop:
+//!
+//! 1. **Shadowing.** Every healthy tenant gets a rolling in-memory shadow
+//!    checkpoint (the bit-exact v2 `SpotCheckpoint`), refreshed once the
+//!    tenant has processed [`SupervisorConfig::shadow_every`] more points
+//!    since the last shadow. Captures ride the existing checkpoint path —
+//!    one claim unit per projected store on the shared pool — and happen
+//!    only inside the supervision pass, never on the per-point hot path.
+//! 2. **Recovery.** A quarantined tenant (see the fleet's panic isolation)
+//!    is restored from its shadow via [`SpotFleet::revive_tenant`] with a
+//!    bounded retry budget and deterministic exponential backoff counted
+//!    in *passes*, not wall-clock time (attempt `n` failing skips
+//!    `backoff_base << (n-1)` passes). Success yields a
+//!    [`RecoveryReport`]; an exhausted budget (or a tenant that was never
+//!    shadowed) transitions the tenant to the terminal
+//!    [`TenantHealth::Failed`] state.
+//!
+//! The recovered tenant resumes from the shadow's stream position with
+//! its queued backlog carried over; the verdicts between the shadow and
+//! the fault are lost (the report's `points_lost` window) — replaying
+//! exactly that window reconverges with the uninterrupted stream, which
+//! the chaos suite pins bit-for-bit. Durable (on-disk) retention of
+//! checkpoints is the separate [`crate::CheckpointStore`].
+
+use crate::fleet::SpotFleet;
+use crate::health::{QuarantineInfo, RecoveryReport, TenantHealth};
+use spot::{SpotCheckpoint, Verdict};
+use spot_types::{Result, SpotError, TenantId};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Supervision knobs. `Default`: re-shadow every 2048 processed points,
+/// 3 recovery attempts, backoff 1-2-4 passes.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Refresh a tenant's shadow once it has processed this many points
+    /// since the previous shadow (clamped to at least 1). Smaller values
+    /// shrink the `points_lost` window at the cost of more captures.
+    pub shadow_every: u64,
+    /// Recovery attempts before a quarantined tenant is marked
+    /// [`TenantHealth::Failed`] (clamped to at least 1).
+    pub max_retries: u32,
+    /// Base of the exponential backoff: after failed attempt `n` the
+    /// supervisor skips `backoff_base << (n-1)` passes before retrying.
+    pub backoff_base: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            shadow_every: 2048,
+            max_retries: 3,
+            backoff_base: 1,
+        }
+    }
+}
+
+/// What one [`Supervisor::tick`] did.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorPass {
+    /// Shadow checkpoints captured or refreshed this pass.
+    pub shadows_taken: usize,
+    /// Tenants restored to [`TenantHealth::Healthy`] this pass.
+    pub recovered: Vec<RecoveryReport>,
+    /// Tenants newly marked [`TenantHealth::Failed`] this pass.
+    pub failed: Vec<TenantId>,
+}
+
+/// Per-tenant supervision ledger.
+#[derive(Default)]
+struct Guard {
+    /// Last shadow: the tenant's `processed` counter at capture time and
+    /// the checkpoint itself.
+    shadow: Option<(u64, SpotCheckpoint)>,
+    /// Recovery attempts made for the current quarantine.
+    attempts: u32,
+    /// Passes left to skip before the next recovery attempt.
+    cooldown: u64,
+    /// Backoff schedule applied so far for the current quarantine.
+    backoff_log: Vec<u64>,
+    /// Most recent successful recovery.
+    last_recovery: Option<RecoveryReport>,
+}
+
+/// Shadow-checkpoint keeper and automatic restorer for one fleet. Clone
+/// the fleet handle in; the supervisor holds its own ledger and is safe to
+/// drive from any single thread (internal state is mutex-guarded; run one
+/// supervision loop — concurrent ticks would race their retry budgets).
+pub struct Supervisor {
+    fleet: SpotFleet,
+    config: SupervisorConfig,
+    guards: Mutex<HashMap<TenantId, Guard>>,
+}
+
+impl Supervisor {
+    /// Wraps a fleet handle. Run [`Supervisor::tick`] periodically (e.g.
+    /// after each `pump`, or use [`Supervisor::pump`]); the first tick
+    /// takes every healthy tenant's initial shadow — tick once right
+    /// after learning so a tenant is never quarantined unshadowed.
+    pub fn new(fleet: SpotFleet, config: SupervisorConfig) -> Self {
+        Supervisor {
+            fleet,
+            config: SupervisorConfig {
+                shadow_every: config.shadow_every.max(1),
+                max_retries: config.max_retries.max(1),
+                backoff_base: config.backoff_base,
+            },
+            guards: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The supervised fleet.
+    pub fn fleet(&self) -> &SpotFleet {
+        &self.fleet
+    }
+
+    /// The effective (clamped) configuration.
+    pub fn config(&self) -> SupervisorConfig {
+        self.config
+    }
+
+    /// One service pass: [`SpotFleet::pump`] followed by a supervision
+    /// [`Supervisor::tick`].
+    #[allow(clippy::type_complexity)]
+    pub fn pump(&self) -> (Vec<(TenantId, Result<Vec<Verdict>>)>, SupervisorPass) {
+        let drained = self.fleet.pump();
+        (drained, self.tick())
+    }
+
+    /// One supervision pass over every registered tenant: refresh shadows
+    /// of healthy tenants, advance backoff cooldowns, attempt recovery of
+    /// quarantined tenants, and mark budget-exhausted ones failed.
+    pub fn tick(&self) -> SupervisorPass {
+        let mut pass = SupervisorPass::default();
+        let ids = self.fleet.tenant_ids();
+        let mut guards = self.guards.lock().unwrap_or_else(|e| e.into_inner());
+        // Drop ledger entries of evicted tenants.
+        guards.retain(|id, _| ids.binary_search(id).is_ok());
+        for id in ids {
+            let guard = guards.entry(id.clone()).or_default();
+            let Ok(health) = self.fleet.health(&id) else {
+                continue; // evicted mid-pass
+            };
+            match health {
+                TenantHealth::Healthy => {
+                    // A healthy sighting ends any quarantine bookkeeping
+                    // (e.g. after a manual revive_tenant).
+                    guard.attempts = 0;
+                    guard.cooldown = 0;
+                    guard.backoff_log.clear();
+                    let processed = match self.fleet.tenant_stats(&id) {
+                        Ok(s) => s.processed,
+                        Err(_) => continue,
+                    };
+                    let due = match &guard.shadow {
+                        None => true,
+                        Some((at, _)) => processed.saturating_sub(*at) >= self.config.shadow_every,
+                    };
+                    // The capture can race a concurrent panic
+                    // (checkpoint_tenant re-checks the gate); a lost race
+                    // just means this pass takes no shadow.
+                    if due {
+                        if let Ok(cp) = self.fleet.checkpoint_tenant(&id) {
+                            guard.shadow = Some((processed, cp));
+                            pass.shadows_taken += 1;
+                        }
+                    }
+                }
+                TenantHealth::Quarantined(info) => {
+                    if guard.cooldown > 0 {
+                        guard.cooldown -= 1;
+                        continue;
+                    }
+                    self.attempt_recovery(&id, &info, guard, &mut pass);
+                }
+                TenantHealth::Failed(_) => {}
+            }
+        }
+        pass
+    }
+
+    /// One recovery attempt for a quarantined tenant, updating the ledger
+    /// and the pass summary.
+    fn attempt_recovery(
+        &self,
+        id: &TenantId,
+        info: &QuarantineInfo,
+        guard: &mut Guard,
+        pass: &mut SupervisorPass,
+    ) {
+        let Some((shadow_processed, shadow)) = guard.shadow.clone() else {
+            // Never shadowed: nothing to restore from.
+            let _ = self.fleet.mark_failed(id);
+            pass.failed.push(id.clone());
+            return;
+        };
+        guard.attempts += 1;
+        let revived = if self.fleet.recovery_attempt_must_fail(id) {
+            Err(SpotError::TenantPoisoned {
+                tenant: id.to_string(),
+                panic: "injected fault: recovery attempt failed".to_string(),
+            })
+        } else {
+            self.fleet.revive_tenant(id, &shadow)
+        };
+        match revived {
+            Ok(backlog_carried) => {
+                let report = RecoveryReport {
+                    tenant: id.clone(),
+                    attempts: guard.attempts,
+                    backoff: guard.backoff_log.clone(),
+                    processed_at_shadow: shadow_processed,
+                    processed_at_failure: info.processed,
+                    points_lost: info.processed.saturating_sub(shadow_processed)
+                        + info.failed_batch,
+                    backlog_carried,
+                };
+                guard.attempts = 0;
+                guard.cooldown = 0;
+                guard.backoff_log.clear();
+                guard.last_recovery = Some(report.clone());
+                // The revived tenant *is* the shadow state: the existing
+                // shadow stays the valid restore point until it rolls.
+                pass.recovered.push(report);
+            }
+            Err(_) => {
+                if guard.attempts >= self.config.max_retries {
+                    let _ = self.fleet.mark_failed(id);
+                    pass.failed.push(id.clone());
+                } else {
+                    let backoff = self.config.backoff_base << (guard.attempts - 1);
+                    guard.cooldown = backoff;
+                    guard.backoff_log.push(backoff);
+                }
+            }
+        }
+    }
+
+    /// Forces an immediate shadow refresh for one tenant (e.g. right
+    /// before a risky reconfiguration). Errors when the tenant is unknown
+    /// or not healthy.
+    pub fn shadow_now(&self, id: &TenantId) -> Result<()> {
+        let cp = self.fleet.checkpoint_tenant(id)?;
+        let processed = self.fleet.tenant_stats(id)?.processed;
+        let mut guards = self.guards.lock().unwrap_or_else(|e| e.into_inner());
+        guards.entry(id.clone()).or_default().shadow = Some((processed, cp));
+        Ok(())
+    }
+
+    /// The stream position (`processed` counter) of a tenant's current
+    /// shadow, if one has been taken.
+    pub fn shadow_position(&self, id: &TenantId) -> Option<u64> {
+        let guards = self.guards.lock().unwrap_or_else(|e| e.into_inner());
+        guards
+            .get(id)
+            .and_then(|g| g.shadow.as_ref().map(|(at, _)| *at))
+    }
+
+    /// The most recent successful recovery of a tenant, if any.
+    pub fn last_recovery(&self, id: &TenantId) -> Option<RecoveryReport> {
+        let guards = self.guards.lock().unwrap_or_else(|e| e.into_inner());
+        guards.get(id).and_then(|g| g.last_recovery.clone())
+    }
+}

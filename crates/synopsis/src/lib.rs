@@ -57,5 +57,7 @@ pub use grid::Grid;
 pub use key::{CellKey, KeyCodec};
 pub use manager::{LiveCounters, SubspacePcs, SynopsisManager, UpdateOutcome};
 pub use pcs::{Pcs, PcsCell, ProjectedStore};
-pub use pool::{ExecutorHandle, OnceTask, SerialExecutor, SharedSlice, StoreExecutor, WorkerPool};
+pub use pool::{
+    panic_message, ExecutorHandle, OnceTask, SerialExecutor, SharedSlice, StoreExecutor, WorkerPool,
+};
 pub use store::BaseStore;

@@ -35,10 +35,25 @@
 //! in exactly one place.)
 
 use crossbeam::channel::{bounded, Sender};
+use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Renders a panic payload to text: `&str`/`String` payloads verbatim
+/// (the overwhelmingly common case — `panic!` with a message), anything
+/// else as an opaque marker. Used wherever a caught panic is converted
+/// into a typed error instead of re-raised.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Pointer wrapper handing out `&mut` to *distinct* elements from several
 /// threads. Soundness is the shard claim protocol: every index is claimed
@@ -161,7 +176,14 @@ impl Latch {
 /// maintained once.
 pub struct ErasedJob {
     work: *const (dyn Fn() + Sync),
-    panicked: AtomicBool,
+    /// Participants whose `run` panicked (each claim loop runs many claim
+    /// units; the count attributes *how many participants* died, and the
+    /// first payload says why).
+    panics: AtomicUsize,
+    /// The first panicking participant's payload, preserved verbatim so
+    /// the owner can re-raise (or type) the *original* panic instead of a
+    /// generic marker.
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 // SAFETY: the pointee is `Sync` (shared calls are fine) and the erasure
@@ -187,25 +209,62 @@ impl ErasedJob {
         >(work as *const (dyn Fn() + Sync));
         ErasedJob {
             work,
-            panicked: AtomicBool::new(false),
+            panics: AtomicUsize::new(0),
+            payload: Mutex::new(None),
         }
     }
 
-    /// Runs the closure, recording (instead of propagating) a panic. The
-    /// owner re-raises via [`ErasedJob::panicked`] once all participants
-    /// have stopped touching the borrowed state.
+    /// Runs the closure, recording (instead of propagating) a panic: the
+    /// count of panicking participants and the first panic's payload. The
+    /// owner re-raises via [`ErasedJob::resume_if_panicked`] (or converts
+    /// to a typed error via [`ErasedJob::take_panic`]) once all
+    /// participants have stopped touching the borrowed state.
     pub fn run(&self) {
         // SAFETY: the erasure contract keeps the pointee alive for every
         // `run` call.
         let work = unsafe { &*self.work };
-        if catch_unwind(AssertUnwindSafe(work)).is_err() {
-            self.panicked.store(true, Ordering::Release);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(work)) {
+            let mut slot = self.payload.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            drop(slot);
+            self.panics.fetch_add(1, Ordering::Release);
         }
     }
 
     /// Whether any participant's `run` panicked.
     pub fn panicked(&self) -> bool {
-        self.panicked.load(Ordering::Acquire)
+        self.panics.load(Ordering::Acquire) > 0
+    }
+
+    /// How many participants' `run` calls panicked.
+    pub fn panic_count(&self) -> usize {
+        self.panics.load(Ordering::Acquire)
+    }
+
+    /// Takes the first panicking participant's payload (once).
+    pub fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.payload
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+    }
+
+    /// Re-raises the recorded panic on the calling thread, preserving the
+    /// original payload — callers see the panic message of the claim unit
+    /// that actually died, not a generic marker. Must only be called once
+    /// every participant has left `run` (the dispatch contract).
+    pub fn resume_if_panicked(&self) {
+        if !self.panicked() {
+            return;
+        }
+        match self.take_panic() {
+            Some(payload) => std::panic::resume_unwind(payload),
+            // Unreachable in practice: the payload is stored before the
+            // count is published. Keep a typed fallback anyway.
+            None => panic!("a shard job panicked (payload already taken)"),
+        }
     }
 }
 
@@ -288,9 +347,10 @@ impl StoreExecutor for WorkerPool {
         }
         job.run();
         latch.wait();
-        if job.panicked() {
-            panic!("a synopsis batch job panicked");
-        }
+        // Every participant has returned; re-raise with the original
+        // payload so the caller can attribute the failure (the fleet
+        // runtime catches this and quarantines exactly one tenant).
+        job.resume_if_panicked();
     }
 }
 
@@ -646,8 +706,32 @@ mod tests {
             };
             pool.execute(&work);
         }));
-        assert!(result.is_err());
+        // The original payload crosses the pool: the caller sees "boom",
+        // not a generic "a job panicked" marker.
+        let payload = result.unwrap_err();
+        assert_eq!(panic_message(payload.as_ref()), "boom");
         // The pool survives and is usable afterwards.
         assert_eq!(drain_counter(&pool, 5), vec![1u8; 5]);
+    }
+
+    #[test]
+    fn erased_job_records_count_and_first_payload() {
+        let work = || panic!("unit died");
+        // SAFETY: `work` outlives every `run` below (same frame).
+        let job = unsafe { ErasedJob::erase(&work) };
+        job.run();
+        job.run();
+        assert!(job.panicked());
+        assert_eq!(job.panic_count(), 2);
+        let payload = job.take_panic().expect("first payload kept");
+        assert_eq!(panic_message(payload.as_ref()), "unit died");
+        assert!(job.take_panic().is_none(), "payload is taken once");
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        assert_eq!(panic_message(&"static"), "static");
+        assert_eq!(panic_message(&"owned".to_string()), "owned");
+        assert_eq!(panic_message(&42u32), "non-string panic payload");
     }
 }

@@ -45,6 +45,18 @@ pub enum SpotError {
     UnknownTenant(String),
     /// A tenant registration reused a name already in the registry.
     DuplicateTenant(String),
+    /// A tenant's detector panicked mid-operation and was quarantined: its
+    /// in-memory state can no longer be trusted (the panic may have left a
+    /// half-committed batch behind a bypassed lock). Operations on the
+    /// tenant fail with this error until it is restored from a known-good
+    /// checkpoint. Carries the panic payload rendered to text.
+    TenantPoisoned {
+        /// The quarantined tenant.
+        tenant: String,
+        /// The panic payload (`&str`/`String` payloads verbatim, otherwise
+        /// a type description).
+        panic: String,
+    },
 }
 
 impl fmt::Display for SpotError {
@@ -76,6 +88,9 @@ impl fmt::Display for SpotError {
             SpotError::DuplicateTenant(id) => {
                 write!(f, "tenant {id:?} is already registered")
             }
+            SpotError::TenantPoisoned { tenant, panic } => {
+                write!(f, "tenant {tenant:?} is quarantined after a panic: {panic}")
+            }
         }
     }
 }
@@ -105,6 +120,13 @@ mod tests {
         assert!(SpotError::NonFiniteValue { dim: 2 }
             .to_string()
             .contains("2"));
+        let e = SpotError::TenantPoisoned {
+            tenant: "t9".to_string(),
+            panic: "boom".to_string(),
+        };
+        assert!(e.to_string().contains("t9"));
+        assert!(e.to_string().contains("boom"));
+        assert!(e.to_string().contains("quarantined"));
     }
 
     #[test]

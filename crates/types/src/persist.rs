@@ -24,6 +24,24 @@
 use crate::error::SpotError;
 use serde::Value;
 
+/// FNV-1a 64-bit hash — the persistence layer's integrity checksum.
+///
+/// Checkpoint envelopes embed the hash of their payload so that on-disk
+/// corruption (a flipped bit in a stored bit pattern, a truncated column)
+/// is detected at load time as a typed error instead of silently
+/// restoring a wrong value. FNV-1a is not cryptographic; it guards
+/// against storage faults, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
 /// Restore failure: the snapshot's value tree does not describe a valid
 /// state for the component (missing field, wrong shape, out-of-range
 /// value). Converts into [`SpotError::SnapshotCorrupt`].
@@ -419,6 +437,22 @@ mod tests {
         let v = w.finish();
         let r = StateReader::new(&v).unwrap();
         assert!(r.point_list("bad", None).is_err());
+    }
+
+    #[test]
+    fn fnv1a64_is_stable_and_sensitive() {
+        // Reference vectors for the canonical FNV-1a 64 parameters.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+        // A single flipped bit anywhere changes the hash.
+        let base = b"[42,7,9]".to_vec();
+        let want = fnv1a64(&base);
+        for i in 0..base.len() * 8 {
+            let mut flipped = base.clone();
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(fnv1a64(&flipped), want, "bit {i}");
+        }
     }
 
     #[test]

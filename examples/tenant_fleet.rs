@@ -87,7 +87,10 @@ fn main() {
         }
     }
     let mut outliers = 0usize;
-    for (id, verdicts) in fleet.pump().unwrap() {
+    // `pump` reports per-tenant results: a faulted tenant surfaces as its
+    // own `Err` entry without aborting the sweep (none here — unwrap).
+    for (id, verdicts) in fleet.pump() {
+        let verdicts = verdicts.unwrap();
         let flagged = verdicts.iter().filter(|v| v.outlier).count();
         outliers += flagged;
         println!(
