@@ -1,0 +1,219 @@
+//! Durable-ingestion WAL baseline: append throughput per fsync policy,
+//! and crash-recovery replay rate.
+//!
+//! Writes `BENCH_wal.json` at the repository root (fixed seed 42).
+//!
+//! * **Append arms** — one walled tenant per [`FsyncPolicy`]
+//!   (`EveryRecord` / `EveryN(256)` / `OnRotate`); the timed region is
+//!   pure admission (`try_ingest`: checksummed frame append + enqueue)
+//!   into a queue sized to hold the whole run, drained outside the
+//!   timer. `EveryRecord` runs a tenth of the points — it is the
+//!   pay-per-point durability ceiling, not a throughput configuration.
+//! * **Recovery** — a log of `points` records with a checkpoint at
+//!   watermark 0 is recovered cold ([`SpotFleet::recover_with`]); the
+//!   replay rate includes the full detector re-derivation, which is the
+//!   honest cost of closing the crash window.
+//!
+//! `SPOT_BENCH_WAL_POINTS` (e.g. `"2000"`) shrinks the run for CI smoke;
+//! the default is 20000.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use spot::{SpotBuilder, SpotConfig};
+use spot_runtime::{CheckpointStore, FleetConfig, FsyncPolicy, SpotFleet, TenantId, WalTuning};
+use spot_synopsis::ExecutorHandle;
+use spot_types::{DataPoint, DomainBounds};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const PHI: usize = 8;
+
+fn random_points(n: usize, dims: usize, seed: u64) -> Vec<DataPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| DataPoint::new((0..dims).map(|_| rng.gen_range(0.0..1.0)).collect()))
+        .collect()
+}
+
+fn tenant_config(seed: u64) -> SpotConfig {
+    SpotBuilder::new(DomainBounds::unit(PHI))
+        .fs_max_dimension(2)
+        .seed(seed)
+        .build_config()
+        .unwrap()
+}
+
+fn point_count() -> usize {
+    std::env::var("SPOT_BENCH_WAL_POINTS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(20_000)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spot-bench-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One learned tenant on a serial fleet whose queue holds `capacity`
+/// points, writing its WAL under `dir/wal`.
+fn walled_fleet(
+    dir: &Path,
+    tuning: WalTuning,
+    capacity: usize,
+    train: &[DataPoint],
+) -> (SpotFleet, TenantId) {
+    let fleet = SpotFleet::with_workers(
+        FleetConfig {
+            queue_capacity: capacity,
+            micro_batch: 256,
+        },
+        Some(0),
+    );
+    let id = TenantId::new("bench").expect("valid tenant id");
+    fleet.register(id.clone(), tenant_config(SEED)).unwrap();
+    fleet.learn(&id, train).unwrap();
+    fleet.enable_wal(dir.join("wal"), tuning).unwrap();
+    (fleet, id)
+}
+
+#[derive(Serialize)]
+struct AppendArm {
+    policy: String,
+    records: usize,
+    /// Admission rate of the walled path: frame encode + checksum +
+    /// append (+ fsync per policy) + enqueue, per second.
+    append_pts_per_sec: f64,
+    /// Live segment files when the run ended (rotation is part of the
+    /// measured path).
+    segments: usize,
+}
+
+#[derive(Serialize)]
+struct RecoveryArm {
+    records: usize,
+    /// Cold `SpotFleet::recover` wall time: checkpoint restore + full
+    /// WAL tail replay through the drain path.
+    recover_micros: u64,
+    /// Records re-derived per second during that recovery.
+    replay_pts_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct WalBaseline {
+    seed: u64,
+    cores: usize,
+    phi: usize,
+    segment_bytes: u64,
+    append: Vec<AppendArm>,
+    recovery: RecoveryArm,
+}
+
+fn append_arm(policy: FsyncPolicy, label: &str, n: usize, train: &[DataPoint]) -> AppendArm {
+    let dir = temp_dir(label);
+    let tuning = WalTuning {
+        fsync: policy,
+        ..WalTuning::default()
+    };
+    let (fleet, id) = walled_fleet(&dir, tuning, n, train);
+    let pts = random_points(n, PHI, SEED ^ 0xA99);
+
+    let t0 = Instant::now();
+    for p in pts {
+        assert!(fleet.try_ingest(&id, p).unwrap(), "queue sized for the run");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let segments = fleet.wal_segment_count(&id).unwrap().unwrap();
+    fleet.drain_fully(&id).unwrap(); // untimed: this is the detector's cost
+    let append_pts_per_sec = n as f64 / elapsed;
+    println!("{label:<14} {append_pts_per_sec:>12.0} append pts/s  ({segments} segments)");
+    std::fs::remove_dir_all(&dir).unwrap();
+    AppendArm {
+        policy: label.to_string(),
+        records: n,
+        append_pts_per_sec,
+        segments,
+    }
+}
+
+fn recovery_arm(n: usize, train: &[DataPoint]) -> RecoveryArm {
+    let dir = temp_dir("recover");
+    let tuning = WalTuning {
+        fsync: FsyncPolicy::EveryN(256),
+        ..WalTuning::default()
+    };
+    let (fleet, id) = walled_fleet(&dir, tuning, n, train);
+    let store = CheckpointStore::open(&dir, 2).unwrap();
+    fleet.checkpoint_durable(&store).unwrap(); // watermark 0: replay everything
+    for p in random_points(n, PHI, SEED ^ 0xB11) {
+        fleet.ingest(&id, p).unwrap();
+        if fleet.queue_len(&id).unwrap() >= 256 {
+            fleet.drain_fully(&id).unwrap();
+        }
+    }
+    fleet.drain_fully(&id).unwrap();
+    drop(fleet); // crash
+
+    let t0 = Instant::now();
+    let (recovered, recovery) = SpotFleet::recover_with(
+        &dir,
+        FleetConfig {
+            queue_capacity: 256,
+            micro_batch: 256,
+        },
+        tuning,
+        ExecutorHandle::serial(),
+        2,
+    )
+    .unwrap();
+    let recover_micros = t0.elapsed().as_micros() as u64;
+    assert_eq!(recovery.total_replayed(), n as u64);
+    assert_eq!(recovered.tenant_stats(&id).unwrap().processed, n as u64);
+    let replay_pts_per_sec = n as f64 / (recover_micros as f64 / 1e6);
+    println!(
+        "recovery       {replay_pts_per_sec:>12.0} replay pts/s  ({n} records in {recover_micros} us)"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+    RecoveryArm {
+        records: n,
+        recover_micros,
+        replay_pts_per_sec,
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n = point_count();
+    let train = random_points(1000, PHI, SEED ^ 7);
+
+    let append = vec![
+        // EveryRecord pays one fsync per point: a durability ceiling, so
+        // a tenth of the volume keeps the arm honest but bounded.
+        append_arm(
+            FsyncPolicy::EveryRecord,
+            "every-record",
+            n.div_ceil(10),
+            &train,
+        ),
+        append_arm(FsyncPolicy::EveryN(256), "every-256", n, &train),
+        append_arm(FsyncPolicy::OnRotate, "on-rotate", n, &train),
+    ];
+    let recovery = recovery_arm(n, &train);
+
+    let out = WalBaseline {
+        seed: SEED,
+        cores,
+        phi: PHI,
+        segment_bytes: WalTuning::DEFAULT_SEGMENT_BYTES,
+        append,
+        recovery,
+    };
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_wal.json");
+    let f = std::fs::File::create(&path).expect("create BENCH_wal.json");
+    serde_json::to_writer_pretty(f, &out).expect("write BENCH_wal.json");
+    println!("(baseline written to {})", path.display());
+}

@@ -5,8 +5,9 @@
 //! [`SpotCheckpoint`] a standalone detector captures — the same
 //! column-oriented `DurableState` trees, the same bit-exactness contract
 //! (see `docs/persistence.md`). The fleet layer adds only an envelope:
-//! its own format version and the tenant ids, sorted so capture →
-//! restore → capture is a byte-level fixed point.
+//! its own format version, the tenant ids, and (since envelope v2) each
+//! tenant's WAL replay watermark, all sorted so capture → restore →
+//! capture is a byte-level fixed point.
 //!
 //! Versioning follows the detector loader's policy: unknown envelope
 //! versions yield [`SpotError::UnsupportedSnapshotVersion`], structurally
@@ -31,23 +32,58 @@ use spot_types::{fnv1a64, Result, SpotError, TenantId};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-/// Fleet checkpoint envelope version.
-pub const FLEET_CHECKPOINT_VERSION: u32 = 1;
+/// Fleet checkpoint envelope version. Version 2 added the per-tenant WAL
+/// replay watermarks (`wal` + `wal_checksum` fields); version-1 envelopes
+/// are still accepted and read back with no positions.
+pub const FLEET_CHECKPOINT_VERSION: u32 = 2;
+
+/// The oldest envelope version the loader still accepts.
+pub const FLEET_CHECKPOINT_MIN_VERSION: u32 = 1;
 
 /// Durable state of a whole fleet: one v2 [`SpotCheckpoint`] per tenant,
-/// sorted by tenant id.
+/// sorted by tenant id, plus (when the ingestion WAL is enabled) each
+/// tenant's WAL replay watermark — the log sequence number recovery
+/// resumes replay from, equal to the tenant's `processed` counter minus
+/// the log's `base_processed`.
 #[derive(Debug, Clone)]
 pub struct FleetCheckpoint {
     tenants: Vec<(TenantId, SpotCheckpoint)>,
+    wal: Vec<(TenantId, u64)>,
 }
 
 impl FleetCheckpoint {
     /// Wraps per-tenant checkpoints (sorted by id; later duplicates of an
-    /// id are dropped — the fleet registry cannot produce any).
-    pub fn new(mut tenants: Vec<(TenantId, SpotCheckpoint)>) -> Self {
+    /// id are dropped — the fleet registry cannot produce any), with no
+    /// WAL positions.
+    pub fn new(tenants: Vec<(TenantId, SpotCheckpoint)>) -> Self {
+        Self::with_wal(tenants, Vec::new())
+    }
+
+    /// Wraps per-tenant checkpoints together with per-tenant WAL replay
+    /// watermarks (both sorted by id, duplicates dropped).
+    pub fn with_wal(
+        mut tenants: Vec<(TenantId, SpotCheckpoint)>,
+        mut wal: Vec<(TenantId, u64)>,
+    ) -> Self {
         tenants.sort_by(|a, b| a.0.cmp(&b.0));
         tenants.dedup_by(|a, b| a.0 == b.0);
-        FleetCheckpoint { tenants }
+        wal.sort_by(|a, b| a.0.cmp(&b.0));
+        wal.dedup_by(|a, b| a.0 == b.0);
+        FleetCheckpoint { tenants, wal }
+    }
+
+    /// Per-tenant WAL replay watermarks, sorted by id (empty when the
+    /// fleet had no WAL at capture time).
+    pub fn wal_positions(&self) -> &[(TenantId, u64)] {
+        &self.wal
+    }
+
+    /// One tenant's WAL replay watermark, if recorded.
+    pub fn wal_position(&self, id: &TenantId) -> Option<u64> {
+        self.wal
+            .binary_search_by(|(t, _)| t.cmp(id))
+            .ok()
+            .map(|i| self.wal[i].1)
     }
 
     /// Tenant ids held by this checkpoint, sorted.
@@ -100,20 +136,21 @@ impl FleetCheckpoint {
                 ))
             }
         };
-        if version != FLEET_CHECKPOINT_VERSION {
+        if !(FLEET_CHECKPOINT_MIN_VERSION..=FLEET_CHECKPOINT_VERSION).contains(&version) {
             return Err(SpotError::UnsupportedSnapshotVersion(version));
         }
         Self::from_value(&value).map_err(|e| SpotError::SnapshotCorrupt(e.0))
     }
 }
 
-/// FNV-1a 64 of the canonical (compact-JSON) rendering of the `tenants`
-/// array — the quantity the envelope's `checksum` field seals. Both sides
-/// of the trip hash a *rendering of a `Value`*, and capture → restore →
-/// capture being a byte-level fixed point guarantees a re-parsed tree
-/// renders identically, so a clean round trip always verifies.
-fn tenants_checksum(tenants: &Value) -> u64 {
-    let text = serde_json::to_string(tenants)
+/// FNV-1a 64 of the canonical (compact-JSON) rendering of a payload
+/// subtree — the quantity the envelope's `checksum` (tenants array) and
+/// `wal_checksum` (wal array) fields seal. Both sides of the trip hash a
+/// *rendering of a `Value`*, and capture → restore → capture being a
+/// byte-level fixed point guarantees a re-parsed tree renders
+/// identically, so a clean round trip always verifies.
+fn payload_checksum(payload: &Value) -> u64 {
+    let text = serde_json::to_string(payload)
         .expect("fleet checkpoint payload serialization is infallible");
     fnv1a64(text.as_bytes())
 }
@@ -131,14 +168,28 @@ impl Serialize for FleetCheckpoint {
                 })
                 .collect(),
         );
-        let checksum = tenants_checksum(&tenants);
+        let wal = Value::Array(
+            self.wal
+                .iter()
+                .map(|(id, seq)| {
+                    Value::Object(vec![
+                        ("id".to_string(), Value::Str(id.to_string())),
+                        ("seq".to_string(), Value::U64(*seq)),
+                    ])
+                })
+                .collect(),
+        );
+        let checksum = payload_checksum(&tenants);
+        let wal_checksum = payload_checksum(&wal);
         Value::Object(vec![
             (
                 "version".to_string(),
                 Value::U64(FLEET_CHECKPOINT_VERSION as u64),
             ),
             ("checksum".to_string(), Value::U64(checksum)),
+            ("wal_checksum".to_string(), Value::U64(wal_checksum)),
             ("tenants".to_string(), tenants),
+            ("wal".to_string(), wal),
         ])
     }
 }
@@ -147,9 +198,9 @@ impl Deserialize for FleetCheckpoint {
     fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
         let version = u32::from_value(v.get_field("version").unwrap_or(&Value::Null))
             .map_err(|e| e.in_field("version"))?;
-        if version != FLEET_CHECKPOINT_VERSION {
+        if !(FLEET_CHECKPOINT_MIN_VERSION..=FLEET_CHECKPOINT_VERSION).contains(&version) {
             return Err(DeError::custom(format!(
-                "expected fleet checkpoint version {FLEET_CHECKPOINT_VERSION}, found {version}"
+                "expected fleet checkpoint version {FLEET_CHECKPOINT_MIN_VERSION}..={FLEET_CHECKPOINT_VERSION}, found {version}"
             )));
         }
         let tenants_value = v.get_field("tenants");
@@ -159,7 +210,7 @@ impl Deserialize for FleetCheckpoint {
         // Verify the checksum seal when present (older envelopes lack it).
         match v.get_field("checksum") {
             Some(&Value::U64(stored)) => {
-                let computed = tenants_checksum(tenants_field);
+                let computed = payload_checksum(tenants_field);
                 if stored != computed {
                     return Err(DeError::custom(format!(
                         "checksum mismatch: envelope declares {stored:#018x}, \
@@ -189,7 +240,59 @@ impl Deserialize for FleetCheckpoint {
                     .map_err(|e| e.in_field("checkpoint"))?;
             tenants.push((id, cp));
         }
-        Ok(FleetCheckpoint::new(tenants))
+        // WAL watermarks arrived with version 2; a v1 envelope reads back
+        // with none. The same read policy as the tenants seal applies:
+        // a present `wal` must be an array and a present `wal_checksum`
+        // must verify, but both are optional on read (always written on
+        // save) so hand-stripped/legacy envelopes keep loading.
+        let mut wal: Vec<(TenantId, u64)> = Vec::new();
+        if let Some(wal_field) = v.get_field("wal") {
+            let Value::Array(positions) = wal_field else {
+                return Err(DeError::custom("field `wal` is not an array"));
+            };
+            match v.get_field("wal_checksum") {
+                Some(&Value::U64(stored)) => {
+                    let computed = payload_checksum(wal_field);
+                    if stored != computed {
+                        return Err(DeError::custom(format!(
+                            "wal_checksum mismatch: envelope declares {stored:#018x}, \
+                             payload hashes to {computed:#018x}"
+                        )));
+                    }
+                }
+                Some(other) => {
+                    return Err(DeError::custom(format!(
+                        "wal_checksum field is not an integer: {other:?}"
+                    )))
+                }
+                None => {}
+            }
+            for (i, entry) in positions.iter().enumerate() {
+                let id = match entry.get_field("id") {
+                    Some(Value::Str(name)) => TenantId::new(name).map_err(|e| {
+                        DeError::custom(format!("wal position {i}: invalid id: {e}"))
+                    })?,
+                    _ => {
+                        return Err(DeError::custom(format!(
+                            "wal position {i}: missing string id"
+                        )))
+                    }
+                };
+                let seq = match entry.get_field("seq") {
+                    Some(&Value::U64(seq)) => seq,
+                    _ => {
+                        return Err(DeError::custom(format!(
+                            "wal position {i}: missing integer seq"
+                        )))
+                    }
+                };
+                if wal.iter().any(|(t, _)| *t == id) {
+                    return Err(DeError::custom(format!("duplicate wal position {id:?}")));
+                }
+                wal.push((id, seq));
+            }
+        }
+        Ok(FleetCheckpoint::with_wal(tenants, wal))
     }
 }
 
@@ -220,7 +323,8 @@ pub struct RecoveryScan {
 ///   (and best-effort fsyncs the directory): a crash at any instant
 ///   leaves either the complete previous state or the complete new one,
 ///   never a half-written `.ckpt` file. Stray `.tmp` files from a crash
-///   are ignored by every read path and overwritten by the next save.
+///   are ignored by every read path and swept (deleted) the next time the
+///   store is opened ([`CheckpointStore::swept_tmp`] reports how many).
 /// * **Generations** — each save gets the next number; the oldest files
 ///   beyond the retention window are pruned after a successful rename, so
 ///   a corrupt newest generation never strands the fleet (recovery falls
@@ -235,18 +339,40 @@ pub struct RecoveryScan {
 pub struct CheckpointStore {
     dir: PathBuf,
     retain: usize,
+    swept: usize,
 }
 
 impl CheckpointStore {
     /// Opens (creating if needed) a checkpoint directory retaining the
-    /// newest `retain` generations (clamped to at least 1).
+    /// newest `retain` generations (clamped to at least 1). Stray
+    /// `fleet-*.ckpt.tmp` files left by a crash mid-save are deleted here
+    /// — they are, by construction, incomplete (a completed save renames
+    /// its tmp away) and would otherwise accumulate forever.
     pub fn open(dir: impl Into<PathBuf>, retain: usize) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| io_err("create", &dir, &e))?;
+        let mut swept = 0;
+        let entries = std::fs::read_dir(&dir).map_err(|e| io_err("list", &dir, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("list", &dir, &e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with(CKPT_PREFIX) && name.ends_with(".ckpt.tmp") {
+                std::fs::remove_file(entry.path())
+                    .map_err(|e| io_err("remove", &entry.path(), &e))?;
+                swept += 1;
+            }
+        }
         Ok(CheckpointStore {
             dir,
             retain: retain.max(1),
+            swept,
         })
+    }
+
+    /// Stray `.ckpt.tmp` files this store deleted when it was opened.
+    pub fn swept_tmp(&self) -> usize {
+        self.swept
     }
 
     /// The directory holding the checkpoint files.

@@ -16,19 +16,35 @@
 //! automates restoration. Ingestion keeps enqueuing for a quarantined
 //! tenant (subject to its [`OverloadPolicy`]) so the backlog survives into
 //! recovery.
+//!
+//! # Durability
+//!
+//! With [`SpotFleet::enable_wal`] every admitted point is appended to a
+//! per-tenant write-ahead log *before* it is enqueued or processed (see
+//! [`crate::wal`]). [`SpotFleet::checkpoint_durable`] saves a fleet
+//! checkpoint that records each tenant's WAL watermark and prunes sealed
+//! segments behind it; [`SpotFleet::recover`] rebuilds the fleet from the
+//! newest valid checkpoint and replays the WAL tail, making the post-crash
+//! verdict stream bit-identical to an uncrashed run — no admitted point is
+//! lost. In-process faults get the same treatment: a WAL-backed
+//! [`SpotFleet::revive_tenant`] replays the lost window instead of
+//! dropping it.
 
-use crate::checkpoint::FleetCheckpoint;
+use crate::checkpoint::{CheckpointStore, FleetCheckpoint};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::health::{IngestOutcome, OverloadPolicy, QuarantineInfo, TenantHealth};
+use crate::wal::{tenant_dir_name, FleetRecovery, TenantWal, WalTuning};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use spot::{
     LearningReport, SharedSpot, Spot, SpotCheckpoint, SpotConfig, SpotStats, SynopsisFootprint,
     Verdict,
 };
+use spot_stream::wal::read_wal_from;
 use spot_synopsis::{panic_message, ExecutorHandle, SerialExecutor, StoreExecutor};
 use spot_types::{DataPoint, Result, SpotError, TenantId};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -150,6 +166,11 @@ struct Tenant {
     shed: AtomicU64,
     /// Points admitted through the `Sample` survivor slot.
     sampled_kept: AtomicU64,
+    /// The tenant's write-ahead log, when the fleet has one enabled.
+    /// `wal_on` is the lock-free hot-path mirror — with no WAL, ingestion
+    /// checks one atomic and never touches the mutex.
+    wal: Mutex<Option<Arc<TenantWal>>>,
+    wal_on: AtomicBool,
 }
 
 impl Tenant {
@@ -168,7 +189,23 @@ impl Tenant {
             overflow_seen: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             sampled_kept: AtomicU64::new(0),
+            wal: Mutex::new(None),
+            wal_on: AtomicBool::new(false),
         }
+    }
+
+    /// The tenant's WAL handle, when one is attached (one atomic load on
+    /// the common no-WAL path).
+    fn wal_handle(&self) -> Option<Arc<TenantWal>> {
+        if !self.wal_on.load(Ordering::Acquire) {
+            return None;
+        }
+        self.wal.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn attach_wal(&self, wal: Arc<TenantWal>) {
+        *self.wal.lock().unwrap_or_else(|e| e.into_inner()) = Some(wal);
+        self.wal_on.store(true, Ordering::Release);
     }
 
     fn policy(&self) -> OverloadPolicy {
@@ -199,6 +236,26 @@ impl Tenant {
     }
 }
 
+/// Fleet-wide WAL settings, set once by `enable_wal`/`recover`: tenants
+/// registered later get their log attached automatically.
+#[derive(Clone)]
+struct WalSettings {
+    root: PathBuf,
+    tuning: WalTuning,
+}
+
+/// What one [`SpotFleet::revive_tenant`] actually brought forward — the
+/// supervisor uses the split to account `points_lost` correctly.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReviveOutcome {
+    /// Backlog points moved queue-to-queue (always 0 with a WAL).
+    pub(crate) carried: u64,
+    /// WAL records replayed past the restored position (0 without a WAL).
+    pub(crate) replayed: u64,
+    /// Whether the tenant has a WAL (replay-based recovery).
+    pub(crate) walled: bool,
+}
+
 struct FleetInner {
     exec: ExecutorHandle,
     config: FleetConfig,
@@ -208,6 +265,8 @@ struct FleetInner {
     /// plan is actually armed.
     faults: Mutex<Option<Arc<FaultInjector>>>,
     faults_armed: AtomicBool,
+    /// WAL root + tuning once the fleet's ingestion WAL is enabled.
+    wal: Mutex<Option<WalSettings>>,
     /// Tenant panics caught fleet-wide.
     panics: AtomicU64,
     /// Successful tenant restorations fleet-wide.
@@ -258,6 +317,7 @@ impl SpotFleet {
                 tenants: RwLock::new(HashMap::new()),
                 faults: Mutex::new(None),
                 faults_armed: AtomicBool::new(false),
+                wal: Mutex::new(None),
                 panics: AtomicU64::new(0),
                 recoveries: AtomicU64::new(0),
             }),
@@ -295,6 +355,18 @@ impl SpotFleet {
 
     fn install(&self, id: TenantId, spot: Spot, replace: bool) -> Result<()> {
         let tenant = Arc::new(Tenant::fresh(spot, self.inner.config.queue_capacity));
+        // With a fleet WAL enabled, every tenant gets a log at install
+        // time: opened fresh (base = the detector's current stream
+        // position) or resumed from an existing directory (restore paths).
+        if let Some(settings) = self.wal_settings() {
+            let base = tenant.shared.stats().processed;
+            let wal = TenantWal::open(
+                settings.root.join(tenant_dir_name(&id)),
+                base,
+                settings.tuning,
+            )?;
+            tenant.attach_wal(Arc::new(wal));
+        }
         let mut map = write_lock(&self.inner.tenants);
         if !replace && map.contains_key(&id) {
             return Err(SpotError::DuplicateTenant(id.to_string()));
@@ -316,6 +388,12 @@ impl SpotFleet {
         // an `Arc<Tenant>` of its own — dropping the registry's Arc alone
         // would leave the receiver alive inside that clone.
         *tenant.rx.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        // An evicted tenant's log is dead weight (its detector is gone);
+        // delete it so a future registration under the same id starts a
+        // fresh log instead of resuming a stranger's.
+        if let Some(settings) = self.wal_settings() {
+            let _ = std::fs::remove_dir_all(settings.root.join(tenant_dir_name(id)));
+        }
         Ok(())
     }
 
@@ -395,6 +473,79 @@ impl SpotFleet {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .clone()
+    }
+
+    fn wal_settings(&self) -> Option<WalSettings> {
+        self.inner
+            .wal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    // ---- the ingestion WAL ----------------------------------------------
+
+    /// Enables the durable ingestion write-ahead log for this fleet: every
+    /// point admitted from now on — `ingest`, `try_ingest`, `process`,
+    /// `process_batch` — is appended to a per-tenant segmented log under
+    /// `root` *before* it is enqueued or processed, so
+    /// [`SpotFleet::recover`] can replay everything the crash took (see
+    /// `crate::wal` and `docs/persistence.md`).
+    ///
+    /// Every currently registered tenant gets a log based at its current
+    /// stream position (resuming an existing directory when one is
+    /// present), and tenants registered later are covered automatically.
+    /// Call before ingestion starts: enabling errors with
+    /// [`SpotError::InvalidConfig`] when the WAL is already enabled or any
+    /// tenant has queued-but-undrained points (those would never get log
+    /// records).
+    pub fn enable_wal(&self, root: impl Into<PathBuf>, tuning: WalTuning) -> Result<()> {
+        let root = root.into();
+        {
+            let mut slot = self.inner.wal.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_some() {
+                return Err(SpotError::InvalidConfig(
+                    "the ingestion WAL is already enabled for this fleet".to_string(),
+                ));
+            }
+            *slot = Some(WalSettings {
+                root: root.clone(),
+                tuning,
+            });
+        }
+        for id in self.tenant_ids() {
+            let Ok(tenant) = self.tenant(&id) else {
+                continue;
+            };
+            if tenant.queued.load(Ordering::Relaxed) > 0 {
+                return Err(SpotError::InvalidConfig(format!(
+                    "tenant {id} has queued points; drain the fleet before enabling the WAL"
+                )));
+            }
+            let base = tenant.shared.stats().processed;
+            let wal = TenantWal::open(root.join(tenant_dir_name(&id)), base, tuning)?;
+            tenant.attach_wal(Arc::new(wal));
+        }
+        Ok(())
+    }
+
+    /// `true` once [`SpotFleet::enable_wal`] (or recovery) armed the
+    /// ingestion WAL.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal_settings().is_some()
+    }
+
+    /// One tenant's WAL write position: records ever appended to its log
+    /// (`None` when the fleet has no WAL). The replay watermark a
+    /// checkpoint would record is `processed - base`, not this.
+    pub fn wal_position(&self, id: &TenantId) -> Result<Option<u64>> {
+        Ok(self.tenant(id)?.wal_handle().map(|w| w.position()))
+    }
+
+    /// One tenant's live WAL segment-file count (`None` without a WAL) —
+    /// the observable pruning makes shrink.
+    pub fn wal_segment_count(&self, id: &TenantId) -> Result<Option<usize>> {
+        Ok(self.tenant(id)?.wal_handle().map(|w| w.segment_count()))
     }
 
     /// Consults the armed fault plan for one recovery attempt (supervisor
@@ -527,7 +678,7 @@ impl SpotFleet {
     /// under the panic guard: a panic quarantines this tenant only.
     pub fn process(&self, id: &TenantId, point: &DataPoint) -> Result<Verdict> {
         let tenant = self.tenant(id)?;
-        let mut verdicts = self.run_guarded(id, &tenant, std::slice::from_ref(point))?;
+        let mut verdicts = self.process_guarded(id, &tenant, std::slice::from_ref(point))?;
         Ok(verdicts.pop().expect("one verdict per point"))
     }
 
@@ -535,7 +686,32 @@ impl SpotFleet {
     /// the panic guard.
     pub fn process_batch(&self, id: &TenantId, points: &[DataPoint]) -> Result<Vec<Verdict>> {
         let tenant = self.tenant(id)?;
-        self.run_guarded(id, &tenant, points)
+        self.process_guarded(id, &tenant, points)
+    }
+
+    /// The synchronous processing paths' WAL hook: with a log attached the
+    /// points are appended *before* the detector runs (still under the
+    /// appender lock, so log order is processing order), which means a
+    /// panic mid-batch leaves them durable — [`SpotFleet::revive_tenant`]
+    /// and [`SpotFleet::recover`] re-derive the lost verdicts from the
+    /// log. The health gate runs before the append so a quarantined
+    /// tenant's rejected points do not haunt the log.
+    fn process_guarded(
+        &self,
+        id: &TenantId,
+        tenant: &Tenant,
+        points: &[DataPoint],
+    ) -> Result<Vec<Verdict>> {
+        let Some(wal) = tenant.wal_handle() else {
+            return self.run_guarded(id, tenant, points);
+        };
+        let faults = self.injector();
+        let mut ap = wal.appender();
+        self.gate(id, tenant)?;
+        for point in points {
+            ap.append(id, point, faults.as_deref())?;
+        }
+        self.run_guarded(id, tenant, points)
     }
 
     /// Enqueues one point under the tenant's [`OverloadPolicy`]. With the
@@ -553,6 +729,9 @@ impl SpotFleet {
         // so a faked "full" has no observable Block behavior to test.
         let forced_full = !matches!(policy, OverloadPolicy::Block)
             && self.injector().is_some_and(|i| i.ingest_forced_full(id));
+        if let Some(wal) = tenant.wal_handle() {
+            return self.ingest_walled(id, &tenant, &wal, point, policy, forced_full);
+        }
         match policy {
             OverloadPolicy::Block => {
                 self.enqueue_blocking(id, &tenant, point)?;
@@ -602,10 +781,82 @@ impl SpotFleet {
     }
 
     /// Non-blocking enqueue: `Ok(false)` when the queue is at capacity.
-    /// Policy-independent (never sheds, never consults the fault plan).
+    /// Policy-independent (never sheds, never consults the fault plan for
+    /// queue windows — injected WAL crashes still fire, as they would on
+    /// any append).
     pub fn try_ingest(&self, id: &TenantId, point: DataPoint) -> Result<bool> {
         let tenant = self.tenant(id)?;
-        Ok(self.enqueue_nonblocking(id, &tenant, point)?.is_none())
+        let Some(wal) = tenant.wal_handle() else {
+            return Ok(self.enqueue_nonblocking(id, &tenant, point)?.is_none());
+        };
+        let faults = self.injector();
+        let mut ap = wal.appender();
+        if tenant.queued.load(Ordering::Relaxed) >= self.inner.config.queue_capacity {
+            return Ok(false);
+        }
+        ap.append(id, &point, faults.as_deref())?;
+        self.enqueue_blocking(id, &tenant, point)?;
+        Ok(true)
+    }
+
+    /// The queued ingestion path with a WAL attached: the point is
+    /// appended to the log *before* it is enqueued, and the appender lock
+    /// is held across both so the log's sequence order is exactly the
+    /// queue's arrival order — the invariant that makes `processed -
+    /// base_processed` a valid replay watermark. Shed points are *not*
+    /// logged (they are not admitted, so recovery must not resurrect
+    /// them). Capacity is pre-checked under the appender lock — producers
+    /// are serialized by it, so a positive check cannot be invalidated
+    /// before the enqueue (drains only make room) and the blocking send
+    /// returns immediately.
+    fn ingest_walled(
+        &self,
+        id: &TenantId,
+        tenant: &Tenant,
+        wal: &TenantWal,
+        point: DataPoint,
+        policy: OverloadPolicy,
+        forced_full: bool,
+    ) -> Result<IngestOutcome> {
+        let faults = self.injector();
+        let mut ap = wal.appender();
+        let full = forced_full
+            || tenant.queued.load(Ordering::Relaxed) >= self.inner.config.queue_capacity;
+        match policy {
+            OverloadPolicy::Block => {
+                ap.append(id, &point, faults.as_deref())?;
+                self.enqueue_blocking(id, tenant, point)?;
+                Ok(IngestOutcome::Enqueued)
+            }
+            OverloadPolicy::Shed => {
+                if full {
+                    tenant.overflow_seen.fetch_add(1, Ordering::Relaxed);
+                    tenant.shed.fetch_add(1, Ordering::Relaxed);
+                    return Ok(IngestOutcome::Shed);
+                }
+                ap.append(id, &point, faults.as_deref())?;
+                self.enqueue_blocking(id, tenant, point)?;
+                Ok(IngestOutcome::Enqueued)
+            }
+            OverloadPolicy::Sample { keep_one_in } => {
+                let k = u64::from(keep_one_in.max(1));
+                if !full {
+                    ap.append(id, &point, faults.as_deref())?;
+                    self.enqueue_blocking(id, tenant, point)?;
+                    return Ok(IngestOutcome::Enqueued);
+                }
+                let n = tenant.overflow_seen.fetch_add(1, Ordering::Relaxed);
+                if n.is_multiple_of(k) {
+                    ap.append(id, &point, faults.as_deref())?;
+                    self.enqueue_blocking(id, tenant, point)?;
+                    tenant.sampled_kept.fetch_add(1, Ordering::Relaxed);
+                    Ok(IngestOutcome::Enqueued)
+                } else {
+                    tenant.shed.fetch_add(1, Ordering::Relaxed);
+                    Ok(IngestOutcome::Shed)
+                }
+            }
+        }
     }
 
     fn enqueue_blocking(&self, id: &TenantId, tenant: &Tenant, point: DataPoint) -> Result<()> {
@@ -820,6 +1071,7 @@ impl SpotFleet {
             None => &SerialExecutor,
         };
         let mut tenants = Vec::new();
+        let mut wal_positions = Vec::new();
         for id in self.tenant_ids() {
             let Ok(tenant) = self.tenant(&id) else {
                 continue;
@@ -827,10 +1079,59 @@ impl SpotFleet {
             if tenant.state.load(Ordering::Acquire) != HEALTH_HEALTHY {
                 continue;
             }
-            let cp = tenant.shared.with(|s| s.checkpoint_with(exec));
+            // Capture + position read under one detector lock hold: the
+            // recorded WAL watermark must be the stream position of *this*
+            // capture, not of whatever processed concurrently after it.
+            let (cp, processed) = tenant.shared.with(|s| {
+                let cp = s.checkpoint_with(exec);
+                let processed = s.stats().processed;
+                (cp, processed)
+            });
+            if let Some(wal) = tenant.wal_handle() {
+                wal_positions.push((id.clone(), processed.saturating_sub(wal.base_processed())));
+            }
             tenants.push((id, cp));
         }
-        FleetCheckpoint::new(tenants)
+        FleetCheckpoint::with_wal(tenants, wal_positions)
+    }
+
+    /// [`SpotFleet::checkpoint`] made durable: saves the capture into a
+    /// [`CheckpointStore`] and then prunes every tenant's WAL behind the
+    /// watermark the checkpoint recorded — sealed segments whose records
+    /// are all covered by the saved state are deleted, which is what keeps
+    /// log growth bounded by checkpoint cadence. Pruning failures are
+    /// swallowed (retained segments only cost replay time); the save
+    /// itself is the durability point and its errors propagate. Returns
+    /// the new checkpoint generation.
+    pub fn checkpoint_durable(&self, store: &CheckpointStore) -> Result<u64> {
+        let cp = self.checkpoint();
+        let generation = store.save(&cp)?;
+        if self.injector().is_some_and(|i| i.take_prune_crash()) {
+            // The crash lands after the rename made the checkpoint
+            // reachable but before any pruning: recovery must tolerate a
+            // WAL that still holds records from *before* the watermark.
+            self.kill_wals("injected crash between checkpoint save and WAL prune");
+            return Ok(generation);
+        }
+        for (id, watermark) in cp.wal_positions() {
+            let Ok(tenant) = self.tenant(id) else {
+                continue;
+            };
+            if let Some(wal) = tenant.wal_handle() {
+                let _ = wal.prune_to(*watermark);
+            }
+        }
+        Ok(generation)
+    }
+
+    /// Marks every tenant's WAL writer dead (crash simulation support).
+    fn kill_wals(&self, reason: &str) {
+        let tenants: Vec<Arc<Tenant>> = read_lock(&self.inner.tenants).values().cloned().collect();
+        for t in &tenants {
+            if let Some(wal) = t.wal_handle() {
+                wal.kill(reason);
+            }
+        }
     }
 
     /// Captures one healthy tenant's checkpoint (the supervisor's shadow
@@ -849,22 +1150,48 @@ impl SpotFleet {
     }
 
     /// Replaces a registered tenant's detector with one restored from a
-    /// checkpoint, **carrying over** its queued backlog (arrival order
-    /// preserved — both queues share one capacity bound, so the backlog
-    /// always fits), its overload policy and its overload counters, and
-    /// marking it healthy. This is the recovery primitive the
+    /// checkpoint, **carrying forward** everything the fault did not
+    /// destroy, and marking it healthy. This is the recovery primitive the
     /// [`crate::Supervisor`] drives for quarantined tenants; it also works
-    /// on a healthy tenant (a forced rollback). Returns the number of
-    /// backlog points carried over. Errors with
+    /// on a healthy tenant (a forced rollback). Errors with
     /// [`SpotError::UnknownTenant`] when `id` is not registered.
     ///
-    /// Points a producer ingests during the swap itself may land in the
-    /// retiring queue and be dropped with it — drive recovery from the
-    /// thread that also services the tenant, or pause its producers.
+    /// Without a WAL the queued backlog is moved into the new queue
+    /// (arrival order preserved — both queues share one capacity bound, so
+    /// it always fits) and the returned count is the backlog carried; the
+    /// window between the checkpoint's stream position and the fault is
+    /// gone. **With a WAL** the log *is* the backlog: the retiring queue
+    /// is discarded (every point in it is also in the log) and the log
+    /// tail past the restored position — lost window, failed batch and
+    /// backlog alike — is replayed through the normal processing path,
+    /// re-deriving bit-identical verdicts; the returned count is the
+    /// records replayed. Either way the overload policy and counters
+    /// survive. The appender lock is held from the swap through the
+    /// replay, so producers blocked on it resume only once the log and
+    /// queue agree again.
+    ///
+    /// Without a WAL, points a producer ingests during the swap itself may
+    /// land in the retiring queue and be dropped with it — drive recovery
+    /// from the thread that also services the tenant, or pause its
+    /// producers.
     pub fn revive_tenant(&self, id: &TenantId, cp: &SpotCheckpoint) -> Result<u64> {
+        let outcome = self.revive_tenant_inner(id, cp)?;
+        Ok(if outcome.walled {
+            outcome.replayed
+        } else {
+            outcome.carried
+        })
+    }
+
+    pub(crate) fn revive_tenant_inner(
+        &self,
+        id: &TenantId,
+        cp: &SpotCheckpoint,
+    ) -> Result<ReviveOutcome> {
         let mut spot = Spot::from_checkpoint(cp)?;
         spot.set_executor(self.inner.exec.clone());
-        let replacement = Tenant::fresh(spot, self.inner.config.queue_capacity);
+        let replacement = Arc::new(Tenant::fresh(spot, self.inner.config.queue_capacity));
+        let mut carried = 0u64;
         // Hold the registry write lock across the backlog transfer so no
         // new `ingest` can resolve the retiring entry mid-swap.
         let mut map = write_lock(&self.inner.tenants);
@@ -872,13 +1199,17 @@ impl SpotFleet {
             .get(id)
             .cloned()
             .ok_or_else(|| SpotError::UnknownTenant(id.to_string()))?;
-        let mut carried = 0u64;
+        let wal = old.wal_handle();
         {
             let guard = old.rx.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(old_rx) = guard.as_ref() {
                 while let Ok(p) = old_rx.try_recv() {
                     old.queued.fetch_sub(1, Ordering::Relaxed);
-                    if replacement.tx.try_send(p).is_ok() {
+                    // Walled: the point is in the log at a sequence past
+                    // the restored position — the replay below re-admits
+                    // it; copying it into the new queue too would process
+                    // it twice.
+                    if wal.is_none() && replacement.tx.try_send(p).is_ok() {
                         carried += 1;
                     }
                 }
@@ -897,9 +1228,52 @@ impl SpotFleet {
         replacement
             .sampled_kept
             .store(old.sampled_kept.load(Ordering::Relaxed), Ordering::Relaxed);
-        map.insert(id.clone(), Arc::new(replacement));
+        if let Some(w) = &wal {
+            replacement.attach_wal(w.clone());
+        }
+        map.insert(id.clone(), replacement.clone());
+        // Take the appender *before* releasing the registry lock: it
+        // serializes the replay against producers, so anything admitted
+        // after it releases is past the replayed tail and nothing is
+        // processed twice. (A producer already blocked in
+        // `enqueue_blocking` against the *retiring* queue is the
+        // pre-existing swap caveat documented above.)
+        let ap = wal.as_ref().map(|w| w.appender());
+        drop(map);
+        let mut replayed = 0u64;
+        if let Some(w) = &wal {
+            replayed = self.replay_wal_tail(id, &replacement, w)?;
+        }
+        drop(ap);
         self.inner.recoveries.fetch_add(1, Ordering::Relaxed);
-        Ok(carried)
+        Ok(ReviveOutcome {
+            carried,
+            replayed,
+            walled: wal.is_some(),
+        })
+    }
+
+    /// Replays a tenant's WAL records past its detector's current stream
+    /// position through the guarded processing path, returning how many
+    /// were replayed. The re-derived verdicts are dropped — replay exists
+    /// to rebuild detector state; determinism guarantees they are
+    /// bit-identical to what the original stream produced (or would have).
+    fn replay_wal_tail(&self, id: &TenantId, tenant: &Tenant, wal: &TenantWal) -> Result<u64> {
+        let processed = tenant.shared.stats().processed;
+        let watermark = processed.checked_sub(wal.base_processed()).ok_or_else(|| {
+            SpotError::WalCorrupt(format!(
+                "tenant {id}: restored stream position {processed} precedes the log base {}",
+                wal.base_processed()
+            ))
+        })?;
+        let tail = read_wal_from(wal.dir(), watermark)?;
+        let mut replayed = 0u64;
+        for chunk in tail.chunks(self.inner.config.micro_batch) {
+            let points: Vec<DataPoint> = chunk.iter().map(|(_, p)| p.clone()).collect();
+            self.run_guarded(id, tenant, &points)?;
+            replayed += points.len() as u64;
+        }
+        Ok(replayed)
     }
 
     /// Restores one tenant from a fleet checkpoint, **replacing** any
@@ -935,7 +1309,143 @@ impl SpotFleet {
         }
         Ok(fleet)
     }
+
+    // ---- crash recovery -------------------------------------------------
+
+    /// Rebuilds a fleet from a durable state directory after a crash:
+    /// restores the newest valid checkpoint from `dir` (the
+    /// [`CheckpointStore`] layout, sweeping stray `.tmp` files), then
+    /// replays each tenant's WAL tail — everything admitted after that
+    /// checkpoint — through the normal enqueue/drain path. Because replay
+    /// re-derives state from the same points in the same order, the
+    /// recovered fleet's subsequent verdict stream is **bit-identical** to
+    /// an uncrashed run's: with the WAL enabled, a crash loses no admitted
+    /// point.
+    ///
+    /// Works on every on-disk shape a crash can leave: no checkpoint at
+    /// all (empty fleet, WAL dirs reported unclaimed), a torn newest
+    /// checkpoint (falls back a generation and replays the longer tail),
+    /// a torn WAL tail (truncated at the last valid record — those final
+    /// unsynced points are the only possible loss, bounded by the
+    /// [`FsyncPolicy`]), and a crash between checkpoint save and WAL prune
+    /// (the stale log prefix behind the watermark is simply not replayed,
+    /// then pruned at the next checkpoint). Errors with
+    /// [`SpotError::WalCorrupt`] on real damage — a checksum-valid log
+    /// that contradicts the checkpoint, or corruption *before* the tail.
+    pub fn recover(dir: impl AsRef<Path>, config: FleetConfig) -> Result<(Self, FleetRecovery)> {
+        Self::recover_with(
+            dir,
+            config,
+            WalTuning::default(),
+            ExecutorHandle::default_for_build(),
+            DEFAULT_CHECKPOINT_RETAIN,
+        )
+    }
+
+    /// [`SpotFleet::recover`] with explicit WAL tuning, executor service
+    /// and checkpoint retention (the recovered fleet keeps writing to the
+    /// same directory with these settings).
+    pub fn recover_with(
+        dir: impl AsRef<Path>,
+        config: FleetConfig,
+        tuning: WalTuning,
+        exec: ExecutorHandle,
+        retain: usize,
+    ) -> Result<(Self, FleetRecovery)> {
+        let dir = dir.as_ref();
+        let store = CheckpointStore::open(dir, retain)?;
+        let swept_tmp = store.swept_tmp();
+        let scan = store.load_latest()?;
+        let (generation, checkpoint) = match scan.recovered {
+            Some((g, cp)) => (Some(g), cp),
+            None => (None, FleetCheckpoint::new(Vec::new())),
+        };
+        let fleet = Self::from_checkpoint_with(&checkpoint, config, exec)?;
+        let wal_root = dir.join("wal");
+        *fleet.inner.wal.lock().unwrap_or_else(|e| e.into_inner()) = Some(WalSettings {
+            root: wal_root.clone(),
+            tuning,
+        });
+        let mut recovery = FleetRecovery {
+            generation,
+            rejected: scan.rejected,
+            replayed: Vec::new(),
+            unclaimed: Vec::new(),
+            swept_tmp,
+        };
+        let chunk = fleet
+            .inner
+            .config
+            .micro_batch
+            .min(fleet.inner.config.queue_capacity)
+            .max(1);
+        for id in fleet.tenant_ids() {
+            let tenant = fleet.tenant(&id)?;
+            let processed = tenant.shared.stats().processed;
+            let wal = Arc::new(TenantWal::open(
+                wal_root.join(tenant_dir_name(&id)),
+                processed,
+                tuning,
+            )?);
+            let watermark = processed.checked_sub(wal.base_processed()).ok_or_else(|| {
+                SpotError::WalCorrupt(format!(
+                    "tenant {id}: checkpointed stream position {processed} precedes the log \
+                     base {}",
+                    wal.base_processed()
+                ))
+            })?;
+            // Cross-check against the position the checkpoint recorded: a
+            // mismatch means the log and the checkpoint are not from the
+            // same run (an operator mixed directories) — replaying would
+            // silently corrupt the detector.
+            if let Some(recorded) = checkpoint.wal_position(&id) {
+                if recorded != watermark {
+                    return Err(SpotError::WalCorrupt(format!(
+                        "tenant {id}: checkpoint generation {:?} records WAL position \
+                         {recorded} but the log on disk implies {watermark}",
+                        generation
+                    )));
+                }
+            }
+            let tail = read_wal_from(wal.dir(), watermark)?;
+            tenant.attach_wal(wal);
+            if tail.is_empty() {
+                continue;
+            }
+            // Replay through the normal enqueue → drain path — the same
+            // micro-batched guarded processing a live stream gets.
+            let mut replayed = 0u64;
+            for batch in tail.chunks(chunk) {
+                for (_, point) in batch {
+                    fleet.enqueue_blocking(&id, &tenant, point.clone())?;
+                }
+                fleet.drain_fully(&id)?;
+                replayed += batch.len() as u64;
+            }
+            recovery.replayed.push((id.clone(), replayed));
+        }
+        // WAL directories with no tenant in the restored checkpoint:
+        // surfaced, never silently deleted (the log may be the only
+        // surviving copy of that tenant's data).
+        let claimed: Vec<String> = fleet.tenant_ids().iter().map(tenant_dir_name).collect();
+        if let Ok(entries) = std::fs::read_dir(&wal_root) {
+            for entry in entries.flatten() {
+                if !entry.path().is_dir() {
+                    continue;
+                }
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !claimed.contains(&name) {
+                    recovery.unclaimed.push(name);
+                }
+            }
+        }
+        recovery.unclaimed.sort();
+        Ok((fleet, recovery))
+    }
 }
+
+/// Checkpoint generations [`SpotFleet::recover`] keeps by default.
+const DEFAULT_CHECKPOINT_RETAIN: usize = 4;
 
 // Lock-poisoning policy (audited with the supervision plane): every std
 // lock in this module recovers the guard with `into_inner` instead of

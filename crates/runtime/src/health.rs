@@ -137,16 +137,21 @@ pub struct RecoveryReport {
     /// The tenant's `processed` counter when it was quarantined (last
     /// stable publication before the panic).
     pub processed_at_failure: u64,
-    /// Points whose verdicts are lost to the fault:
+    /// Points whose verdicts are lost to the fault. Without a WAL this is
     /// `processed_at_failure - processed_at_shadow` plus the batch that
-    /// panicked. Re-feed this window (the caller still holds it — the
-    /// failed batch erred, it was never acknowledged) to converge with the
-    /// uninterrupted stream.
+    /// panicked — re-feed this window (the caller still holds it; the
+    /// failed batch erred, it was never acknowledged) to converge with
+    /// the uninterrupted stream. **With the ingestion WAL enabled the
+    /// recovery replays that window from the log and this is `0`.**
     pub points_lost: u64,
     /// Queued-but-undrained points carried over from the quarantined
     /// entry's queue into the recovered tenant's queue (arrival order
-    /// preserved).
+    /// preserved). `0` with a WAL — the backlog is replayed from the log
+    /// instead (counted in `replayed`).
     pub backlog_carried: u64,
+    /// WAL records replayed to rebuild the lost window and backlog (`0`
+    /// without a WAL).
+    pub replayed: u64,
 }
 
 #[cfg(test)]

@@ -47,14 +47,26 @@
 //!   atomically (tmp + fsync + rename), seals envelopes with a checksum,
 //!   and recovers from the newest *valid* retained generation.
 //! * **Deterministic fault injection** — a [`FaultPlan`] scripts panics,
-//!   queue-full windows and recovery failures at exact ordinals, so chaos
-//!   tests replay bit-identically. See `docs/robustness.md`.
+//!   queue-full windows, recovery failures and WAL crashes (kill after
+//!   append, torn write, failed fsync, mid-rotation, between checkpoint
+//!   and prune) at exact ordinals, so chaos tests replay bit-identically.
+//!   See `docs/robustness.md`.
+//!
+//! **Durability.** [`SpotFleet::enable_wal`] arms a per-tenant segmented
+//! write-ahead log: every admitted point is appended (checksummed,
+//! fsync-policy-bounded) *before* it is enqueued, checkpoints record each
+//! tenant's replay watermark and prune sealed segments behind it, and
+//! [`SpotFleet::recover`] restores the newest valid checkpoint then
+//! replays the WAL tail through the normal drain path — the post-crash
+//! verdict stream is bit-identical to an uncrashed run and no admitted
+//! point is lost. See [`wal`] and `docs/persistence.md`.
 
 pub mod checkpoint;
 pub mod faults;
 pub mod fleet;
 pub mod health;
 pub mod supervisor;
+pub mod wal;
 
 pub use checkpoint::{CheckpointStore, FleetCheckpoint, FLEET_CHECKPOINT_VERSION};
 pub use faults::FaultPlan;
@@ -62,3 +74,4 @@ pub use fleet::{FleetConfig, FleetFootprint, FleetStats, SpotFleet};
 pub use health::{IngestOutcome, OverloadPolicy, QuarantineInfo, RecoveryReport, TenantHealth};
 pub use spot_types::TenantId;
 pub use supervisor::{Supervisor, SupervisorConfig, SupervisorPass};
+pub use wal::{FleetRecovery, FsyncPolicy, WalTuning};

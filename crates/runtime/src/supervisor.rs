@@ -23,7 +23,10 @@
 //! its queued backlog carried over; the verdicts between the shadow and
 //! the fault are lost (the report's `points_lost` window) — replaying
 //! exactly that window reconverges with the uninterrupted stream, which
-//! the chaos suite pins bit-for-bit. Durable (on-disk) retention of
+//! the chaos suite pins bit-for-bit. **With the ingestion WAL enabled**
+//! (see [`crate::SpotFleet::enable_wal`]) the revive replays that window
+//! from the log itself: the report's `replayed` counts the re-derived
+//! records and `points_lost` is `0`. Durable (on-disk) retention of
 //! checkpoints is the separate [`crate::CheckpointStore`].
 
 use crate::fleet::SpotFleet;
@@ -205,19 +208,34 @@ impl Supervisor {
                 panic: "injected fault: recovery attempt failed".to_string(),
             })
         } else {
-            self.fleet.revive_tenant(id, &shadow)
+            self.fleet.revive_tenant_inner(id, &shadow)
         };
         match revived {
-            Ok(backlog_carried) => {
+            Ok(outcome) => {
+                // With a WAL the revive replayed the log tail, re-deriving
+                // everything between the shadow and the fault (failed
+                // batch included): lost = whatever the replay did *not*
+                // bring back past the pre-fault position. Without one, the
+                // shadow → fault window is gone.
+                let points_lost = if outcome.walled {
+                    let now = self
+                        .fleet
+                        .tenant_stats(id)
+                        .map(|s| s.processed)
+                        .unwrap_or(0);
+                    (info.processed + info.failed_batch).saturating_sub(now)
+                } else {
+                    info.processed.saturating_sub(shadow_processed) + info.failed_batch
+                };
                 let report = RecoveryReport {
                     tenant: id.clone(),
                     attempts: guard.attempts,
                     backoff: guard.backoff_log.clone(),
                     processed_at_shadow: shadow_processed,
                     processed_at_failure: info.processed,
-                    points_lost: info.processed.saturating_sub(shadow_processed)
-                        + info.failed_batch,
-                    backlog_carried,
+                    points_lost,
+                    backlog_carried: outcome.carried,
+                    replayed: outcome.replayed,
                 };
                 guard.attempts = 0;
                 guard.cooldown = 0;

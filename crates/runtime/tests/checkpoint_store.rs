@@ -201,7 +201,7 @@ fn corruption_matrix_yields_typed_errors_and_previous_generation_recovers() {
     let bad_version = store.save(&cp).unwrap();
     let path = store.dir().join(format!("fleet-{bad_version:08}.ckpt"));
     let text = std::fs::read_to_string(&path).unwrap();
-    std::fs::write(&path, text.replacen("\"version\":1", "\"version\":9", 1)).unwrap();
+    std::fs::write(&path, text.replacen("\"version\":2", "\"version\":9", 1)).unwrap();
     assert!(matches!(
         store.load(bad_version),
         Err(SpotError::UnsupportedSnapshotVersion(9))
@@ -264,6 +264,48 @@ fn empty_store_recovers_to_nothing() {
     assert!(scan.rejected.is_empty());
     assert_eq!(store.generations().unwrap(), Vec::<u64>::new());
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn open_sweeps_stray_tmp_files() {
+    let dir = temp_dir("sweep");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Two crash leftovers and one innocent bystander.
+    std::fs::write(dir.join("fleet-00000003.ckpt.tmp"), b"torn").unwrap();
+    std::fs::write(dir.join("fleet-00000009.ckpt.tmp"), b"also torn").unwrap();
+    std::fs::write(dir.join("notes.txt"), b"keep me").unwrap();
+    let store = CheckpointStore::open(&dir, 3).unwrap();
+    assert_eq!(store.swept_tmp(), 2);
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        !names.iter().any(|n| n.ends_with(".ckpt.tmp")),
+        "tmp files survived the sweep: {names:?}"
+    );
+    assert!(names.contains(&"notes.txt".to_string()));
+    // A clean reopen sweeps nothing.
+    assert_eq!(CheckpointStore::open(&dir, 3).unwrap().swept_tmp(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v1_envelope_without_wal_fields_is_accepted() {
+    // Envelopes written before the v2 WAL watermarks must keep loading:
+    // same tenants, empty watermark table.
+    let fleet = seeded_fleet(3, 1);
+    let json = fleet.checkpoint().to_json();
+    let legacy = json
+        .replacen("\"version\":2", "\"version\":1", 1)
+        .replacen("\"wal_checksum\":", "\"ignored\":", 1)
+        .replacen(",\"wal\":[]", "", 1);
+    assert!(!legacy.contains("\"wal\""));
+    let loaded = FleetCheckpoint::from_json(&legacy).unwrap();
+    assert_eq!(loaded.tenant_ids(), fleet.tenant_ids());
+    assert!(loaded.wal_positions().is_empty());
+    // Re-serialization upgrades it to the current version.
+    assert!(loaded.to_json().contains("\"version\":2"));
 }
 
 #[test]

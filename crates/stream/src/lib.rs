@@ -3,18 +3,22 @@
 //! Contains the paper's (ω, ε) window-based time model ([`time::TimeModel`])
 //! with its lazily-decayed counters, a logical clock, stream source
 //! abstractions (in-memory, generator-backed, and a crossbeam-channel-backed
-//! source for rate-controlled producers), and an exact sliding window kept
+//! source for rate-controlled producers), an exact sliding window kept
 //! for baseline detectors and for quantifying the approximation error of the
-//! (ω, ε) model (experiment E9).
+//! (ω, ε) model (experiment E9), and the write-ahead-log segment codec plus
+//! offline replay source ([`wal`]) shared with the `spot-runtime` ingestion
+//! WAL.
 
 pub mod clock;
 pub mod sample;
 pub mod source;
 pub mod time;
+pub mod wal;
 pub mod window;
 
 pub use clock::LogicalClock;
 pub use sample::{CounterRng, Reservoir};
 pub use source::{ChannelSource, FnSource, PointStream, VecSource};
 pub use time::{DecayTable, DecayedCounter, TimeModel};
+pub use wal::{WalScan, WalSource};
 pub use window::ExactSlidingWindow;

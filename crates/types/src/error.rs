@@ -45,6 +45,13 @@ pub enum SpotError {
     UnknownTenant(String),
     /// A tenant registration reused a name already in the registry.
     DuplicateTenant(String),
+    /// A write-ahead-log segment is structurally damaged beyond the
+    /// torn-tail cases recovery repairs silently: a checksum-valid record
+    /// with an undecodable payload, a sequence-number discontinuity, or
+    /// corruption in a *sealed* (non-final) segment. A half-written final
+    /// record is **not** an error — replay truncates it (see
+    /// `docs/persistence.md` § "The ingestion WAL").
+    WalCorrupt(String),
     /// A tenant's detector panicked mid-operation and was quarantined: its
     /// in-memory state can no longer be trusted (the panic may have left a
     /// half-committed batch behind a bypassed lock). Operations on the
@@ -84,6 +91,7 @@ impl fmt::Display for SpotError {
                 write!(f, "snapshot format version {v} is not supported")
             }
             SpotError::SnapshotCorrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
+            SpotError::WalCorrupt(msg) => write!(f, "write-ahead log corrupt: {msg}"),
             SpotError::UnknownTenant(id) => write!(f, "unknown tenant {id:?}"),
             SpotError::DuplicateTenant(id) => {
                 write!(f, "tenant {id:?} is already registered")
@@ -117,6 +125,9 @@ mod tests {
         assert!(SpotError::EmptyTrainingSet.to_string().contains("empty"));
         assert!(SpotError::TooManyDimensions(70).to_string().contains("70"));
         assert!(SpotError::NotLearned.to_string().contains("learning"));
+        assert!(SpotError::WalCorrupt("seq gap".to_string())
+            .to_string()
+            .contains("seq gap"));
         assert!(SpotError::NonFiniteValue { dim: 2 }
             .to_string()
             .contains("2"));

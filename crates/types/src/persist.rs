@@ -42,6 +42,49 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// Little-endian binary lanes — the persistence layer's byte-level
+/// encoding discipline, shared by the ingestion WAL's record frames.
+///
+/// The JSON checkpoint carrier stores floats as `u64` bit patterns inside
+/// a value tree; binary carriers (the WAL, and the planned binary column
+/// carrier) store the *same lanes* as fixed-width little-endian fields.
+/// Both directions are total: every bit pattern round-trips, including
+/// `±0.0`, subnormals and infinities.
+pub mod lanes {
+    /// Appends a `u32` as 4 little-endian bytes.
+    pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` as 8 little-endian bytes.
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (8 LE bytes, exact).
+    pub fn put_f64_bits(buf: &mut Vec<u8>, v: f64) {
+        put_u64(buf, v.to_bits());
+    }
+
+    /// Reads the `u32` lane at byte offset `at`, or `None` when the slice
+    /// ends before the lane does.
+    pub fn get_u32(bytes: &[u8], at: usize) -> Option<u32> {
+        let lane = bytes.get(at..at.checked_add(4)?)?;
+        Some(u32::from_le_bytes(lane.try_into().expect("4-byte lane")))
+    }
+
+    /// Reads the `u64` lane at byte offset `at`.
+    pub fn get_u64(bytes: &[u8], at: usize) -> Option<u64> {
+        let lane = bytes.get(at..at.checked_add(8)?)?;
+        Some(u64::from_le_bytes(lane.try_into().expect("8-byte lane")))
+    }
+
+    /// Reads the `f64` bit-pattern lane at byte offset `at` (exact).
+    pub fn get_f64_bits(bytes: &[u8], at: usize) -> Option<f64> {
+        get_u64(bytes, at).map(f64::from_bits)
+    }
+}
+
 /// Restore failure: the snapshot's value tree does not describe a valid
 /// state for the component (missing field, wrong shape, out-of-range
 /// value). Converts into [`SpotError::SnapshotCorrupt`].
@@ -437,6 +480,29 @@ mod tests {
         let v = w.finish();
         let r = StateReader::new(&v).unwrap();
         assert!(r.point_list("bad", None).is_err());
+    }
+
+    #[test]
+    fn lanes_roundtrip_bit_exact_and_bound_check() {
+        let mut buf = Vec::new();
+        lanes::put_u32(&mut buf, 0xDEAD_BEEF);
+        lanes::put_u64(&mut buf, u64::MAX - 7);
+        for v in [0.1, -0.0, f64::MIN_POSITIVE / 2.0, f64::INFINITY, 1e308] {
+            lanes::put_f64_bits(&mut buf, v);
+        }
+        assert_eq!(buf.len(), 4 + 8 + 5 * 8);
+        assert_eq!(lanes::get_u32(&buf, 0), Some(0xDEAD_BEEF));
+        assert_eq!(lanes::get_u64(&buf, 4), Some(u64::MAX - 7));
+        let back = lanes::get_f64_bits(&buf, 12).unwrap();
+        assert_eq!(back.to_bits(), 0.1f64.to_bits());
+        assert_eq!(
+            lanes::get_f64_bits(&buf, 20).unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        // Reads past the end (or overflowing offsets) are None, not panics.
+        assert_eq!(lanes::get_u64(&buf, buf.len() - 7), None);
+        assert_eq!(lanes::get_u32(&buf, usize::MAX), None);
+        assert_eq!(lanes::get_u64(&buf, usize::MAX - 3), None);
     }
 
     #[test]
