@@ -1,0 +1,302 @@
+//! Service-plane baseline: HTTP ingestion throughput, request latency
+//! percentiles, and shed rate at accept saturation.
+//!
+//! Writes `BENCH_serve.json` at the repository root (fixed seed 42).
+//!
+//! * **Ingest throughput** — 4 tenants, one persistent client connection
+//!   each, pushing batched points through `POST /tenants/{id}/ingest`.
+//!   Queues are sized to hold the whole run and the pump is off, so the
+//!   timed region is the wire + admission path (parse, validate,
+//!   enqueue), not the detector; the drain runs untimed afterwards.
+//! * **Latency** — round-trip percentiles for the two poles of the API:
+//!   `GET /tenants/{id}/stats` (lock-free counters, no detector work)
+//!   and a 16-point ingest POST.
+//! * **Saturation** — a burst of short-lived connections against a
+//!   deliberately small connection cap; the shed rate is read off the
+//!   server's own accept counters.
+//!
+//! `SPOT_BENCH_SERVE_POINTS` (e.g. `"500"`) shrinks the run for CI
+//! smoke; the default is 8000 points per tenant.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use spot::{SpotBuilder, SpotConfig};
+use spot_runtime::{FleetConfig, SpotFleet, TenantId};
+use spot_serve::{RetryPolicy, ServeClient, ServeConfig, SpotServer};
+use spot_types::{DataPoint, DomainBounds};
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 42;
+const PHI: usize = 8;
+const TENANTS: usize = 4;
+
+fn random_points(n: usize, dims: usize, seed: u64) -> Vec<DataPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| DataPoint::new((0..dims).map(|_| rng.gen_range(0.0..1.0)).collect()))
+        .collect()
+}
+
+fn tenant_config(seed: u64) -> SpotConfig {
+    SpotBuilder::new(DomainBounds::unit(PHI))
+        .fs_max_dimension(2)
+        .seed(seed)
+        .build_config()
+        .unwrap()
+}
+
+fn point_count() -> usize {
+    std::env::var("SPOT_BENCH_SERVE_POINTS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(8_000)
+}
+
+fn tid(i: usize) -> TenantId {
+    TenantId::new(format!("bench-{i}")).expect("valid tenant id")
+}
+
+/// A learned fleet whose per-tenant queues hold an entire run, served
+/// with the pump off: admission cost only.
+fn served_fleet(points_per_tenant: usize, train: &[DataPoint]) -> (SpotServer, SpotFleet) {
+    let fleet = SpotFleet::with_workers(
+        FleetConfig {
+            queue_capacity: points_per_tenant,
+            micro_batch: 256,
+        },
+        Some(0),
+    );
+    for i in 0..TENANTS {
+        fleet
+            .register(tid(i), tenant_config(SEED + i as u64))
+            .unwrap();
+        fleet.learn(&tid(i), train).unwrap();
+    }
+    let server = SpotServer::builder(fleet.clone())
+        .config(ServeConfig {
+            workers: TENANTS + 2,
+            max_connections: 32,
+            ..ServeConfig::default()
+        })
+        .pump(false)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    (server, fleet)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[derive(Serialize)]
+struct IngestArm {
+    tenants: usize,
+    points_per_tenant: usize,
+    batch: usize,
+    requests: u64,
+    requests_per_sec: f64,
+    /// Admission rate over the wire: parse + validate + enqueue.
+    ingest_pts_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct LatencyArm {
+    samples: usize,
+    stats_p50_micros: u64,
+    stats_p99_micros: u64,
+    ingest_p50_micros: u64,
+    ingest_p99_micros: u64,
+}
+
+#[derive(Serialize)]
+struct SaturationArm {
+    connection_cap: usize,
+    burst: usize,
+    accepted: u64,
+    shed: u64,
+    /// Fraction of the burst's connection attempts 503-shed at accept.
+    shed_rate: f64,
+}
+
+#[derive(Serialize)]
+struct ServeBaseline {
+    seed: u64,
+    cores: usize,
+    phi: usize,
+    ingest: IngestArm,
+    latency: LatencyArm,
+    saturation: SaturationArm,
+}
+
+fn ingest_arm(n: usize, train: &[DataPoint]) -> IngestArm {
+    const BATCH: usize = 64;
+    let (server, fleet) = served_fleet(n, train);
+    let addr = server.local_addr();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..TENANTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = ServeClient::new(addr);
+                let id = tid(i);
+                let points = random_points(n, PHI, SEED ^ (0xA00 + i as u64));
+                for chunk in points.chunks(BATCH) {
+                    let report = client.ingest(&id, chunk).unwrap();
+                    assert_eq!(
+                        report.enqueued as usize,
+                        chunk.len(),
+                        "queue sized for the run"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let requests = server.stats().requests;
+    server.shutdown().unwrap(); // untimed: drains the backlog through the detector
+    assert_eq!(fleet.stats().queued, 0);
+    let total = (TENANTS * n) as f64;
+    let arm = IngestArm {
+        tenants: TENANTS,
+        points_per_tenant: n,
+        batch: BATCH,
+        requests,
+        requests_per_sec: requests as f64 / elapsed,
+        ingest_pts_per_sec: total / elapsed,
+    };
+    println!(
+        "ingest         {:>12.0} pts/s  ({:.0} req/s over {TENANTS} connections)",
+        arm.ingest_pts_per_sec, arm.requests_per_sec
+    );
+    arm
+}
+
+fn latency_arm(samples: usize, train: &[DataPoint]) -> LatencyArm {
+    let (server, _fleet) = served_fleet(samples * 16, train);
+    let addr = server.local_addr();
+    let mut client = ServeClient::new(addr);
+    let id = tid(0);
+
+    let mut stats_lat = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        client.tenant_stats(&id).unwrap();
+        stats_lat.push(t0.elapsed().as_micros() as u64);
+    }
+    let mut ingest_lat = Vec::with_capacity(samples);
+    let points = random_points(16, PHI, SEED ^ 0xC11);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        client.ingest(&id, &points).unwrap();
+        ingest_lat.push(t0.elapsed().as_micros() as u64);
+    }
+    server.shutdown().unwrap();
+
+    stats_lat.sort_unstable();
+    ingest_lat.sort_unstable();
+    let arm = LatencyArm {
+        samples,
+        stats_p50_micros: percentile(&stats_lat, 0.50),
+        stats_p99_micros: percentile(&stats_lat, 0.99),
+        ingest_p50_micros: percentile(&ingest_lat, 0.50),
+        ingest_p99_micros: percentile(&ingest_lat, 0.99),
+    };
+    println!(
+        "latency        stats p50/p99 = {}/{} us   ingest(16) p50/p99 = {}/{} us",
+        arm.stats_p50_micros, arm.stats_p99_micros, arm.ingest_p50_micros, arm.ingest_p99_micros
+    );
+    arm
+}
+
+fn saturation_arm(train: &[DataPoint]) -> SaturationArm {
+    const CAP: usize = 8;
+    const BURST: usize = 64;
+    let fleet = SpotFleet::with_workers(FleetConfig::default(), Some(0));
+    fleet.register(tid(0), tenant_config(SEED)).unwrap();
+    fleet.learn(&tid(0), train).unwrap();
+    let server = SpotServer::builder(fleet)
+        .config(ServeConfig {
+            workers: 2,
+            max_connections: CAP,
+            ..ServeConfig::default()
+        })
+        .pump(false)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let addr = server.local_addr();
+
+    // A burst of greedy clients, each holding its connection briefly so
+    // the cap actually saturates. Sheds are expected — that is the point.
+    let handles: Vec<_> = (0..BURST)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = ServeClient::new(addr).with_policy(RetryPolicy {
+                    max_attempts: 1,
+                    backoff_base: Duration::from_millis(1),
+                    backoff_cap: Duration::from_millis(1),
+                    retry_after_unit: Duration::from_millis(1),
+                });
+                let _ = client.healthy();
+                std::thread::sleep(Duration::from_millis(20));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = server.stats();
+    server.shutdown().unwrap();
+    let attempts = stats.accepted + stats.shed_connections;
+    let arm = SaturationArm {
+        connection_cap: CAP,
+        burst: BURST,
+        accepted: stats.accepted,
+        shed: stats.shed_connections,
+        shed_rate: if attempts == 0 {
+            0.0
+        } else {
+            stats.shed_connections as f64 / attempts as f64
+        },
+    };
+    println!(
+        "saturation     {}/{} connections shed at cap {CAP} ({:.0}% shed rate)",
+        arm.shed,
+        attempts,
+        arm.shed_rate * 100.0
+    );
+    arm
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n = point_count();
+    let train = random_points(1000, PHI, SEED ^ 7);
+
+    let ingest = ingest_arm(n, &train);
+    let latency = latency_arm((n / 16).clamp(50, 2000), &train);
+    let saturation = saturation_arm(&train);
+
+    let out = ServeBaseline {
+        seed: SEED,
+        cores,
+        phi: PHI,
+        ingest,
+        latency,
+        saturation,
+    };
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    let f = std::fs::File::create(&path).expect("create BENCH_serve.json");
+    serde_json::to_writer_pretty(f, &out).expect("write BENCH_serve.json");
+    println!("(baseline written to {})", path.display());
+}

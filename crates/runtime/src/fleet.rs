@@ -171,11 +171,16 @@ struct Tenant {
     /// checks one atomic and never touches the mutex.
     wal: Mutex<Option<Arc<TenantWal>>>,
     wal_on: AtomicBool,
+    /// The detector's dimensionality (φ), captured at install so
+    /// admission-side validators ([`SpotFleet::tenant_dims`]) never touch
+    /// the detector lock.
+    phi: usize,
 }
 
 impl Tenant {
     /// A fresh healthy tenant with default (`Block`) overload policy.
     fn fresh(spot: Spot, capacity: usize) -> Tenant {
+        let phi = spot.config().phi();
         let (tx, rx) = bounded(capacity);
         Tenant {
             shared: SharedSpot::with_service_executor(spot),
@@ -191,6 +196,7 @@ impl Tenant {
             sampled_kept: AtomicU64::new(0),
             wal: Mutex::new(None),
             wal_on: AtomicBool::new(false),
+            phi,
         }
     }
 
@@ -267,6 +273,11 @@ struct FleetInner {
     faults_armed: AtomicBool,
     /// WAL root + tuning once the fleet's ingestion WAL is enabled.
     wal: Mutex<Option<WalSettings>>,
+    /// Admission gate for graceful shutdown: once set, every
+    /// `ingest`/`try_ingest`/`process`/`process_batch` call errors with
+    /// [`SpotError::ShuttingDown`] while drains keep working — the drain
+    /// phase sees a frozen backlog and loses nothing already admitted.
+    shutting_down: AtomicBool,
     /// Tenant panics caught fleet-wide.
     panics: AtomicU64,
     /// Successful tenant restorations fleet-wide.
@@ -318,6 +329,7 @@ impl SpotFleet {
                 faults: Mutex::new(None),
                 faults_armed: AtomicBool::new(false),
                 wal: Mutex::new(None),
+                shutting_down: AtomicBool::new(false),
                 panics: AtomicU64::new(0),
                 recoveries: AtomicU64::new(0),
             }),
@@ -328,6 +340,43 @@ impl SpotFleet {
     /// `pools_spawned()` stays at ≤ 1 however many tenants register.
     pub fn executor(&self) -> &ExecutorHandle {
         &self.inner.exec
+    }
+
+    /// The fleet's (clamped) configuration.
+    pub fn config(&self) -> FleetConfig {
+        self.inner.config
+    }
+
+    // ---- the shutdown gate ----------------------------------------------
+
+    /// Closes the fleet's admission gates for a graceful shutdown: every
+    /// subsequent [`SpotFleet::ingest`]/[`SpotFleet::try_ingest`]/
+    /// [`SpotFleet::process`]/[`SpotFleet::process_batch`] call errors
+    /// with [`SpotError::ShuttingDown`], while drains (and WAL replay)
+    /// keep working so the frozen backlog can be flushed and
+    /// checkpointed. Idempotent; [`SpotFleet::end_shutdown`] reopens the
+    /// gates (e.g. when an operator aborts the shutdown).
+    pub fn begin_shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::Release);
+    }
+
+    /// Reopens admission after [`SpotFleet::begin_shutdown`].
+    pub fn end_shutdown(&self) {
+        self.inner.shutting_down.store(false, Ordering::Release);
+    }
+
+    /// `true` while the admission gates are closed.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// The lock-free admission gate every ingestion path checks first.
+    fn admission_gate(&self) -> Result<()> {
+        if self.is_shutting_down() {
+            Err(SpotError::ShuttingDown)
+        } else {
+            Ok(())
+        }
     }
 
     /// Retargets the shared worker budget (see [`ExecutorHandle::set_workers`]).
@@ -433,6 +482,19 @@ impl SpotFleet {
     /// One tenant's health state (quarantine reason and counters included).
     pub fn health(&self, id: &TenantId) -> Result<TenantHealth> {
         Ok(self.tenant(id)?.health_snapshot())
+    }
+
+    /// One tenant's health discriminant as a static label —
+    /// `"healthy"`/`"quarantined"`/`"failed"` — read from the lock-free
+    /// state mirror. The monitoring-plane variant of
+    /// [`SpotFleet::health`]: it can never block on (or be blocked by)
+    /// the health mutex or any detector lock.
+    pub fn health_tag(&self, id: &TenantId) -> Result<&'static str> {
+        Ok(match self.tenant(id)?.state.load(Ordering::Acquire) {
+            HEALTH_QUARANTINED => "quarantined",
+            HEALTH_FAILED => "failed",
+            _ => "healthy",
+        })
     }
 
     /// Sets one tenant's overload policy (effective for subsequent
@@ -677,6 +739,7 @@ impl SpotFleet {
     /// drained first — verdict order is arrival order either way). Runs
     /// under the panic guard: a panic quarantines this tenant only.
     pub fn process(&self, id: &TenantId, point: &DataPoint) -> Result<Verdict> {
+        self.admission_gate()?;
         let tenant = self.tenant(id)?;
         let mut verdicts = self.process_guarded(id, &tenant, std::slice::from_ref(point))?;
         Ok(verdicts.pop().expect("one verdict per point"))
@@ -685,6 +748,7 @@ impl SpotFleet {
     /// Processes a batch synchronously through the shared executor, under
     /// the panic guard.
     pub fn process_batch(&self, id: &TenantId, points: &[DataPoint]) -> Result<Vec<Verdict>> {
+        self.admission_gate()?;
         let tenant = self.tenant(id)?;
         self.process_guarded(id, &tenant, points)
     }
@@ -722,6 +786,7 @@ impl SpotFleet {
     /// Quarantined tenants still enqueue — the backlog is carried into the
     /// recovered tenant by [`SpotFleet::revive_tenant`].
     pub fn ingest(&self, id: &TenantId, point: DataPoint) -> Result<IngestOutcome> {
+        self.admission_gate()?;
         let tenant = self.tenant(id)?;
         let policy = tenant.policy();
         // Scripted queue-full windows apply to the non-blocking policies
@@ -785,6 +850,7 @@ impl SpotFleet {
     /// queue windows — injected WAL crashes still fire, as they would on
     /// any append).
     pub fn try_ingest(&self, id: &TenantId, point: DataPoint) -> Result<bool> {
+        self.admission_gate()?;
         let tenant = self.tenant(id)?;
         let Some(wal) = tenant.wal_handle() else {
             return Ok(self.enqueue_nonblocking(id, &tenant, point)?.is_none());
@@ -896,6 +962,15 @@ impl SpotFleet {
         Ok(self.tenant(id)?.queued.load(Ordering::Relaxed))
     }
 
+    /// The tenant's dimensionality (φ), without touching the detector
+    /// lock. Admission-side validators use this to reject malformed
+    /// points *before* they are queued — the detector's own validation
+    /// runs at drain time, where a bad point discards its whole
+    /// micro-batch (see [`SpotFleet::drain`]).
+    pub fn tenant_dims(&self, id: &TenantId) -> Result<usize> {
+        Ok(self.tenant(id)?.phi)
+    }
+
     /// Drains up to one micro-batch (`FleetConfig::micro_batch` points)
     /// from the tenant's queue and processes it through the shared
     /// executor, returning the verdicts in arrival order. An empty queue
@@ -913,17 +988,28 @@ impl SpotFleet {
         self.drain_tenant(id, &tenant)
     }
 
-    /// Drains the tenant's queue to exhaustion (micro-batch at a time).
+    /// Drains the tenant's current backlog (micro-batch at a time). The
+    /// queued count is snapshotted **once**, and at most that many points
+    /// are drained: a producer that keeps the queue full cannot turn this
+    /// into an unbounded loop (the livelock the old drain-until-empty
+    /// contract had). Points enqueued while the drain runs are left for
+    /// the next call.
     pub fn drain_fully(&self, id: &TenantId) -> Result<Vec<Verdict>> {
         let tenant = self.tenant(id)?;
+        // `queued` may transiently overcount by producers mid-`send`; the
+        // empty-batch break below keeps that harmless (the drain ends as
+        // soon as the channel runs dry).
+        let mut remaining = tenant.queued.load(Ordering::Relaxed);
         let mut verdicts = Vec::new();
-        loop {
+        while remaining > 0 {
             let batch = self.drain_tenant(id, &tenant)?;
             if batch.is_empty() {
-                return Ok(verdicts);
+                break;
             }
+            remaining = remaining.saturating_sub(batch.len());
             verdicts.extend(batch);
         }
+        Ok(verdicts)
     }
 
     /// One service pass over the whole fleet: drains up to one micro-batch

@@ -1,0 +1,150 @@
+//! Deterministic network-layer fault injection.
+//!
+//! The runtime's [`spot_runtime::FaultPlan`] scripts faults *inside* the
+//! fleet on per-tenant ordinals; this module extends the same philosophy
+//! to the wire. Each [`NetFault`] is one scripted misbehaving client —
+//! injected from a real socket so the server's deadline and limit
+//! machinery is exercised end to end, not mocked. Faults are pure
+//! functions of their parameters (no randomness), so a soak test can
+//! schedule them at fixed iteration ordinals and replay failures exactly.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One scripted wire-level fault.
+#[derive(Debug, Clone)]
+pub enum NetFault {
+    /// Send a torn request line (`POST /tenants/x/ing` and nothing more),
+    /// then close. The server must discard the connection silently.
+    TornRequestLine,
+    /// Send a complete head declaring `content_length` body bytes, then
+    /// only `sent` of them, then close. The server must not admit any
+    /// point from the half request.
+    MidBodyDisconnect {
+        /// Declared `Content-Length`.
+        content_length: usize,
+        /// Bytes actually sent before the disconnect.
+        sent: usize,
+    },
+    /// Send a partial head and then stall silently for `hold`. Held past
+    /// the server's read deadline this must trip a `408` (or a close) —
+    /// never a pinned worker.
+    StalledRead {
+        /// How long to hold the connection open without sending.
+        hold: Duration,
+    },
+    /// Send bytes that are not HTTP at all; the server must answer `400`
+    /// and close.
+    Garbage,
+}
+
+/// What the server did with the faulty connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The server answered with this status before closing.
+    Status(u16),
+    /// The server closed the connection without a response (the correct
+    /// answer to a peer that vanished mid-request).
+    ClosedSilently,
+}
+
+/// Open a real connection to `addr` and perform the fault. `patience` is
+/// how long to wait for the server's reaction after the fault is played.
+pub fn inject(
+    addr: SocketAddr,
+    fault: &NetFault,
+    patience: Duration,
+) -> std::io::Result<FaultOutcome> {
+    let mut stream = TcpStream::connect_timeout(&addr, patience)?;
+    stream.set_nodelay(true)?;
+    match fault {
+        NetFault::TornRequestLine => {
+            stream.write_all(b"POST /tenants/x/ing")?;
+            stream.shutdown(Shutdown::Write)?;
+            read_reaction(&mut stream, patience)
+        }
+        NetFault::MidBodyDisconnect {
+            content_length,
+            sent,
+        } => {
+            let head = format!(
+                "POST /tenants/x/ingest HTTP/1.1\r\nhost: spot\r\ncontent-length: {content_length}\r\n\r\n"
+            );
+            stream.write_all(head.as_bytes())?;
+            let partial = vec![b'{'; (*sent).min(*content_length)];
+            stream.write_all(&partial)?;
+            stream.shutdown(Shutdown::Write)?;
+            read_reaction(&mut stream, patience)
+        }
+        NetFault::StalledRead { hold } => {
+            stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: sp")?;
+            stream.flush()?;
+            std::thread::sleep(*hold);
+            read_reaction(&mut stream, patience)
+        }
+        NetFault::Garbage => {
+            stream.write_all(b"\x16\x03\x01 this is not http\r\n\r\n")?;
+            stream.shutdown(Shutdown::Write)?;
+            read_reaction(&mut stream, patience)
+        }
+    }
+}
+
+/// Read whatever the server sends back; a status line yields
+/// [`FaultOutcome::Status`], EOF or a reset yields
+/// [`FaultOutcome::ClosedSilently`].
+fn read_reaction(stream: &mut TcpStream, patience: Duration) -> std::io::Result<FaultOutcome> {
+    stream.set_read_timeout(Some(patience.max(Duration::from_millis(1))))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            // Resets count as a close: the server tore the connection down.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::BrokenPipe
+                        | std::io::ErrorKind::UnexpectedEof
+                ) =>
+            {
+                break
+            }
+            // Patience ran out with the connection still open.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                break
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(parse_status(&buf).map_or(FaultOutcome::ClosedSilently, FaultOutcome::Status))
+}
+
+fn parse_status(buf: &[u8]) -> Option<u16> {
+    let text = std::str::from_utf8(buf).ok()?;
+    let line = text.split("\r\n").next()?;
+    let code = line.strip_prefix("HTTP/1.1 ")?.split(' ').next()?;
+    code.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_line_parsing() {
+        assert_eq!(parse_status(b"HTTP/1.1 408 Request Timeout\r\n"), Some(408));
+        assert_eq!(parse_status(b"HTTP/1.1 400 Bad Request\r\n\r\n"), Some(400));
+        assert_eq!(parse_status(b""), None);
+        assert_eq!(parse_status(b"garbage"), None);
+    }
+}

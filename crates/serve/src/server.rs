@@ -1,0 +1,624 @@
+//! The SPOT fleet HTTP server: bounded accept, worker pool, pump thread,
+//! and the graceful shutdown protocol.
+//!
+//! Robustness invariants (see `docs/service.md`):
+//!
+//! - **Bounded everything.** At most [`ServeConfig::max_connections`]
+//!   accepted connections exist at once; beyond that the accept loop sheds
+//!   with a best-effort `503` and an immediate close, so overload degrades
+//!   to fast rejections instead of unbounded queues.
+//! - **Deadlines everywhere.** Each request must arrive within
+//!   [`ServeConfig::read_timeout`] of its first byte, responses must flush
+//!   within [`ServeConfig::write_timeout`], and idle keep-alive
+//!   connections are reclaimed after [`ServeConfig::idle_timeout`].
+//! - **Ordered verdict delivery.** A configured [`VerdictSink`] observes
+//!   every tenant's verdicts in exact arrival order: the pump thread, the
+//!   HTTP drain route, and the shutdown drain all serialize through one
+//!   sink lock, and the fleet's per-tenant receiver mutex orders the
+//!   drains themselves.
+//! - **Graceful shutdown loses nothing admitted.** [`SpotServer::shutdown`]
+//!   stops accepting, closes idle connections, lets in-flight requests
+//!   finish under [`ServeConfig::drain_deadline`] (then force-closes the
+//!   stragglers), gates fleet admission behind
+//!   [`SpotError::ShuttingDown`], drains every tenant queue into the sink,
+//!   and takes a final durable checkpoint when a store is attached.
+
+use crate::http::{read_request, HttpError, HttpLimits, NextRequest, Response};
+use crate::router::route;
+use spot::Verdict;
+use spot_runtime::{CheckpointStore, SpotFleet};
+use spot_types::{Result, SpotError, TenantId};
+use std::collections::{HashMap, VecDeque};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Verdict consumer fed by the pump thread and the drain paths, always in
+/// per-tenant arrival order.
+pub type VerdictSink = Arc<dyn Fn(&TenantId, &[Verdict]) + Send + Sync>;
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Hard cap on accepted connections (active + handoff queue); beyond
+    /// it the accept loop sheds with `503`.
+    pub max_connections: usize,
+    /// Budget for reading one request once its first byte arrived
+    /// (slow-loris defense).
+    pub read_timeout: Duration,
+    /// Budget for writing one response.
+    pub write_timeout: Duration,
+    /// How long an idle keep-alive connection may wait for its next
+    /// request.
+    pub idle_timeout: Duration,
+    /// How long [`SpotServer::shutdown`] waits for in-flight requests
+    /// before force-closing their connections.
+    pub drain_deadline: Duration,
+    /// Pump thread sleep between passes that found no verdicts.
+    pub pump_interval: Duration,
+    /// Wire-level input limits.
+    pub limits: HttpLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(3),
+            pump_interval: Duration::from_millis(1),
+            limits: HttpLimits::default(),
+        }
+    }
+}
+
+/// Monotonic service counters, all updated with relaxed atomics (they are
+/// observability, not synchronization).
+#[derive(Debug, Default)]
+pub(crate) struct ServerCounters {
+    pub accepted: AtomicU64,
+    pub shed_connections: AtomicU64,
+    pub requests: AtomicU64,
+    pub timeouts: AtomicU64,
+    pub bad_requests: AtomicU64,
+    pub forced_closes: AtomicU64,
+}
+
+/// Snapshot of the server counters (see [`SpotServer::stats`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerStats {
+    /// Connections accepted (including ones later shed is **not** counted
+    /// here; shed connections are rejected at accept time).
+    pub accepted: u64,
+    /// Connections rejected at accept time because the cap was reached.
+    pub shed_connections: u64,
+    /// Requests parsed and routed.
+    pub requests: u64,
+    /// Requests abandoned because the read deadline expired.
+    pub timeouts: u64,
+    /// Connections closed on malformed/oversized input.
+    pub bad_requests: u64,
+    /// Connections force-closed by the shutdown drain deadline.
+    pub forced_closes: u64,
+    /// Connections currently being served.
+    pub active_connections: usize,
+    /// Accepted connections waiting for a worker.
+    pub queued_connections: usize,
+}
+
+/// What one graceful shutdown accomplished.
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    /// Verdicts produced by the final queue drain (points that were
+    /// admitted but not yet pumped when shutdown began).
+    pub drained: u64,
+    /// Generation of the final durable checkpoint, when a store is
+    /// attached.
+    pub generation: Option<u64>,
+    /// In-flight connections cut by the drain deadline.
+    pub forced_closes: u64,
+    /// Total requests the server routed over its lifetime.
+    pub requests: u64,
+    /// Tenants whose final drain failed (quarantined mid-flight); their
+    /// queued points stay recoverable through the WAL.
+    pub undrained: Vec<TenantId>,
+}
+
+/// State shared between the router and the connection machinery.
+pub(crate) struct AppState {
+    pub fleet: SpotFleet,
+    pub store: Option<CheckpointStore>,
+    pub draining: AtomicBool,
+    pub counters: ServerCounters,
+    pub sink: Option<VerdictSink>,
+    /// Serializes every drain-and-deliver so the sink sees arrival order.
+    pub sink_lock: Mutex<()>,
+}
+
+struct ConnEntry {
+    stream: TcpStream,
+    /// True while a fully-received request is being processed; shutdown
+    /// force-closes idle (`false`) connections immediately and only waits
+    /// on busy ones.
+    busy: Arc<AtomicBool>,
+}
+
+struct Shared {
+    app: AppState,
+    config: ServeConfig,
+    /// Accepted connections awaiting a worker.
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    accepting: AtomicBool,
+    stop_workers: AtomicBool,
+    stop_pump: AtomicBool,
+    /// Connections currently owned by workers.
+    active: AtomicUsize,
+    /// Registry of live connections (clone + busy flag) for shutdown.
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+    next_conn: AtomicU64,
+}
+
+/// Builder for [`SpotServer`].
+pub struct ServerBuilder {
+    fleet: SpotFleet,
+    config: ServeConfig,
+    store: Option<CheckpointStore>,
+    sink: Option<VerdictSink>,
+    pump: bool,
+}
+
+impl ServerBuilder {
+    /// Replace the default [`ServeConfig`].
+    pub fn config(mut self, config: ServeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attach a checkpoint store: enables `/admin/checkpoint` and
+    /// `/tenants/{id}/restore`, and makes shutdown take a final durable
+    /// checkpoint.
+    pub fn store(mut self, store: CheckpointStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attach a verdict sink fed in per-tenant arrival order.
+    pub fn verdict_sink(mut self, sink: VerdictSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Enable/disable the background pump thread (default on). With the
+    /// pump off, verdicts only move on explicit `/drain` requests and at
+    /// shutdown — useful for deterministic tests.
+    pub fn pump(mut self, enabled: bool) -> Self {
+        self.pump = enabled;
+        self
+    }
+
+    /// Bind and start serving. `addr` with port `0` picks a free port
+    /// (see [`SpotServer::local_addr`]).
+    pub fn bind(self, addr: impl ToSocketAddrs) -> Result<SpotServer> {
+        let listener = TcpListener::bind(addr).map_err(|e| SpotError::Io(e.to_string()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| SpotError::Io(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| SpotError::Io(e.to_string()))?;
+
+        let shared = Arc::new(Shared {
+            app: AppState {
+                fleet: self.fleet,
+                store: self.store,
+                draining: AtomicBool::new(false),
+                counters: ServerCounters::default(),
+                sink: self.sink,
+                sink_lock: Mutex::new(()),
+            },
+            config: self.config,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            accepting: AtomicBool::new(true),
+            stop_workers: AtomicBool::new(false),
+            stop_pump: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("spot-serve-accept".to_string())
+                    .spawn(move || accept_loop(&shared, listener))
+                    .map_err(|e| SpotError::Io(e.to_string()))?,
+            );
+        }
+        for i in 0..shared.config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("spot-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| SpotError::Io(e.to_string()))?,
+            );
+        }
+        let pump = if self.pump {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("spot-serve-pump".to_string())
+                    .spawn(move || pump_loop(&shared))
+                    .map_err(|e| SpotError::Io(e.to_string()))?,
+            )
+        } else {
+            None
+        };
+
+        Ok(SpotServer {
+            shared,
+            addr,
+            threads,
+            pump,
+            stopped: false,
+        })
+    }
+}
+
+/// A running fleet server. Dropping it without calling
+/// [`SpotServer::shutdown`] stops the threads abruptly (no final drain or
+/// checkpoint).
+pub struct SpotServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
+    stopped: bool,
+}
+
+impl SpotServer {
+    /// Start building a server over `fleet`.
+    pub fn builder(fleet: SpotFleet) -> ServerBuilder {
+        ServerBuilder {
+            fleet,
+            config: ServeConfig::default(),
+            store: None,
+            sink: None,
+            pump: true,
+        }
+    }
+
+    /// The bound address (resolves port `0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The fleet this server fronts.
+    pub fn fleet(&self) -> &SpotFleet {
+        &self.shared.app.fleet
+    }
+
+    /// Whether a graceful shutdown is in progress.
+    pub fn is_draining(&self) -> bool {
+        self.shared.app.draining.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.app.counters;
+        ServerStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            shed_connections: c.shed_connections.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            bad_requests: c.bad_requests.load(Ordering::Relaxed),
+            forced_closes: c.forced_closes.load(Ordering::Relaxed),
+            active_connections: self.shared.active.load(Ordering::Relaxed),
+            queued_connections: lock(&self.shared.queue).len(),
+        }
+    }
+
+    /// The graceful shutdown protocol, in order:
+    ///
+    /// 1. Set the draining flag and gate fleet admission
+    ///    ([`SpotError::ShuttingDown`]); stop accepting.
+    /// 2. Close idle keep-alive connections immediately; wait up to
+    ///    [`ServeConfig::drain_deadline`] for in-flight requests, then
+    ///    force-close stragglers.
+    /// 3. Stop the worker and pump threads.
+    /// 4. Drain every tenant queue into the verdict sink (arrival order
+    ///    preserved) — the admission gate guarantees the backlog is
+    ///    frozen, so nothing admitted is missed.
+    /// 5. Take a final durable checkpoint when a store is attached: after
+    ///    this, a process exit loses nothing the WAL admitted.
+    /// 6. Re-open fleet admission (the in-process fleet outlives the
+    ///    server and stays usable).
+    pub fn shutdown(mut self) -> Result<ShutdownReport> {
+        let shared = Arc::clone(&self.shared);
+        let app = &shared.app;
+
+        // 1. Gate admission, stop accepting.
+        app.draining.store(true, Ordering::Release);
+        app.fleet.begin_shutdown();
+        shared.accepting.store(false, Ordering::Release);
+
+        // 2. Close idle connections now; they are not in-flight work.
+        for entry in lock(&shared.conns).values() {
+            if !entry.busy.load(Ordering::Acquire) {
+                let _ = entry.stream.shutdown(Shutdown::Both);
+            }
+        }
+        let deadline = Instant::now() + shared.config.drain_deadline;
+        while Instant::now() < deadline {
+            if shared.active.load(Ordering::Acquire) == 0 && lock(&shared.queue).is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let stragglers: Vec<_> = lock(&shared.conns).keys().copied().collect();
+        if !stragglers.is_empty() {
+            let conns = lock(&shared.conns);
+            for id in &stragglers {
+                if let Some(entry) = conns.get(id) {
+                    let _ = entry.stream.shutdown(Shutdown::Both);
+                    app.counters.forced_closes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // 3. Stop the threads (workers exit promptly: force-closed sockets
+        // fail their reads, queued connections are closed on sight).
+        self.stop_threads();
+
+        // 4. Frozen-backlog drain, in sink order.
+        let mut drained = 0u64;
+        let mut undrained = Vec::new();
+        for id in app.fleet.tenant_ids() {
+            let _order = lock(&app.sink_lock);
+            match app.fleet.drain_fully(&id) {
+                Ok(verdicts) => {
+                    drained += verdicts.len() as u64;
+                    if let Some(sink) = &app.sink {
+                        if !verdicts.is_empty() {
+                            sink(&id, &verdicts);
+                        }
+                    }
+                }
+                Err(_) => undrained.push(id),
+            }
+        }
+
+        // 5. Final durable checkpoint.
+        let generation = match &app.store {
+            Some(store) => Some(app.fleet.checkpoint_durable(store)?),
+            None => None,
+        };
+
+        // 6. The fleet outlives the server.
+        app.fleet.end_shutdown();
+
+        Ok(ShutdownReport {
+            drained,
+            generation,
+            forced_closes: app.counters.forced_closes.load(Ordering::Relaxed),
+            requests: app.counters.requests.load(Ordering::Relaxed),
+            undrained,
+        })
+    }
+
+    /// Stop and join every thread; idempotent.
+    fn stop_threads(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        let shared = &self.shared;
+        shared.accepting.store(false, Ordering::Release);
+        shared.stop_workers.store(true, Ordering::Release);
+        shared.stop_pump.store(true, Ordering::Release);
+        shared.queue_cv.notify_all();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.pump.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SpotServer {
+    fn drop(&mut self) {
+        // Abrupt stop: no final drain/checkpoint, but no leaked threads
+        // either. Cut every live socket so blocked reads return.
+        self.shared.app.draining.store(true, Ordering::Release);
+        for entry in lock(&self.shared.conns).values() {
+            let _ = entry.stream.shutdown(Shutdown::Both);
+        }
+        self.stop_threads();
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    while shared.accepting.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.app.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                let live = shared.active.load(Ordering::Acquire) + lock(&shared.queue).len();
+                if live >= shared.config.max_connections {
+                    shed(shared, stream);
+                    continue;
+                }
+                lock(&shared.queue).push_back(stream);
+                shared.queue_cv.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Nonblocking accept so this loop can observe shutdown;
+                // the sleep bounds the idle poll rate.
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE under storm):
+                // back off briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Best-effort `503` for a connection rejected at accept time.
+fn shed(shared: &Shared, mut stream: TcpStream) {
+    shared
+        .app
+        .counters
+        .shed_connections
+        .fetch_add(1, Ordering::Relaxed);
+    let body = Response::json(503, "{\"error\":\"connection capacity exhausted\"}")
+        .header("retry-after", "1");
+    let _ = body.write_to(
+        &mut stream,
+        true,
+        Instant::now() + Duration::from_millis(100),
+    );
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if shared.stop_workers.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+        };
+        shared.active.fetch_add(1, Ordering::AcqRel);
+        serve_connection(shared, stream);
+        shared.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let app = &shared.app;
+    let config = &shared.config;
+    let _ = stream.set_nodelay(true);
+
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let busy = Arc::new(AtomicBool::new(false));
+    if let Ok(clone) = stream.try_clone() {
+        lock(&shared.conns).insert(
+            conn_id,
+            ConnEntry {
+                stream: clone,
+                busy: Arc::clone(&busy),
+            },
+        );
+    }
+
+    let mut carry = Vec::new();
+    loop {
+        // A connection picked up (or coming back around) mid-drain is not
+        // in-flight work; close it instead of waiting for its next request.
+        if app.draining.load(Ordering::Acquire) {
+            break;
+        }
+        match read_request(
+            &mut stream,
+            &mut carry,
+            &config.limits,
+            config.idle_timeout,
+            config.read_timeout,
+        ) {
+            Ok(NextRequest::Request(req)) => {
+                busy.store(true, Ordering::Release);
+                let response = route(app, &req);
+                let close = !req.keep_alive || app.draining.load(Ordering::Acquire);
+                let wrote = response
+                    .write_to(&mut stream, close, Instant::now() + config.write_timeout)
+                    .is_ok();
+                busy.store(false, Ordering::Release);
+                if !wrote || close {
+                    break;
+                }
+            }
+            Ok(NextRequest::Closed) | Ok(NextRequest::Idle) => break,
+            Err(error) => {
+                // A `None` status is a mid-request disconnect: nobody is
+                // listening for a response, so close silently.
+                if let Some(status) = error.status() {
+                    let counter = if matches!(error, HttpError::Timeout) {
+                        &app.counters.timeouts
+                    } else {
+                        &app.counters.bad_requests
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    let body = format!("{{\"error\":{:?}}}", error.describe());
+                    let _ = Response::json(status, body).write_to(
+                        &mut stream,
+                        true,
+                        Instant::now() + config.write_timeout,
+                    );
+                }
+                break;
+            }
+        }
+    }
+
+    lock(&shared.conns).remove(&conn_id);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Background verdict mover: micro-batch drain per tenant per pass (the
+/// fleet's fairness unit), delivering to the sink under the order lock.
+fn pump_loop(shared: &Shared) {
+    let app = &shared.app;
+    loop {
+        if shared.stop_pump.load(Ordering::Acquire) {
+            return;
+        }
+        let mut moved = false;
+        for id in app.fleet.tenant_ids() {
+            if shared.stop_pump.load(Ordering::Acquire) {
+                return;
+            }
+            let _order = lock(&app.sink_lock);
+            // Evicted or quarantined mid-pass → skip; the supervisor (or
+            // an explicit restore) owns unhealthy tenants.
+            if let Ok(verdicts) = app.fleet.drain(&id) {
+                if !verdicts.is_empty() {
+                    moved = true;
+                    if let Some(sink) = &app.sink {
+                        sink(&id, &verdicts);
+                    }
+                }
+            }
+        }
+        if !moved {
+            std::thread::sleep(shared.config.pump_interval);
+        }
+    }
+}
+
+/// Poison-tolerant lock: the shared state is a registry of connections and
+/// counters with no invariants a panicking holder could break mid-update.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -52,6 +52,13 @@ pub enum SpotError {
     /// record is **not** an error — replay truncates it (see
     /// `docs/persistence.md` § "The ingestion WAL").
     WalCorrupt(String),
+    /// The fleet's admission gates are closed for a graceful shutdown:
+    /// every new `ingest`/`process` call is rejected so the drain phase
+    /// sees a frozen backlog. Queued points are still drained and
+    /// checkpointed — nothing already admitted is lost. Clients should
+    /// back off and retry against the restarted service (the HTTP front
+    /// end maps this to `503` with `Connection: close`).
+    ShuttingDown,
     /// A tenant's detector panicked mid-operation and was quarantined: its
     /// in-memory state can no longer be trusted (the panic may have left a
     /// half-committed batch behind a bypassed lock). Operations on the
@@ -96,6 +103,9 @@ impl fmt::Display for SpotError {
             SpotError::DuplicateTenant(id) => {
                 write!(f, "tenant {id:?} is already registered")
             }
+            SpotError::ShuttingDown => {
+                write!(f, "the fleet is shutting down; ingestion is gated")
+            }
             SpotError::TenantPoisoned { tenant, panic } => {
                 write!(f, "tenant {tenant:?} is quarantined after a panic: {panic}")
             }
@@ -131,6 +141,9 @@ mod tests {
         assert!(SpotError::NonFiniteValue { dim: 2 }
             .to_string()
             .contains("2"));
+        assert!(SpotError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
         let e = SpotError::TenantPoisoned {
             tenant: "t9".to_string(),
             panic: "boom".to_string(),

@@ -45,7 +45,7 @@ fn sensor_stream(n: usize, salt: u64) -> Vec<DataPoint> {
         .collect()
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One fleet, one shared executor service (2 pool workers here; any
     // setting yields bit-identical verdicts).
     let fleet = SpotFleet::with_workers(
@@ -58,13 +58,11 @@ fn main() {
 
     // 1. Register + learn: each tenant is an independent detector.
     let tenants: Vec<TenantId> = (0..4)
-        .map(|t| TenantId::new(format!("sensor-{t}")).unwrap())
+        .map(|t| TenantId::new(format!("sensor-{t}")).expect("valid id"))
         .collect();
     for (t, id) in tenants.iter().enumerate() {
-        fleet
-            .register(id.clone(), tenant_config(7 + t as u64))
-            .unwrap();
-        let report = fleet.learn(id, &sensor_stream(400, t as u64)).unwrap();
+        fleet.register(id.clone(), tenant_config(7 + t as u64))?;
+        let report = fleet.learn(id, &sensor_stream(400, t as u64))?;
         println!(
             "{id}: learned (|CS| = {}, {} MOGA evaluations)",
             report.cs.len(),
@@ -80,9 +78,9 @@ fn main() {
     // 2. Ingest through the bounded queues and drain in micro-batches.
     for (t, id) in tenants.iter().enumerate() {
         for p in sensor_stream(600, 100 + t as u64) {
-            fleet.ingest(id, p).unwrap();
-            if fleet.queue_len(id).unwrap() >= 256 {
-                fleet.drain(id).unwrap();
+            fleet.ingest(id, p)?;
+            if fleet.queue_len(id)? >= 256 {
+                fleet.drain(id)?;
             }
         }
     }
@@ -90,7 +88,7 @@ fn main() {
     // `pump` reports per-tenant results: a faulted tenant surfaces as its
     // own `Err` entry without aborting the sweep (none here — unwrap).
     for (id, verdicts) in fleet.pump() {
-        let verdicts = verdicts.unwrap();
+        let verdicts = verdicts?;
         let flagged = verdicts.iter().filter(|v| v.outlier).count();
         outliers += flagged;
         println!(
@@ -99,12 +97,7 @@ fn main() {
         );
     }
     for id in &tenants {
-        outliers += fleet
-            .drain_fully(id)
-            .unwrap()
-            .iter()
-            .filter(|v| v.outlier)
-            .count();
+        outliers += fleet.drain_fully(id)?.iter().filter(|v| v.outlier).count();
     }
 
     // 3. Off-lock monitoring: aggregated counters without touching any
@@ -130,16 +123,15 @@ fn main() {
     let json = fleet.checkpoint().to_json();
     println!("fleet checkpoint: {} bytes of JSON", json.len());
     let restored = SpotFleet::from_checkpoint_with(
-        &FleetCheckpoint::from_json(&json).unwrap(),
+        &FleetCheckpoint::from_json(&json)?,
         FleetConfig::default(),
         spot::ExecutorHandle::serial(),
-    )
-    .unwrap();
+    )?;
 
     let probe = sensor_stream(200, 999);
     let id = &tenants[0];
-    let want = fleet.process_batch(id, &probe).unwrap();
-    let got = restored.process_batch(id, &probe).unwrap();
+    let want = fleet.process_batch(id, &probe)?;
+    let got = restored.process_batch(id, &probe)?;
     assert_eq!(want.len(), got.len());
     for (a, b) in want.iter().zip(&got) {
         assert!(
@@ -154,6 +146,7 @@ fn main() {
     );
 
     // 5. Evict: the fleet keeps serving the survivors.
-    fleet.evict(&tenants[3]).unwrap();
+    fleet.evict(&tenants[3])?;
     println!("evicted {}; {} tenants remain", tenants[3], fleet.len());
+    Ok(())
 }
