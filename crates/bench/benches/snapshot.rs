@@ -1,19 +1,32 @@
-//! Checkpoint-overhead baseline: ingest throughput with periodic v2
-//! checkpoints vs none, plus per-checkpoint capture/render cost and
-//! snapshot size.
+//! Checkpoint-carrier baseline: ingest throughput with periodic
+//! checkpoints (JSON carrier vs binary column carrier) against none,
+//! plus fleet delta-checkpoint cost and verdict-archive throughput.
 //!
 //! Writes `BENCH_snapshot.json` at the repository root (fixed seed 42).
-//! The capture arm holds the detector only for the state walk; JSON
-//! rendering (the expensive half) happens after, exactly as
-//! `SharedSpot::checkpoint` callers would do outside the lock — the two
-//! are timed separately. A restore-and-continue check at the end keeps the
-//! bench honest: the last checkpoint must resume bit-identically.
+//! Arms:
+//!
+//! 1. **baseline** — plain ingest, no checkpoints.
+//! 2. **json** — capture + JSON render every `CHECKPOINT_EVERY` points
+//!    (the pre-binary carrier, kept for the comparison row).
+//! 3. **binary** — capture + binary container encode at the same cadence;
+//!    this is the headline `overhead_pct`.
+//! 4. **fleet delta** — a fleet with one active tenant among many: full
+//!    checkpoint size/time vs the chained delta generation.
+//! 5. **archive** — columnar verdict archive append + bit-exact replay.
+//!
+//! Capture holds the detector only for the state walk; rendering (either
+//! carrier) happens after, exactly as `SharedSpot::checkpoint` callers
+//! do outside the lock — the two are timed separately. Restore checks at
+//! the end keep the bench honest: the final binary container must resume
+//! bit-identically, and the archive replay must reproduce the live
+//! verdict stream bit-exactly.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use spot::{Spot, SpotBuilder};
-use spot_types::{DataPoint, DomainBounds};
+use spot_runtime::{CheckpointStore, SpotFleet, VerdictArchive};
+use spot_types::{DataPoint, DomainBounds, TenantId};
 use std::time::Instant;
 
 const SEED: u64 = 42;
@@ -21,6 +34,12 @@ const PHI: usize = 16;
 const TOTAL_POINTS: usize = 16_384;
 const CHUNK: usize = 256;
 const CHECKPOINT_EVERY: usize = 2_048;
+
+// Fleet-delta arm: many parked tenants, one active — the delta carries
+// only what moved.
+const FLEET_TENANTS: usize = 16;
+const FLEET_PHI: usize = 8;
+const FLEET_ACTIVE_POINTS: usize = 1_024;
 
 fn random_points(n: usize, dims: usize, seed: u64) -> Vec<DataPoint> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -49,22 +68,56 @@ struct SnapshotBaseline {
     checkpoint_every: usize,
     /// Plain ingest throughput, no checkpoints.
     baseline_pts_per_sec: f64,
-    /// Ingest throughput with a capture + render every `checkpoint_every`
-    /// points (capture and render both on the ingest thread — the
-    /// worst case; SharedSpot deployments render off-lock).
+    /// Ingest throughput with a capture + binary encode every
+    /// `checkpoint_every` points (both on the ingest thread — the worst
+    /// case; SharedSpot deployments render off-lock). The headline.
     checkpointed_pts_per_sec: f64,
-    /// Throughput cost of periodic checkpointing, percent.
+    /// Throughput cost of periodic binary checkpointing, percent.
     overhead_pct: f64,
+    /// Same cadence on the JSON carrier, for the comparison row.
+    json_pts_per_sec: f64,
+    json_overhead_pct: f64,
     checkpoints_taken: usize,
     /// State walk (detector held) per checkpoint, milliseconds.
     capture_ms_mean: f64,
     capture_ms_max: f64,
-    /// JSON render (detector free) per checkpoint, milliseconds.
+    /// Binary container encode (detector free) per checkpoint, ms.
     render_ms_mean: f64,
     render_ms_max: f64,
+    /// JSON render at the same cadence, ms.
+    json_render_ms_mean: f64,
+    /// JSON render time / binary encode time.
+    render_speedup_vs_json: f64,
+    /// Final binary container size; `json_bytes` is the same state on
+    /// the JSON carrier.
     snapshot_bytes: usize,
-    /// Bit-exact resume verified against the uninterrupted detector.
+    json_bytes: usize,
+    /// Fleet-delta arm: full fleet checkpoint vs the chained delta with
+    /// one active tenant of `fleet_tenants`.
+    fleet_tenants: usize,
+    fleet_full_bytes: u64,
+    fleet_delta_bytes: u64,
+    /// fleet_full_bytes / fleet_delta_bytes — the delta pays for what
+    /// was dirtied, not fleet size.
+    delta_size_ratio: f64,
+    fleet_full_save_ms: f64,
+    fleet_delta_save_ms: f64,
+    /// Verdict archive: bytes per verdict on disk and append/replay
+    /// throughput over the binary arm's verdict stream.
+    archive_verdicts: usize,
+    archive_bytes: u64,
+    archive_append_pts_per_sec: f64,
+    archive_replay_pts_per_sec: f64,
+    archive_replay_verified: bool,
+    /// Bit-exact resume from the final binary container verified against
+    /// the uninterrupted detector.
     resume_verified: bool,
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("spot-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 fn main() {
@@ -80,11 +133,30 @@ fn main() {
     }
     let baseline_rate = TOTAL_POINTS as f64 / t0.elapsed().as_secs_f64();
 
-    // Arm 2: capture + render every CHECKPOINT_EVERY points.
+    // Arm 2: capture + JSON render every CHECKPOINT_EVERY points.
+    let mut json_arm = learned_spot();
+    let mut json_render_ms = Vec::new();
+    let mut last_json = String::new();
+    let mut since_checkpoint = 0usize;
+    let t0 = Instant::now();
+    for chunk in pts.chunks(CHUNK) {
+        std::hint::black_box(json_arm.process_batch(chunk).unwrap());
+        since_checkpoint += chunk.len();
+        if since_checkpoint >= CHECKPOINT_EVERY {
+            since_checkpoint = 0;
+            let cp = json_arm.checkpoint();
+            let t = Instant::now();
+            last_json = serde_json::to_string(&cp).unwrap();
+            json_render_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let json_rate = TOTAL_POINTS as f64 / t0.elapsed().as_secs_f64();
+
+    // Arm 3 (headline): capture + binary container encode, same cadence.
     let mut checkpointed = learned_spot();
     let mut capture_ms = Vec::new();
     let mut render_ms = Vec::new();
-    let mut last_json = String::new();
+    let mut last_bytes = Vec::new();
     let mut since_checkpoint = 0usize;
     let t0 = Instant::now();
     let mut verdicts = Vec::new();
@@ -97,21 +169,93 @@ fn main() {
             let cp = checkpointed.checkpoint();
             capture_ms.push(t.elapsed().as_secs_f64() * 1e3);
             let t = Instant::now();
-            last_json = serde_json::to_string(&cp).unwrap();
+            last_bytes = cp.to_bytes();
             render_ms.push(t.elapsed().as_secs_f64() * 1e3);
         }
     }
     let checkpointed_rate = TOTAL_POINTS as f64 / t0.elapsed().as_secs_f64();
 
-    // Honesty check: the final checkpoint resumes bit-identically.
+    // Honesty check: the final binary container resumes bit-identically.
     let tail = random_points(512, PHI, SEED ^ 33);
     let want = checkpointed.process_batch(&tail).unwrap();
-    let mut resumed = spot::restore_from_json(&last_json).unwrap();
+    let mut resumed = spot::restore_from_bytes(&last_bytes).unwrap();
     let got = resumed.process_batch(&tail).unwrap();
     let resume_verified =
         want.len() == got.len() && want.iter().zip(&got).all(|(a, b)| a.bitwise_eq(b));
     assert!(resume_verified, "restored detector diverged");
-    std::hint::black_box((&baseline_verdicts, &verdicts));
+    std::hint::black_box(&baseline_verdicts);
+
+    // Arm 4: fleet delta — FLEET_TENANTS parked tenants, one active.
+    let fleet = SpotFleet::with_workers(Default::default(), Some(0));
+    let train = random_points(400, FLEET_PHI, SEED ^ 41);
+    for t in 0..FLEET_TENANTS {
+        let id = TenantId::new(format!("bench-{t}")).unwrap();
+        let config = SpotBuilder::new(DomainBounds::unit(FLEET_PHI))
+            .fs_max_dimension(2)
+            .seed(SEED ^ t as u64)
+            .build_config()
+            .unwrap();
+        fleet.register(id.clone(), config).unwrap();
+        fleet.learn(&id, &train).unwrap();
+        fleet
+            .process_batch(&id, &random_points(128, FLEET_PHI, SEED ^ (t as u64 + 51)))
+            .unwrap();
+    }
+    let dir = temp_dir("delta");
+    let store = CheckpointStore::open(&dir, 4).unwrap();
+    let t = Instant::now();
+    let full_gen = fleet.checkpoint_durable(&store).unwrap();
+    let fleet_full_save_ms = t.elapsed().as_secs_f64() * 1e3;
+    let active = TenantId::new("bench-0").unwrap();
+    fleet
+        .process_batch(
+            &active,
+            &random_points(FLEET_ACTIVE_POINTS, FLEET_PHI, SEED ^ 61),
+        )
+        .unwrap();
+    let t = Instant::now();
+    let delta_gen = fleet.checkpoint_durable_delta(&store).unwrap();
+    let fleet_delta_save_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(store.is_delta(delta_gen).unwrap(), "delta arm wrote a full");
+    let fleet_full_bytes = std::fs::metadata(dir.join(format!("fleet-{full_gen:08}.ckpt")))
+        .unwrap()
+        .len();
+    let fleet_delta_bytes = std::fs::metadata(dir.join(format!("fleet-{delta_gen:08}.dck")))
+        .unwrap()
+        .len();
+    // Honesty: the chain resolves to exactly the live fleet state.
+    assert_eq!(
+        store.load(delta_gen).unwrap().to_json(),
+        fleet.checkpoint().to_json(),
+        "delta chain resolution diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Arm 5: columnar verdict archive over the binary arm's stream.
+    let dir = temp_dir("archive");
+    let mut archive = VerdictArchive::open(&dir).unwrap();
+    let t = Instant::now();
+    for chunk in verdicts.chunks(CHUNK) {
+        archive.append(chunk).unwrap();
+    }
+    archive.sync().unwrap();
+    let archive_append_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let replay = VerdictArchive::replay(&dir).unwrap();
+    let archive_replay_secs = t.elapsed().as_secs_f64();
+    let archive_replay_verified = replay.verdicts.len() == verdicts.len()
+        && replay
+            .verdicts
+            .iter()
+            .zip(&verdicts)
+            .all(|(a, b)| a.bitwise_eq(b));
+    assert!(archive_replay_verified, "archive replay diverged");
+    assert!(!replay.torn_tail, "archive tail torn without a crash");
+    let archive_bytes = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().metadata().unwrap().len())
+        .sum::<u64>();
+    let _ = std::fs::remove_dir_all(&dir);
 
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
     let max = |xs: &[f64]| xs.iter().copied().fold(0.0f64, f64::max);
@@ -125,23 +269,62 @@ fn main() {
         baseline_pts_per_sec: baseline_rate,
         checkpointed_pts_per_sec: checkpointed_rate,
         overhead_pct: 100.0 * (1.0 - checkpointed_rate / baseline_rate),
+        json_pts_per_sec: json_rate,
+        json_overhead_pct: 100.0 * (1.0 - json_rate / baseline_rate),
         checkpoints_taken: capture_ms.len(),
         capture_ms_mean: mean(&capture_ms),
         capture_ms_max: max(&capture_ms),
         render_ms_mean: mean(&render_ms),
         render_ms_max: max(&render_ms),
-        snapshot_bytes: last_json.len(),
+        json_render_ms_mean: mean(&json_render_ms),
+        render_speedup_vs_json: mean(&json_render_ms) / mean(&render_ms).max(1e-9),
+        snapshot_bytes: last_bytes.len(),
+        json_bytes: last_json.len(),
+        fleet_tenants: FLEET_TENANTS,
+        fleet_full_bytes,
+        fleet_delta_bytes,
+        delta_size_ratio: fleet_full_bytes as f64 / fleet_delta_bytes.max(1) as f64,
+        fleet_full_save_ms,
+        fleet_delta_save_ms,
+        archive_verdicts: verdicts.len(),
+        archive_bytes,
+        archive_append_pts_per_sec: verdicts.len() as f64 / archive_append_secs.max(1e-9),
+        archive_replay_pts_per_sec: verdicts.len() as f64 / archive_replay_secs.max(1e-9),
+        archive_replay_verified,
         resume_verified,
     };
     println!(
-        "ingest {baseline_rate:>9.0} pts/s plain | {checkpointed_rate:>9.0} pts/s with a \
-         checkpoint every {CHECKPOINT_EVERY} pts ({:.1}% overhead)",
-        out.overhead_pct
+        "ingest {baseline_rate:>9.0} pts/s plain | {checkpointed_rate:>9.0} pts/s with a binary \
+         checkpoint every {CHECKPOINT_EVERY} pts ({:.1}% overhead; json carrier {:.1}%)",
+        out.overhead_pct, out.json_overhead_pct
     );
     println!(
-        "checkpoint: capture {:.2} ms mean / {:.2} ms max (detector held), render {:.2} ms mean \
-         (off-lock), {} bytes",
-        out.capture_ms_mean, out.capture_ms_max, out.render_ms_mean, out.snapshot_bytes
+        "checkpoint: capture {:.2} ms mean / {:.2} ms max (detector held), binary encode {:.2} ms \
+         mean vs json render {:.2} ms ({:.1}x), {} bytes vs {} json",
+        out.capture_ms_mean,
+        out.capture_ms_max,
+        out.render_ms_mean,
+        out.json_render_ms_mean,
+        out.render_speedup_vs_json,
+        out.snapshot_bytes,
+        out.json_bytes
+    );
+    println!(
+        "fleet delta: full {} bytes / delta {} bytes ({:.1}x, {} tenants, 1 active), save {:.2} \
+         ms vs {:.2} ms",
+        out.fleet_full_bytes,
+        out.fleet_delta_bytes,
+        out.delta_size_ratio,
+        out.fleet_tenants,
+        out.fleet_full_save_ms,
+        out.fleet_delta_save_ms
+    );
+    println!(
+        "archive: {} verdicts in {} bytes, append {:.0} pts/s, replay {:.0} pts/s (bit-exact)",
+        out.archive_verdicts,
+        out.archive_bytes,
+        out.archive_append_pts_per_sec,
+        out.archive_replay_pts_per_sec
     );
     let path =
         std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_snapshot.json");

@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, HashMap};
 ///
 /// Numbers keep their integer/float identity so `u64` keys (e.g. subspace
 /// bitmasks) round-trip exactly — `f64` alone cannot represent every `u64`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// JSON `null`.
     Null,
@@ -33,6 +33,14 @@ pub enum Value {
     Array(Vec<Value>),
     /// Object with insertion-ordered entries.
     Object(Vec<(String, Value)>),
+    /// Packed column of unsigned integers. Renders (and compares) exactly
+    /// like an `Array` of `U64` entries, but stores the payload as one flat
+    /// `Vec<u64>` — no per-element boxing, so building, cloning and
+    /// binary-encoding megabyte-scale snapshot columns is a memcpy instead
+    /// of a million allocations. JSON parsing never produces this variant
+    /// (a parsed column comes back as `Array`), which is why equality and
+    /// rendering must treat the two representations as the same value.
+    U64Col(Vec<u64>),
 }
 
 impl Value {
@@ -49,6 +57,36 @@ impl Value {
         match self {
             Value::Array(items) => items.get(idx),
             _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        // `U64Col` is a storage optimization, not a distinct value: it must
+        // compare equal to the `Array`-of-`U64` tree a JSON round trip
+        // produces, or capture → render → parse would break fixed-point
+        // equality checks.
+        fn col_eq(col: &[u64], items: &[Value]) -> bool {
+            col.len() == items.len()
+                && col
+                    .iter()
+                    .zip(items)
+                    .all(|(n, v)| matches!(v, Value::U64(m) if m == n))
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::U64(a), Value::U64(b)) => a == b,
+            (Value::I64(a), Value::I64(b)) => a == b,
+            (Value::F64(a), Value::F64(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            (Value::U64Col(a), Value::U64Col(b)) => a == b,
+            (Value::U64Col(col), Value::Array(items))
+            | (Value::Array(items), Value::U64Col(col)) => col_eq(col, items),
+            _ => false,
         }
     }
 }
@@ -239,6 +277,7 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Array(items) => items.iter().map(T::from_value).collect(),
+            Value::U64Col(col) => col.iter().map(|n| T::from_value(&Value::U64(*n))).collect(),
             other => Err(DeError::custom(format!("expected array, found {other:?}"))),
         }
     }
@@ -256,6 +295,10 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
             Value::Array(items) if items.len() == 2 => {
                 Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
             }
+            Value::U64Col(col) if col.len() == 2 => Ok((
+                A::from_value(&Value::U64(col[0]))?,
+                B::from_value(&Value::U64(col[1]))?,
+            )),
             other => Err(DeError::custom(format!("expected pair, found {other:?}"))),
         }
     }
@@ -332,5 +375,23 @@ mod tests {
         let v = Value::Object(vec![("a".into(), Value::U64(1))]);
         assert_eq!(v.get_field("a"), Some(&Value::U64(1)));
         assert_eq!(v.get_field("b"), None);
+    }
+
+    #[test]
+    fn u64_col_compares_equal_to_array_of_u64() {
+        let col = Value::U64Col(vec![1, 2, 3]);
+        let arr = Value::Array(vec![Value::U64(1), Value::U64(2), Value::U64(3)]);
+        assert_eq!(col, arr);
+        assert_eq!(arr, col);
+        assert_eq!(Value::U64Col(Vec::new()), Value::Array(Vec::new()));
+        assert_ne!(col, Value::Array(vec![Value::U64(1), Value::U64(2)]));
+        assert_ne!(
+            col,
+            Value::Array(vec![Value::U64(1), Value::U64(2), Value::I64(3)])
+        );
+        // Nested inside objects the bridge still holds.
+        let a = Value::Object(vec![("c".into(), col)]);
+        let b = Value::Object(vec![("c".into(), arr)]);
+        assert_eq!(a, b);
     }
 }

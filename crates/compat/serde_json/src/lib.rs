@@ -40,59 +40,116 @@ impl From<std::io::Error> for Error {
 /// `Result` alias matching the real crate's shape.
 pub type Result<T> = std::result::Result<T, Error>;
 
-fn escape_into(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+/// Where rendered JSON bytes go. Implemented for `String` (the classic
+/// `to_string` path) and for a buffering adapter over any `io::Write`
+/// (the streaming `to_writer` path, which never materializes the full
+/// document in memory). Every implementation must produce byte-identical
+/// output for the same value tree — checksums are computed over renderings.
+trait Sink {
+    fn put_str(&mut self, s: &str);
+    fn put_char(&mut self, c: char);
 }
 
-fn write_f64(f: f64, out: &mut String) {
+impl Sink for String {
+    fn put_str(&mut self, s: &str) {
+        self.push_str(s);
+    }
+    fn put_char(&mut self, c: char) {
+        self.push(c);
+    }
+}
+
+/// Streaming sink over an `io::Write`. The first I/O error is latched and
+/// rendering continues as a no-op; the caller surfaces it at the end (value
+/// trees are rendered infallibly, so there is nothing to unwind mid-tree).
+struct IoSink<W: Write> {
+    w: W,
+    err: Option<std::io::Error>,
+}
+
+impl<W: Write> Sink for IoSink<W> {
+    fn put_str(&mut self, s: &str) {
+        if self.err.is_none() {
+            if let Err(e) = self.w.write_all(s.as_bytes()) {
+                self.err = Some(e);
+            }
+        }
+    }
+    fn put_char(&mut self, c: char) {
+        let mut buf = [0u8; 4];
+        self.put_str(c.encode_utf8(&mut buf));
+    }
+}
+
+fn escape_into<S: Sink>(s: &str, out: &mut S) {
+    out.put_char('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.put_str("\\\""),
+            '\\' => out.put_str("\\\\"),
+            '\n' => out.put_str("\\n"),
+            '\r' => out.put_str("\\r"),
+            '\t' => out.put_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.put_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.put_char(c),
+        }
+    }
+    out.put_char('"');
+}
+
+/// Formats a `u64` into a stack buffer — snapshot columns render millions
+/// of integers, and `n.to_string()` would allocate for every one.
+fn put_u64<S: Sink>(mut n: u64, out: &mut S) {
+    let mut buf = [0u8; 20];
+    let mut at = buf.len();
+    loop {
+        at -= 1;
+        buf[at] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.put_str(std::str::from_utf8(&buf[at..]).expect("ascii digits"));
+}
+
+fn write_f64<S: Sink>(f: f64, out: &mut S) {
     if f.is_finite() {
         let s = format!("{f}");
-        out.push_str(&s);
+        out.put_str(&s);
         // Keep float identity through a parse round-trip.
         if !s.contains('.') && !s.contains('e') && !s.contains('E') {
-            out.push_str(".0");
+            out.put_str(".0");
         }
     } else {
         // JSON has no Infinity/NaN; encode as null like the real crate.
-        out.push_str("null");
+        out.put_str("null");
     }
 }
 
-fn render(v: &Value, pretty: bool, indent: usize, out: &mut String) {
-    let pad = |n: usize, out: &mut String| {
+fn render<S: Sink>(v: &Value, pretty: bool, indent: usize, out: &mut S) {
+    let pad = |n: usize, out: &mut S| {
         if pretty {
-            out.push('\n');
+            out.put_char('\n');
             for _ in 0..n {
-                out.push_str("  ");
+                out.put_str("  ");
             }
         }
     };
     match v {
-        Value::Null => out.push_str("null"),
-        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::U64(n) => out.push_str(&n.to_string()),
-        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::Null => out.put_str("null"),
+        Value::Bool(b) => out.put_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => put_u64(*n, out),
+        Value::I64(n) => out.put_str(&n.to_string()),
         Value::F64(f) => write_f64(*f, out),
         Value::Str(s) => escape_into(s, out),
         Value::Array(items) => {
-            out.push('[');
+            out.put_char('[');
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.put_char(',');
                 }
                 pad(indent + 1, out);
                 render(item, pretty, indent + 1, out);
@@ -100,26 +157,42 @@ fn render(v: &Value, pretty: bool, indent: usize, out: &mut String) {
             if !items.is_empty() {
                 pad(indent, out);
             }
-            out.push(']');
+            out.put_char(']');
+        }
+        // Byte-identical to the equivalent `Array` of `U64` entries — the
+        // packed column is a storage representation, not a format change.
+        Value::U64Col(col) => {
+            out.put_char('[');
+            for (i, n) in col.iter().enumerate() {
+                if i > 0 {
+                    out.put_char(',');
+                }
+                pad(indent + 1, out);
+                put_u64(*n, out);
+            }
+            if !col.is_empty() {
+                pad(indent, out);
+            }
+            out.put_char(']');
         }
         Value::Object(entries) => {
-            out.push('{');
+            out.put_char('{');
             for (i, (k, val)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.put_char(',');
                 }
                 pad(indent + 1, out);
                 escape_into(k, out);
-                out.push(':');
+                out.put_char(':');
                 if pretty {
-                    out.push(' ');
+                    out.put_char(' ');
                 }
                 render(val, pretty, indent + 1, out);
             }
             if !entries.is_empty() {
                 pad(indent, out);
             }
-            out.push('}');
+            out.put_char('}');
         }
     }
 }
@@ -138,11 +211,27 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     Ok(out)
 }
 
-/// Serializes a value as pretty JSON into a writer.
-pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(mut w: W, value: &T) -> Result<()> {
-    let s = to_string_pretty(value)?;
-    w.write_all(s.as_bytes())?;
-    Ok(())
+/// Serializes a value as compact JSON directly into a writer — the
+/// document is streamed out piecewise, never materialized as one string
+/// (pair with `std::io::BufWriter` for file targets).
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(w: W, value: &T) -> Result<()> {
+    let mut sink = IoSink { w, err: None };
+    render(&value.to_value(), false, 0, &mut sink);
+    match sink.err {
+        Some(e) => Err(Error::Io(e)),
+        None => Ok(()),
+    }
+}
+
+/// Serializes a value as pretty JSON into a writer (streaming, like
+/// [`to_writer`]).
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(w: W, value: &T) -> Result<()> {
+    let mut sink = IoSink { w, err: None };
+    render(&value.to_value(), true, 0, &mut sink);
+    match sink.err {
+        Some(e) => Err(Error::Io(e)),
+        None => Ok(()),
+    }
 }
 
 /// Parses a JSON string into any `Deserialize` type.

@@ -14,7 +14,7 @@ use spot_stream::{LogicalClock, Reservoir};
 use spot_subspace::{genetic, ScoredSubspace, Subspace};
 use spot_synopsis::{
     ExecutorHandle, Grid, LiveCounters, OnceTask, SerialExecutor, SharedSlice, StoreExecutor,
-    SubspacePcs, SynopsisManager, UpdateOutcome,
+    SubspacePcs, SynopsisManager, SynopsisMark, UpdateOutcome,
 };
 use spot_types::{
     DataPoint, Detection, FxHashSet, PersistError, Result, SpotError, StateReader, StateWriter,
@@ -27,6 +27,29 @@ use std::time::Instant;
 /// Salt separating the reservoir's counter-based draw stream from the
 /// other seeded components.
 const RESERVOIR_SEED_SALT: u64 = 0x5EED_CAFE_D00D_F00D;
+
+/// Point-in-time snapshot of a detector's dirty-tracking counters, taken
+/// by [`Spot::capture_mark`] alongside a checkpoint. Opaque; its only use
+/// is as the baseline of a later [`Spot::delta_capture_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaptureMark {
+    mutations: u64,
+    structure: u64,
+    synopsis: SynopsisMark,
+}
+
+/// Outcome of [`Spot::delta_capture_with`].
+#[derive(Debug, Clone)]
+pub enum DeltaCapture {
+    /// Nothing mutated since the mark — the previous checkpoint still
+    /// describes this detector exactly; record nothing.
+    Unchanged,
+    /// A state-delta tree: apply it to the previous checkpoint with
+    /// `SpotCheckpoint::apply_state_delta` to materialize the new state.
+    Delta(Value),
+    /// The structure changed since the mark; take a full checkpoint.
+    Full,
+}
 
 /// Memory snapshot of the synopses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +103,15 @@ pub struct Spot {
     drift: PageHinkley,
     stats: SpotStats,
     learned: bool,
+    /// Monotone mutation counter: every state-mutating entry point bumps
+    /// it. A [`CaptureMark`] whose counter still matches proves the
+    /// detector is identical to its capture-time state — the fleet's
+    /// "skip this tenant entirely" delta-checkpoint signal.
+    mutations: u64,
+    /// Bumped whenever the SST or the monitored-store layout may have
+    /// changed (learning, self-evolution, ablation, restore). A delta
+    /// capture never spans a structure change — it falls back to full.
+    structure_revision: u64,
     /// Reused per-point PCS sink (keeps the hot path allocation-free).
     pcs_sink: Vec<SubspacePcs>,
     /// Reused sweep plan for the single-point path.
@@ -140,6 +172,8 @@ impl Spot {
             drift,
             stats: SpotStats::default(),
             learned: false,
+            mutations: 0,
+            structure_revision: 0,
             pcs_sink: Vec::new(),
             point_plan: EvalPlan::default(),
             batch_sinks: Vec::new(),
@@ -248,6 +282,8 @@ impl Spot {
                 });
             }
         }
+        self.mutations += 1;
+        self.structure_revision += 1;
         let learning = self.config.learning.clone();
         // The evaluator borrows the training batch — no clone of it is made.
         let evaluator = TrainingEvaluator::new(self.manager.grid().clone(), training)?;
@@ -361,6 +397,7 @@ impl Spot {
                 got: point.dims(),
             });
         }
+        self.mutations += 1;
         let now = self.clock.tick();
         // The sink is swapped out so the commit phase can borrow self
         // mutably; its capacity survives the round-trip.
@@ -440,6 +477,7 @@ impl Spot {
         if points.is_empty() {
             return Ok(Vec::new());
         }
+        self.mutations += 1;
         // One executor serves the whole batch: the caller's (cooperative
         // SharedSpot), the manager's persistent pool when the first run is
         // wide enough (`parallel` feature), or the calling thread alone.
@@ -717,6 +755,8 @@ impl Spot {
     /// Replaces the SST wholesale (snapshot restoration). Rebuilds lookup
     /// indices and reconciles the monitored stores.
     pub(crate) fn restore_sst(&mut self, mut sst: Sst, learned: bool) {
+        self.mutations += 1;
+        self.structure_revision += 1;
         sst.rebuild_index();
         self.sst = sst;
         self.learned = learned;
@@ -741,6 +781,46 @@ impl Spot {
         w.finish()
     }
 
+    /// Snapshots the detector's dirty-tracking counters at capture time.
+    /// Take the mark under the same lock (and at the same instant) as the
+    /// capture itself; pair it with [`Spot::delta_capture_with`] on the
+    /// next checkpoint to encode only what changed in between.
+    pub fn capture_mark(&self) -> CaptureMark {
+        CaptureMark {
+            mutations: self.mutations,
+            structure: self.structure_revision,
+            synopsis: self.manager.capture_mark(),
+        }
+    }
+
+    /// Attempts a delta capture against `mark` (a previous checkpoint's
+    /// [`Spot::capture_mark`]). The scalar layers (clock, RNG, stats,
+    /// drift, reservoir, outlier retention) are always included — they are
+    /// tiny and change with every point; the synopsis contributes only its
+    /// dirtied stores. Falls back to [`DeltaCapture::Full`] whenever the
+    /// SST structure moved, because ordinals would no longer line up.
+    pub fn delta_capture_with(&self, exec: &dyn StoreExecutor, mark: &CaptureMark) -> DeltaCapture {
+        if self.mutations == mark.mutations && self.structure_revision == mark.structure {
+            return DeltaCapture::Unchanged;
+        }
+        if self.structure_revision != mark.structure {
+            return DeltaCapture::Full;
+        }
+        let Some(synopsis) = self.manager.capture_state_delta_with(exec, &mark.synopsis) else {
+            return DeltaCapture::Full;
+        };
+        let mut w = StateWriter::new();
+        w.component("clock", &self.clock);
+        w.bool("learned", self.learned);
+        w.u64_col("rng", self.rng.state());
+        w.component("stats", &self.stats);
+        w.component("drift", &self.drift);
+        w.component("reservoir", &self.reservoir);
+        w.point_list("outlier_buffer", &self.outlier_buffer);
+        w.value("synopsis", synopsis);
+        DeltaCapture::Delta(w.finish())
+    }
+
     /// Restores the complete runtime state captured by
     /// [`Spot::capture_runtime_state`] into a freshly-constructed detector
     /// of the same configuration. The SST is installed without the usual
@@ -752,6 +832,8 @@ impl Spot {
         mut sst: Sst,
         r: &StateReader<'_>,
     ) -> std::result::Result<(), PersistError> {
+        self.mutations += 1;
+        self.structure_revision += 1;
         sst.rebuild_index();
         self.sst = sst;
         self.active = self.sst.iter_all().collect();
@@ -788,12 +870,16 @@ impl Spot {
     /// Empties the CS component (SST-ablation studies: e.g. an "FS+OS"
     /// configuration). The monitored stores are reconciled immediately.
     pub fn clear_cs(&mut self) {
+        self.mutations += 1;
+        self.structure_revision += 1;
         self.sst.clear_cs();
         self.sync_manager_subspaces(false);
     }
 
     /// Empties the OS component (SST-ablation studies).
     pub fn clear_os(&mut self) {
+        self.mutations += 1;
+        self.structure_revision += 1;
         self.sst.clear_os();
         self.sync_manager_subspaces(false);
     }
@@ -831,6 +917,7 @@ impl Spot {
         if entries.is_empty() || self.reservoir.len() < 8 {
             return;
         }
+        self.structure_revision += 1;
         self.stats.evolutions += 1;
         // Generate offspring of the current CS.
         let parents: Vec<Subspace> = entries.iter().map(|e| e.subspace).collect();
@@ -899,6 +986,7 @@ impl Spot {
         }
         self.stats.os_added += added;
         self.outlier_buffer.clear();
+        self.structure_revision += 1;
         if added > 0 {
             self.sync_manager_subspaces(true);
         }

@@ -64,11 +64,12 @@ pub use concurrent::SharedSpot;
 pub use config::{
     DriftConfig, EvolutionConfig, LearningConfig, SpotBuilder, SpotConfig, Thresholds,
 };
-pub use detector::{Spot, SynopsisFootprint};
+pub use detector::{CaptureMark, DeltaCapture, Spot, SynopsisFootprint};
 pub use drift::PageHinkley;
 pub use evaluator::{SparsityProblem, TrainingEvaluator};
 pub use snapshot::{
-    restore_from_json, SpotCheckpoint, SpotSnapshot, CHECKPOINT_VERSION, SNAPSHOT_VERSION,
+    restore_from_bytes, restore_from_json, SpotCheckpoint, SpotSnapshot, CHECKPOINT_BINARY_VERSION,
+    CHECKPOINT_VERSION, SNAPSHOT_VERSION,
 };
 pub use spot_synopsis::ExecutorHandle;
 pub use sst::{Sst, SstComponent};

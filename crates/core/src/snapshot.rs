@@ -44,6 +44,7 @@ use crate::detector::Spot;
 use crate::sst::Sst;
 use serde::{DeError, Deserialize, Serialize, Value};
 use spot_synopsis::{SerialExecutor, StoreExecutor};
+use spot_types::persist::binary;
 use spot_types::{Result, SpotError, StateReader};
 
 /// Durable state of a SPOT instance, v1: configuration + learned template.
@@ -62,8 +63,14 @@ pub struct SpotSnapshot {
 /// v1 snapshot format version.
 pub const SNAPSHOT_VERSION: u32 = 1;
 
-/// v2 checkpoint format version.
+/// v2 checkpoint format version (JSON text carrier).
 pub const CHECKPOINT_VERSION: u32 = 2;
+
+/// v3 checkpoint format version: the same value tree as v2, carried in
+/// the binary column container (`spot_types::persist::binary`). v2 and v3
+/// are interchangeable at load time — the version field selects the
+/// carrier, not the content.
+pub const CHECKPOINT_BINARY_VERSION: u32 = 3;
 
 /// Durable state of a SPOT instance, v2: configuration + SST + the
 /// complete runtime state. [`Spot::from_checkpoint`] restores it
@@ -95,9 +102,10 @@ impl Deserialize for SpotCheckpoint {
     fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
         let version = u32::from_value(v.get_field("version").unwrap_or(&Value::Null))
             .map_err(|e| e.in_field("version"))?;
-        if version != CHECKPOINT_VERSION {
+        if version != CHECKPOINT_VERSION && version != CHECKPOINT_BINARY_VERSION {
             return Err(DeError::custom(format!(
-                "expected checkpoint version {CHECKPOINT_VERSION}, found {version}"
+                "expected checkpoint version {CHECKPOINT_VERSION} or \
+                 {CHECKPOINT_BINARY_VERSION}, found {version}"
             )));
         }
         Ok(SpotCheckpoint {
@@ -109,6 +117,139 @@ impl Deserialize for SpotCheckpoint {
                 .get_field("state")
                 .ok_or_else(|| DeError::custom("missing field `state`"))?
                 .clone(),
+        })
+    }
+}
+
+fn corrupt(e: impl std::fmt::Display) -> SpotError {
+    SpotError::SnapshotCorrupt(e.to_string())
+}
+
+/// Mutable access to a named field of a state object (checkpoint merge
+/// helper); a missing field or non-object shape is a corruption error.
+fn field_mut<'a>(v: &'a mut Value, name: &str) -> Result<&'a mut Value> {
+    match v {
+        Value::Object(entries) => entries
+            .iter_mut()
+            .find(|(k, _)| k == name)
+            .map(|(_, val)| val)
+            .ok_or_else(|| corrupt(format!("checkpoint state missing field `{name}`"))),
+        other => Err(corrupt(format!(
+            "checkpoint state field `{name}`: parent is not an object ({other:?})"
+        ))),
+    }
+}
+
+impl SpotCheckpoint {
+    /// Serializes the checkpoint on the binary column carrier (v3): the
+    /// same value tree as the JSON text form, encoded through
+    /// `spot_types::persist::binary` and sealed in a checksummed container
+    /// frame. Load with [`SpotCheckpoint::from_bytes`] or the
+    /// carrier-sniffing [`restore_from_bytes`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        // Field-borrowed encode: the multi-megabyte `state` tree is
+        // encoded in place, never deep-cloned into an owned envelope.
+        let version = Value::U64(CHECKPOINT_BINARY_VERSION as u64);
+        let config = self.config.to_value();
+        let sst = self.sst.to_value();
+        binary::container_of_fields(&[
+            ("version", &version),
+            ("config", &config),
+            ("sst", &sst),
+            ("state", &self.state),
+        ])
+    }
+
+    /// The checkpoint's value tree with the v3 (binary-carrier) version
+    /// stamp — what [`SpotCheckpoint::to_bytes`] encodes.
+    pub fn to_value_binary(&self) -> Value {
+        Value::Object(vec![
+            (
+                "version".to_string(),
+                Value::U64(CHECKPOINT_BINARY_VERSION as u64),
+            ),
+            ("config".to_string(), self.config.to_value()),
+            ("sst".to_string(), self.sst.to_value()),
+            ("state".to_string(), self.state.clone()),
+        ])
+    }
+
+    /// Deserializes a binary-carrier (v3) checkpoint container. Corruption
+    /// anywhere — magic, checksum trailer, payload structure — is a typed
+    /// error, never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let tree = binary::read_container(bytes).map_err(corrupt)?;
+        SpotCheckpoint::from_value(&tree).map_err(corrupt)
+    }
+
+    /// Materializes the checkpoint a delta capture describes: `self` is
+    /// the delta's base (the previous generation), `delta_state` is the
+    /// tree produced by `Spot::delta_capture_with`. The scalar layers are
+    /// replaced wholesale; the synopsis merge swaps in only the dirtied
+    /// stores, keyed by registration ordinal, with the store's subspace
+    /// mask cross-checked against the base so a delta can never silently
+    /// apply to the wrong generation.
+    pub fn apply_state_delta(&self, delta_state: &Value) -> Result<SpotCheckpoint> {
+        let d = StateReader::new(delta_state).map_err(corrupt)?;
+        let mut state = self.state.clone();
+        for field in [
+            "clock",
+            "learned",
+            "rng",
+            "stats",
+            "drift",
+            "reservoir",
+            "outlier_buffer",
+        ] {
+            let nv = d.value(field).map_err(corrupt)?;
+            *field_mut(&mut state, field)? = nv.clone();
+        }
+
+        let syn_delta = d.nested("synopsis").map_err(corrupt)?;
+        let stores_len = syn_delta.u64("stores_len").map_err(corrupt)? as usize;
+        let syn = field_mut(&mut state, "synopsis")?;
+        *field_mut(syn, "total")? = syn_delta.value("total").map_err(corrupt)?.clone();
+        let base = syn_delta.value("base").map_err(corrupt)?;
+        if !matches!(base, Value::Null) {
+            *field_mut(syn, "base")? = base.clone();
+        }
+        let stores = field_mut(syn, "stores")?;
+        let Value::Array(items) = stores else {
+            return Err(corrupt("checkpoint synopsis `stores` is not an array"));
+        };
+        if items.len() != stores_len {
+            return Err(corrupt(format!(
+                "delta expects {stores_len} stores, base checkpoint has {}",
+                items.len()
+            )));
+        }
+        for entry in syn_delta.nested_list("changed").map_err(corrupt)? {
+            let ordinal = entry.u64("ordinal").map_err(corrupt)? as usize;
+            let store = entry.value("store").map_err(corrupt)?;
+            let slot = items.get_mut(ordinal).ok_or_else(|| {
+                corrupt(format!(
+                    "delta store ordinal {ordinal} out of range ({stores_len} stores)"
+                ))
+            })?;
+            let want_mask = StateReader::new(store)
+                .and_then(|r| r.u64("mask"))
+                .map_err(corrupt)?;
+            let have_mask = StateReader::new(slot)
+                .and_then(|r| r.u64("mask"))
+                .map_err(corrupt)?;
+            if want_mask != have_mask {
+                return Err(corrupt(format!(
+                    "delta store at ordinal {ordinal} is for subspace mask {want_mask:#x}, \
+                     base has {have_mask:#x} — delta applied to the wrong generation"
+                )));
+            }
+            *slot = store.clone();
+        }
+
+        Ok(SpotCheckpoint {
+            config: self.config.clone(),
+            sst: self.sst.clone(),
+            state,
         })
     }
 }
@@ -181,6 +322,27 @@ impl Spot {
 pub fn restore_from_json(text: &str) -> Result<Spot> {
     let value: Value =
         serde_json::from_str(text).map_err(|e| SpotError::SnapshotCorrupt(e.to_string()))?;
+    restore_from_value(&value)
+}
+
+/// Restores a detector from serialized snapshot **bytes** of any supported
+/// carrier and version: the binary container (v3) is recognized by its
+/// magic prefix; anything else is treated as JSON text (v1 cold, v2 warm).
+/// The same typed-error guarantees as [`restore_from_json`] apply — a
+/// truncated or bit-flipped binary frame yields
+/// [`SpotError::SnapshotCorrupt`], never a panic.
+pub fn restore_from_bytes(bytes: &[u8]) -> Result<Spot> {
+    if binary::is_container(bytes) {
+        let value = binary::read_container(bytes).map_err(corrupt)?;
+        restore_from_value(&value)
+    } else {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| corrupt("snapshot is neither a binary container nor UTF-8 JSON"))?;
+        restore_from_json(text)
+    }
+}
+
+fn restore_from_value(value: &Value) -> Result<Spot> {
     let version = match value.get_field("version") {
         Some(&Value::U64(n)) => u32::try_from(n).unwrap_or(u32::MAX),
         Some(other) => {
@@ -196,12 +358,12 @@ pub fn restore_from_json(text: &str) -> Result<Spot> {
     };
     match version {
         SNAPSHOT_VERSION => {
-            let snapshot = SpotSnapshot::from_value(&value)
+            let snapshot = SpotSnapshot::from_value(value)
                 .map_err(|e| SpotError::SnapshotCorrupt(e.to_string()))?;
             Spot::from_snapshot(snapshot)
         }
-        CHECKPOINT_VERSION => {
-            let checkpoint = SpotCheckpoint::from_value(&value)
+        CHECKPOINT_VERSION | CHECKPOINT_BINARY_VERSION => {
+            let checkpoint = SpotCheckpoint::from_value(value)
                 .map_err(|e| SpotError::SnapshotCorrupt(e.to_string()))?;
             Spot::from_checkpoint(&checkpoint)
         }
@@ -446,6 +608,196 @@ mod tests {
         assert_eq!(
             restore_from_json(&json).unwrap_err(),
             SpotError::UnsupportedSnapshotVersion(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn binary_checkpoint_resume_is_bit_exact() {
+        // v3 acceptance bar, mirroring the JSON test: checkpoint through
+        // the binary container mid-stream, restore, continue — verdicts
+        // and stats bit-identical to the uninterrupted detector.
+        let build = || {
+            let mut s = SpotBuilder::new(DomainBounds::unit(4))
+                .seed(17)
+                .evolution(EvolutionConfig {
+                    period: 120,
+                    ..Default::default()
+                })
+                .pruning(90, 1e-4)
+                .build()
+                .unwrap();
+            s.learn(&train()).unwrap();
+            s
+        };
+        let pts = stream(400);
+        let mut uninterrupted = build();
+        let mut want = Vec::new();
+        for p in &pts {
+            want.push(uninterrupted.process(p).unwrap());
+        }
+
+        let mut first_half = build();
+        let mut got = Vec::new();
+        for p in &pts[..180] {
+            got.push(first_half.process(p).unwrap());
+        }
+        let bytes = first_half.checkpoint().to_bytes();
+        drop(first_half);
+        let mut resumed = restore_from_bytes(&bytes).unwrap();
+        for p in &pts[180..] {
+            got.push(resumed.process(p).unwrap());
+        }
+        assert_verdicts_bitwise(&want, &got);
+        assert_eq!(resumed.stats(), uninterrupted.stats());
+        assert_eq!(resumed.footprint(), uninterrupted.footprint());
+
+        // Binary is the compact carrier: meaningfully smaller than the
+        // JSON rendering of the same checkpoint.
+        let json = serde_json::to_string(&resumed.checkpoint()).unwrap();
+        let bin = resumed.checkpoint().to_bytes();
+        assert!(
+            bin.len() * 2 < json.len(),
+            "binary {} vs json {}",
+            bin.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn binary_checkpoint_is_a_fixed_point_across_carriers() {
+        // capture → (binary) restore → capture must reproduce identical
+        // bytes on BOTH carriers, and a JSON-restored detector must emit
+        // the same binary bytes as a binary-restored one.
+        let mut spot = SpotBuilder::new(DomainBounds::unit(4))
+            .seed(5)
+            .build()
+            .unwrap();
+        spot.learn(&train()).unwrap();
+        for p in stream(150) {
+            spot.process(&p).unwrap();
+        }
+        let first_bin = spot.checkpoint().to_bytes();
+        let first_json = serde_json::to_string(&spot.checkpoint()).unwrap();
+
+        let from_bin = restore_from_bytes(&first_bin).unwrap();
+        assert_eq!(from_bin.checkpoint().to_bytes(), first_bin);
+        assert_eq!(
+            serde_json::to_string(&from_bin.checkpoint()).unwrap(),
+            first_json
+        );
+
+        let from_json = restore_from_bytes(first_json.as_bytes()).unwrap();
+        assert_eq!(from_json.checkpoint().to_bytes(), first_bin);
+    }
+
+    #[test]
+    fn corrupted_binary_frames_error_instead_of_panicking() {
+        let mut spot = SpotBuilder::new(DomainBounds::unit(4))
+            .seed(3)
+            .build()
+            .unwrap();
+        spot.learn(&train()).unwrap();
+        for p in stream(60) {
+            spot.process(&p).unwrap();
+        }
+        let bytes = spot.checkpoint().to_bytes();
+        assert!(restore_from_bytes(&bytes).is_ok());
+        // Truncations at a spread of prefix lengths.
+        for cut in [0, 7, 8, 100, bytes.len() / 2, bytes.len() - 1] {
+            assert!(matches!(
+                restore_from_bytes(&bytes[..cut]).unwrap_err(),
+                SpotError::SnapshotCorrupt(_)
+            ));
+        }
+        // Bit flips across the frame (magic, payload, trailer).
+        for at in (0..bytes.len()).step_by(bytes.len() / 37 + 1) {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x04;
+            assert!(
+                matches!(
+                    restore_from_bytes(&bad).unwrap_err(),
+                    SpotError::SnapshotCorrupt(_)
+                ),
+                "flip at {at}"
+            );
+        }
+        // Bytes that are neither container nor UTF-8.
+        assert!(matches!(
+            restore_from_bytes(&[0xff, 0xfe, 0x01]).unwrap_err(),
+            SpotError::SnapshotCorrupt(_)
+        ));
+    }
+
+    #[test]
+    fn delta_capture_applies_onto_base_checkpoint_bit_exactly() {
+        use spot_synopsis::SerialExecutor;
+        let mut spot = SpotBuilder::new(DomainBounds::unit(4))
+            .seed(11)
+            .build()
+            .unwrap();
+        spot.learn(&train()).unwrap();
+        for p in stream(120) {
+            spot.process(&p).unwrap();
+        }
+        let base = spot.checkpoint();
+        let mark = spot.capture_mark();
+
+        // No mutation → Unchanged.
+        assert!(matches!(
+            spot.delta_capture_with(&SerialExecutor, &mark),
+            crate::detector::DeltaCapture::Unchanged
+        ));
+
+        // Mutations without structure change → a delta that materializes
+        // the exact full checkpoint.
+        for p in stream(40) {
+            spot.process(&p).unwrap();
+        }
+        match spot.delta_capture_with(&SerialExecutor, &mark) {
+            crate::detector::DeltaCapture::Delta(d) => {
+                let merged = base.apply_state_delta(&d).unwrap();
+                let want = serde_json::to_string(&spot.checkpoint()).unwrap();
+                let got = serde_json::to_string(&merged).unwrap();
+                assert_eq!(want, got, "delta-applied checkpoint must be bit-exact");
+                assert_eq!(merged.to_bytes(), spot.checkpoint().to_bytes());
+            }
+            other => panic!("expected Delta, got {other:?}"),
+        }
+
+        // Structure change → Full fallback.
+        let mark = spot.capture_mark();
+        spot.clear_cs();
+        assert!(matches!(
+            spot.delta_capture_with(&SerialExecutor, &mark),
+            crate::detector::DeltaCapture::Full
+        ));
+
+        // A delta can never apply against the wrong base: a valid delta
+        // carries each changed store's subspace mask, so a base whose
+        // store at that ordinal answers to a different mask is refused.
+        let mark2 = spot.capture_mark();
+        for p in stream(20) {
+            spot.process(&p).unwrap();
+        }
+        let crate::detector::DeltaCapture::Delta(d) =
+            spot.delta_capture_with(&SerialExecutor, &mark2)
+        else {
+            panic!("expected Delta after processing against a fresh mark");
+        };
+        let mut mangled = spot.checkpoint();
+        {
+            let syn = field_mut(&mut mangled.state, "synopsis").unwrap();
+            let stores = field_mut(syn, "stores").unwrap();
+            let Value::Array(items) = stores else {
+                panic!("stores is not an array")
+            };
+            let mask = field_mut(&mut items[0], "mask").unwrap();
+            *mask = Value::U64(0xdead_beef);
+        }
+        let err = mangled.apply_state_delta(&d).unwrap_err();
+        assert!(
+            err.to_string().contains("wrong generation"),
+            "unexpected error: {err}"
         );
     }
 

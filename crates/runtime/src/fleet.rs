@@ -30,14 +30,14 @@
 //! [`SpotFleet::revive_tenant`] replays the lost window instead of
 //! dropping it.
 
-use crate::checkpoint::{CheckpointStore, FleetCheckpoint};
+use crate::checkpoint::{CheckpointStore, FleetCheckpoint, FleetDelta, TenantEntry};
 use crate::faults::{FaultInjector, FaultPlan};
 use crate::health::{IngestOutcome, OverloadPolicy, QuarantineInfo, TenantHealth};
 use crate::wal::{tenant_dir_name, FleetRecovery, TenantWal, WalTuning};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use spot::{
-    LearningReport, SharedSpot, Spot, SpotCheckpoint, SpotConfig, SpotStats, SynopsisFootprint,
-    Verdict,
+    CaptureMark, DeltaCapture, LearningReport, SharedSpot, Spot, SpotCheckpoint, SpotConfig,
+    SpotStats, SynopsisFootprint, Verdict,
 };
 use spot_stream::wal::read_wal_from;
 use spot_synopsis::{panic_message, ExecutorHandle, SerialExecutor, StoreExecutor};
@@ -106,6 +106,11 @@ pub struct FleetStats {
     pub panics: u64,
     /// Successful tenant restorations ([`SpotFleet::revive_tenant`]).
     pub recoveries: u64,
+    /// WAL prune attempts that failed after a durable checkpoint.
+    /// Retained segments only cost replay time, so the checkpoint still
+    /// succeeds — but a counter that keeps climbing means the log is not
+    /// shrinking and disk usage is unbounded, which operators must see.
+    pub wal_prune_failures: u64,
 }
 
 /// Aggregated synopsis memory over every tenant — from each tenant's
@@ -262,6 +267,19 @@ pub(crate) struct ReviveOutcome {
     pub(crate) walled: bool,
 }
 
+/// Where the last durable checkpoint left the fleet, for delta capture:
+/// the generation it produced, how many deltas extend it already (rebase
+/// bookkeeping), and each captured tenant's [`CaptureMark`] — the counters
+/// a later [`SpotFleet::checkpoint_durable_delta`] diffs against, taken
+/// under the same detector lock hold as the capture itself so the mark is
+/// exactly the captured stream position.
+#[derive(Clone)]
+struct DeltaState {
+    generation: u64,
+    chain_len: usize,
+    marks: HashMap<TenantId, CaptureMark>,
+}
+
 struct FleetInner {
     exec: ExecutorHandle,
     config: FleetConfig,
@@ -282,6 +300,13 @@ struct FleetInner {
     panics: AtomicU64,
     /// Successful tenant restorations fleet-wide.
     recoveries: AtomicU64,
+    /// WAL prune attempts that failed after a durable checkpoint
+    /// (surfaced as [`FleetStats::wal_prune_failures`]).
+    prune_failures: AtomicU64,
+    /// Capture marks from the last durable checkpoint, arming
+    /// [`SpotFleet::checkpoint_durable_delta`]. `None` until a durable
+    /// checkpoint ran in this process.
+    delta_state: Mutex<Option<DeltaState>>,
 }
 
 /// A registry of named SPOT detectors sharing one executor service.
@@ -332,6 +357,8 @@ impl SpotFleet {
                 shutting_down: AtomicBool::new(false),
                 panics: AtomicU64::new(0),
                 recoveries: AtomicU64::new(0),
+                prune_failures: AtomicU64::new(0),
+                delta_state: Mutex::new(None),
             }),
         }
     }
@@ -1081,6 +1108,7 @@ impl SpotFleet {
             tenants: tenants.len(),
             panics: self.inner.panics.load(Ordering::Relaxed),
             recoveries: self.inner.recoveries.load(Ordering::Relaxed),
+            wal_prune_failures: self.inner.prune_failures.load(Ordering::Relaxed),
             ..FleetStats::default()
         };
         for t in &tenants {
@@ -1151,6 +1179,13 @@ impl SpotFleet {
     /// part of the checkpoint (they have not been processed; drain first
     /// for a checkpoint at a chosen stream position).
     pub fn checkpoint(&self) -> FleetCheckpoint {
+        self.checkpoint_marked().0
+    }
+
+    /// [`SpotFleet::checkpoint`] plus each captured tenant's
+    /// [`CaptureMark`], taken under the same detector lock hold as the
+    /// capture — the diff base a later delta checkpoint works from.
+    fn checkpoint_marked(&self) -> (FleetCheckpoint, HashMap<TenantId, CaptureMark>) {
         let pool = self.inner.exec.pool_for_capture();
         let exec: &dyn StoreExecutor = match &pool {
             Some(pool) => &**pool,
@@ -1158,6 +1193,7 @@ impl SpotFleet {
         };
         let mut tenants = Vec::new();
         let mut wal_positions = Vec::new();
+        let mut marks = HashMap::new();
         for id in self.tenant_ids() {
             let Ok(tenant) = self.tenant(&id) else {
                 continue;
@@ -1168,30 +1204,42 @@ impl SpotFleet {
             // Capture + position read under one detector lock hold: the
             // recorded WAL watermark must be the stream position of *this*
             // capture, not of whatever processed concurrently after it.
-            let (cp, processed) = tenant.shared.with(|s| {
+            let (cp, processed, mark) = tenant.shared.with(|s| {
                 let cp = s.checkpoint_with(exec);
                 let processed = s.stats().processed;
-                (cp, processed)
+                let mark = s.capture_mark();
+                (cp, processed, mark)
             });
             if let Some(wal) = tenant.wal_handle() {
                 wal_positions.push((id.clone(), processed.saturating_sub(wal.base_processed())));
             }
+            marks.insert(id.clone(), mark);
             tenants.push((id, cp));
         }
-        FleetCheckpoint::with_wal(tenants, wal_positions)
+        (FleetCheckpoint::with_wal(tenants, wal_positions), marks)
     }
 
     /// [`SpotFleet::checkpoint`] made durable: saves the capture into a
     /// [`CheckpointStore`] and then prunes every tenant's WAL behind the
     /// watermark the checkpoint recorded — sealed segments whose records
     /// are all covered by the saved state are deleted, which is what keeps
-    /// log growth bounded by checkpoint cadence. Pruning failures are
-    /// swallowed (retained segments only cost replay time); the save
+    /// log growth bounded by checkpoint cadence. A pruning failure does
+    /// not fail the checkpoint (retained segments only cost replay time)
+    /// but is counted in [`FleetStats::wal_prune_failures`]; the save
     /// itself is the durability point and its errors propagate. Returns
     /// the new checkpoint generation.
+    ///
+    /// A successful save also re-arms the delta machinery: subsequent
+    /// [`SpotFleet::checkpoint_durable_delta`] calls diff against this
+    /// generation.
     pub fn checkpoint_durable(&self, store: &CheckpointStore) -> Result<u64> {
-        let cp = self.checkpoint();
+        let (cp, marks) = self.checkpoint_marked();
         let generation = store.save(&cp)?;
+        self.set_delta_state(DeltaState {
+            generation,
+            chain_len: 0,
+            marks,
+        });
         if self.injector().is_some_and(|i| i.take_prune_crash()) {
             // The crash lands after the rename made the checkpoint
             // reachable but before any pruning: recovery must tolerate a
@@ -1199,15 +1247,127 @@ impl SpotFleet {
             self.kill_wals("injected crash between checkpoint save and WAL prune");
             return Ok(generation);
         }
-        for (id, watermark) in cp.wal_positions() {
+        self.prune_wals(cp.wal_positions());
+        Ok(generation)
+    }
+
+    /// How many deltas may extend one full checkpoint before
+    /// [`SpotFleet::checkpoint_durable_delta`] rebases (writes a full
+    /// checkpoint again). Bounds both recovery's chain-resolution work
+    /// and the window a damaged anchor can poison.
+    const REBASE_EVERY: usize = 8;
+
+    /// A durable **delta** checkpoint: captures only what each tenant
+    /// dirtied since the last durable capture (per-store synopsis diffs
+    /// keyed by registration ordinal) and appends it to the store as a
+    /// chain extension of that generation. Falls back to a full
+    /// [`SpotFleet::checkpoint_durable`] whenever a delta would be
+    /// unsound or unprofitable: no durable capture has run yet, the
+    /// store's latest generation is not the one the marks describe
+    /// (someone else checkpointed in between), or the chain has reached
+    /// [`SpotFleet::REBASE_EVERY`] links. WAL pruning behaves exactly as
+    /// in the full path. Returns the new generation.
+    pub fn checkpoint_durable_delta(&self, store: &CheckpointStore) -> Result<u64> {
+        let Some(ds) = self.get_delta_state() else {
+            return self.checkpoint_durable(store);
+        };
+        if ds.chain_len + 1 >= Self::REBASE_EVERY
+            || store.generations()?.last().copied() != Some(ds.generation)
+        {
+            return self.checkpoint_durable(store);
+        }
+        let pool = self.inner.exec.pool_for_capture();
+        let exec: &dyn StoreExecutor = match &pool {
+            Some(pool) => &**pool,
+            None => &SerialExecutor,
+        };
+        let mut entries = Vec::new();
+        let mut wal_positions = Vec::new();
+        let mut marks = HashMap::new();
+        for id in self.tenant_ids() {
+            let Ok(tenant) = self.tenant(&id) else {
+                continue;
+            };
+            if tenant.state.load(Ordering::Acquire) != HEALTH_HEALTHY {
+                continue;
+            }
+            let prev_mark = ds.marks.get(&id);
+            let (entry, processed, mark) = tenant.shared.with(|s| {
+                let entry = match prev_mark {
+                    Some(prev) => match s.delta_capture_with(exec, prev) {
+                        DeltaCapture::Unchanged => TenantEntry::Unchanged,
+                        DeltaCapture::Delta(d) => TenantEntry::Delta(d),
+                        DeltaCapture::Full => TenantEntry::Full(s.checkpoint_with(exec)),
+                    },
+                    // New tenant since the parent generation: full capture.
+                    None => TenantEntry::Full(s.checkpoint_with(exec)),
+                };
+                let processed = s.stats().processed;
+                let mark = s.capture_mark();
+                (entry, processed, mark)
+            });
+            if let Some(wal) = tenant.wal_handle() {
+                wal_positions.push((id.clone(), processed.saturating_sub(wal.base_processed())));
+            }
+            marks.insert(id.clone(), mark);
+            entries.push((id, entry));
+        }
+        let removed: Vec<TenantId> = ds
+            .marks
+            .keys()
+            .filter(|prev| !entries.iter().any(|(id, _)| id == *prev))
+            .cloned()
+            .collect();
+        let delta = FleetDelta::new(ds.generation, entries, removed, wal_positions.clone());
+        let generation = match store.save_delta(&delta) {
+            Ok(g) => g,
+            // Lost the race to another save between the eligibility check
+            // and the append: rebase with a full checkpoint.
+            Err(SpotError::InvalidConfig(_)) => return self.checkpoint_durable(store),
+            Err(e) => return Err(e),
+        };
+        self.set_delta_state(DeltaState {
+            generation,
+            chain_len: ds.chain_len + 1,
+            marks,
+        });
+        if self.injector().is_some_and(|i| i.take_prune_crash()) {
+            self.kill_wals("injected crash between checkpoint save and WAL prune");
+            return Ok(generation);
+        }
+        self.prune_wals(&wal_positions);
+        Ok(generation)
+    }
+
+    fn get_delta_state(&self) -> Option<DeltaState> {
+        self.inner
+            .delta_state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn set_delta_state(&self, state: DeltaState) {
+        *self
+            .inner
+            .delta_state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(state);
+    }
+
+    /// Prunes each listed tenant's WAL behind its checkpoint watermark,
+    /// counting (not swallowing) failures.
+    fn prune_wals(&self, positions: &[(TenantId, u64)]) {
+        for (id, watermark) in positions {
             let Ok(tenant) = self.tenant(id) else {
                 continue;
             };
             if let Some(wal) = tenant.wal_handle() {
-                let _ = wal.prune_to(*watermark);
+                if wal.prune_to(*watermark).is_err() {
+                    self.inner.prune_failures.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
-        Ok(generation)
     }
 
     /// Marks every tenant's WAL writer dead (crash simulation support).

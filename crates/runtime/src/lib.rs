@@ -61,6 +61,7 @@
 //! verdict stream is bit-identical to an uncrashed run and no admitted
 //! point is lost. See [`wal`] and `docs/persistence.md`.
 
+pub mod archive;
 pub mod checkpoint;
 pub mod faults;
 pub mod fleet;
@@ -68,7 +69,11 @@ pub mod health;
 pub mod supervisor;
 pub mod wal;
 
-pub use checkpoint::{CheckpointStore, FleetCheckpoint, FLEET_CHECKPOINT_VERSION};
+pub use archive::{ArchiveReplay, VerdictArchive};
+pub use checkpoint::{
+    Carrier, CheckpointStore, FleetCheckpoint, FleetDelta, TenantEntry,
+    FLEET_CHECKPOINT_BINARY_VERSION, FLEET_CHECKPOINT_VERSION,
+};
 pub use faults::FaultPlan;
 pub use fleet::{FleetConfig, FleetFootprint, FleetStats, SpotFleet};
 pub use health::{IngestOutcome, OverloadPolicy, QuarantineInfo, RecoveryReport, TenantHealth};

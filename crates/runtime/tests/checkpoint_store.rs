@@ -4,7 +4,7 @@
 //! retained generation.
 
 use spot::{SpotBuilder, SpotConfig, Verdict};
-use spot_runtime::{CheckpointStore, FleetCheckpoint, FleetConfig, SpotFleet, TenantId};
+use spot_runtime::{Carrier, CheckpointStore, FleetCheckpoint, FleetConfig, SpotFleet, TenantId};
 use spot_types::{DataPoint, DomainBounds, SpotError};
 
 fn tenant_config(seed: u64, dims: usize) -> SpotConfig {
@@ -159,7 +159,11 @@ fn corruption_matrix_yields_typed_errors_and_previous_generation_recovers() {
     let dims = 4;
     let dir = temp_dir("matrix");
     let fleet = seeded_fleet(dims, 2);
-    let store = CheckpointStore::open(&dir, 8).unwrap();
+    // This matrix tampers with files as JSON text (version digits,
+    // checksum digits), so it pins the JSON carrier; the binary carrier's
+    // corruption matrix lives in tests/restore_matrix.rs.
+    let mut store = CheckpointStore::open(&dir, 8).unwrap();
+    store.set_carrier(Carrier::Json);
     let cp = fleet.checkpoint();
     let good = store.save(&cp).unwrap();
     let good_json = store.load(good).unwrap().to_json();

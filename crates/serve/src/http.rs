@@ -79,8 +79,9 @@ impl Method {
 pub struct Request {
     /// Parsed method.
     pub method: Method,
-    /// Raw request target (path), percent-encoded as received. Any query
-    /// string is split off and discarded by the router.
+    /// Raw request target (path), percent-encoded as received. The router
+    /// splits off any query string and hands it to routes that take
+    /// options (e.g. `/admin/checkpoint?mode=delta`).
     pub target: String,
     /// Header fields with lower-cased names, in arrival order.
     pub headers: Vec<(String, String)>,

@@ -51,7 +51,10 @@ pub fn retry_after_secs(queued: usize, micro_batch: usize) -> u64 {
 /// Dispatch one request.
 pub(crate) fn route(state: &AppState, req: &Request) -> Response {
     state.counters.requests.fetch_add(1, Ordering::Relaxed);
-    let path = req.target.split('?').next().unwrap_or("");
+    let (path, query) = match req.target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.target.as_str(), ""),
+    };
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let draining = state.draining.load(Ordering::Acquire);
 
@@ -74,7 +77,7 @@ pub(crate) fn route(state: &AppState, req: &Request) -> Response {
         }
         (Method::Post, ["tenants", id, "drain"]) => with_tenant(id, |id| drain(state, id)),
         (Method::Post, ["tenants", id, "restore"]) => with_tenant(id, |id| restore(state, id)),
-        (Method::Post, ["admin", "checkpoint"]) => checkpoint(state),
+        (Method::Post, ["admin", "checkpoint"]) => checkpoint(state, query),
         (_, ["healthz" | "readyz" | "stats"]) | (_, ["admin", "checkpoint"]) => {
             error_body(405, "method not allowed", None)
         }
@@ -160,6 +163,7 @@ fn stats(state: &AppState, draining: bool) -> Response {
                     ("shed", Value::U64(fs.shed)),
                     ("panics", Value::U64(fs.panics)),
                     ("recoveries", Value::U64(fs.recoveries)),
+                    ("wal_prune_failures", Value::U64(fs.wal_prune_failures)),
                     ("approx_bytes", Value::U64(fp.approx_bytes as u64)),
                 ]),
             ),
@@ -397,13 +401,45 @@ fn restore(state: &AppState, id: &TenantId) -> Response {
     }
 }
 
-fn checkpoint(state: &AppState) -> Response {
+fn checkpoint(state: &AppState, query: &str) -> Response {
     let store = match &state.store {
         Some(s) => s,
         None => return error_body(409, "no checkpoint store attached", None),
     };
-    match state.fleet.checkpoint_durable(store) {
-        Ok(generation) => Response::json(200, obj(vec![("generation", Value::U64(generation))])),
+    // `?mode=delta` asks for an incremental generation (the fleet still
+    // rebases to a full checkpoint when the chain calls for it); the
+    // default is a full checkpoint.
+    let delta = match query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("mode="))
+        .unwrap_or("full")
+    {
+        "full" => false,
+        "delta" => true,
+        other => {
+            return error_body(
+                400,
+                &format!("unknown checkpoint mode {other:?}; expected \"full\" or \"delta\""),
+                None,
+            )
+        }
+    };
+    let result = if delta {
+        state.fleet.checkpoint_durable_delta(store)
+    } else {
+        state.fleet.checkpoint_durable(store)
+    };
+    match result {
+        Ok(generation) => Response::json(
+            200,
+            obj(vec![
+                ("generation", Value::U64(generation)),
+                (
+                    "delta",
+                    Value::Bool(store.is_delta(generation).unwrap_or(false)),
+                ),
+            ]),
+        ),
         Err(e) => spot_error(&e, None),
     }
 }

@@ -551,6 +551,57 @@ fn keep_alive_serves_sequential_and_pipelined_requests() {
 }
 
 #[test]
+fn delta_checkpoint_endpoint_chains_onto_the_full_generation() {
+    let dir = temp_dir("delta-endpoint");
+    let store = CheckpointStore::open(&dir, 4).unwrap();
+    let fleet = serial_fleet(64, 16);
+    let server = SpotServer::builder(fleet.clone())
+        .store(store)
+        .pump(false)
+        .bind("127.0.0.1:0")
+        .unwrap();
+    let mut client = ServeClient::new(server.local_addr()).with_policy(quick_policy());
+
+    let id = tid("chained");
+    client.register(&id, DIMS, 31, &training(64, 3)).unwrap();
+    client.ingest(&id, &stream(20, 4)).unwrap();
+    client.drain(&id).unwrap();
+
+    // With no chain armed, mode=delta falls back to a full checkpoint.
+    let body = client.checkpoint_delta().unwrap().text();
+    assert!(body.contains("\"generation\":1"), "body: {body}");
+    assert!(body.contains("\"delta\":false"), "body: {body}");
+
+    // Now the chain is armed: the next delta request writes a `.dck`.
+    client.ingest(&id, &stream(10, 5)).unwrap();
+    client.drain(&id).unwrap();
+    let body = client.checkpoint_delta().unwrap().text();
+    assert!(body.contains("\"generation\":2"), "body: {body}");
+    assert!(body.contains("\"delta\":true"), "body: {body}");
+
+    // An unknown mode is a client error, not a silent full checkpoint.
+    let response = client
+        .request("POST", "/admin/checkpoint?mode=sideways", Some("{}"))
+        .unwrap();
+    assert_eq!(response.status, 400);
+
+    // /stats carries the WAL prune-failure counter (zero on this box).
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("\"wal_prune_failures\":0"), "stats: {stats}");
+
+    server.shutdown().unwrap();
+
+    // The chain resolves from disk: generation 2 is a delta whose
+    // resolution matches the live fleet at the time it was taken.
+    let store = CheckpointStore::open(&dir, 4).unwrap();
+    assert!(store.is_delta(2).unwrap());
+    let resolved = store.load(2).unwrap();
+    assert!(resolved.get(&id).is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn graceful_shutdown_drains_queues_and_checkpoints() {
     let dir = temp_dir("shutdown");
     let store = CheckpointStore::open(&dir, 3).unwrap();

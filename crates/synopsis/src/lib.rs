@@ -55,7 +55,7 @@ pub mod store;
 pub use bcs::Bcs;
 pub use grid::Grid;
 pub use key::{CellKey, KeyCodec};
-pub use manager::{LiveCounters, SubspacePcs, SynopsisManager, UpdateOutcome};
+pub use manager::{LiveCounters, SubspacePcs, SynopsisManager, SynopsisMark, UpdateOutcome};
 pub use pcs::{Pcs, PcsCell, ProjectedStore};
 pub use pool::{
     panic_message, ExecutorHandle, OnceTask, SerialExecutor, SharedSlice, StoreExecutor, WorkerPool,

@@ -107,6 +107,17 @@ pub struct SynopsisManager {
     batch_rows: Vec<Vec<(Pcs, f64)>>,
     /// Reused shard claim order (store ordinals, heaviest first).
     shard_order: Vec<u32>,
+    /// Layout epoch: bumped whenever the registration-ordinal layout
+    /// changes (subspace add/remove, restore). A delta capture is only
+    /// valid against a mark from the same epoch — ordinals must mean the
+    /// same store on both sides of the diff.
+    epoch: u64,
+    /// Mutation version of the base store + global weight.
+    base_version: u64,
+    /// Per-store mutation versions, parallel to `stores` (registration
+    /// order). Comparisons test inequality only, so a double bump on one
+    /// path is harmless; what matters is that every mutation bumps.
+    versions: Vec<u64>,
     /// The shared executor service the batch path dispatches through (see
     /// [`ExecutorHandle`]): clones — and every co-tenant manager of a
     /// fleet — share the one lazily-spawned pool this handle owns.
@@ -130,6 +141,9 @@ impl Clone for SynopsisManager {
             decay_table: DecayTable::new(),
             batch_rows: Vec::new(),
             shard_order: Vec::new(),
+            epoch: self.epoch,
+            base_version: self.base_version,
+            versions: self.versions.clone(),
             exec: self.exec.clone(),
         };
         // The clone gets its own counters; re-derive them from the cloned
@@ -156,6 +170,17 @@ pub struct UpdateOutcome {
     pub prior_base_count: f64,
     /// Global decayed weight after this point arrived.
     pub total_weight: f64,
+}
+
+/// A point-in-time snapshot of the synopsis dirty-tracking state, taken
+/// by [`SynopsisManager::capture_mark`] at capture time. Opaque to
+/// callers; its only use is as the baseline of a later
+/// [`SynopsisManager::capture_state_delta_with`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynopsisMark {
+    epoch: u64,
+    base: u64,
+    stores: Vec<u64>,
 }
 
 /// One monitored subspace's verdict inputs for the point just ingested.
@@ -199,6 +224,9 @@ impl SynopsisManager {
             decay_table: DecayTable::new(),
             batch_rows: Vec::new(),
             shard_order: Vec::new(),
+            epoch: 0,
+            base_version: 0,
+            versions: Vec::new(),
             exec,
         };
         mgr.publish_base();
@@ -253,6 +281,8 @@ impl SynopsisManager {
         self.live.apply_projected(dc, db);
         self.index.insert(subspace.mask(), self.stores.len());
         self.stores.push(store);
+        self.versions.push(0);
+        self.epoch += 1;
         true
     }
 
@@ -275,6 +305,8 @@ impl SynopsisManager {
                 *slot -= 1;
             }
         }
+        self.versions.remove(ordinal);
+        self.epoch += 1;
         true
     }
 
@@ -300,6 +332,7 @@ impl SynopsisManager {
             let (dc, db) = store.publish_delta();
             self.live.apply_projected(dc, db);
         }
+        self.mark_all_dirty();
         Ok(outcome)
     }
 
@@ -334,6 +367,7 @@ impl SynopsisManager {
                 occupancy,
             });
         }
+        self.mark_all_dirty();
         Ok(outcome)
     }
 
@@ -352,6 +386,16 @@ impl SynopsisManager {
             prior_base_count,
             total_weight: self.total.value_at(&self.model, now),
         })
+    }
+
+    /// Marks the base and every store dirty — the per-point ingest paths
+    /// touch all of them (every store absorbs every point), so one bump
+    /// per run is exact, not conservative.
+    fn mark_all_dirty(&mut self) {
+        self.base_version += 1;
+        for v in &mut self.versions {
+            *v += 1;
+        }
     }
 
     /// Mirrors the base store's footprint into the live counters when it
@@ -597,6 +641,7 @@ impl SynopsisManager {
         self.batch_coords = coords;
         self.batch_totals = totals;
         self.batch_rows = rows;
+        self.mark_all_dirty();
         Ok(())
     }
 
@@ -622,6 +667,7 @@ impl SynopsisManager {
         }
         let (dc, db) = store.publish_delta();
         self.live.apply_projected(dc, db);
+        self.versions[ordinal] += 1;
         Ok(())
     }
 
@@ -648,10 +694,18 @@ impl SynopsisManager {
     /// Prunes every store, evicting cells whose decayed count fell below
     /// `floor`. Returns the total number of evicted cells.
     pub fn prune(&mut self, now: u64, floor: f64) -> usize {
-        let mut evicted = self.base.prune(&self.model, now, floor);
+        let base_evicted = self.base.prune(&self.model, now, floor);
+        if base_evicted > 0 {
+            self.base_version += 1;
+        }
+        let mut evicted = base_evicted;
         self.publish_base();
-        for store in &mut self.stores {
-            evicted += store.prune(&self.model, now, floor);
+        for (ordinal, store) in self.stores.iter_mut().enumerate() {
+            let store_evicted = store.prune(&self.model, now, floor);
+            if store_evicted > 0 {
+                self.versions[ordinal] += 1;
+            }
+            evicted += store_evicted;
             let (dc, db) = store.publish_delta();
             self.live.apply_projected(dc, db);
         }
@@ -727,6 +781,74 @@ impl SynopsisManager {
         w.finish()
     }
 
+    /// Snapshots the dirty-tracking state at capture time. Pair with
+    /// [`SynopsisManager::capture_state_delta_with`] on the *next* capture
+    /// to encode only what changed in between.
+    pub fn capture_mark(&self) -> SynopsisMark {
+        SynopsisMark {
+            epoch: self.epoch,
+            base: self.base_version,
+            stores: self.versions.clone(),
+        }
+    }
+
+    /// Captures only the state dirtied since `mark` — the delta-checkpoint
+    /// primitive. Returns `None` when the layout changed since the mark
+    /// (subspace add/remove, restore): ordinals no longer line up, and the
+    /// caller must fall back to a full capture.
+    ///
+    /// The delta tree is `{total, stores_len, base (or Null), changed:
+    /// [{ordinal, store}…]}` — `total` is a few scalars and always
+    /// included; clean stores are skipped entirely, which is what makes
+    /// fleet-scale checkpoint cost proportional to change.
+    pub fn capture_state_delta_with(
+        &self,
+        exec: &dyn StoreExecutor,
+        mark: &SynopsisMark,
+    ) -> Option<Value> {
+        if mark.epoch != self.epoch || mark.stores.len() != self.stores.len() {
+            return None;
+        }
+        let mut w = StateWriter::new();
+        w.component("total", &self.total);
+        w.u64("stores_len", self.stores.len() as u64);
+        if self.base_version != mark.base {
+            let mut bw = StateWriter::new();
+            self.base.capture(&mut bw);
+            w.value("base", bw.finish());
+        } else {
+            w.value("base", Value::Null);
+        }
+        let dirty: Vec<usize> = (0..self.stores.len())
+            .filter(|&i| self.versions[i] != mark.stores[i])
+            .collect();
+        let n = dirty.len();
+        let mut slots: Vec<Value> = vec![Value::Null; n];
+        {
+            let cursor = AtomicUsize::new(0);
+            let shared = SharedSlice::new(&mut slots[..]);
+            let stores = &self.stores;
+            let dirty = &dirty[..];
+            let work = || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
+                }
+                let ordinal = dirty[k];
+                let mut sw = StateWriter::new();
+                sw.u64("ordinal", ordinal as u64);
+                let mut inner = StateWriter::new();
+                stores[ordinal].capture(&mut inner);
+                sw.value("store", inner.finish());
+                // SAFETY: `k` is a unique cursor claim over 0..n.
+                *unsafe { shared.get_mut(k) } = sw.finish();
+            };
+            exec.execute(&work);
+        }
+        w.nested_list("changed", slots);
+        Some(w.finish())
+    }
+
     /// Restores the complete synopsis state captured by
     /// [`SynopsisManager::capture_state`]: existing stores are discarded
     /// and rebuilt from the snapshot in its registration order; the
@@ -745,6 +867,9 @@ impl SynopsisManager {
         }
         self.stores.clear();
         self.index.clear();
+        self.versions.clear();
+        self.epoch += 1;
+        self.base_version = 0;
 
         r.restore_component("total", &mut self.total)?;
         r.restore_component("base", &mut self.base)?;
@@ -764,6 +889,7 @@ impl SynopsisManager {
                 )));
             }
             self.stores.push(store);
+            self.versions.push(0);
         }
         Ok(())
     }
@@ -1251,6 +1377,78 @@ mod tests {
         ));
         assert_eq!(mgr.live_cells(), (0, 0));
         assert_eq!(mgr.total_weight(0), 0.0);
+    }
+
+    #[test]
+    fn delta_capture_tracks_dirty_stores_only() {
+        let mut mgr = manager(2, 4);
+        let s0 = Subspace::from_dims([0]).unwrap();
+        let s1 = Subspace::from_dims([1]).unwrap();
+        mgr.add_subspace(s0);
+        mgr.add_subspace(s1);
+        let p = DataPoint::new(vec![0.5, 0.5]);
+        mgr.update(1, &p).unwrap();
+
+        let changed_ordinals = |delta: &Value| -> Vec<u64> {
+            let r = StateReader::new(delta).unwrap();
+            r.nested_list("changed")
+                .unwrap()
+                .iter()
+                .map(|sr| sr.u64("ordinal").unwrap())
+                .collect()
+        };
+
+        // Nothing mutated since the mark → no stores, Null base.
+        let mark = mgr.capture_mark();
+        let delta = mgr
+            .capture_state_delta_with(&SerialExecutor, &mark)
+            .unwrap();
+        assert_eq!(changed_ordinals(&delta), Vec::<u64>::new());
+        let r = StateReader::new(&delta).unwrap();
+        assert!(matches!(r.value("base").unwrap(), Value::Null));
+        assert_eq!(r.u64("stores_len").unwrap(), 2);
+
+        // Replaying into one store dirties exactly that ordinal.
+        mgr.replay_into(&s1, &[(1, p.clone())]).unwrap();
+        let delta = mgr
+            .capture_state_delta_with(&SerialExecutor, &mark)
+            .unwrap();
+        assert_eq!(changed_ordinals(&delta), vec![1]);
+        assert!(matches!(
+            StateReader::new(&delta).unwrap().value("base").unwrap(),
+            Value::Null
+        ));
+
+        // A processed point dirties the base and every store.
+        mgr.update(2, &p).unwrap();
+        let delta = mgr
+            .capture_state_delta_with(&SerialExecutor, &mark)
+            .unwrap();
+        assert_eq!(changed_ordinals(&delta), vec![0, 1]);
+        assert!(matches!(
+            StateReader::new(&delta).unwrap().value("base").unwrap(),
+            Value::Object(_)
+        ));
+
+        // A prune with nothing to evict dirties nothing.
+        let mark = mgr.capture_mark();
+        assert_eq!(mgr.prune(2, 0.0), 0);
+        let delta = mgr
+            .capture_state_delta_with(&SerialExecutor, &mark)
+            .unwrap();
+        assert_eq!(changed_ordinals(&delta), Vec::<u64>::new());
+
+        // Layout changes invalidate outstanding marks.
+        let mark = mgr.capture_mark();
+        mgr.add_subspace(Subspace::from_dims([0, 1]).unwrap());
+        assert!(mgr
+            .capture_state_delta_with(&SerialExecutor, &mark)
+            .is_none());
+        let mark = mgr.capture_mark();
+        mgr.remove_subspace(&s0);
+        assert!(mgr
+            .capture_state_delta_with(&SerialExecutor, &mark)
+            .is_none());
     }
 
     #[test]

@@ -162,18 +162,19 @@ impl DurableState for BaseStore {
         w.u128_col("keys", cells.iter().map(|(k, _)| k.0));
         w.f64_bits_col("d", cells.iter().map(|(_, c)| c.count()));
         w.u64_col("last", cells.iter().map(|(_, c)| c.last_tick()));
-        w.f64_bits_col(
-            "ls",
-            cells
-                .iter()
-                .flat_map(|(_, c)| c.moments().0.iter().copied()),
-        );
-        w.f64_bits_col(
-            "ss",
-            cells
-                .iter()
-                .flat_map(|(_, c)| c.moments().1.iter().copied()),
-        );
+        // Gathered with explicit capacity: a flat_map has no usable size
+        // hint, and these two columns are the largest allocations a
+        // capture makes — realloc-doubling them would dominate the time
+        // the detector lock is held.
+        let mut ls = Vec::with_capacity(cells.len() * dims);
+        let mut ss = Vec::with_capacity(cells.len() * dims);
+        for (_, c) in &cells {
+            let (l, s) = c.moments();
+            ls.extend_from_slice(l);
+            ss.extend_from_slice(s);
+        }
+        w.f64_bits_col("ls", ls);
+        w.f64_bits_col("ss", ss);
     }
 
     fn restore(&mut self, r: &StateReader<'_>) -> std::result::Result<(), PersistError> {

@@ -12,11 +12,13 @@
 //! cargo run --release --example sensor_field
 //! ```
 //!
-//! With `--resume`, the example instead exercises the **v2 warm-restart
-//! checkpoint**: it streams half the readings, writes a full checkpoint to
-//! JSON, restores a detector from that text, and diffs the second half's
-//! verdicts against an uninterrupted detector — they must be bit-identical
-//! (exit code 1 otherwise). This is the checkpoint/restore smoke CI runs:
+//! With `--resume`, the example instead exercises the **warm-restart
+//! checkpoint on the binary column carrier (v3)**: it streams half the
+//! readings, seals a full checkpoint into a checksummed binary container,
+//! restores a detector from those bytes alone, and diffs the second
+//! half's verdicts against an uninterrupted detector — they must be
+//! bit-identical (exit code 1 otherwise). This is the checkpoint/restore
+//! smoke CI runs:
 //! ```text
 //! cargo run --release --example sensor_field -- --resume
 //! ```
@@ -32,9 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     template_restart_demo()
 }
 
-/// `--resume`: checkpoint mid-stream, restart from the serialized text,
-/// and prove the resumed detector is bit-identical to one that never
-/// stopped.
+/// `--resume`: checkpoint mid-stream, restart from the sealed binary
+/// container, and prove the resumed detector is bit-identical to one
+/// that never stopped.
 fn resume_smoke() -> Result<(), Box<dyn std::error::Error>> {
     let mut generator = SensorGenerator::new(SensorConfig {
         sensors: 24,
@@ -56,15 +58,19 @@ fn resume_smoke() -> Result<(), Box<dyn std::error::Error>> {
         resumable.process(&r.point)?;
     }
 
-    // Persist → "crash" → restore from the serialized text alone.
-    let json = serde_json::to_string(&resumable.checkpoint())?;
+    // Persist → "crash" → restore from the sealed container alone. The
+    // JSON carrier is rendered too so the size comparison stays visible.
+    let checkpoint = resumable.checkpoint();
+    let bytes = checkpoint.to_bytes();
+    let json_len = serde_json::to_string(&checkpoint)?.len();
     println!(
-        "checkpoint at tick {}: {} bytes of JSON (v2, column-oriented)",
+        "checkpoint at tick {}: {} bytes on the binary column carrier \
+         (v3; {json_len} bytes as v2 JSON)",
         resumable.now(),
-        json.len()
+        bytes.len()
     );
     drop(resumable);
-    let mut resumed = spot::restore_from_json(&json)?;
+    let mut resumed = spot::restore_from_bytes(&bytes)?;
 
     let mut mismatches = 0usize;
     for r in &second {

@@ -1,15 +1,20 @@
 //! Service-plane walkthrough: the fleet behind the in-tree HTTP server.
 //!
-//! Starts a [`spot_serve::SpotServer`] over a [`SpotFleet`], registers
-//! tenants over the wire, pushes deliberately more points than the queues
-//! hold so the client has to ride out `429 Retry-After` backpressure,
-//! reads lock-free stats, forces a drain, and finishes with a graceful
-//! shutdown that leaves nothing queued.
+//! Starts a [`spot_serve::SpotServer`] over a [`SpotFleet`] with a durable
+//! checkpoint store attached, registers tenants over the wire, pushes
+//! deliberately more points than the queues hold so the client has to ride
+//! out `429 Retry-After` backpressure, takes a full binary checkpoint and
+//! then chains a delta onto it via `/admin/checkpoint?mode=delta`, reads
+//! lock-free stats, forces a drain, and finishes with a graceful shutdown
+//! that seals a final generation and leaves nothing queued. Afterwards the
+//! store's binary column containers (`.ckpt` full / `.dck` delta) are
+//! inspected directly and the newest chain is resolved back into a fleet
+//! checkpoint.
 //!
 //! Run with `cargo run --release --example serve_fleet`.
 
 use spot::Verdict;
-use spot_runtime::{FleetConfig, SpotFleet};
+use spot_runtime::{CheckpointStore, FleetConfig, SpotFleet};
 use spot_serve::{RetryPolicy, ServeClient, ServeConfig, SpotServer, VerdictSink};
 use spot_types::{DataPoint, TenantId};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,7 +47,13 @@ fn sensor_stream(n: usize, salt: u64) -> Vec<DataPoint> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A small fleet with deliberately tight queues, served over HTTP.
     //    The verdict sink is the server's outlier delivery path: it rides
-    //    the pump thread, off every detector lock.
+    //    the pump thread, off every detector lock. A checkpoint store in a
+    //    scratch directory arms `/admin/checkpoint` and the final durable
+    //    checkpoint on shutdown; every file it writes is a binary column
+    //    container.
+    let store_dir = std::env::temp_dir().join(format!("spot-serve-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = CheckpointStore::open(&store_dir, 4)?;
     let fleet = SpotFleet::new(FleetConfig {
         queue_capacity: 64,
         micro_batch: 32,
@@ -65,6 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..ServeConfig::default()
         })
         .verdict_sink(sink)
+        .store(store)
         .bind("127.0.0.1:0")?;
     let addr = server.local_addr();
     println!("serving the fleet on http://{addr}");
@@ -105,16 +117,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{id}: stats {}", client.tenant_stats(id)?);
     }
 
-    // 6. Graceful shutdown: stop accepting, finish in-flight requests,
-    //    drain every queue. Nothing admitted is lost.
+    // 6. Durable checkpoints over the wire: a full generation first, then
+    //    more traffic on one tenant, then `mode=delta` — the server chains
+    //    an incremental generation holding only the dirtied tenant onto
+    //    the full one. Both land as binary column containers.
+    println!("full checkpoint: {}", client.checkpoint()?.text());
+    client.ingest(&tenants[0], &sensor_stream(200, 777))?;
+    client.drain(&tenants[0])?;
+    println!("delta checkpoint: {}", client.checkpoint_delta()?.text());
+
+    // 7. Graceful shutdown: stop accepting, finish in-flight requests,
+    //    drain every queue, seal a final durable generation. Nothing
+    //    admitted is lost.
     let report = server.shutdown()?;
     println!(
-        "shutdown: drained {} straggler points, {} requests served, sink saw {} outliers",
+        "shutdown: drained {} straggler points, {} requests served, sink saw {} outliers, \
+         final checkpoint generation {:?}",
         report.drained,
         report.requests,
-        outliers.load(Ordering::Relaxed)
+        outliers.load(Ordering::Relaxed),
+        report.generation
     );
     assert!(report.undrained.is_empty());
     assert_eq!(fleet.stats().queued, 0);
+
+    // 8. Look at what the store actually holds: full `.ckpt` anchors and
+    //    `.dck` delta extensions, then resolve the newest chain back into
+    //    a complete fleet checkpoint exactly as cold recovery would.
+    let store = CheckpointStore::open(&store_dir, 4)?;
+    for g in store.generations()? {
+        let (kind, ext) = if store.is_delta(g)? {
+            ("delta", "dck")
+        } else {
+            ("full", "ckpt")
+        };
+        let bytes = std::fs::metadata(store_dir.join(format!("fleet-{g:08}.{ext}")))?.len();
+        println!("  generation {g}: {kind}, {bytes} bytes (binary column container)");
+    }
+    let scan = store.load_latest()?;
+    let (generation, resolved) = scan.recovered.expect("newest chain must resolve");
+    println!(
+        "resolved generation {generation}: {} tenants recovered, {} rejected generations",
+        resolved.len(),
+        scan.rejected.len()
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
     Ok(())
 }
