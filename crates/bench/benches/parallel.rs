@@ -94,6 +94,22 @@ struct EvalPoint {
     speedup_vs_serial: f64,
 }
 
+/// One commit-shard arm: the same stream through `process_batch` with
+/// the spot's executor service pinned to `workers` threads, so the
+/// order-free half of each run's commit (verdict assembly, reservoir
+/// decisions, outlier candidacy) runs as chunked claim units while the
+/// Page–Hinkley fold stays sequential.
+#[derive(Serialize)]
+struct CommitShardPoint {
+    workers: usize,
+    pts_per_sec: f64,
+    sweep_nanos: u64,
+    commit_nanos: u64,
+    /// Stats + footprint matched the serial eval arm bit-for-bit.
+    matches_serial: bool,
+    speedup_vs_serial: f64,
+}
+
 #[derive(Serialize)]
 struct ParallelBaseline {
     seed: u64,
@@ -116,6 +132,9 @@ struct ParallelBaseline {
     /// non-serial arms measure dispatch overhead (target: parity).
     eval_chunk: usize,
     eval: Vec<EvalPoint>,
+    /// Commit-shard arms: executor-sharded order-free commit units vs the
+    /// serial fold, with bit-identity to the serial arm asserted inline.
+    commit_shard: Vec<CommitShardPoint>,
     /// Synopsis-level batch path (per-run decay table + closed-form
     /// total, no per-point powi) vs the per-point path, ϕ=24 / 64 stores.
     synopsis_per_point_pts_per_sec: f64,
@@ -169,6 +188,7 @@ fn main() {
     const EVAL_CHUNK: usize = 2048; // > BATCH_RUN → run overlap engages
     let mut eval = Vec::new();
     let mut serial_rate = 0.0;
+    let mut serial_reference = None;
     for helpers in [0usize, 1, 2] {
         let mut spot = learned_spot();
         // Persistent workers (one channel send + latch wait per dispatch),
@@ -185,6 +205,7 @@ fn main() {
         let rate = stream.len() as f64 / t0.elapsed().as_secs_f64();
         if helpers == 0 {
             serial_rate = rate;
+            serial_reference = Some((*spot.stats(), spot.footprint()));
         }
         let stats = *spot.stats();
         println!(
@@ -202,6 +223,36 @@ fn main() {
             commit_nanos: stats.commit_nanos,
             batch_runs: stats.batch_runs,
             overlapped_runs: stats.overlapped_runs,
+            speedup_vs_serial: rate / serial_rate,
+        });
+    }
+
+    // --- Commit-shard arms: executor-sharded commits vs the serial fold. ---
+    let (serial_stats, serial_fp) = serial_reference.expect("serial eval arm ran");
+    let mut commit_shard = Vec::new();
+    for workers in [1usize, 2] {
+        let mut spot = learned_spot();
+        spot.set_parallel_workers(Some(workers));
+        let t0 = Instant::now();
+        for chunk in stream.chunks(EVAL_CHUNK) {
+            spot.process_batch(chunk).unwrap();
+        }
+        let rate = stream.len() as f64 / t0.elapsed().as_secs_f64();
+        let stats = *spot.stats();
+        let matches_serial = stats == serial_stats && spot.footprint() == serial_fp;
+        assert!(matches_serial, "commit-shard arm diverged from serial");
+        println!(
+            "commit-shard workers={workers}  {rate:>10.0} pts/s  ({:.2}x vs serial)  sweep {:>6.1}ms  commit {:>6.1}ms  bit-identical {matches_serial}",
+            rate / serial_rate,
+            stats.sweep_nanos as f64 / 1e6,
+            stats.commit_nanos as f64 / 1e6,
+        );
+        commit_shard.push(CommitShardPoint {
+            workers,
+            pts_per_sec: rate,
+            sweep_nanos: stats.sweep_nanos,
+            commit_nanos: stats.commit_nanos,
+            matches_serial,
             speedup_vs_serial: rate / serial_rate,
         });
     }
@@ -311,6 +362,7 @@ fn main() {
         speedup_at_4_threads: speedup_at_4,
         eval_chunk: EVAL_CHUNK,
         eval,
+        commit_shard,
         synopsis_per_point_pts_per_sec: per_point_rate,
         synopsis_batch_pts_per_sec: batch_rate,
         batch_decay_speedup: batch_rate / per_point_rate,

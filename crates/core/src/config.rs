@@ -139,6 +139,60 @@ impl Default for DriftConfig {
     }
 }
 
+/// Dispatch-granularity tuning for the batch hot path. Every knob is a
+/// pure scheduling decision: results are bit-identical for every valid
+/// setting (the claim protocol guarantees one writer per unit regardless
+/// of who claims it), so these trade dispatch overhead against
+/// parallelism without affecting verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct TuningConfig {
+    /// Minimum monitored stores before a batch dispatch engages the
+    /// executor service's worker pool under machine-sized defaults (a
+    /// forced worker budget overrides this).
+    pub pool_min_stores: usize,
+    /// Minimum run points before a batch dispatch engages the pool.
+    pub pool_min_points: usize,
+    /// Points claimed per cursor hit in the parallel verdict sweep.
+    pub sweep_chunk: usize,
+    /// Points claimed per cursor hit in the sharded commit assembly.
+    pub commit_chunk: usize,
+}
+
+impl Default for TuningConfig {
+    fn default() -> Self {
+        TuningConfig {
+            pool_min_stores: 8,
+            pool_min_points: 8,
+            sweep_chunk: 32,
+            commit_chunk: 32,
+        }
+    }
+}
+
+// Hand-written so configurations captured before the tuning block existed
+// (and payloads that simply omit it) restore to the defaults instead of
+// failing — the in-tree serde derive has no missing-field fallback.
+impl serde::Deserialize for TuningConfig {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        if matches!(v, serde::Value::Null) {
+            return Ok(TuningConfig::default());
+        }
+        let d = TuningConfig::default();
+        let field = |name: &str, fallback: usize| match v.get_field(name) {
+            Some(fv) => {
+                serde::Deserialize::from_value(fv).map_err(|e: serde::DeError| e.in_field(name))
+            }
+            None => Ok(fallback),
+        };
+        Ok(TuningConfig {
+            pool_min_stores: field("pool_min_stores", d.pool_min_stores)?,
+            pool_min_points: field("pool_min_points", d.pool_min_points)?,
+            sweep_chunk: field("sweep_chunk", d.sweep_chunk)?,
+            commit_chunk: field("commit_chunk", d.commit_chunk)?,
+        })
+    }
+}
+
 /// Full SPOT configuration.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SpotConfig {
@@ -170,6 +224,8 @@ pub struct SpotConfig {
     /// Seed for every stochastic component (detection is deterministic for
     /// a fixed seed and stream).
     pub seed: u64,
+    /// Batch-dispatch tuning (granularities and pool-engagement floors).
+    pub tuning: TuningConfig,
 }
 
 impl SpotConfig {
@@ -192,6 +248,7 @@ impl SpotConfig {
             prune_every: 2000,
             prune_floor: 1e-4,
             seed: 42,
+            tuning: TuningConfig::default(),
         }
     }
 
@@ -251,6 +308,16 @@ impl SpotConfig {
         if self.evolution.reservoir == 0 {
             return Err(SpotError::InvalidConfig(
                 "reservoir must be positive".into(),
+            ));
+        }
+        if self.tuning.sweep_chunk == 0 || self.tuning.commit_chunk == 0 {
+            return Err(SpotError::InvalidConfig(
+                "sweep/commit chunk granularity must be positive".into(),
+            ));
+        }
+        if self.tuning.pool_min_stores == 0 || self.tuning.pool_min_points == 0 {
+            return Err(SpotError::InvalidConfig(
+                "pool-engagement floors must be positive (1 engages always)".into(),
             ));
         }
         Ok(())
@@ -357,6 +424,13 @@ impl SpotBuilder {
         self
     }
 
+    /// Batch-dispatch tuning (validated; zero granularities or
+    /// pool-engagement floors are rejected at build).
+    pub fn tuning(mut self, tuning: TuningConfig) -> Self {
+        self.config.tuning = tuning;
+        self
+    }
+
     /// Finishes the configuration (validated).
     pub fn build_config(self) -> Result<SpotConfig> {
         self.config.validate()?;
@@ -414,6 +488,59 @@ mod tests {
     }
 
     #[test]
+    fn tuning_misuse_guards_reject_zero_knobs() {
+        // Zero chunk granularities or pool-engagement floors would stall
+        // the sweep loop / make the engagement test vacuous; each knob is
+        // guarded independently.
+        let base = || SpotConfig::new(DomainBounds::unit(8));
+        for bad in [
+            TuningConfig {
+                sweep_chunk: 0,
+                ..TuningConfig::default()
+            },
+            TuningConfig {
+                commit_chunk: 0,
+                ..TuningConfig::default()
+            },
+            TuningConfig {
+                pool_min_stores: 0,
+                ..TuningConfig::default()
+            },
+            TuningConfig {
+                pool_min_points: 0,
+                ..TuningConfig::default()
+            },
+        ] {
+            let mut c = base();
+            c.tuning = bad;
+            assert!(c.validate().is_err(), "{bad:?} must be rejected");
+        }
+        // Floor of 1 is the documented "always engage" setting, not misuse.
+        let mut c = base();
+        c.tuning = TuningConfig {
+            pool_min_stores: 1,
+            pool_min_points: 1,
+            sweep_chunk: 1,
+            commit_chunk: 1,
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn tuning_restores_to_defaults_from_pre_tuning_checkpoints() {
+        // A checkpoint written before the tuning block existed has no
+        // "tuning" field: deserialization must fall back to defaults, and
+        // partial objects fill in the missing knobs.
+        let d: TuningConfig = serde::Deserialize::from_value(&serde::Value::Null).unwrap();
+        assert_eq!(d, TuningConfig::default());
+        let partial =
+            serde::Value::Object(vec![("sweep_chunk".to_string(), serde::Value::U64(64))]);
+        let d: TuningConfig = serde::Deserialize::from_value(&partial).unwrap();
+        assert_eq!(d.sweep_chunk, 64);
+        assert_eq!(d.commit_chunk, TuningConfig::default().commit_chunk);
+    }
+
+    #[test]
     fn builder_round_trip() {
         let cfg = SpotBuilder::new(DomainBounds::unit(6))
             .granularity(8)
@@ -424,6 +551,12 @@ mod tests {
             .os_capacity(7)
             .seed(9)
             .pruning(500, 1e-3)
+            .tuning(TuningConfig {
+                pool_min_stores: 4,
+                pool_min_points: 16,
+                sweep_chunk: 48,
+                commit_chunk: 24,
+            })
             .build_config()
             .unwrap();
         assert_eq!(cfg.granularity, 8);
@@ -434,5 +567,9 @@ mod tests {
         assert_eq!(cfg.os_capacity, 7);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.prune_every, 500);
+        assert_eq!(cfg.tuning.pool_min_stores, 4);
+        assert_eq!(cfg.tuning.pool_min_points, 16);
+        assert_eq!(cfg.tuning.sweep_chunk, 48);
+        assert_eq!(cfg.tuning.commit_chunk, 24);
     }
 }

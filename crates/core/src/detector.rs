@@ -145,7 +145,8 @@ impl Spot {
         config.validate()?;
         let phi = config.phi();
         let grid = Grid::new(config.bounds.clone(), config.granularity)?;
-        let manager = SynopsisManager::with_executor(grid, config.time_model, exec);
+        let mut manager = SynopsisManager::with_executor(grid, config.time_model, exec);
+        manager.set_pool_engagement(config.tuning.pool_min_stores, config.tuning.pool_min_points);
         let sst = Sst::new(
             phi,
             config.fs_max_dimension,
@@ -544,7 +545,7 @@ impl Spot {
             self.stats.sweep_nanos += sweep_t0.elapsed().as_nanos() as u64;
 
             if rest.is_empty() {
-                self.commit_run(run, plans, verdicts);
+                self.commit_run(run, plans, verdicts, exec);
                 return Ok(());
             }
             let next_start = start + len as u64;
@@ -553,17 +554,16 @@ impl Spot {
 
             if self.commit_is_manager_pure(start, len as u64, plans) {
                 self.stats.overlapped_runs += 1;
-                // For the rider's invariant check: a drift alarm may fire
-                // during an overlapped commit only when CS is empty (where
-                // self-evolution is a no-op); otherwise the gate's PH
-                // simulation proved no alarm fires at all.
-                let cs_was_empty = self.sst.sizes().1 == 0;
                 // Overlap: this run's commit becomes a claim-once rider on
                 // the next run's shard dispatch. Commit touches only
                 // detector state, ingestion only synopsis state, so the
                 // interleaving is unobservable (bit-identical to
                 // commit-then-ingest, which is exactly what a serial
-                // executor degrades to).
+                // executor degrades to). The gate excluded every
+                // maintenance effect — no periodic/prune tick touches the
+                // run, and a drift alarm is possible only with CS empty,
+                // where self-evolution is a no-op — so the batched,
+                // effect-free commit applies verbatim.
                 let config = &self.config;
                 let stats = &mut self.stats;
                 let clock = &mut self.clock;
@@ -582,21 +582,11 @@ impl Spot {
                         outlier_buffer,
                         drift,
                     };
-                    for (i, p) in run_points.iter().enumerate() {
-                        let now = clock.tick();
-                        let (verdict, effects) = ctx.commit_one(now, p, &mut run_plans[i]);
-                        // The overlap gate excludes every manager-mutating
-                        // effect: maintenance ticks sit outside the run,
-                        // and a drift-triggered evolution either cannot
-                        // fire (the gate simulated this run's PH updates)
-                        // or is a no-op (CS empty).
-                        debug_assert!(!effects.periodic && !effects.prune);
-                        debug_assert!(
-                            !effects.drift_evolve || cs_was_empty,
-                            "gate let an SST-rewriting drift evolution into an overlapped commit"
-                        );
-                        out.push(verdict);
-                    }
+                    // The rider stays serial inside its claim unit: it is
+                    // already one participant of the shard dispatch, and
+                    // nesting another dispatch would deadlock the pool.
+                    let chunk = config.tuning.commit_chunk;
+                    ctx.commit_run_batched(clock, run_points, run_plans, out, None, chunk);
                     ctx.stats.commit_nanos += t0.elapsed().as_nanos() as u64;
                 });
                 self.manager.update_and_query_batch_prelude(
@@ -608,7 +598,7 @@ impl Spot {
                     &commit,
                 )?;
             } else {
-                self.commit_run(run, plans, verdicts);
+                self.commit_run(run, plans, verdicts, exec);
                 self.manager.update_and_query_batch_with(
                     next_start,
                     next_run,
@@ -624,21 +614,82 @@ impl Spot {
         }
     }
 
-    /// Sequential commit of a swept run, maintenance effects applied
-    /// inline (the non-overlapped path and every final run).
+    /// Commit of a swept run, maintenance effects applied inline (the
+    /// non-overlapped path and every final run).
+    ///
+    /// Two shapes, bit-identical by construction:
+    ///
+    /// * **Batched** (the overwhelmingly common case): the order-free part
+    ///   of every point's commit — verdict assembly out of the swept plans
+    ///   — fans across `exec` in claim-chunks, then one sequential fold
+    ///   applies the Page–Hinkley observations in point order, merges the
+    ///   counters, replays the outlier retentions, offers the whole run to
+    ///   the reservoir in a single batched pass
+    ///   ([`Reservoir::offer_run`]), and advances the clock by arithmetic.
+    ///   Maintenance effects run after the fold — [`Spot::run_len`]
+    ///   guarantees a periodic/prune tick can only sit on the run's *last*
+    ///   point, exactly where the per-point path would apply it.
+    /// * **Exact fallback**: when a drift alarm inside the run would
+    ///   rewrite the SST mid-run (alarm + evolution enabled + CS
+    ///   non-empty, decided up front by replaying the plans' novelty
+    ///   signals on a scratch Page–Hinkley), the commit degrades to the
+    ///   original per-point loop, because a mid-run self-evolution reads
+    ///   the reservoir and outlier buffer *as of that point*.
     fn commit_run(
         &mut self,
         run: &[DataPoint],
         plans: &mut [EvalPlan],
         verdicts: &mut Vec<Verdict>,
+        exec: &dyn StoreExecutor,
     ) {
         let t0 = Instant::now();
-        for (i, p) in run.iter().enumerate() {
-            let now = self.clock.tick();
-            let verdict = self.commit_point(now, p, &mut plans[i]);
-            verdicts.push(verdict);
+        if self.run_commit_needs_exact(plans) {
+            for (i, p) in run.iter().enumerate() {
+                let now = self.clock.tick();
+                let verdict = self.commit_point(now, p, &mut plans[i]);
+                verdicts.push(verdict);
+            }
+            self.stats.commit_nanos += t0.elapsed().as_nanos() as u64;
+            return;
+        }
+        let end = self.clock.now() + run.len() as u64;
+        let chunk = self.config.tuning.commit_chunk;
+        let mut ctx = CommitCtx {
+            config: &self.config,
+            stats: &mut self.stats,
+            reservoir: &mut self.reservoir,
+            outlier_buffer: &mut self.outlier_buffer,
+            drift: &mut self.drift,
+        };
+        ctx.commit_run_batched(&mut self.clock, run, plans, verdicts, Some(exec), chunk);
+        // Maintenance on the run's final tick, in the order the per-point
+        // path applies it. A drift alarm inside a batched run implies CS
+        // is empty or evolution is off (the exact-fallback gate), so the
+        // drift-evolve effect is always a no-op here and is skipped.
+        if self.config.evolution.enabled && end.is_multiple_of(self.config.evolution.period) {
+            self.self_evolve(end);
+            self.grow_os(end);
+        }
+        if self.config.prune_every > 0 && end.is_multiple_of(self.config.prune_every) {
+            self.stats.cells_pruned += self.manager.prune(end, self.config.prune_floor) as u64;
         }
         self.stats.commit_nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Whether committing this swept run must take the exact per-point
+    /// path: a drift alarm will fire inside it *and* the alarm triggers a
+    /// CS self-evolution that reads mid-run reservoir/outlier state.
+    /// Decided before the commit runs — the swept plans fully determine
+    /// every Page–Hinkley update (no RNG), so a replay on a scratch copy
+    /// is exact.
+    fn run_commit_needs_exact(&self, plans: &[EvalPlan]) -> bool {
+        if !self.config.drift.enabled || !self.config.evolution.enabled || self.sst.sizes().1 == 0 {
+            return false;
+        }
+        let mut ph = self.drift.clone();
+        plans.iter().any(|plan| {
+            plan.monitored > 0 && ph.observe(plan.monitored_fresh as f64 / plan.monitored as f64)
+        })
     }
 
     /// Whether committing the run `[start, start + len)` is guaranteed not
@@ -1132,6 +1183,102 @@ impl CommitCtx<'_> {
         };
         (verdict, effects)
     }
+
+    /// Commits a whole swept run in two passes instead of a per-point
+    /// loop, bit-identical to [`CommitCtx::commit_one`] over the run as
+    /// long as no mid-run maintenance effect fires (the callers' gates
+    /// guarantee that; a drift alarm is fine — it only flags the verdict).
+    ///
+    /// Pass 1 is **order-free**: each verdict is a pure function of its
+    /// own plan and tick, so assembly fans across `exec` in `chunk`-sized
+    /// claim units (or runs inline when the run is narrow or `exec` is
+    /// `None`). Pass 2 is the **sequential fold**: Page–Hinkley
+    /// observations in point order, counter merges, outlier retention in
+    /// point order, one batched reservoir pass, one clock advance.
+    fn commit_run_batched(
+        &mut self,
+        clock: &mut LogicalClock,
+        run: &[DataPoint],
+        plans: &mut [EvalPlan],
+        verdicts: &mut Vec<Verdict>,
+        exec: Option<&dyn StoreExecutor>,
+        chunk: usize,
+    ) {
+        let len = run.len();
+        let start = clock.now() + 1;
+
+        // Pass 1: order-free verdict assembly.
+        let base = verdicts.len();
+        verdicts.resize_with(base + len, || Verdict {
+            tick: 0,
+            outlier: false,
+            score: 0.0,
+            findings: Vec::new(),
+            drift: false,
+        });
+        let out = &mut verdicts[base..];
+        let assemble = |i: usize, plan: &mut EvalPlan| Verdict {
+            tick: start + i as u64,
+            outlier: plan.outlier,
+            score: plan.score,
+            findings: std::mem::take(&mut plan.findings),
+            drift: false,
+        };
+        match exec {
+            Some(e) if len > chunk => {
+                let chunks = len.div_ceil(chunk);
+                let cursor = AtomicUsize::new(0);
+                let shared_plans = SharedSlice::new(plans);
+                let shared_out = SharedSlice::new(out);
+                let work = || loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= chunks {
+                        break;
+                    }
+                    let lo = k * chunk;
+                    let hi = (lo + chunk).min(len);
+                    for i in lo..hi {
+                        // SAFETY: `i` belongs to chunk `k`, claimed
+                        // exactly once; plans and out are disjoint slices.
+                        let plan = unsafe { shared_plans.get_mut(i) };
+                        let slot = unsafe { shared_out.get_mut(i) };
+                        *slot = assemble(i, plan);
+                    }
+                };
+                e.execute(&work);
+            }
+            _ => {
+                for (i, (slot, plan)) in out.iter_mut().zip(plans.iter_mut()).enumerate() {
+                    *slot = assemble(i, plan);
+                }
+            }
+        }
+
+        // Pass 2: the sequential fold. Page–Hinkley first — its updates
+        // are the only order-sensitive computation in a commit.
+        if self.config.drift.enabled {
+            for (slot, plan) in out.iter_mut().zip(plans.iter()) {
+                if plan.monitored > 0 {
+                    let novel = plan.monitored_fresh as f64 / plan.monitored as f64;
+                    if self.drift.observe(novel) {
+                        slot.drift = true;
+                        self.stats.drift_events += 1;
+                    }
+                }
+            }
+        }
+        self.stats.processed += len as u64;
+        let cap = self.config.evolution.outlier_buffer;
+        for (i, (slot, point)) in out.iter().zip(run).enumerate() {
+            if slot.outlier {
+                self.stats.outliers += 1;
+                push_outlier(cap, self.outlier_buffer, start + i as u64, point);
+            }
+        }
+        self.reservoir
+            .offer_run(self.config.evolution.reservoir, start, run);
+        clock.advance(len as u64);
+    }
 }
 
 /// Retains a detected outlier for OS growth — the clone happens only once
@@ -1195,15 +1342,13 @@ fn sweep_point(config: &SpotConfig, entries: &[SubspacePcs], plan: &mut EvalPlan
     };
 }
 
-/// Points claimed per cursor hit in the parallel verdict sweep — small
-/// enough that a 256-point run splits across participants, large enough
-/// that the cursor is not contended.
-const SWEEP_CHUNK: usize = 32;
-
 /// Sweeps a whole run into `plans` (resized/cleared to `sinks.len()`),
 /// fanning point chunks across the executor's participants when the run
 /// is wide enough to pay for dispatch. Sweeps are pure per point, so any
-/// claim interleaving produces identical plans.
+/// claim interleaving produces identical plans. The claim granularity is
+/// `config.tuning.sweep_chunk` points per cursor hit — small enough that
+/// a 256-point run splits across participants, large enough that the
+/// cursor is not contended.
 fn sweep_run(
     config: &SpotConfig,
     exec: &dyn StoreExecutor,
@@ -1211,15 +1356,16 @@ fn sweep_run(
     plans: &mut Vec<EvalPlan>,
 ) {
     let n = sinks.len();
+    let chunk = config.tuning.sweep_chunk;
     plans.truncate(n);
     plans.resize_with(n, EvalPlan::default);
-    if n <= SWEEP_CHUNK {
+    if n <= chunk {
         for (plan, entries) in plans.iter_mut().zip(sinks) {
             sweep_point(config, entries, plan);
         }
         return;
     }
-    let chunks = n.div_ceil(SWEEP_CHUNK);
+    let chunks = n.div_ceil(chunk);
     let cursor = AtomicUsize::new(0);
     let shared = SharedSlice::new(&mut plans[..]);
     let work = || loop {
@@ -1227,8 +1373,8 @@ fn sweep_run(
         if k >= chunks {
             break;
         }
-        let lo = k * SWEEP_CHUNK;
-        let hi = (lo + SWEEP_CHUNK).min(n);
+        let lo = k * chunk;
+        let hi = (lo + chunk).min(n);
         for (i, entries) in sinks[lo..hi].iter().enumerate() {
             // SAFETY: `lo + i` belongs to chunk `k`, claimed exactly once.
             let plan = unsafe { shared.get_mut(lo + i) };

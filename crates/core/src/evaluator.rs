@@ -24,14 +24,6 @@ use std::borrow::Cow;
 /// zero-variance micro-cluster cannot blow up a mean objective.
 pub const IRSD_CAP: f64 = 10.0;
 
-/// Per-cell accumulator used during a subspace evaluation.
-#[derive(Debug, Clone)]
-struct CellAgg {
-    count: f64,
-    ls: Vec<f64>,
-    ss: Vec<f64>,
-}
-
 /// A quantized training batch that can score any subspace.
 ///
 /// The batch is held as a [`Cow`]: the offline learning stage borrows the
@@ -90,38 +82,53 @@ impl<'a> TrainingEvaluator<'a> {
     /// normalized as `rd/(1+rd)` into `[0,1)`; IRSD is clamped at
     /// [`IRSD_CAP`] and scaled into `[0,1]`.
     pub fn sparsity(&self, s: Subspace, targets: Option<&[usize]>) -> (f64, f64) {
-        let mut cells: FxHashMap<CellKey, CellAgg> = FxHashMap::default();
+        // Group the batch into projected cells, SoA-style: one flat
+        // moments buffer (LS then SS per cell) instead of two Vecs per
+        // cell, and the slot of every point's own cell memoized during
+        // the grouping pass so scoring needs no second key projection or
+        // hash lookup. This runs on the online hot path (CS
+        // self-evolution scores ~2x cs_capacity candidates per
+        // maintenance tick), and the per-cell accumulation order is
+        // unchanged, so every float result is bit-identical to the naive
+        // grouping.
         let card = s.cardinality();
+        let stride = 2 * card;
+        let mut index: FxHashMap<CellKey, u32> = FxHashMap::default();
+        let mut counts: Vec<f64> = Vec::new();
+        let mut moments: Vec<f64> = Vec::new();
+        let mut slot_of: Vec<u32> = Vec::with_capacity(self.points.len());
         for (p, base) in self.points.iter().zip(self.coords.iter()) {
             let key = self.grid.project_key(base, &s);
-            let agg = cells.entry(key).or_insert_with(|| CellAgg {
-                count: 0.0,
-                ls: vec![0.0; card],
-                ss: vec![0.0; card],
+            let slot = *index.entry(key).or_insert_with(|| {
+                counts.push(0.0);
+                moments.extend(std::iter::repeat_n(0.0, stride));
+                (counts.len() - 1) as u32
             });
-            agg.count += 1.0;
+            slot_of.push(slot);
+            let slot = slot as usize;
+            counts[slot] += 1.0;
+            let (ls, ss) = moments[slot * stride..(slot + 1) * stride].split_at_mut(card);
             for (i, d) in s.dims().enumerate() {
                 let v = p.value(d);
-                agg.ls[i] += v;
-                agg.ss[i] += v * v;
+                ls[i] += v;
+                ss[i] += v * v;
             }
         }
         let n = self.points.len() as f64;
         let cell_count = self.grid.cell_count_in(&s);
         let uniform_sigma = self.grid.uniform_sigma_in(&s);
         let score_one = |idx: usize| -> (f64, f64) {
-            let key = self.grid.project_key(&self.coords[idx], &s);
-            let agg = cells
-                .get(&key)
-                .expect("every point's own cell is populated");
-            let rd = agg.count * cell_count / n;
-            let irsd = if agg.count < 2.0 {
+            let slot = slot_of[idx] as usize;
+            let count = counts[slot];
+            let rd = count * cell_count / n;
+            let irsd = if count < 2.0 {
                 0.0
             } else {
+                let (ls, ss) = moments[slot * stride..(slot + 1) * stride].split_at(card);
                 let mut var = 0.0;
                 for i in 0..card {
-                    let m = agg.ls[i] / agg.count;
-                    var += (agg.ss[i] / agg.count - m * m).max(0.0);
+                    let m = ls[i] / count;
+                    var += (ss[i] / count - m * m).max(0.0);
                 }
                 let sigma = var.sqrt();
                 if sigma > f64::EPSILON {

@@ -62,7 +62,7 @@ pub mod verdict;
 
 pub use concurrent::SharedSpot;
 pub use config::{
-    DriftConfig, EvolutionConfig, LearningConfig, SpotBuilder, SpotConfig, Thresholds,
+    DriftConfig, EvolutionConfig, LearningConfig, SpotBuilder, SpotConfig, Thresholds, TuningConfig,
 };
 pub use detector::{CaptureMark, DeltaCapture, Spot, SynopsisFootprint};
 pub use drift::PageHinkley;

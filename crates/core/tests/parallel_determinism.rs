@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 use spot::synopsis::{SerialExecutor, StoreExecutor};
 use spot::types::{DataPoint, DomainBounds};
-use spot::{DriftConfig, EvolutionConfig, SharedSpot, Spot, SpotBuilder, Verdict};
+use spot::{DriftConfig, EvolutionConfig, SharedSpot, Spot, SpotBuilder, TuningConfig, Verdict};
 
 /// Shard executor fanning `work` across N scoped threads plus the caller —
 /// the worst-case interleaving for the claim protocol.
@@ -201,6 +201,103 @@ proptest! {
             chunk,
             helpers,
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn tuned_chunking_and_sharded_commits_stay_bit_identical(
+        seed in 0u64..500,
+        sweep_chunk in 1usize..80,
+        commit_chunk in 1usize..80,
+        pool_min in 1usize..20,
+        evo_period in 25u64..80,
+        prune_every in 20u64..60,
+        chunk in 16usize..120,
+        helpers in 0usize..4,
+        salt in 0u64..50,
+        drift_on in proptest::bool::ANY,
+    ) {
+        // Tuning is pure scheduling: arbitrary sweep/commit granularities
+        // and pool-engagement floors, pushed through shard executors of
+        // 0-4 helpers (0 degrades to the caller alone), must reproduce
+        // the default-tuning sequential reference bit-for-bit — with and
+        // without the drift detector folding Page-Hinkley observations
+        // into the sharded commit.
+        let dims = 4;
+        let n = 160usize
+            .max(evo_period as usize + 10)
+            .max(prune_every as usize + 10);
+        let pts = stream(n, dims, salt);
+        let probe = pts[pts.len() / 2].clone();
+        let tuned = TuningConfig {
+            pool_min_stores: pool_min,
+            pool_min_points: pool_min,
+            sweep_chunk,
+            commit_chunk,
+        };
+        let make = |tuning: TuningConfig| {
+            let mut b = SpotBuilder::new(DomainBounds::unit(dims))
+                .seed(seed)
+                .fs_max_dimension(2)
+                .evolution(EvolutionConfig {
+                    period: evo_period,
+                    ..Default::default()
+                })
+                .pruning(prune_every, 1e-4)
+                .tuning(tuning);
+            if drift_on {
+                b = b.drift(DriftConfig {
+                    enabled: true,
+                    delta: 0.01,
+                    lambda: 0.4,
+                    min_points: 40,
+                    novelty_floor: 5.0,
+                });
+            }
+            b.build().unwrap()
+        };
+        let (want, want_probe, reference) =
+            sequential_reference(make(TuningConfig::default()), &pts, &probe);
+
+        // Tuned granularities through an explicit fan-out shard executor.
+        let exec = FanOut(helpers);
+        let mut spot = make(tuned);
+        let mut got = Vec::new();
+        for c in pts.chunks(chunk) {
+            got.extend(spot.process_batch_with(c, &exec).unwrap());
+        }
+        assert_same_verdicts(&want, &got, "tuned fan-out");
+        let got_probe = spot.process(&probe).unwrap();
+        assert_same_verdicts(
+            std::slice::from_ref(&want_probe),
+            std::slice::from_ref(&got_probe),
+            "tuned fan-out",
+        );
+        prop_assert_eq!(spot.stats(), reference.stats());
+        prop_assert_eq!(spot.footprint(), reference.footprint());
+
+        // And through the persistent pool with the tuned engagement
+        // floors actually deciding when the pool engages.
+        for workers in [1usize, 3] {
+            let mut spot = make(tuned);
+            spot.set_parallel_workers(Some(workers));
+            let mut got = Vec::new();
+            for c in pts.chunks(chunk) {
+                got.extend(spot.process_batch(c).unwrap());
+            }
+            assert_same_verdicts(&want, &got, &format!("tuned pool workers={workers}"));
+            let got_probe = spot.process(&probe).unwrap();
+            assert_same_verdicts(
+                std::slice::from_ref(&want_probe),
+                std::slice::from_ref(&got_probe),
+                &format!("tuned pool workers={workers}"),
+            );
+            prop_assert_eq!(spot.stats(), reference.stats());
+            prop_assert_eq!(spot.footprint(), reference.footprint());
+        }
     }
 }
 

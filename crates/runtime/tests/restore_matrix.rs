@@ -403,3 +403,44 @@ fn recovery_replays_wal_tail_on_top_of_a_delta_chain() {
     assert_same_verdicts(&want, &got, "delta-recover");
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn gorilla_columns_survive_the_container_corruption_matrix() {
+    // Decayed-count columns of a warm synopsis are exactly the
+    // slow-moving float bit patterns the GORILLA column mode targets.
+    // Build a container around such a column and run it through the same
+    // truncation / bit-flip matrix the fleet checkpoints get: exact
+    // round-trip when intact, a typed error for every damaged variant.
+    use serde::Value;
+    use spot_types::persist::binary;
+
+    let col: Vec<u64> = (0..300)
+        .map(|i| (250.0 + (i % 17) as f64 * 0.5).to_bits())
+        .collect();
+    let tree = Value::Object(vec![("d".to_string(), Value::U64Col(col.clone()))]);
+    let frame = binary::encode_container(&tree);
+    // The XOR-prev lanes must actually engage (clearly under the 8-byte
+    // RAW rate) and round-trip bit-exactly through the container.
+    assert!(
+        frame.len() < col.len() * 8,
+        "gorilla container took {} bytes for {} raw column bytes",
+        frame.len(),
+        col.len() * 8
+    );
+    assert_eq!(binary::read_container(&frame).unwrap(), tree);
+
+    for cut in [0, 3, 8, frame.len() / 3, frame.len() / 2, frame.len() - 1] {
+        assert!(
+            binary::read_container(&frame[..cut]).is_err(),
+            "cut {cut}: truncated gorilla container must be rejected"
+        );
+    }
+    for offset in (0..frame.len()).step_by(5) {
+        let mut bad = frame.clone();
+        bad[offset] ^= 0x08;
+        assert!(
+            binary::read_container(&bad).is_err(),
+            "flip at {offset} slipped through a gorilla container"
+        );
+    }
+}

@@ -17,8 +17,8 @@ pub mod wal;
 pub mod window;
 
 pub use clock::LogicalClock;
-pub use sample::{CounterRng, Reservoir};
+pub use sample::{CounterRng, Reservoir, RunDraws};
 pub use source::{ChannelSource, FnSource, PointStream, VecSource};
-pub use time::{DecayTable, DecayedCounter, TimeModel};
+pub use time::{DecayTable, DecayedCounter, TimeModel, WeightCache};
 pub use wal::{WalScan, WalSource};
 pub use window::ExactSlidingWindow;

@@ -176,6 +176,82 @@ impl DecayTable {
     }
 }
 
+/// Persistent age-indexed memo of [`TimeModel::weight_after`].
+///
+/// Pruning a synopsis evaluates `δ^age` once per live cell, and a store
+/// accumulates far more cells than distinct ages — cells touched on the
+/// same tick share one factor. This cache pays the `powi` **once per
+/// distinct age over the detector's lifetime** and serves every later
+/// evaluation from an indexed load. Entries are computed with
+/// [`TimeModel::weight_after`] itself, so a cached lookup is bit-identical
+/// to the computation it replaces — pruning decisions are unchanged, only
+/// cheaper.
+///
+/// The cache is derived state: it is never persisted, and a restored
+/// detector rebuilds it lazily on its first prune.
+#[derive(Debug, Clone, Default)]
+pub struct WeightCache {
+    /// `factors[age] == model.weight_after(age)` for every cached age.
+    factors: Vec<f64>,
+}
+
+impl WeightCache {
+    /// Hard cap on cached entries (512 KiB of factors). Ages beyond the
+    /// cap fall back to the model — on any realistic decay model a cell
+    /// that old is far below every pruning floor anyway.
+    pub const MAX_AGES: usize = 1 << 16;
+
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of ages currently cached.
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// `true` when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Extends the cache so every age `< upto` (capped at
+    /// [`WeightCache::MAX_AGES`]) is served without a `powi`. Each new
+    /// entry costs one [`TimeModel::weight_after`]; already-cached ages
+    /// cost nothing, so calling this before every prune amortizes to one
+    /// evaluation per distinct age over the stream's lifetime.
+    pub fn ensure(&mut self, model: &TimeModel, upto: u64) {
+        let want = (upto as usize).min(Self::MAX_AGES);
+        if self.factors.len() >= want {
+            return;
+        }
+        self.factors.reserve(want - self.factors.len());
+        for age in self.factors.len() as u64..want as u64 {
+            self.factors.push(model.weight_after(age));
+        }
+    }
+
+    /// `model.weight_after(age)`, served from the cache when the age is in
+    /// range. Read-only — safe to call from parallel prune shards over one
+    /// shared cache.
+    #[inline]
+    pub fn weight(&self, model: &TimeModel, age: u64) -> f64 {
+        match self.factors.get(age as usize) {
+            Some(&f) => f,
+            None => model.weight_after(age),
+        }
+    }
+
+    /// Renormalization factor from `last` to `now` (the cached counterpart
+    /// of [`TimeModel::decay_between`]).
+    #[inline]
+    pub fn decay_between(&self, model: &TimeModel, last: u64, now: u64) -> f64 {
+        debug_assert!(now >= last, "clock must be monotonic");
+        self.weight(model, now - last)
+    }
+}
+
 /// A single decayed scalar with lazy renormalization.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DecayedCounter {
@@ -420,6 +496,46 @@ mod tests {
             tm.decay_between(7, 60).to_bits()
         );
         assert_eq!(table.start(), 50);
+    }
+
+    #[test]
+    fn weight_cache_is_bitwise_identical_to_the_model() {
+        let tm = TimeModel::new(100, 0.01).unwrap();
+        let mut wc = WeightCache::new();
+        wc.ensure(&tm, 500);
+        assert_eq!(wc.len(), 500);
+        for age in 0..600u64 {
+            // In-cache and fallback lookups alike must reproduce the exact
+            // powi result the uncached path computes.
+            assert_eq!(
+                wc.weight(&tm, age).to_bits(),
+                tm.weight_after(age).to_bits(),
+                "age {age}"
+            );
+        }
+        assert_eq!(
+            wc.decay_between(&tm, 40, 250).to_bits(),
+            tm.decay_between(40, 250).to_bits()
+        );
+    }
+
+    #[test]
+    fn weight_cache_extends_incrementally_and_caps() {
+        let tm = TimeModel::new(50, 0.05).unwrap();
+        let mut wc = WeightCache::new();
+        wc.ensure(&tm, 10);
+        wc.ensure(&tm, 5); // shrinking request is a no-op
+        assert_eq!(wc.len(), 10);
+        wc.ensure(&tm, 64);
+        assert_eq!(wc.len(), 64);
+        wc.ensure(&tm, u64::MAX);
+        assert_eq!(wc.len(), WeightCache::MAX_AGES);
+        // Beyond the cap the model fallback still answers exactly.
+        let age = WeightCache::MAX_AGES as u64 + 17;
+        assert_eq!(
+            wc.weight(&tm, age).to_bits(),
+            tm.weight_after(age).to_bits()
+        );
     }
 
     #[test]

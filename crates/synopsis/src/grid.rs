@@ -96,7 +96,10 @@ impl Grid {
     /// (subtract, scale, saturating cast, clamp — no data-dependent
     /// control flow), a shape the autovectorizer can lift to SIMD for
     /// wide-ϕ streams; `BENCH_parallel.json` carries the ϕ ∈ {8, 24, 64}
-    /// micro numbers. NaN detection is folded into the same lanes (a
+    /// micro numbers. Under the `simd` feature the lane step is the
+    /// explicit [`crate::lanes`] kernel instead of the inlined scalar
+    /// chunk; both are bit-identical (parity proptests in `lanes` and
+    /// below). NaN detection is folded into the same lanes (a
     /// per-element early exit would block vectorization); the offending
     /// dimension is only located on the cold error path.
     #[inline]
@@ -107,7 +110,7 @@ impl Grid {
                 got: p.dims(),
             });
         }
-        const LANES: usize = 4;
+        const LANES: usize = crate::lanes::LANES;
         out.clear();
         out.reserve(self.dims());
         let values = p.values();
@@ -120,12 +123,22 @@ impl Grid {
         let mut lows = mins.chunks_exact(LANES);
         let mut scales = inv.chunks_exact(LANES);
         for ((v, mn), iw) in (&mut vals).zip(&mut lows).zip(&mut scales) {
-            let mut lane = [0u16; LANES];
-            for k in 0..LANES {
-                saw_nan |= v[k].is_nan();
-                let rel = (v[k] - mn[k]) * iw[k];
-                lane[k] = (rel as u64).min(hi) as u16;
-            }
+            #[cfg(feature = "simd")]
+            let lane = {
+                let (lane, nan) = crate::lanes::quantize_lanes(v, mn, iw, hi);
+                saw_nan |= nan;
+                lane
+            };
+            #[cfg(not(feature = "simd"))]
+            let lane = {
+                let mut lane = [0u16; LANES];
+                for k in 0..LANES {
+                    saw_nan |= v[k].is_nan();
+                    let rel = (v[k] - mn[k]) * iw[k];
+                    lane[k] = (rel as u64).min(hi) as u16;
+                }
+                lane
+            };
             out.extend_from_slice(&lane);
         }
         for ((&v, &mn), &iw) in vals
@@ -342,6 +355,42 @@ mod tests {
                 for (d, &v) in vals.iter().enumerate() {
                     assert_eq!(out[d], g.interval(d, v), "dims={dims} d={d} v={v}");
                 }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn lane_kernel_matches_fallback_chunk(
+            vals in proptest::collection::vec(-5.0f64..5.0, crate::lanes::LANES),
+            special in 0usize..5,
+            pos in 0usize..crate::lanes::LANES,
+            m in 2u16..50,
+        ) {
+            // The explicit lane kernel and the scalar fallback chunk must
+            // agree element-for-element whichever one `base_coords_into`
+            // compiled in — this pins the other path too. Clamped
+            // extremes are injected over the drawn lane (the stand-in
+            // proptest has no union strategies).
+            let mut vals = vals;
+            vals[pos] = match special {
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 1e18,
+                4 => -1e18,
+                _ => vals[pos],
+            };
+            let g = grid(crate::lanes::LANES, m);
+            let hi = m as u64 - 1;
+            let (lane, nan) = crate::lanes::quantize_lanes(
+                &vals,
+                g.bounds().mins(),
+                &g.inv_cell_width,
+                hi,
+            );
+            prop_assert!(!nan);
+            for (d, &v) in vals.iter().enumerate() {
+                prop_assert_eq!(lane[d], g.interval(d, v), "d={} v={}", d, v);
             }
         }
     }

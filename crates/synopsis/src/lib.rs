@@ -47,6 +47,7 @@
 pub mod bcs;
 pub mod grid;
 pub mod key;
+pub mod lanes;
 pub mod manager;
 pub mod pcs;
 pub mod pool;

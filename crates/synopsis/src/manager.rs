@@ -8,7 +8,7 @@ use crate::pool::{
 };
 use crate::store::BaseStore;
 use serde::Value;
-use spot_stream::{DecayTable, DecayedCounter, TimeModel};
+use spot_stream::{DecayTable, DecayedCounter, TimeModel, WeightCache};
 use spot_subspace::Subspace;
 use spot_types::{
     DataPoint, DurableState, FxHashMap, PersistError, Result, SpotError, StateReader, StateWriter,
@@ -122,6 +122,14 @@ pub struct SynopsisManager {
     /// [`ExecutorHandle`]): clones — and every co-tenant manager of a
     /// fleet — share the one lazily-spawned pool this handle owns.
     exec: ExecutorHandle,
+    /// Pool-engagement floors for batch dispatch (min stores, min
+    /// points): per-manager scheduling tuning fed from the detector
+    /// configuration. Pure scheduling — results are bit-identical for
+    /// every setting.
+    pool_engage: (usize, usize),
+    /// Memoized `δ^age` factors for pruning (derived state, never
+    /// persisted; see [`WeightCache`]).
+    weights: WeightCache,
 }
 
 impl Clone for SynopsisManager {
@@ -145,6 +153,8 @@ impl Clone for SynopsisManager {
             base_version: self.base_version,
             versions: self.versions.clone(),
             exec: self.exec.clone(),
+            pool_engage: self.pool_engage,
+            weights: WeightCache::new(),
         };
         // The clone gets its own counters; re-derive them from the cloned
         // stores so subsequent deltas stay consistent.
@@ -228,6 +238,8 @@ impl SynopsisManager {
             base_version: 0,
             versions: Vec::new(),
             exec,
+            pool_engage: (8, 8),
+            weights: WeightCache::new(),
         };
         mgr.publish_base();
         mgr
@@ -256,6 +268,13 @@ impl SynopsisManager {
     /// every manager sharing this service.
     pub fn set_parallel_workers(&mut self, workers: Option<usize>) {
         self.exec.set_workers(workers);
+    }
+
+    /// Overrides the pool-engagement floors (minimum stores / minimum run
+    /// points before a machine-sized dispatch fans out). Scheduling only;
+    /// results are bit-identical for every setting.
+    pub fn set_pool_engagement(&mut self, min_stores: usize, min_points: usize) {
+        self.pool_engage = (min_stores, min_points);
     }
 
     /// The executor service this manager dispatches through.
@@ -441,7 +460,9 @@ impl SynopsisManager {
     /// detector can route its verdict-sweep dispatch through the same pool
     /// the shard phase uses.
     pub fn batch_pool(&mut self, points: usize) -> Option<Arc<WorkerPool>> {
-        self.exec.pool_for(self.stores.len(), points)
+        let (min_stores, min_points) = self.pool_engage;
+        self.exec
+            .pool_for_with(self.stores.len(), points, min_stores, min_points)
     }
 
     /// [`SynopsisManager::update_and_query_batch`] with an explicit
@@ -693,19 +714,66 @@ impl SynopsisManager {
 
     /// Prunes every store, evicting cells whose decayed count fell below
     /// `floor`. Returns the total number of evicted cells.
+    ///
+    /// Two layers of the commit-sharding work live here. Decay factors are
+    /// served from the persistent [`WeightCache`] — one `powi` per
+    /// *distinct age* over the detector's lifetime instead of one per live
+    /// cell per prune, with bit-identical eviction decisions. And the
+    /// per-store scans (independent by construction — each touches one
+    /// store) fan out across the executor's worker pool when one is
+    /// engaged, using the same claim protocol as the shard phase; version
+    /// bumps and footprint publication stay sequential.
     pub fn prune(&mut self, now: u64, floor: f64) -> usize {
-        let base_evicted = self.base.prune(&self.model, now, floor);
+        // Cells can be as old as `now`; extend the memo once, up front, so
+        // the scans below (parallel or not) only read it.
+        self.weights.ensure(&self.model, now.saturating_add(1));
+        let base_evicted = self
+            .base
+            .prune_cached(&self.model, &self.weights, now, floor);
         if base_evicted > 0 {
             self.base_version += 1;
         }
         let mut evicted = base_evicted;
         self.publish_base();
+
+        let n_stores = self.stores.len();
+        let mut per_store = vec![0usize; n_stores];
+        let (min_stores, min_points) = self.pool_engage;
+        match self
+            .exec
+            .pool_for_with(n_stores, n_stores, min_stores, min_points)
+        {
+            Some(pool) => {
+                let model = &self.model;
+                let weights = &self.weights;
+                let cursor = AtomicUsize::new(0);
+                let shared_stores = SharedSlice::new(&mut self.stores[..]);
+                let shared_counts = SharedSlice::new(&mut per_store[..]);
+                let work = || loop {
+                    let ordinal = cursor.fetch_add(1, Ordering::Relaxed);
+                    if ordinal >= n_stores {
+                        break;
+                    }
+                    // SAFETY: `ordinal` comes from a unique claim of the
+                    // cursor over 0..n_stores, so this participant is the
+                    // only one touching this store and count slot.
+                    let store = unsafe { shared_stores.get_mut(ordinal) };
+                    let count = unsafe { shared_counts.get_mut(ordinal) };
+                    *count = store.prune_cached(model, weights, now, floor);
+                };
+                pool.execute(&work);
+            }
+            None => {
+                for (ordinal, store) in self.stores.iter_mut().enumerate() {
+                    per_store[ordinal] = store.prune_cached(&self.model, &self.weights, now, floor);
+                }
+            }
+        }
         for (ordinal, store) in self.stores.iter_mut().enumerate() {
-            let store_evicted = store.prune(&self.model, now, floor);
-            if store_evicted > 0 {
+            if per_store[ordinal] > 0 {
                 self.versions[ordinal] += 1;
             }
-            evicted += store_evicted;
+            evicted += per_store[ordinal];
             let (dc, db) = store.publish_delta();
             self.live.apply_projected(dc, db);
         }
@@ -1294,6 +1362,67 @@ mod tests {
         let evicted = mgr.prune(10_000, 1e-6);
         assert_eq!(evicted, 8);
         assert_eq!(mgr.live_cells(), (0, 0));
+    }
+
+    #[test]
+    fn pooled_prune_is_bit_identical_to_serial() {
+        // Same stream into two managers; one prunes on a forced worker
+        // pool, one serially. Evicted counts and every surviving cell must
+        // match bit-for-bit (the sharded scan touches disjoint stores and
+        // the weight cache memoizes exact factors).
+        let build = || {
+            let mut mgr = manager(3, 5);
+            for d in 0..3 {
+                mgr.add_subspace(Subspace::from_dims([d]).unwrap());
+            }
+            for (a, b) in [(0usize, 1usize), (0, 2), (1, 2)] {
+                mgr.add_subspace(Subspace::from_dims([a, b]).unwrap());
+            }
+            for i in 0..400u64 {
+                let p = DataPoint::new(vec![
+                    (i % 13) as f64 / 13.0,
+                    (i % 7) as f64 / 7.0,
+                    (i % 5) as f64 / 5.0,
+                ]);
+                mgr.update(i, &p).unwrap();
+            }
+            mgr
+        };
+        let mut serial = build();
+        let mut pooled = build();
+        serial.set_parallel_workers(Some(0));
+        pooled.set_parallel_workers(Some(2));
+        let now = 5000;
+        let evicted_serial = serial.prune(now, 1e-3);
+        let evicted_pooled = pooled.prune(now, 1e-3);
+        assert_eq!(evicted_serial, evicted_pooled);
+        assert!(evicted_serial > 0, "scenario must actually evict");
+        assert_eq!(serial.live_cells(), pooled.live_cells());
+        assert_eq!(serial.capture_state(), pooled.capture_state());
+    }
+
+    #[test]
+    fn cached_prune_matches_uncached_store_prune() {
+        // The WeightCache path must make the exact decisions the powi path
+        // makes, cell for cell, including ages beyond the cache.
+        let grid = Grid::new(DomainBounds::unit(2), 6).unwrap();
+        let tm = TimeModel::new(40, 0.02).unwrap();
+        let mut cached = BaseStore::new();
+        let mut plain = BaseStore::new();
+        for i in 0..200u64 {
+            let p = DataPoint::new(vec![(i % 17) as f64 / 17.0, (i % 11) as f64 / 11.0]);
+            cached.insert(&grid, &tm, i, &p).unwrap();
+            plain.insert(&grid, &tm, i, &p).unwrap();
+        }
+        let mut wc = WeightCache::new();
+        for now in [200u64, 260, 400] {
+            wc.ensure(&tm, now + 1);
+            let floor = 1e-2;
+            let a = cached.prune_cached(&tm, &wc, now, floor);
+            let b = plain.prune(&tm, now, floor);
+            assert_eq!(a, b, "evictions at now={now}");
+            assert_eq!(cached.len(), plain.len());
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::grid::Grid;
 use crate::key::CellKey;
 use serde::{Deserialize, Serialize};
-use spot_stream::{DecayTable, TimeModel};
+use spot_stream::{DecayTable, TimeModel, WeightCache};
 use spot_subspace::Subspace;
 use spot_types::{DataPoint, DurableState, FxHashMap, PersistError, StateReader, StateWriter};
 
@@ -95,6 +95,11 @@ pub struct ProjectedStore {
     d: Vec<f64>,
     /// Per-slot last-touched tick.
     last_tick: Vec<u64>,
+    /// Conservative lower bound on the oldest `last_tick` among populated
+    /// slots (`u64::MAX` when empty) — the prune screen's eviction
+    /// horizon. Derived state: tightened exactly during prune scans,
+    /// loosened monotonically by upserts, never captured.
+    min_last_tick: u64,
     /// Per-slot moment stripe, stride `2·card`: `ls[0..card], ss[0..card]`.
     moments: Vec<f64>,
     /// `m^{|s|}` — precomputed RD multiplier numerator.
@@ -117,6 +122,7 @@ impl ProjectedStore {
             keys: Vec::new(),
             d: Vec::new(),
             last_tick: Vec::new(),
+            min_last_tick: u64::MAX,
             moments: Vec::new(),
             cell_count: grid.cell_count_in(&subspace),
             uniform_sigma: grid.uniform_sigma_in(&subspace),
@@ -271,6 +277,7 @@ impl ProjectedStore {
                 slot
             }
         };
+        self.min_last_tick = self.min_last_tick.min(now);
         self.d[slot] += 1.0;
         let stripe = &mut self.moments[slot * stride..(slot + 1) * stride];
         let (ls, ss) = stripe.split_at_mut(self.card);
@@ -351,12 +358,42 @@ impl ProjectedStore {
     /// contiguous columns with swap-remove compaction — cheap enough to
     /// call on a short cadence.
     pub fn prune(&mut self, model: &TimeModel, now: u64, floor: f64) -> usize {
+        self.prune_impl(now, floor, |last| model.decay_between(last, now))
+    }
+
+    /// [`ProjectedStore::prune`] with decay factors served from a shared
+    /// [`WeightCache`] — bit-identical eviction decisions (the cache
+    /// memoizes exact `weight_after` results), one `powi` per *distinct
+    /// age* instead of one per cell. Safe to run on store shards in
+    /// parallel: the cache is read-only here.
+    pub fn prune_cached(
+        &mut self,
+        model: &TimeModel,
+        weights: &WeightCache,
+        now: u64,
+        floor: f64,
+    ) -> usize {
+        self.prune_impl(now, floor, |last| weights.decay_between(model, last, now))
+    }
+
+    fn prune_impl(&mut self, _now: u64, floor: f64, factor: impl Fn(u64) -> f64) -> usize {
+        // Eviction-horizon screen: every slot carries weight >= 1 at its
+        // own `last_tick` (each upsert adds exactly 1 after decaying), so
+        // its decayed count is at least `factor(min_last_tick)`. When even
+        // that lower bound clears the floor, the sweep would evict nothing
+        // - and a sweep that evicts nothing mutates nothing, so skipping
+        // it is bit-identical.
+        if self.min_last_tick == u64::MAX || factor(self.min_last_tick) >= floor {
+            return 0;
+        }
         let stride = 2 * self.card;
         let before = self.keys.len();
+        let mut min_last = u64::MAX;
         let mut slot = 0usize;
         while slot < self.keys.len() {
-            let live = self.d[slot] * model.decay_between(self.last_tick[slot], now) >= floor;
+            let live = self.d[slot] * factor(self.last_tick[slot]) >= floor;
             if live {
+                min_last = min_last.min(self.last_tick[slot]);
                 slot += 1;
                 continue;
             }
@@ -379,6 +416,7 @@ impl ProjectedStore {
             self.last_tick.pop();
             self.moments.truncate(last * stride);
         }
+        self.min_last_tick = min_last;
         before - self.keys.len()
     }
 
@@ -448,6 +486,7 @@ impl DurableState for ProjectedStore {
         }
         self.keys = keys.into_iter().map(CellKey).collect();
         self.d = d;
+        self.min_last_tick = last.iter().copied().min().unwrap_or(u64::MAX);
         self.last_tick = last;
         self.moments = moments;
         Ok(())
@@ -469,6 +508,32 @@ mod tests {
     fn update(store: &mut ProjectedStore, grid: &Grid, tm: &TimeModel, now: u64, p: &DataPoint) {
         let base = grid.base_coords(p).unwrap();
         store.update(grid, tm, now, &base, p);
+    }
+
+    #[test]
+    fn horizon_screen_skips_only_no_op_prunes() {
+        // TimeModel(100, 0.01): a lone point falls below floor=1e-3 once
+        // 0.01^(age/100) < 1e-3, i.e. strictly after age 150.
+        let (grid, tm) = setup(2, 4);
+        let s = Subspace::from_dims([0, 1]).unwrap();
+        let mut store = ProjectedStore::new(&grid, s);
+        update(&mut store, &grid, &tm, 10, &DataPoint::new(vec![0.1, 0.1]));
+        for _ in 0..5 {
+            update(&mut store, &grid, &tm, 100, &DataPoint::new(vec![0.9, 0.9]));
+        }
+        // Inside the horizon: screened out, nothing touched.
+        assert_eq!(store.prune(&tm, 120, 1e-3), 0);
+        assert_eq!(store.len(), 2);
+        // Past the lone cell's horizon: the sweep runs and evicts it, and
+        // the recomputed horizon screens the immediate re-prune.
+        assert_eq!(store.prune(&tm, 200, 1e-3), 1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.prune(&tm, 200, 1e-3), 0);
+        // The survivor eventually decays out too.
+        assert_eq!(store.prune(&tm, 500, 1e-3), 1);
+        assert_eq!(store.len(), 0);
+        // Empty store: screened out.
+        assert_eq!(store.prune(&tm, 600, 1e-3), 0);
     }
 
     #[test]

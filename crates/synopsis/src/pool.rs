@@ -468,11 +468,26 @@ impl ExecutorHandle {
     }
 
     /// The pool to use for a dispatch over `stores` shards and `points`
+    /// points under the default engagement floors (≥ 8 of each). See
+    /// [`ExecutorHandle::pool_for_with`].
+    pub fn pool_for(&self, stores: usize, points: usize) -> Option<Arc<WorkerPool>> {
+        self.pool_for_with(stores, points, 8, 8)
+    }
+
+    /// The pool to use for a dispatch over `stores` shards and `points`
     /// points — `None` when the work should run serially (forced serial,
     /// empty work, or too narrow to pay for fan-out under machine-sized
-    /// defaults). Spawns the pool on first engagement and returns the same
-    /// shared pool afterwards.
-    pub fn pool_for(&self, stores: usize, points: usize) -> Option<Arc<WorkerPool>> {
+    /// defaults). The caller supplies the engagement floors (tunable from
+    /// the detector configuration); a forced worker budget overrides them.
+    /// Spawns the pool on first engagement and returns the same shared
+    /// pool afterwards.
+    pub fn pool_for_with(
+        &self,
+        stores: usize,
+        points: usize,
+        min_stores: usize,
+        min_points: usize,
+    ) -> Option<Arc<WorkerPool>> {
         if stores == 0 || points == 0 {
             return None;
         }
@@ -486,7 +501,7 @@ impl ExecutorHandle {
             Some(workers) => workers > 0,
             // Fan out only when the work is wide enough to pay for the
             // dispatch, and the machine has threads to give.
-            None => stores >= 8 && points >= 8 && Self::default_workers() >= 1,
+            None => stores >= min_stores && points >= min_points && Self::default_workers() >= 1,
         };
         if !engage {
             return None;

@@ -3,7 +3,7 @@
 use crate::bcs::Bcs;
 use crate::grid::Grid;
 use crate::key::CellKey;
-use spot_stream::{DecayTable, TimeModel};
+use spot_stream::{DecayTable, TimeModel, WeightCache};
 use spot_types::{
     DataPoint, DurableState, FxHashMap, PersistError, Result, StateReader, StateWriter,
 };
@@ -18,9 +18,23 @@ use spot_types::{
 /// steady-state insertion path allocates nothing (the seed implementation
 /// boxed a coordinate slice per insertion and cloned it into the map
 /// entry).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BaseStore {
     cells: FxHashMap<CellKey, Bcs>,
+    /// Conservative lower bound on the oldest `last_tick` among populated
+    /// cells (`u64::MAX` when empty) — the prune screen's eviction
+    /// horizon. Derived state: tightened exactly during prune scans,
+    /// loosened monotonically by inserts, never captured.
+    min_last_tick: u64,
+}
+
+impl Default for BaseStore {
+    fn default() -> Self {
+        BaseStore {
+            cells: FxHashMap::default(),
+            min_last_tick: u64::MAX,
+        }
+    }
 }
 
 impl BaseStore {
@@ -54,6 +68,7 @@ impl BaseStore {
         let cell = self.cells.entry(key).or_insert_with(|| Bcs::new(dims, now));
         let prior = cell.count_at(model, now);
         cell.insert(model, now, p);
+        self.min_last_tick = self.min_last_tick.min(now);
         prior
     }
 
@@ -74,6 +89,7 @@ impl BaseStore {
         let f = table.factor(model, cell.last_tick(), now);
         let prior = cell.count() * f;
         cell.insert_with_factor(f, now, p);
+        self.min_last_tick = self.min_last_tick.min(now);
         prior
     }
 
@@ -129,12 +145,62 @@ impl BaseStore {
         self.cells.iter().map(|(&k, v)| (k, v))
     }
 
+    /// Whether a prune at `now` against `floor` could evict anything.
+    /// Every cell carries weight ≥ 1 at its own `last_tick` (each touch
+    /// adds exactly 1 after decaying), so its decayed count at `now` is at
+    /// least `δ^(now − last_tick) ≥ δ^(now − min_last_tick)`. When even
+    /// that lower bound clears the floor, a scan would evict nothing —
+    /// and a scan that evicts nothing mutates nothing, so skipping it is
+    /// bit-identical.
+    fn prune_can_evict(&self, model: &TimeModel, now: u64, floor: f64) -> bool {
+        self.min_last_tick != u64::MAX
+            && model.weight_after(now.saturating_sub(self.min_last_tick)) < floor
+    }
+
     /// Removes cells whose decayed count at `now` fell below `floor`;
-    /// returns how many were evicted.
+    /// returns how many were evicted. Stores entirely inside the eviction
+    /// horizon (see [`BaseStore::prune_can_evict`]) skip the scan.
     pub fn prune(&mut self, model: &TimeModel, now: u64, floor: f64) -> usize {
+        if !self.prune_can_evict(model, now, floor) {
+            return 0;
+        }
         let before = self.cells.len();
-        self.cells
-            .retain(|_, cell| cell.count_at(model, now) >= floor);
+        let mut min_last = u64::MAX;
+        self.cells.retain(|_, cell| {
+            let live = cell.count_at(model, now) >= floor;
+            if live {
+                min_last = min_last.min(cell.last_tick());
+            }
+            live
+        });
+        self.min_last_tick = min_last;
+        before - self.cells.len()
+    }
+
+    /// [`BaseStore::prune`] with decay factors served from a shared
+    /// [`WeightCache`] — one indexed load per cell instead of one `powi`.
+    /// Eviction decisions are bit-identical to the uncached path (the
+    /// cache memoizes the exact `weight_after` results).
+    pub fn prune_cached(
+        &mut self,
+        model: &TimeModel,
+        weights: &WeightCache,
+        now: u64,
+        floor: f64,
+    ) -> usize {
+        if !self.prune_can_evict(model, now, floor) {
+            return 0;
+        }
+        let before = self.cells.len();
+        let mut min_last = u64::MAX;
+        self.cells.retain(|_, cell| {
+            let live = cell.count() * weights.decay_between(model, cell.last_tick(), now) >= floor;
+            if live {
+                min_last = min_last.min(cell.last_tick());
+            }
+            live
+        });
+        self.min_last_tick = min_last;
         before - self.cells.len()
     }
 
@@ -196,6 +262,7 @@ impl DurableState for BaseStore {
         }
         self.cells.clear();
         self.cells.reserve(n);
+        self.min_last_tick = last.iter().copied().min().unwrap_or(u64::MAX);
         for i in 0..n {
             let cell = Bcs::from_parts(
                 d[i],
@@ -223,6 +290,49 @@ mod tests {
             Grid::new(DomainBounds::unit(2), 4).unwrap(),
             TimeModel::new(50, 0.01).unwrap(),
         )
+    }
+
+    #[test]
+    fn horizon_screen_skips_only_no_op_prunes() {
+        // TimeModel(50, 0.01): weight_after(age) = 0.01^(age/50), so a
+        // lone point falls below floor=1e-3 once 0.01^(age/50) < 1e-3,
+        // i.e. strictly after age 75.
+        let (grid, tm) = setup();
+        let mut store = BaseStore::new();
+        let p = DataPoint::new(vec![0.1, 0.1]);
+        store.insert(&grid, &tm, 10, &p).unwrap();
+        // Inside the horizon: the screen must report nothing evictable and
+        // the cell must survive untouched.
+        assert_eq!(store.prune(&tm, 40, 1e-3), 0);
+        assert_eq!(store.len(), 1);
+        // Past the horizon the scan runs and evicts.
+        assert_eq!(store.prune(&tm, 200, 1e-3), 1);
+        assert_eq!(store.len(), 0);
+        // Empty store: screened out without touching the model.
+        assert_eq!(store.prune(&tm, 300, 1e-3), 0);
+    }
+
+    #[test]
+    fn horizon_tightens_after_partial_prune() {
+        let (grid, tm) = setup();
+        let mut store = BaseStore::new();
+        // Old lone cell (evictable at now=100) and a fresh heavy cell.
+        store
+            .insert(&grid, &tm, 0, &DataPoint::new(vec![0.1, 0.1]))
+            .unwrap();
+        for _ in 0..5 {
+            store
+                .insert(&grid, &tm, 90, &DataPoint::new(vec![0.9, 0.9]))
+                .unwrap();
+        }
+        assert_eq!(store.prune(&tm, 100, 1e-3), 1);
+        assert_eq!(store.len(), 1);
+        // The horizon now reflects the survivor (last_tick 90), so an
+        // immediate re-prune is screened out as a no-op, and a later one
+        // still evicts the survivor once it actually decays below floor.
+        assert_eq!(store.prune(&tm, 100, 1e-3), 0);
+        assert_eq!(store.prune(&tm, 400, 1e-3), 1);
+        assert_eq!(store.len(), 0);
     }
 
     #[test]

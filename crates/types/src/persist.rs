@@ -101,6 +101,7 @@ pub mod lanes {
 /// | `VARINT` | LEB128 per entry            | small counters, tick columns |
 /// | `DELTA`  | first entry + zigzag diffs  | sorted keys, monotone clocks |
 /// | `CONST`  | one 8-byte entry            | all-equal columns (masks, dims) |
+/// | `GORILLA`| XOR-prev, byte-aligned lanes | slow-moving float bit patterns |
 ///
 /// Every multi-byte lane is little-endian. Decoding is total: all counts
 /// and lengths are bounds-checked against the remaining input *before*
@@ -130,6 +131,7 @@ pub mod binary {
     const MODE_VARINT: u8 = 1;
     const MODE_DELTA: u8 = 2;
     const MODE_CONST: u8 = 3;
+    const MODE_GORILLA: u8 = 4;
 
     /// Value trees nest component → store → column; anything deeper than
     /// this in a payload is corruption, not state.
@@ -174,6 +176,36 @@ pub mod binary {
                 return Err(PersistError::custom("varint: too many continuation bytes"));
             }
         }
+    }
+
+    /// Byte-aligned Gorilla-style lane for one `v ^ prev` word: a header
+    /// byte packing `(leading zero bytes << 4) | trailing zero bytes`,
+    /// then the surviving middle bytes little-endian. Neighbouring float
+    /// bit patterns share sign/exponent/high-mantissa bytes, so the XOR's
+    /// zero fringe is dropped without the bit-granular accounting of the
+    /// original Gorilla paper — byte lanes keep both coders branch-light
+    /// and the wire format trivially bounds-checkable. A zero XOR
+    /// (repeated value) is the bare header `0x80`.
+    fn gorilla_split(xor: u64) -> (usize, usize) {
+        if xor == 0 {
+            return (8, 0);
+        }
+        let lead = xor.leading_zeros() as usize / 8;
+        let trail = xor.trailing_zeros() as usize / 8;
+        (lead, trail)
+    }
+
+    fn gorilla_lane_len(xor: u64) -> usize {
+        let (lead, trail) = gorilla_split(xor);
+        1 + (8 - lead - trail)
+    }
+
+    fn put_gorilla_lane(out: &mut Vec<u8>, xor: u64) {
+        let (lead, trail) = gorilla_split(xor);
+        out.push(((lead << 4) | trail) as u8);
+        let mid = 8 - lead - trail;
+        let lanes = (xor >> (trail * 8)).to_le_bytes();
+        out.extend_from_slice(&lanes[..mid]);
     }
 
     fn zigzag(v: i64) -> u64 {
@@ -334,8 +366,10 @@ pub mod binary {
         let mut sampled = 0usize;
         let mut varint_bytes = 0usize;
         let mut delta_bytes = 0usize;
+        let mut gorilla_bytes = 0usize;
         let mut i = 0;
         let mut prev = first;
+        let mut gprev = 0u64;
         while i < c.len() {
             let v = c[i];
             varint_bytes += varint_len(v);
@@ -344,17 +378,23 @@ pub mod binary {
             } else {
                 varint_len(zigzag(v.wrapping_sub(prev) as i64))
             };
+            gorilla_bytes += gorilla_lane_len(v ^ gprev);
             prev = v;
+            gprev = v;
             sampled += 1;
             i += stride;
         }
         let raw_bytes = sampled * 8;
-        // Prefer RAW unless a varint mode is clearly smaller: RAW decode is
-        // a straight copy and float bit patterns are incompressible.
+        // Prefer RAW unless another mode is clearly smaller: RAW decode is
+        // a straight copy and float bit patterns are incompressible. The
+        // integer modes outrank GORILLA at equal size — their decode is a
+        // plain varint chain with no header byte per lane.
         if delta_bytes * 10 < raw_bytes * 9 && delta_bytes <= varint_bytes {
             MODE_DELTA
         } else if varint_bytes * 10 < raw_bytes * 9 {
             MODE_VARINT
+        } else if gorilla_bytes * 10 < raw_bytes * 9 {
+            MODE_GORILLA
         } else {
             MODE_RAW
         }
@@ -396,6 +436,15 @@ pub mod binary {
                 put_varint(out, prev);
                 for &v in &c[1..] {
                     put_varint(out, zigzag(v.wrapping_sub(prev) as i64));
+                    prev = v;
+                }
+            }
+            MODE_GORILLA => {
+                // Seeding prev = 0 makes the first lane carry the value
+                // itself; no separate bootstrap entry in the wire format.
+                let mut prev = 0u64;
+                for &v in c {
+                    put_gorilla_lane(out, v ^ prev);
                     prev = v;
                 }
             }
@@ -576,6 +625,36 @@ pub mod binary {
                         for _ in 1..n {
                             let d = unzigzag(get_varint(bytes, at)?);
                             prev = prev.wrapping_add(d as u64);
+                            col.push(prev);
+                        }
+                    }
+                    MODE_GORILLA => {
+                        // Every lane is at least its header byte.
+                        check_remaining(bytes, *at, n, "gorilla column")?;
+                        col = Vec::with_capacity(n);
+                        let mut prev = 0u64;
+                        for _ in 0..n {
+                            let header = *bytes.get(*at).ok_or_else(|| {
+                                PersistError::custom("gorilla column: missing lane header")
+                            })?;
+                            *at += 1;
+                            let lead = (header >> 4) as usize;
+                            let trail = (header & 0x0f) as usize;
+                            if lead + trail > 8 {
+                                return Err(PersistError::custom(format!(
+                                    "gorilla column: lane header {header:#04x} claims {} zero \
+                                     bytes of 8",
+                                    lead + trail
+                                )));
+                            }
+                            let mid = 8 - lead - trail;
+                            check_remaining(bytes, *at, mid, "gorilla lane")?;
+                            let mut xor = 0u64;
+                            for (k, &b) in bytes[*at..*at + mid].iter().enumerate() {
+                                xor |= u64::from(b) << ((trail + k) * 8);
+                            }
+                            *at += mid;
+                            prev ^= xor;
                             col.push(prev);
                         }
                     }
@@ -1226,6 +1305,9 @@ mod tests {
             (0..500).map(|i| 1_000_000 + i * 5).collect(), // monotone → DELTA
             vec![42; 256],                     // all equal → CONST
             vec![u64::MAX],                    // single entry
+            (0..500)
+                .map(|i| (100.0 + (i % 13) as f64 * 0.25).to_bits())
+                .collect(), // slow-moving floats → GORILLA
         ];
         for col in cases {
             let tree = Value::Object(vec![("c".into(), Value::U64Col(col.clone()))]);
@@ -1240,6 +1322,50 @@ mod tests {
         let mut payload = Vec::new();
         binary::encode(&tree, &mut payload);
         assert!(payload.len() < 20, "const column took {}", payload.len());
+    }
+
+    #[test]
+    fn binary_gorilla_compresses_slow_moving_floats() {
+        // Neighbouring decayed counts share sign, exponent and the high
+        // mantissa bytes; the XOR-prev lanes must beat the 8-byte RAW
+        // rate on such a column and still round-trip exactly.
+        let col: Vec<u64> = (0..512)
+            .map(|i| (1000.0 + (i % 29) as f64).to_bits())
+            .collect();
+        let tree = Value::U64Col(col.clone());
+        let mut payload = Vec::new();
+        binary::encode(&tree, &mut payload);
+        assert!(
+            payload.len() < col.len() * 8,
+            "gorilla column took {} bytes for {} raw",
+            payload.len(),
+            col.len() * 8
+        );
+        assert!(matches!(binary::decode(&payload).unwrap(), Value::U64Col(c) if c == col));
+        // NaN payloads, signed zeros and infinities are bit patterns like
+        // any other: a value-level round-trip must be exact.
+        let specials: Vec<u64> = [0.0f64, -0.0, f64::INFINITY, f64::NEG_INFINITY]
+            .iter()
+            .map(|f| f.to_bits())
+            .chain([f64::NAN.to_bits() | 0xdead, 0, u64::MAX])
+            .flat_map(|b| std::iter::repeat_n(b, 40))
+            .collect();
+        let mut payload = Vec::new();
+        binary::encode(&Value::U64Col(specials.clone()), &mut payload);
+        assert!(matches!(binary::decode(&payload).unwrap(), Value::U64Col(c) if c == specials));
+    }
+
+    #[test]
+    fn binary_gorilla_rejects_malformed_lanes() {
+        // Column tag, len 2, gorilla mode, then a lane header claiming
+        // more than 8 zero bytes: typed error, no panic.
+        assert!(binary::decode(&[9u8, 2, 4, 0x99]).is_err());
+        // Valid first lane (8 leading zero bytes = value 0), then a
+        // truncated second lane: header promises 8 middle bytes that are
+        // not there.
+        assert!(binary::decode(&[9u8, 2, 4, 0x80, 0x00, 1, 2]).is_err());
+        // Missing header for the second lane entirely.
+        assert!(binary::decode(&[9u8, 2, 4, 0x80]).is_err());
     }
 
     #[test]
